@@ -1,0 +1,102 @@
+// Command aspenc is the extended-Aspen model compiler and evaluator: it
+// parses a resilience model (Section III-D of the DVF paper), runs the
+// semantic checker, and — unless -check-only is given — evaluates the
+// model, printing per-structure main-memory access counts and DVFs.
+//
+// Usage:
+//
+//	aspenc [flags] model.aspen
+//
+//	-check-only      stop after parsing and semantic analysis
+//	-fmt             print the model formatted canonically and exit
+//	-cache name      override the machine cache with a Table IV config
+//	                 (small, large, 16kb, 128kb, 1mb, 8mb)
+//	-fit rate        override the memory FIT rate
+//	-sweep           evaluate across all four profiling caches
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/resilience-models/dvf/internal/aspen"
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/dvf"
+)
+
+var tableIV = map[string]cache.Config{
+	"small": cache.Small,
+	"large": cache.Large,
+	"16kb":  cache.Profile16KB,
+	"128kb": cache.Profile128KB,
+	"1mb":   cache.Profile1MB,
+	"8mb":   cache.Profile8MB,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aspenc: ")
+	checkOnly := flag.Bool("check-only", false, "stop after parsing and semantic analysis")
+	format := flag.Bool("fmt", false, "print the model formatted canonically and exit")
+	cacheName := flag.String("cache", "", "override cache: small, large, 16kb, 128kb, 1mb, 8mb")
+	fit := flag.Float64("fit", -1, "override the memory FIT rate (failures/1e9h/Mbit)")
+	sweep := flag.Bool("sweep", false, "evaluate across the four profiling caches")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatalf("usage: aspenc [flags] model.aspen")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := aspen.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *format {
+		fmt.Print(aspen.Format(model))
+		return
+	}
+	if err := aspen.Check(model); err != nil {
+		log.Fatal(err)
+	}
+	if *checkOnly {
+		fmt.Printf("%s: model %q OK (%d params, %d data structures, %d kernels)\n",
+			flag.Arg(0), model.Name, len(model.Params), len(model.Data), len(model.Kernels))
+		return
+	}
+
+	var base []aspen.Option
+	if *cacheName != "" {
+		cfg, ok := tableIV[strings.ToLower(*cacheName)]
+		if !ok {
+			log.Fatalf("unknown cache %q (want small, large, 16kb, 128kb, 1mb or 8mb)", *cacheName)
+		}
+		base = append(base, aspen.WithCache(cfg))
+	}
+	if *fit >= 0 {
+		base = append(base, aspen.WithFIT(dvf.FIT(*fit)))
+	}
+
+	if *sweep {
+		for _, cfg := range cache.ProfilingConfigs() {
+			opts := append([]aspen.Option{aspen.WithCache(cfg)}, base...)
+			ev, err := aspen.Evaluate(model, opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(ev.Render())
+			fmt.Println()
+		}
+		return
+	}
+	ev, err := aspen.Evaluate(model, base...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ev.Render())
+}

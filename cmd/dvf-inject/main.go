@@ -1,0 +1,48 @@
+// Command dvf-inject runs the statistical fault-injection baseline the DVF
+// paper positions itself against (Section VI), and compares its
+// per-structure vulnerability ranking and cost against the model-based DVF
+// analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/experiments"
+	"github.com/resilience-models/dvf/internal/inject"
+	"github.com/resilience-models/dvf/internal/kernels"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dvf-inject: ")
+	kernel := flag.String("kernel", "VM", "injectable kernel: VM, CG, MG, FT or MC")
+	trials := flag.Int("trials", 100, "injection trials per data structure")
+	bits := flag.String("bits", "", "run a bit-position sensitivity study on this structure")
+	elemSize := flag.Int64("elem", 8, "element size in bytes for the bit study")
+	flag.Parse()
+
+	k, err := kernels.ByName(*kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *bits != "" {
+		injectable, err := inject.AsInjectable(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profile, err := inject.BitSensitivity(injectable, *bits, *elemSize, *trials, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(profile.Render())
+		return
+	}
+	cmp, err := experiments.RunBaseline(k, *trials, cache.Large)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cmp.Render())
+}

@@ -1,0 +1,41 @@
+// Command dvf-model generates an extended-Aspen resilience model from one
+// of the built-in kernels: the kernel runs once (untraced) to profile its
+// model inputs (iteration counts, tree shape, visit counts), then renders
+// itself as DSL source — the starting point a modeler would refine.
+//
+//	dvf-model -kernel NB > nb.aspen
+//	go run ./cmd/aspenc -sweep nb.aspen
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/resilience-models/dvf/internal/kernels"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dvf-model: ")
+	kernel := flag.String("kernel", "VM", "kernel to model: VM, CG, NB, FT or MC")
+	flag.Parse()
+
+	k, err := kernels.ByName(*kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, ok := k.(kernels.AspenSourcer)
+	if !ok {
+		log.Fatalf("%s cannot express itself as Aspen source", k.Name())
+	}
+	info, err := k.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := src.AspenSource(info)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(text)
+}

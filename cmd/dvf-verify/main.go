@@ -1,0 +1,31 @@
+// Command dvf-verify regenerates Figure 4 of the DVF paper: it runs the six
+// verification kernels through the cache simulator and compares the CGPMAC
+// analytical estimates against the simulated main-memory access counts.
+//
+//	-csv    emit machine-readable CSV instead of the table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/resilience-models/dvf/internal/experiments"
+)
+
+func main() {
+	csvOut := flag.Bool("csv", false, "emit CSV instead of the table")
+	flag.Parse()
+	res, err := experiments.RunFig4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csvOut {
+		if err := res.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(res.Render())
+}

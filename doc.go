@@ -1,0 +1,18 @@
+// Package dvf is a from-scratch Go reproduction of "Quantitatively
+// Modeling Application Resilience with the Data Vulnerability Factor"
+// (Yu, Li, Mittal, Vetter — SC 2014).
+//
+// The repository implements the paper's full stack: the DVF resilience
+// metric, the CGPMAC analytical memory-access models for four access
+// pattern classes, an extended-Aspen modeling language, a set-associative
+// LRU cache simulator with per-data-structure accounting, a source-level
+// trace instrumentation layer replacing Pin, the six Table II numerical
+// kernels (plus PCG), and harnesses regenerating every figure and table
+// of the paper's evaluation.
+//
+// Start at internal/core for the façade API, or run the command-line
+// tools: dvf-verify (Figure 4), dvf-profile (Figure 5), dvf-usecase
+// (Figures 6 and 7) and aspenc (the DSL compiler). The root-level
+// benchmarks in bench_test.go regenerate each experiment under
+// `go test -bench`.
+package dvf

@@ -1,0 +1,51 @@
+// Design space: sweep an application across candidate machines — cache
+// geometries crossed with memory-protection mechanisms — and rank the
+// configurations by vulnerability.
+//
+// This is the exploration workflow the paper inherits from Aspen ("rapid
+// exploration of new algorithm and architectures") with resilience as the
+// objective: each cell costs one model evaluation, so the whole
+// 4-cache x 3-protection sweep finishes in well under a second, where a
+// fault-injection campaign per cell would take hours.
+//
+// Run with:
+//
+//	go run ./examples/design-space
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/resilience-models/dvf/internal/core"
+	"github.com/resilience-models/dvf/internal/dvf"
+)
+
+func main() {
+	kernel, err := core.NewKernel("MG")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	caches := []core.CacheConfig{
+		core.Cache16KB, core.Cache128KB, core.Cache1MB, core.Cache8MB,
+	}
+	protections := []dvf.ECC{dvf.NoECC, dvf.SECDED, dvf.Chipkill}
+
+	res, err := core.Explore(kernel, caches, protections)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+
+	best, err := res.Best()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmost resilient configuration: %s with %s (DVF_a = %.4g)\n",
+		best.Cache.Name, best.Protection.Name, best.DVFa)
+	fmt.Println("\nreading the table: protection strength dominates (chipkill's five")
+	fmt.Println("orders of magnitude in FIT dwarf any cache effect), while within a")
+	fmt.Println("protection class a larger cache reduces DVF by cutting N_ha — the")
+	fmt.Println("two-knob trade-off the paper's Section V explores one knob at a time.")
+}

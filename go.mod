@@ -1,0 +1,3 @@
+module github.com/resilience-models/dvf
+
+go 1.22

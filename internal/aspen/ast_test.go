@@ -1,0 +1,83 @@
+package aspen
+
+import (
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/dvf"
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+func TestPatternClausePositions(t *testing.T) {
+	m := mustParse(t, `
+model m {
+    data S { size 80   pattern streaming(8, 10, 1) }
+    data R { size 320  pattern random(10, 32, 2, 100, 1.0) }
+    data U { size 80   pattern reuse(100, 3) }
+    data T { size 64   pattern template(8) { list (0, 1) } }
+}`)
+	for _, d := range m.Data {
+		if d.Pattern.pos().Line == 0 {
+			t.Errorf("%s: pattern position missing", d.Name)
+		}
+		if d.Pattern.patternName() == "" {
+			t.Errorf("%s: pattern name missing", d.Name)
+		}
+	}
+}
+
+func TestExprPositions(t *testing.T) {
+	m := mustParse(t, `model m { param x = -ceil(1 + a * 2) }`)
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if e.exprPos().Line == 0 {
+			t.Errorf("%T: position missing", e)
+		}
+		switch n := e.(type) {
+		case *Neg:
+			walk(n.Operand)
+		case *BinOp:
+			walk(n.Lhs)
+			walk(n.Rhs)
+		case *Call:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(m.Params[0].Expr)
+}
+
+func TestFindDataAndParam(t *testing.T) {
+	m := mustParse(t, `model m { param n = 4 data A { size 8 pattern streaming(8,1,1) } }`)
+	if _, err := m.FindData("A"); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.FindData("Z"); err == nil {
+		t.Error("unknown data found")
+	}
+	if _, ok := m.FindParam("n"); !ok {
+		t.Error("param n not found")
+	}
+	if _, ok := m.FindParam("zz"); ok {
+		t.Error("unknown param found")
+	}
+}
+
+func TestWithCostModel(t *testing.T) {
+	m := mustParse(t, `
+model m {
+    machine { cache { assoc 2 sets 4 line 16 } }
+    data X { size 800  pattern streaming(8, 100, 1) }
+    kernel main { flops 1000 }
+}`)
+	slow := dvf.CostModel{RefSeconds: 0, MemSeconds: 1, FlopSeconds: 1}
+	ev, err := Evaluate(m, WithCostModel(slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := ev.Structure("X")
+	want := x.NHa*1 + 1000*1
+	if !mathx.ApproxEqual(ev.ExecSeconds, want, 1e-9) {
+		t.Errorf("ExecSeconds = %g, want %g", ev.ExecSeconds, want)
+	}
+}

@@ -1,0 +1,193 @@
+package aspen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a model back to canonical extended-Aspen source. The
+// output parses to a structurally identical model (Parse ∘ Format is the
+// identity up to positions — see the round-trip tests), which makes
+// Format usable as a formatter (aspenc -fmt) and as a serialization of
+// programmatically built models.
+func Format(m *Model) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model %s {\n", m.Name)
+	for _, p := range m.Params {
+		fmt.Fprintf(&b, "    param %s = %s\n", p.Name, FormatExpr(p.Expr))
+	}
+	if m.Machine != nil {
+		b.WriteString("    machine {\n")
+		if c := m.Machine.Cache; c != nil {
+			fmt.Fprintf(&b, "        cache { assoc %s  sets %s  line %s }\n",
+				FormatExpr(c.Assoc), FormatExpr(c.Sets), FormatExpr(c.Line))
+		}
+		if mem := m.Machine.Memory; mem != nil {
+			fmt.Fprintf(&b, "        memory { fit %s }\n", FormatExpr(mem.FIT))
+		}
+		b.WriteString("    }\n")
+	}
+	for _, d := range m.Data {
+		fmt.Fprintf(&b, "    data %s {\n", d.Name)
+		if d.Size != nil {
+			fmt.Fprintf(&b, "        size %s\n", FormatExpr(d.Size))
+		}
+		if d.Pattern != nil {
+			b.WriteString(formatPattern(d.Pattern))
+		}
+		b.WriteString("    }\n")
+	}
+	for _, k := range m.Kernels {
+		fmt.Fprintf(&b, "    kernel %s {\n", k.Name)
+		if k.Flops != nil {
+			fmt.Fprintf(&b, "        flops %s\n", FormatExpr(k.Flops))
+		}
+		if k.Time != nil {
+			fmt.Fprintf(&b, "        time %s\n", FormatExpr(k.Time))
+		}
+		if k.Order != "" {
+			fmt.Fprintf(&b, "        order %q\n", k.Order)
+		}
+		b.WriteString("    }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func formatPattern(p PatternClause) string {
+	switch pat := p.(type) {
+	case *StreamingPattern:
+		args := []string{FormatExpr(pat.ElemSize), FormatExpr(pat.Count), FormatExpr(pat.Stride)}
+		if pat.Repeats != nil {
+			args = append(args, FormatExpr(pat.Repeats))
+		}
+		return fmt.Sprintf("        pattern streaming(%s)\n", strings.Join(args, ", "))
+	case *RandomPattern:
+		return fmt.Sprintf("        pattern random(%s, %s, %s, %s, %s)\n",
+			FormatExpr(pat.Count), FormatExpr(pat.ElemSize), FormatExpr(pat.K),
+			FormatExpr(pat.Iter), FormatExpr(pat.Ratio))
+	case *ReusePattern:
+		return fmt.Sprintf("        pattern reuse(%s, %s)\n",
+			FormatExpr(pat.OtherBytes), FormatExpr(pat.Reuses))
+	case *TemplatePattern:
+		var b strings.Builder
+		fmt.Fprintf(&b, "        pattern template(%s) {\n", FormatExpr(pat.ElemSize))
+		if len(pat.Dims) > 0 {
+			fmt.Fprintf(&b, "            dims (%s)\n", formatExprList(pat.Dims))
+		}
+		for _, r := range pat.Ranges {
+			fmt.Fprintf(&b, "            range (%s) : %s : (%s)\n",
+				formatRefs(r.From), FormatExpr(r.Step), formatRefs(r.To))
+		}
+		if len(pat.List) > 0 {
+			fmt.Fprintf(&b, "            list (%s)\n", formatExprList(pat.List))
+		}
+		if pat.Repeats != nil {
+			fmt.Fprintf(&b, "            repeat %s\n", FormatExpr(pat.Repeats))
+		}
+		b.WriteString("        }\n")
+		return b.String()
+	}
+	return ""
+}
+
+func formatExprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = FormatExpr(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func formatRefs(refs []*Ref) string {
+	parts := make([]string, len(refs))
+	for i, r := range refs {
+		parts[i] = fmt.Sprintf("R(%s)", formatExprList(r.Indices))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Operator binding powers, mirroring the parser's precedence levels.
+func precedence(op TokenKind) int {
+	switch op {
+	case TokPlus, TokMinus:
+		return 1
+	case TokStar, TokSlash, TokPercent:
+		return 2
+	case TokCaret:
+		return 3
+	}
+	return 0
+}
+
+// FormatExpr renders an expression with the minimal parentheses needed to
+// reparse with identical structure.
+func FormatExpr(e Expr) string {
+	return formatExprPrec(e, 0)
+}
+
+func formatExprPrec(e Expr, parent int) string {
+	switch n := e.(type) {
+	case *NumLit:
+		return strconv.FormatFloat(n.Value, 'g', -1, 64)
+	case *VarRef:
+		return n.Name
+	case *Neg:
+		// Unary minus binds looser than ^ in this grammar but tighter
+		// than * and +; parenthesize the operand when it is a lower-
+		// precedence binop, and the whole negation when the parent binds
+		// at multiplicative level or higher.
+		inner := formatExprPrec(n.Operand, 2)
+		s := "-" + inner
+		if parent >= 2 {
+			return "(" + s + ")"
+		}
+		return s
+	case *BinOp:
+		p := precedence(n.Op)
+		lhs := formatExprPrec(n.Lhs, p)
+		// Right operand needs parens when it would re-associate: for
+		// left-associative operators, equal precedence on the right must
+		// be parenthesized; ^ is right-associative so equal precedence is
+		// fine on the right but not on the left.
+		rhsParent := p + 1
+		lhsParent := p
+		if n.Op == TokCaret {
+			rhsParent = p
+			lhsParent = p + 1
+			lhs = formatExprPrec(n.Lhs, lhsParent)
+		}
+		rhs := formatExprPrec(n.Rhs, rhsParent)
+		s := lhs + " " + opText(n.Op) + " " + rhs
+		if p < parent {
+			return "(" + s + ")"
+		}
+		return s
+	case *Call:
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = formatExprPrec(a, 0)
+		}
+		return n.Name + "(" + strings.Join(args, ", ") + ")"
+	}
+	return "?"
+}
+
+func opText(op TokenKind) string {
+	switch op {
+	case TokPlus:
+		return "+"
+	case TokMinus:
+		return "-"
+	case TokStar:
+		return "*"
+	case TokSlash:
+		return "/"
+	case TokPercent:
+		return "%"
+	case TokCaret:
+		return "^"
+	}
+	return "?"
+}

@@ -1,0 +1,123 @@
+package aspen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The parser must never panic, whatever bytes it is fed — it either
+// produces a model or a positioned error. These tests hammer it with
+// garbage, mutations of valid sources, and truncations.
+
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %q: %v", raw, r)
+			}
+		}()
+		_, _ = Parse(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNeverPanicsOnTokenSoup(t *testing.T) {
+	tokens := []string{
+		"model", "param", "machine", "cache", "memory", "data", "kernel",
+		"pattern", "streaming", "random", "template", "reuse", "dims",
+		"range", "list", "repeat", "size", "fit", "assoc", "sets", "line",
+		"order", "flops", "time", "{", "}", "(", ")", ",", ":", "=", "+",
+		"-", "*", "/", "%", "^", "42", "3.5e2", "4K", `"str"`, "x", "R",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		n := rng.Intn(40) + 1
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(tokens[rng.Intn(len(tokens))])
+			sb.WriteByte(' ')
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on token soup %q: %v", src, r)
+				}
+			}()
+			if m, err := Parse(src); err == nil {
+				// If it parsed, Check and Evaluate must not panic either.
+				_ = Check(m)
+				_, _ = Evaluate(m)
+			}
+		}()
+	}
+}
+
+func TestParseNeverPanicsOnTruncations(t *testing.T) {
+	for _, src := range []string{vmSource, mgSource, cgSource} {
+		for cut := 0; cut < len(src); cut += 7 {
+			truncated := src[:cut]
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("Parse panicked on truncation at %d: %v", cut, r)
+					}
+				}()
+				_, _ = Parse(truncated)
+			}()
+		}
+	}
+}
+
+func TestParseNeverPanicsOnMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := []byte(cgSource)
+	for trial := 0; trial < 300; trial++ {
+		mutated := make([]byte, len(base))
+		copy(mutated, base)
+		for flips := rng.Intn(5) + 1; flips > 0; flips-- {
+			mutated[rng.Intn(len(mutated))] = byte(rng.Intn(128))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on mutation: %v\n%s", r, mutated)
+				}
+			}()
+			if m, err := Parse(string(mutated)); err == nil {
+				if err := Check(m); err == nil {
+					_, _ = Evaluate(m)
+				}
+			}
+		}()
+	}
+}
+
+func TestEvaluateNeverPanicsOnExtremeParams(t *testing.T) {
+	// Degenerate-but-parsable parameter values must surface as errors.
+	cases := []string{
+		`model m { machine { cache { assoc 1 sets 1 line 1 } } data A { size 0 pattern streaming(8,0,1) } }`,
+		`model m { machine { cache { assoc 4 sets 64 line 32 } } data A { size 1e15 pattern streaming(8, 1e14, 1) } }`,
+		`model m { machine { cache { assoc 4 sets 64 line 32 } } data A { size 8 pattern random(1, 8, 1, 0, 1.0) } }`,
+		`model m { machine { cache { assoc 4 sets 64 line 32 } } data A { size 8 pattern reuse(0, 0) } }`,
+	}
+	for _, src := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Evaluate panicked on %q: %v", src, r)
+				}
+			}()
+			m, err := Parse(src)
+			if err != nil {
+				return
+			}
+			_, _ = Evaluate(m)
+		}()
+	}
+}

@@ -1,0 +1,589 @@
+package aspen
+
+import "fmt"
+
+// Parser is a recursive-descent parser for the extended-Aspen grammar:
+//
+//	model      = "model" IDENT "{" item* "}"
+//	item       = param | machine | data | kernel
+//	param      = "param" IDENT "=" expr
+//	machine    = "machine" "{" ( cache | memory )* "}"
+//	cache      = "cache" "{" ( "assoc" expr | "sets" expr | "line" expr )* "}"
+//	memory     = "memory" "{" "fit" expr "}"
+//	data       = "data" IDENT "{" ( "size" expr | "pattern" pattern )* "}"
+//	pattern    = "streaming" "(" expr "," expr "," expr [ "," expr ] ")"
+//	           | "random"    "(" expr "," expr "," expr "," expr "," expr ")"
+//	           | "reuse"     "(" expr "," expr ")"
+//	           | "template"  "(" expr ")" "{" tmplItem* "}"
+//	tmplItem   = "dims" "(" expr { "," expr } ")"
+//	           | "range" "(" ref { "," ref } ")" ":" expr ":" "(" ref { "," ref } ")"
+//	           | "list" "(" expr { "," expr } ")"
+//	           | "repeat" expr
+//	ref        = IDENT "(" expr { "," expr } ")"
+//	kernel     = "kernel" IDENT "{" ( "flops" expr | "time" expr | "order" STRING )* "}"
+//	expr       = term { ("+"|"-") term }
+//	term       = unary { ("*"|"/"|"%") unary }
+//	unary      = "-" unary | atom [ "^" unary ]
+//	atom       = NUMBER | IDENT [ "(" expr { "," expr } ")" ] | "(" expr ")"
+//
+// Unary minus binds looser than "^" (so -2^2 = -(2^2)) and "^" is
+// right-associative, the conventional precedences.
+//
+// All keywords are contextual identifiers, so data structures may be named
+// freely (including single letters like the paper's A, T, R).
+type Parser struct {
+	lex *Lexer
+	tok Token
+	err error
+}
+
+// Parse parses one extended-Aspen model from src.
+func Parse(src string) (*Model, error) {
+	p := &Parser{lex: NewLexer(src)}
+	p.next()
+	if p.err != nil {
+		return nil, p.err
+	}
+	m, err := p.parseModel()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, errAt(p.tok.Pos, "unexpected %s after model", p.tok.Kind)
+	}
+	return m, nil
+}
+
+func (p *Parser) next() {
+	if p.err != nil {
+		return
+	}
+	p.tok, p.err = p.lex.Next()
+}
+
+func (p *Parser) expect(kind TokenKind) (Token, error) {
+	if p.err != nil {
+		return Token{}, p.err
+	}
+	if p.tok.Kind != kind {
+		return Token{}, errAt(p.tok.Pos, "expected %s, found %s %q", kind, p.tok.Kind, p.tok.Text)
+	}
+	t := p.tok
+	p.next()
+	return t, p.err
+}
+
+func (p *Parser) expectKeyword(word string) error {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if t.Text != word {
+		return errAt(t.Pos, "expected %q, found %q", word, t.Text)
+	}
+	return nil
+}
+
+// atKeyword reports whether the current token is the given identifier.
+func (p *Parser) atKeyword(word string) bool {
+	return p.tok.Kind == TokIdent && p.tok.Text == word
+}
+
+func (p *Parser) parseModel() (*Model, error) {
+	pos := p.tok.Pos
+	if err := p.expectKeyword("model"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	m := &Model{Name: name.Text, Pos: pos}
+	for p.tok.Kind != TokRBrace {
+		if p.err != nil {
+			return nil, p.err
+		}
+		switch {
+		case p.atKeyword("param"):
+			prm, err := p.parseParam()
+			if err != nil {
+				return nil, err
+			}
+			m.Params = append(m.Params, prm)
+		case p.atKeyword("machine"):
+			if m.Machine != nil {
+				return nil, errAt(p.tok.Pos, "duplicate machine block")
+			}
+			mach, err := p.parseMachine()
+			if err != nil {
+				return nil, err
+			}
+			m.Machine = mach
+		case p.atKeyword("data"):
+			d, err := p.parseData()
+			if err != nil {
+				return nil, err
+			}
+			m.Data = append(m.Data, d)
+		case p.atKeyword("kernel"):
+			k, err := p.parseKernel()
+			if err != nil {
+				return nil, err
+			}
+			m.Kernels = append(m.Kernels, k)
+		default:
+			return nil, errAt(p.tok.Pos, "expected param, machine, data or kernel, found %q", p.tok.Text)
+		}
+	}
+	_, err = p.expect(TokRBrace)
+	return m, err
+}
+
+func (p *Parser) parseParam() (*Param, error) {
+	pos := p.tok.Pos
+	p.next() // "param"
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Param{Name: name.Text, Expr: expr, Pos: pos}, nil
+}
+
+func (p *Parser) parseMachine() (*Machine, error) {
+	pos := p.tok.Pos
+	p.next() // "machine"
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	mach := &Machine{Pos: pos}
+	for p.tok.Kind != TokRBrace {
+		if p.err != nil {
+			return nil, p.err
+		}
+		switch {
+		case p.atKeyword("cache"):
+			if mach.Cache != nil {
+				return nil, errAt(p.tok.Pos, "duplicate cache block")
+			}
+			c, err := p.parseCache()
+			if err != nil {
+				return nil, err
+			}
+			mach.Cache = c
+		case p.atKeyword("memory"):
+			if mach.Memory != nil {
+				return nil, errAt(p.tok.Pos, "duplicate memory block")
+			}
+			memPos := p.tok.Pos
+			p.next()
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("fit"); err != nil {
+				return nil, err
+			}
+			fit, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+			mach.Memory = &MemoryClause{FIT: fit, Pos: memPos}
+		default:
+			return nil, errAt(p.tok.Pos, "expected cache or memory, found %q", p.tok.Text)
+		}
+	}
+	_, err := p.expect(TokRBrace)
+	return mach, err
+}
+
+func (p *Parser) parseCache() (*CacheClause, error) {
+	pos := p.tok.Pos
+	p.next() // "cache"
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	c := &CacheClause{Pos: pos}
+	for p.tok.Kind != TokRBrace {
+		if p.err != nil {
+			return nil, p.err
+		}
+		key, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		switch key.Text {
+		case "assoc":
+			c.Assoc = val
+		case "sets":
+			c.Sets = val
+		case "line":
+			c.Line = val
+		default:
+			return nil, errAt(key.Pos, "unknown cache attribute %q (want assoc, sets or line)", key.Text)
+		}
+	}
+	_, err := p.expect(TokRBrace)
+	return c, err
+}
+
+func (p *Parser) parseData() (*Data, error) {
+	pos := p.tok.Pos
+	p.next() // "data"
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	d := &Data{Name: name.Text, Pos: pos}
+	for p.tok.Kind != TokRBrace {
+		if p.err != nil {
+			return nil, p.err
+		}
+		switch {
+		case p.atKeyword("size"):
+			p.next()
+			d.Size, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		case p.atKeyword("pattern"):
+			p.next()
+			d.Pattern, err = p.parsePattern()
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errAt(p.tok.Pos, "expected size or pattern, found %q", p.tok.Text)
+		}
+	}
+	_, err = p.expect(TokRBrace)
+	return d, err
+}
+
+// parseArgs parses "(" expr { "," expr } ")" and enforces an arity range.
+func (p *Parser) parseArgs(what string, minArity, maxArity int) ([]Expr, error) {
+	open, err := p.expect(TokLParen)
+	if err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.tok.Kind != TokRParen {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if p.tok.Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if len(args) < minArity || len(args) > maxArity {
+		if minArity == maxArity {
+			return nil, errAt(open.Pos, "%s takes %d arguments, got %d", what, minArity, len(args))
+		}
+		return nil, errAt(open.Pos, "%s takes %d to %d arguments, got %d", what, minArity, maxArity, len(args))
+	}
+	return args, nil
+}
+
+func (p *Parser) parsePattern() (PatternClause, error) {
+	kw, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	switch kw.Text {
+	case "streaming", "s":
+		args, err := p.parseArgs("streaming", 3, 4)
+		if err != nil {
+			return nil, err
+		}
+		sp := &StreamingPattern{ElemSize: args[0], Count: args[1], Stride: args[2], Pos: kw.Pos}
+		if len(args) == 4 {
+			sp.Repeats = args[3]
+		}
+		return sp, nil
+	case "random", "r":
+		args, err := p.parseArgs("random", 5, 5)
+		if err != nil {
+			return nil, err
+		}
+		return &RandomPattern{
+			Count: args[0], ElemSize: args[1], K: args[2], Iter: args[3], Ratio: args[4],
+			Pos: kw.Pos,
+		}, nil
+	case "reuse":
+		args, err := p.parseArgs("reuse", 2, 2)
+		if err != nil {
+			return nil, err
+		}
+		return &ReusePattern{OtherBytes: args[0], Reuses: args[1], Pos: kw.Pos}, nil
+	case "template", "t":
+		args, err := p.parseArgs("template", 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		tp := &TemplatePattern{ElemSize: args[0], Pos: kw.Pos}
+		if _, err := p.expect(TokLBrace); err != nil {
+			return nil, err
+		}
+		for p.tok.Kind != TokRBrace {
+			if p.err != nil {
+				return nil, p.err
+			}
+			switch {
+			case p.atKeyword("dims"):
+				p.next()
+				tp.Dims, err = p.parseArgs("dims", 1, 8)
+				if err != nil {
+					return nil, err
+				}
+			case p.atKeyword("list"):
+				p.next()
+				elems, err := p.parseArgs("list", 1, 1<<20)
+				if err != nil {
+					return nil, err
+				}
+				tp.List = append(tp.List, elems...)
+			case p.atKeyword("range"):
+				p.next()
+				r, err := p.parseRange()
+				if err != nil {
+					return nil, err
+				}
+				tp.Ranges = append(tp.Ranges, r)
+			case p.atKeyword("repeat"):
+				p.next()
+				tp.Repeats, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			default:
+				return nil, errAt(p.tok.Pos, "expected dims, list, range or repeat, found %q", p.tok.Text)
+			}
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		return tp, nil
+	}
+	return nil, errAt(kw.Pos, "unknown pattern %q (want streaming, random, template or reuse)", kw.Text)
+}
+
+// parseRange parses (ref, ...) : step : (ref, ...).
+func (p *Parser) parseRange() (*RangeT, error) {
+	pos := p.tok.Pos
+	from, err := p.parseRefGroup()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	step, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	to, err := p.parseRefGroup()
+	if err != nil {
+		return nil, err
+	}
+	if len(from) != len(to) {
+		return nil, errAt(pos, "range groups differ in size: %d vs %d", len(from), len(to))
+	}
+	return &RangeT{From: from, Step: step, To: to, Pos: pos}, nil
+}
+
+func (p *Parser) parseRefGroup() ([]*Ref, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var refs []*Ref
+	for {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := p.parseArgs(fmt.Sprintf("reference %s", name.Text), 1, 8)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, &Ref{Indices: idx, Pos: name.Pos})
+		if p.tok.Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return refs, nil
+}
+
+func (p *Parser) parseKernel() (*KernelClause, error) {
+	pos := p.tok.Pos
+	p.next() // "kernel"
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	k := &KernelClause{Name: name.Text, Pos: pos}
+	for p.tok.Kind != TokRBrace {
+		if p.err != nil {
+			return nil, p.err
+		}
+		switch {
+		case p.atKeyword("flops"):
+			p.next()
+			k.Flops, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		case p.atKeyword("time"):
+			p.next()
+			k.Time, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		case p.atKeyword("order"):
+			p.next()
+			s, err := p.expect(TokString)
+			if err != nil {
+				return nil, err
+			}
+			k.Order = s.Text
+		default:
+			return nil, errAt(p.tok.Pos, "expected flops, time or order, found %q", p.tok.Text)
+		}
+	}
+	_, err = p.expect(TokRBrace)
+	return k, err
+}
+
+// Expression parsing (precedence climbing).
+
+func (p *Parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokPlus || p.tok.Kind == TokMinus {
+		op := p.tok
+		p.next()
+		rhs, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinOp{Op: op.Kind, Lhs: lhs, Rhs: rhs, Pos: op.Pos}
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseTerm() (Expr, error) {
+	lhs, err := p.parsePower()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokStar || p.tok.Kind == TokSlash || p.tok.Kind == TokPercent {
+		op := p.tok
+		p.next()
+		rhs, err := p.parsePower()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinOp{Op: op.Kind, Lhs: lhs, Rhs: rhs, Pos: op.Pos}
+	}
+	return lhs, nil
+}
+
+// parsePower dispatches through unary so that -2^2 parses as -(2^2), the
+// conventional precedence.
+func (p *Parser) parsePower() (Expr, error) {
+	return p.parseUnary()
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.tok.Kind == TokMinus {
+		pos := p.tok.Pos
+		p.next()
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{Operand: operand, Pos: pos}, nil
+	}
+	base, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokCaret {
+		op := p.tok
+		p.next()
+		exp, err := p.parseUnary() // right-associative; exponent may be negative
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: TokCaret, Lhs: base, Rhs: exp, Pos: op.Pos}, nil
+	}
+	return base, nil
+}
+
+func (p *Parser) parseAtom() (Expr, error) {
+	switch p.tok.Kind {
+	case TokNumber:
+		t := p.tok
+		p.next()
+		return &NumLit{Value: t.Num, Pos: t.Pos}, nil
+	case TokIdent:
+		t := p.tok
+		p.next()
+		if p.tok.Kind == TokLParen {
+			args, err := p.parseArgs(fmt.Sprintf("function %s", t.Text), 1, 8)
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Name: t.Text, Args: args, Pos: t.Pos}, nil
+		}
+		return &VarRef{Name: t.Text, Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errAt(p.tok.Pos, "expected expression, found %s %q", p.tok.Kind, p.tok.Text)
+}

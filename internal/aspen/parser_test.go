@@ -1,0 +1,216 @@
+package aspen
+
+import (
+	"strings"
+	"testing"
+)
+
+const vmSource = `
+// The paper's vector-multiplication model (Algorithm 1).
+model vm {
+    param n = 1000
+    machine {
+        cache { assoc 4  sets 64  line 32 }
+        memory { fit 5000 }
+    }
+    data A { size 8*4*n  pattern streaming(8, 4*n, 4) }
+    data B { size 8*2*n  pattern streaming(8, 2*n, 2) }
+    data C { size 8*n    pattern streaming(8, n, 1) }
+    kernel main { flops 2*n }
+}
+`
+
+// mgSource is the Algorithm 3 smoother template: the four stencil reads of
+// the first interior cell advance together until the last interior cell.
+// (The published template's fourth start/end pair is internally
+// inconsistent — it mixes the written element R(2,2,1) with the read
+// R(n3,n2-1,n1); we use the consistent read set.)
+const mgSource = `
+model mg {
+    param n1 = 10
+    param n2 = 10
+    param n3 = 10
+    machine { cache { assoc 4 sets 64 line 32 } }
+    data R {
+        size 8*n1*n2*n3
+        pattern template(8) {
+            dims (n3, n2, n1)
+            range (R(2,1,1), R(2,3,1), R(1,2,1), R(3,2,1)) : 1 :
+                  (R(n3-3,n2-4,n1-2), R(n3-3,n2-2,n1-2), R(n3-4,n2-3,n1-2), R(n3-2,n2-3,n1-2))
+        }
+    }
+}
+`
+
+const cgSource = `
+model cg {
+    param n = 100
+    param iters = 10
+    machine { cache { assoc 4 sets 64 line 32 } memory { fit 5000 } }
+    data A { size 8*n*n  pattern streaming(8, n*n, 1, iters) }
+    data x { size 8*n    pattern reuse(8*n*n, iters - 1) }
+    data p { size 8*n    pattern reuse(auto, iters*n) }
+    data r { size 8*n    pattern reuse(auto, iters) }
+    kernel iterate { order "r(Ap)p(xp)(Ap)r(rp)"  flops 2*n*n*iters }
+}
+`
+
+func TestParseVM(t *testing.T) {
+	m, err := Parse(vmSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "vm" || len(m.Params) != 1 || len(m.Data) != 3 || len(m.Kernels) != 1 {
+		t.Fatalf("parsed model shape wrong: %+v", m)
+	}
+	if m.Machine == nil || m.Machine.Cache == nil || m.Machine.Memory == nil {
+		t.Fatal("machine block missing pieces")
+	}
+	a, err := m.FindData("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, ok := a.Pattern.(*StreamingPattern)
+	if !ok {
+		t.Fatalf("A pattern is %T, want streaming", a.Pattern)
+	}
+	if sp.Repeats != nil {
+		t.Error("A should have no repeat count")
+	}
+}
+
+func TestParseMGTemplate(t *testing.T) {
+	m, err := Parse(mgSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.FindData("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, ok := r.Pattern.(*TemplatePattern)
+	if !ok {
+		t.Fatalf("R pattern is %T, want template", r.Pattern)
+	}
+	if len(tp.Dims) != 3 || len(tp.Ranges) != 1 {
+		t.Fatalf("template shape wrong: dims=%d ranges=%d", len(tp.Dims), len(tp.Ranges))
+	}
+	if len(tp.Ranges[0].From) != 4 || len(tp.Ranges[0].To) != 4 {
+		t.Fatalf("range group sizes: %d from, %d to", len(tp.Ranges[0].From), len(tp.Ranges[0].To))
+	}
+}
+
+func TestParseCGOrder(t *testing.T) {
+	m, err := Parse(cgSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kernels[0].Order != "r(Ap)p(xp)(Ap)r(rp)" {
+		t.Errorf("order = %q", m.Kernels[0].Order)
+	}
+	p, err := m.FindData("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, ok := p.Pattern.(*ReusePattern)
+	if !ok {
+		t.Fatalf("p pattern is %T, want reuse", p.Pattern)
+	}
+	if ref, ok := rp.OtherBytes.(*VarRef); !ok || ref.Name != "auto" {
+		t.Errorf("p interference should be auto, got %#v", rp.OtherBytes)
+	}
+}
+
+func TestParsePatternAliases(t *testing.T) {
+	src := `
+model m {
+    machine { cache { assoc 2 sets 4 line 16 } }
+    data S { size 80  pattern s(8, 10, 1) }
+    data R { size 320 pattern r(10, 32, 2, 100, 1.0) }
+    data T { size 64  pattern t(8) { list (0, 1, 2, 3) } }
+}`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Data[0].Pattern.(*StreamingPattern); !ok {
+		t.Error("s alias did not parse as streaming")
+	}
+	if _, ok := m.Data[1].Pattern.(*RandomPattern); !ok {
+		t.Error("r alias did not parse as random")
+	}
+	if _, ok := m.Data[2].Pattern.(*TemplatePattern); !ok {
+		t.Error("t alias did not parse as template")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	m, err := Parse(`model m { param a = 2 + 3 * 4 ^ 2  param b = -2 ^ 2  param c = (2+3)*4 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, err := bindParams(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vars["a"] != 50 { // 2 + 3*16
+		t.Errorf("a = %g, want 50", vars["a"])
+	}
+	if vars["b"] != -4 { // -(2^2): unary minus binds looser than ^ via parse order
+		t.Errorf("b = %g, want -4", vars["b"])
+	}
+	if vars["c"] != 20 {
+		t.Errorf("c = %g, want 20", vars["c"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,                 // empty
+		`model`,            // missing name
+		`model m { data }`, // missing data name
+		`model m { data A { pattern bogus(1) } }`, // unknown pattern
+		`model m { data A { size } }`,             // missing size expr
+		`model m { machine { cache { assoc 2 sets 4 line 16 } } } extra`,
+		`model m { machine { cache { foo 1 } } }`,
+		`model m { kernel k { order } }`,                     // order needs a string
+		`model m { param x = (1 + }`,                         // bad expr
+		`model m { data A { size 8 pattern streaming(1) } }`, // arity
+		`model m { data A { size 8 pattern random(1,2,3) } }`,
+		`model m { machine {} machine {} }`, // duplicate machine
+		`model m { data A { size 8 pattern template(8) { range (A(1)) : 0 } } }`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseRangeGroupMismatch(t *testing.T) {
+	src := `
+model m {
+    data R {
+        size 800
+        pattern template(8) {
+            dims (10, 10)
+            range (R(1,1), R(1,2)) : 1 : (R(2,1))
+        }
+    }
+}`
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "differ in size") {
+		t.Errorf("expected group-size error, got %v", err)
+	}
+}
+
+func TestSyntaxErrorHasPosition(t *testing.T) {
+	_, err := Parse("model m {\n  bogus\n}")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T, want *SyntaxError", err)
+	}
+	if se.Pos.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Pos.Line)
+	}
+}

@@ -1,0 +1,148 @@
+package aspen
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/cache"
+)
+
+// The testdata models are the six Table II kernels expressed in the DSL;
+// they double as documentation and as golden inputs for the compiler.
+
+func readModel(t *testing.T, name string) (*Model, string) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(string(raw))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return m, string(raw)
+}
+
+func TestTestdataModelsCompileAndEvaluate(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.aspen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 7 {
+		t.Fatalf("found %d testdata models, want 7", len(files))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			m, _ := readModel(t, filepath.Base(f))
+			if err := Check(m); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			ev, err := Evaluate(m)
+			if err != nil {
+				t.Fatalf("evaluate: %v", err)
+			}
+			if len(ev.Structures) == 0 {
+				t.Fatal("no structures evaluated")
+			}
+			for _, s := range ev.Structures {
+				if s.NHa <= 0 {
+					t.Errorf("%s: N_ha = %g, want positive", s.Name, s.NHa)
+				}
+				if s.DVF < 0 {
+					t.Errorf("%s: negative DVF %g", s.Name, s.DVF)
+				}
+			}
+			if ev.Total() <= 0 {
+				t.Error("DVF_a should be positive")
+			}
+			// Round trip through the formatter.
+			reparsed, err := Parse(Format(m))
+			if err != nil {
+				t.Fatalf("formatted model does not parse: %v", err)
+			}
+			if !reflect.DeepEqual(normalized(t, m), normalized(t, reparsed)) {
+				t.Error("format round trip changed the model")
+			}
+		})
+	}
+}
+
+func TestTestdataVMMatchesPaperCounts(t *testing.T) {
+	m, _ := readModel(t, "vm.aspen")
+	ev, err := Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the small verification cache: A 1000 accesses (stride 32 B, one
+	// line each), B 500 (two elements share a 32 B line at stride 16 B...
+	// B stride is 2 elements = 16 B < CL so all lines load: 16000/32),
+	// C 250 (8000/32).
+	for _, want := range []struct {
+		name string
+		nha  float64
+	}{{"A", 1000}, {"B", 500}, {"C", 250}} {
+		s, err := ev.Structure(want.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NHa != want.nha {
+			t.Errorf("%s: N_ha = %g, want %g", want.name, s.NHa, want.nha)
+		}
+	}
+}
+
+func TestTestdataFFTJump(t *testing.T) {
+	m, _ := readModel(t, "fft.aspen")
+	// On its own 16KB machine the 32KB array thrashes: every pass misses.
+	thrash, err := Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits, err := Evaluate(m, WithCache(cache.Profile128KB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, _ := thrash.Structure("X")
+	x2, _ := fits.Structure("X")
+	// Normalize per byte of line so different line sizes compare.
+	perByteThrash := x1.NHa * 8
+	perByteFits := x2.NHa * 16
+	if perByteThrash < 5*perByteFits {
+		t.Errorf("expected the FT jump: 16KB traffic %g vs 128KB %g", perByteThrash, perByteFits)
+	}
+}
+
+func TestTestdataBarnesHutMatchesDirectRandom(t *testing.T) {
+	m, _ := readModel(t, "barnes-hut.aspen")
+	ev, err := Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tRes, err := ev.Structure("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32000-byte tree over an 8KB cache: initial 1000 blocks plus
+	// hypergeometric reloads on every one of the 1000 iterations.
+	if tRes.NHa <= 1000 {
+		t.Errorf("T N_ha = %g, want well above the compulsory 1000", tRes.NHa)
+	}
+}
+
+func TestTestdataCGAutoInterference(t *testing.T) {
+	m, _ := readModel(t, "conjugate-gradient.aspen")
+	ev, err := Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ev.Structure("A")
+	p, _ := ev.Structure("p")
+	r, _ := ev.Structure("r")
+	// The matrix dominates: it re-streams its 2MB every iteration.
+	if a.NHa < 10*p.NHa || a.NHa < 10*r.NHa {
+		t.Errorf("A (%g) should dominate the vectors (p=%g, r=%g)", a.NHa, p.NHa, r.NHa)
+	}
+}

@@ -1,0 +1,114 @@
+// Package aspen implements the extended Aspen domain-specific language of
+// Section III-D: a structured modeling language in which users describe a
+// target machine (last-level cache geometry and memory failure rate) and an
+// application's data structures with their memory access patterns, and from
+// which the evaluator computes per-structure main-memory access counts
+// (N_ha) and data vulnerability factors.
+//
+// The original Aspen (Spafford & Vetter, SC 2012) models applications and
+// abstract machines for performance prediction; the paper extends its
+// syntax and semantics with resilience constructs — access-pattern
+// declarations (streaming/random/template/reuse with their parameter
+// tuples), Matlab-style access templates, access-order strings, and failure
+// rates. This package implements that extension as a complete language:
+// lexer, recursive-descent parser, semantic checker and evaluator.
+//
+// Example model:
+//
+//	model vm {
+//	    param n = 1000
+//	    machine {
+//	        cache { assoc 4  sets 64  line 32 }
+//	        memory { fit 5000 }
+//	    }
+//	    data A { size 8*4*n  pattern streaming(8, 4*n, 4) }
+//	    data B { size 8*2*n  pattern streaming(8, 2*n, 2) }
+//	    data C { size 8*n    pattern streaming(8, n, 1) }
+//	    kernel main { flops 2*n  time 1.5e-3 }
+//	}
+package aspen
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokLBrace  // {
+	TokRBrace  // }
+	TokLParen  // (
+	TokRParen  // )
+	TokComma   // ,
+	TokColon   // :
+	TokAssign  // =
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+	TokCaret   // ^
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:     "end of input",
+	TokIdent:   "identifier",
+	TokNumber:  "number",
+	TokString:  "string",
+	TokLBrace:  "'{'",
+	TokRBrace:  "'}'",
+	TokLParen:  "'('",
+	TokRParen:  "')'",
+	TokComma:   "','",
+	TokColon:   "':'",
+	TokAssign:  "'='",
+	TokPlus:    "'+'",
+	TokMinus:   "'-'",
+	TokStar:    "'*'",
+	TokSlash:   "'/'",
+	TokPercent: "'%'",
+	TokCaret:   "'^'",
+}
+
+// String returns a human-readable token kind name.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source text and position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Num  float64 // valid when Kind == TokNumber
+	Pos  Pos
+}
+
+// SyntaxError is a lexing or parsing failure with a source position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("aspen: %s: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func tinyHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(
+		Config{Name: "l1", Associativity: 2, Sets: 4, LineSize: 16},
+		Config{Name: "l2", Associativity: 4, Sets: 16, LineSize: 16},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	if _, err := NewHierarchy(); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	// Shrinking levels rejected.
+	if _, err := NewHierarchy(Large, Small); err == nil {
+		t.Error("shrinking hierarchy accepted")
+	}
+	// Invalid level geometry rejected.
+	if _, err := NewHierarchy(Config{Associativity: 0, Sets: 4, LineSize: 16}); err == nil {
+		t.Error("invalid level accepted")
+	}
+	h, err := NewHierarchy(Small, Large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Levels() != 2 || h.Level(0).Config().Name != Small.Name {
+		t.Error("hierarchy shape wrong")
+	}
+}
+
+func TestHierarchyHitStopsAtUpperLevel(t *testing.T) {
+	h := tinyHierarchy(t)
+	h.Access(0x100, 4, false, 1) // cold: misses both levels
+	h.Access(0x100, 4, false, 1) // L1 hit: L2 must not see it
+	l1 := h.Level(0).StructStats(1)
+	l2 := h.Level(1).StructStats(1)
+	if l1.Accesses != 2 || l1.Hits != 1 {
+		t.Errorf("L1 stats %+v", l1)
+	}
+	if l2.Accesses != 1 || l2.Misses != 1 {
+		t.Errorf("L2 stats %+v, want a single cold access", l2)
+	}
+}
+
+func TestHierarchyL1MissFiltersDown(t *testing.T) {
+	h := tinyHierarchy(t)
+	// Three blocks aliasing to one L1 set (stride = 4 sets * 16 B = 64 B)
+	// with 2-way L1: the third evicts, re-touch misses L1 but hits L2.
+	h.Access(0, 1, false, 1)
+	h.Access(64, 1, false, 1)
+	h.Access(128, 1, false, 1)
+	h.Access(0, 1, false, 1) // L1 miss (evicted), L2 hit
+	l2 := h.Level(1).StructStats(1)
+	if l2.Hits != 1 {
+		t.Errorf("L2 hits = %d, want 1 (the conflict victim)", l2.Hits)
+	}
+	if h.MemoryAccesses(1) != 3 {
+		t.Errorf("memory accesses = %d, want 3 cold misses", h.MemoryAccesses(1))
+	}
+}
+
+func TestHierarchyMemoryAccessesCountWritebacks(t *testing.T) {
+	h := tinyHierarchy(t)
+	h.Access(0, 16, true, 2)
+	h.Flush()
+	// One cold miss + one dirty writeback from the last level.
+	if got := h.MemoryAccesses(2); got != 2 {
+		t.Errorf("memory accesses = %d, want 2", got)
+	}
+}
+
+// TestHierarchyLLCApproximation validates the paper's LLC-only modeling
+// assumption: on realistic reference streams, the main-memory loads of a
+// full hierarchy stay within a few percent of a standalone last-level
+// simulation.
+func TestHierarchyLLCApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	streams := map[string]func(emit func(addr uint64, write bool)){
+		"sequential-sweep": func(emit func(uint64, bool)) {
+			for pass := 0; pass < 3; pass++ {
+				for off := uint64(0); off < 96<<10; off += 8 {
+					emit(off, false)
+				}
+			}
+		},
+		"random-working-set": func(emit func(uint64, bool)) {
+			for i := 0; i < 200000; i++ {
+				emit(uint64(rng.Intn(64<<10)), rng.Intn(8) == 0)
+			}
+		},
+		"hot-cold": func(emit func(uint64, bool)) {
+			for i := 0; i < 100000; i++ {
+				if i%4 == 0 {
+					emit(uint64(rng.Intn(2<<10)), false) // hot region
+				} else {
+					emit(uint64(rng.Intn(512<<10)), false) // cold region
+				}
+			}
+		},
+	}
+	for name, gen := range streams {
+		t.Run(name, func(t *testing.T) {
+			// A small L1 (1 KB) in front of the 8 KB verification LLC, an
+			// 8:1 ratio like real L2:L1 or LLC:L2 ratios.
+			h, err := NewHierarchy(
+				Config{Name: "l1", Associativity: 2, Sets: 32, LineSize: 16},
+				Small,
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alone, err := NewSimulator(Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen(func(addr uint64, write bool) {
+				h.Access(addr, 8, write, 1)
+				alone.Access(addr, 8, write, 1)
+			})
+			full := float64(h.LastLevel().StructStats(1).Misses)
+			ref := float64(alone.StructStats(1).Misses)
+			if ref == 0 {
+				t.Fatal("reference simulation recorded no misses")
+			}
+			diff := (full - ref) / ref
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 0.10 {
+				t.Errorf("hierarchy LLC misses %g vs standalone %g: %.1f%% apart",
+					full, ref, diff*100)
+			}
+		})
+	}
+}
+
+func TestHierarchyReport(t *testing.T) {
+	h := tinyHierarchy(t)
+	h.Access(0, 1, false, 1)
+	r := h.Report()
+	if !strings.Contains(r, "L1") || !strings.Contains(r, "L2") {
+		t.Errorf("report missing levels:\n%s", r)
+	}
+}
+
+func TestTypicalHierarchyShape(t *testing.T) {
+	h, err := TypicalHierarchy(Profile8MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Levels() != 3 {
+		t.Fatalf("levels = %d, want 3", h.Levels())
+	}
+	if h.Level(0).Config().Capacity() != 32<<10 {
+		t.Errorf("L1 capacity = %d, want 32K", h.Level(0).Config().Capacity())
+	}
+	if h.Level(1).Config().Capacity() != 256<<10 {
+		t.Errorf("L2 capacity = %d, want 256K", h.Level(1).Config().Capacity())
+	}
+	if h.LastLevel().Config().Name != Profile8MB.Name {
+		t.Error("LLC config lost")
+	}
+	// A too-small LLC must be rejected (inclusive ordering).
+	if _, err := TypicalHierarchy(Small); err == nil {
+		t.Error("LLC smaller than L2 accepted")
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h, err := TypicalHierarchy(Profile8MB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i*8)%(32<<20), 8, false, 1)
+	}
+}

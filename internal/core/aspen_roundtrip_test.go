@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/aspen"
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/kernels"
+)
+
+// These tests close the paper's Figure 3 loop: a kernel expresses itself
+// as extended-Aspen source, the compiler evaluates it, and the result is
+// compared against the kernel's native Go-side CGPMAC models.
+
+func sourceFor(t *testing.T, k kernels.Kernel) (kernels.AspenSourcer, *kernels.RunInfo, string) {
+	t.Helper()
+	src, ok := k.(kernels.AspenSourcer)
+	if !ok {
+		t.Fatalf("%s does not implement AspenSourcer", k.Name())
+	}
+	info, err := k.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := src.AspenSource(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, info, text
+}
+
+// directNHa evaluates the kernel's native models on cfg, keyed by structure.
+func directNHa(t *testing.T, k kernels.Kernel, info *kernels.RunInfo, cfg cache.Config) map[string]float64 {
+	t.Helper()
+	specs, err := k.Models(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, spec := range specs {
+		v, err := spec.Estimator.MemoryAccesses(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[spec.Structure] = v
+	}
+	return out
+}
+
+func TestAspenSourceMatchesDirectModels(t *testing.T) {
+	// Exact agreement expected where the DSL clause is the same closed
+	// form the kernel uses natively.
+	cases := []struct {
+		kernel    kernels.Kernel
+		exact     []string // structures with exact agreement
+		tolerance map[string]float64
+	}{
+		{kernel: kernels.NewVM(1000), exact: []string{"A", "B", "C"}},
+		{kernel: kernels.NewMC(1000), exact: []string{"G", "E"}},
+		{
+			kernel: kernels.NewNB(1000),
+			// The DSL's random clause is the paper's plain uniform model;
+			// the native model is the frequency-weighted refinement. They
+			// agree exactly when the whole tree fits the cache, so compare
+			// on the large cache below; P streams identically.
+			exact: []string{"P"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.kernel.Name(), func(t *testing.T) {
+			k, info, text := sourceFor(t, c.kernel)
+			model, err := aspen.Parse(text)
+			if err != nil {
+				t.Fatalf("generated source does not parse: %v\n%s", err, text)
+			}
+			if err := aspen.Check(model); err != nil {
+				t.Fatalf("generated source fails checks: %v\n%s", err, text)
+			}
+			for _, cfg := range []cache.Config{cache.Small, cache.Large} {
+				ev, err := aspen.Evaluate(model, aspen.WithCache(cfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct := directNHa(t, k, info, cfg)
+				for _, name := range c.exact {
+					got, err := ev.Structure(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.NHa != direct[name] {
+						t.Errorf("%s on %s: aspen %g, direct %g",
+							name, cfg.Name, got.NHa, direct[name])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAspenSourceNBTreeAgreesWhenResident(t *testing.T) {
+	k, info, text := sourceFor(t, kernels.NewNB(1000))
+	ev, err := AnalyzeSource(text, aspen.WithCache(cache.Large))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := directNHa(t, k, info, cache.Large)
+	got, err := ev.Structure("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the 4MB cache the whole tree is resident: both the plain and the
+	// weighted model reduce to the compulsory load.
+	if got.NHa != direct["T"] {
+		t.Errorf("resident tree: aspen %g, direct %g", got.NHa, direct["T"])
+	}
+}
+
+func TestAspenSourceFTReproducesJump(t *testing.T) {
+	_, info, text := sourceFor(t, kernels.NewFT(2048))
+	small, err := AnalyzeSource(text, aspen.WithCache(cache.Profile16KB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := AnalyzeSource(text, aspen.WithCache(cache.Profile128KB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, _ := small.Structure("X")
+	x2, _ := large.Structure("X")
+	// Per-byte traffic jump below the 32KB working set, as in Figure 5(e).
+	if x1.NHa*8 < 5*x2.NHa*16 {
+		t.Errorf("generated FT model shows no jump: 16KB %g vs 128KB %g", x1.NHa, x2.NHa)
+	}
+	// And the generated sequential-sweep template must match the exact
+	// butterfly template on both sides of the capacity cliff (both are
+	// full traversals per pass).
+	k := kernels.NewFT(2048)
+	direct := directNHa(t, k, info, cache.Profile16KB)
+	if math.Abs(x1.NHa-direct["X"])/direct["X"] > 0.10 {
+		t.Errorf("thrash side: aspen %g vs direct %g beyond 10%%", x1.NHa, direct["X"])
+	}
+}
+
+func TestAspenSourceCGWithinFactor(t *testing.T) {
+	k := kernels.NewCG(200, 5)
+	_, info, text := sourceFor(t, k)
+	ev, err := AnalyzeSource(text, aspen.WithCache(cache.Small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := directNHa(t, k, info, cache.Small)
+	// A and x use identical closed forms modulo the streaming-vs-reuse
+	// phrasing of A (both reduce to per-iteration re-streaming here).
+	a, _ := ev.Structure("A")
+	if math.Abs(a.NHa-direct["A"])/direct["A"] > 0.02 {
+		t.Errorf("A: aspen %g vs direct %g", a.NHa, direct["A"])
+	}
+	// p's DSL clause is the coarse closed form, while the native model
+	// replays the pseudocode template; they must stay within a factor of
+	// a few (the ablation bench quantifies the residual).
+	p, _ := ev.Structure("p")
+	ratio := p.NHa / direct["p"]
+	if ratio > 4 || ratio < 0.25 {
+		t.Errorf("p: aspen %g vs direct %g (ratio %g)", p.NHa, direct["p"], ratio)
+	}
+}
+
+func TestAllSourcersGenerateValidModels(t *testing.T) {
+	ks := []kernels.Kernel{
+		kernels.NewVM(1000), kernels.NewCG(100, 4), kernels.NewNB(500),
+		kernels.NewFT(256), kernels.NewMC(500),
+	}
+	for _, k := range ks {
+		_, _, text := sourceFor(t, k)
+		if _, err := AnalyzeSource(text, aspen.WithCache(cache.Small)); err != nil {
+			t.Errorf("%s: generated model fails end to end: %v", k.Name(), err)
+		}
+	}
+}

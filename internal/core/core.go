@@ -1,0 +1,131 @@
+// Package core is the façade over the DVF modeling toolkit: it wires the
+// paper's Figure 3 workflow — application information and hardware
+// information in, per-data-structure DVF out — into a handful of calls.
+//
+// Three entry points cover the common uses:
+//
+//   - AnalyzeKernel: run one of the built-in Table II kernels, model its
+//     data structures with CGPMAC, and report DVFs on a cache of choice.
+//   - AnalyzeModel / AnalyzeSource: evaluate a user-written extended-Aspen
+//     model (the DSL of Section III-D).
+//   - VerifyKernel: compare a kernel's analytical model against the cache
+//     simulator driven by the kernel's own reference trace (Figure 4).
+//
+// Everything underneath remains available for finer control: package
+// patterns exposes the four access-pattern models, package cache the LRU
+// simulator, package aspen the DSL, package dvf the metric itself, and
+// package experiments the paper's figure-by-figure harnesses.
+package core
+
+import (
+	"fmt"
+
+	"github.com/resilience-models/dvf/internal/aspen"
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/dvf"
+	"github.com/resilience-models/dvf/internal/experiments"
+	"github.com/resilience-models/dvf/internal/kernels"
+)
+
+// Re-exported types so that callers of the façade rarely need to import
+// the inner packages directly.
+type (
+	// CacheConfig is a last-level cache geometry (Table III / Table IV).
+	CacheConfig = cache.Config
+	// FIT is a memory failure rate in failures/(1e9 h * Mbit) (Table VII).
+	FIT = dvf.FIT
+	// Report is a per-application DVF breakdown (Equations 1 and 2).
+	Report = dvf.Application
+	// Kernel is one of the built-in Table II algorithms.
+	Kernel = kernels.Kernel
+	// VerificationRow is one model-vs-simulator comparison (Figure 4).
+	VerificationRow = experiments.Fig4Row
+)
+
+// The Table IV cache configurations.
+var (
+	CacheSmall = cache.Small
+	CacheLarge = cache.Large
+	Cache16KB  = cache.Profile16KB
+	Cache128KB = cache.Profile128KB
+	Cache1MB   = cache.Profile1MB
+	Cache8MB   = cache.Profile8MB
+)
+
+// The Table VII failure rates.
+const (
+	NoECC    = dvf.FITNoECC
+	Chipkill = dvf.FITChipkill
+	SECDED   = dvf.FITSECDED
+)
+
+// NewKernel constructs a built-in kernel by its Table II code (VM, CG, NB,
+// MG, FT or MC) at the paper's verification input size.
+func NewKernel(code string) (Kernel, error) {
+	return kernels.ByName(code)
+}
+
+// Kernels returns the six built-in kernels at the verification sizes.
+func Kernels() []Kernel {
+	return kernels.VerificationSuite()
+}
+
+// AnalyzeKernel runs the kernel (untraced), models each of its major data
+// structures with CGPMAC on the given cache, and returns the DVF report
+// under the given failure rate.
+func AnalyzeKernel(k Kernel, cfg CacheConfig, rate FIT) (*Report, error) {
+	return experiments.ProfileKernel(k, cfg, rate, dvf.DefaultCostModel)
+}
+
+// VerifyKernel traces the kernel through the LRU cache simulator and
+// compares the analytical estimates with the simulated main-memory access
+// counts — the model-validation procedure of Section IV-A.
+func VerifyKernel(k Kernel, cfg CacheConfig) ([]VerificationRow, error) {
+	return experiments.VerifyKernel(k, cfg)
+}
+
+// AnalyzeSource parses, checks and evaluates an extended-Aspen model from
+// source text. opts may override the machine description.
+func AnalyzeSource(src string, opts ...aspen.Option) (*aspen.Evaluation, error) {
+	m, err := aspen.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := aspen.Check(m); err != nil {
+		return nil, err
+	}
+	return aspen.Evaluate(m, opts...)
+}
+
+// AnalyzeModel evaluates an already-parsed extended-Aspen model.
+func AnalyzeModel(m *aspen.Model, opts ...aspen.Option) (*aspen.Evaluation, error) {
+	if err := aspen.Check(m); err != nil {
+		return nil, err
+	}
+	return aspen.Evaluate(m, opts...)
+}
+
+// SelectProtection evaluates the Table VII mechanisms for a structure and
+// returns the cheapest one (by full-strength residual FIT being highest,
+// i.e. weakest sufficient protection) whose best operating point meets the
+// DVF target — the "given a pre-defined DVF target" scenario of
+// Section III-A. It returns an error when even chipkill cannot meet it.
+func SelectProtection(baseHours float64, sizeBytes int64, nha, target float64) (dvf.ECC, dvf.SweepPoint, error) {
+	degr := experiments.Fig7Degradations()
+	// Weakest first: no protection, SECDED, chipkill.
+	for _, mech := range []dvf.ECC{dvf.NoECC, dvf.SECDED, dvf.Chipkill} {
+		points, err := mech.Sweep(baseHours, sizeBytes, nha, degr)
+		if err != nil {
+			return dvf.ECC{}, dvf.SweepPoint{}, err
+		}
+		best, err := dvf.MinPoint(points)
+		if err != nil {
+			return dvf.ECC{}, dvf.SweepPoint{}, err
+		}
+		if dvf.MeetsTarget(best, target) {
+			return mech, best, nil
+		}
+	}
+	return dvf.ECC{}, dvf.SweepPoint{}, fmt.Errorf(
+		"core: no Table VII mechanism reaches DVF target %g", target)
+}

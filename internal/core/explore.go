@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/resilience-models/dvf/internal/dvf"
+	"github.com/resilience-models/dvf/internal/experiments"
+)
+
+// DesignPoint is one cell of a design-space exploration: an application
+// on a candidate machine (cache geometry plus memory protection), with its
+// modeled vulnerability and the performance proxy the protection costs.
+type DesignPoint struct {
+	Kernel     string
+	Cache      CacheConfig
+	Protection dvf.ECC
+	// DVFa is the application DVF with the protection fully engaged (at
+	// its saturation operating point, including the exposure-time cost).
+	DVFa float64
+	// ExecHours is the modeled execution time at that operating point.
+	ExecHours float64
+}
+
+// ExploreResult is a completed sweep, sorted by ascending DVF.
+type ExploreResult struct {
+	Points []DesignPoint
+}
+
+// Explore evaluates every (cache, protection) combination for one kernel —
+// the "rapid exploration of new algorithm and architectures" workflow the
+// paper inherits from Aspen, with resilience as the objective. Cells are
+// independent and run concurrently; cost is one kernel profiling run plus
+// one model evaluation per cell.
+func Explore(k Kernel, caches []CacheConfig, protections []dvf.ECC) (*ExploreResult, error) {
+	if len(caches) == 0 || len(protections) == 0 {
+		return nil, fmt.Errorf("core: empty design space")
+	}
+	type cell struct {
+		cfg  CacheConfig
+		prot dvf.ECC
+	}
+	var cells []cell
+	for _, cfg := range caches {
+		for _, prot := range protections {
+			cells = append(cells, cell{cfg: cfg, prot: prot})
+		}
+	}
+	points := make([]DesignPoint, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			points[i], errs[i] = explorePoint(k, cells[i].cfg, cells[i].prot)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &ExploreResult{Points: points}
+	sort.SliceStable(res.Points, func(i, j int) bool {
+		return res.Points[i].DVFa < res.Points[j].DVFa
+	})
+	return res, nil
+}
+
+func explorePoint(k Kernel, cfg CacheConfig, prot dvf.ECC) (DesignPoint, error) {
+	// Unprotected analysis first: the protection then rescales the rate
+	// and stretches the exposure time by its saturation overhead.
+	app, err := experiments.ProfileKernel(k, cfg, dvf.FITNoECC, dvf.DefaultCostModel)
+	if err != nil {
+		return DesignPoint{}, err
+	}
+	overhead := 1 + prot.SaturationPct/100
+	hours := app.ExecHours * overhead
+	var total float64
+	for _, s := range app.Structures {
+		total += dvf.ForStructure(prot.EffectiveFIT(prot.SaturationPct), hours, s.Bytes, s.NHa)
+	}
+	return DesignPoint{
+		Kernel:     k.Name(),
+		Cache:      cfg,
+		Protection: prot,
+		DVFa:       total,
+		ExecHours:  hours,
+	}, nil
+}
+
+// Best returns the point with the lowest DVF.
+func (r *ExploreResult) Best() (DesignPoint, error) {
+	if len(r.Points) == 0 {
+		return DesignPoint{}, fmt.Errorf("core: empty exploration")
+	}
+	return r.Points[0], nil
+}
+
+// Render formats the sweep, most resilient configuration first.
+func (r *ExploreResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design-space exploration")
+	if len(r.Points) > 0 {
+		fmt.Fprintf(&b, ": %s", r.Points[0].Kernel)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-22s %-18s %14s %12s\n", "cache", "protection", "DVF_a", "T (s)")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-22s %-18s %14.6g %12.4g\n",
+			p.Cache.Name, p.Protection.Name, p.DVFa, p.ExecHours*3600)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package dvf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The paper limits its study to main memory but states that "the
+// definition of DVF is also applicable to other hardware components (e.g.,
+// cache hierarchy, register file and network interface card)". Component
+// realizes that: each hardware domain holding a data structure contributes
+// FIT_c * T * S_c * N_c, where S_c is the structure's footprint *within
+// the component* (e.g. its resident bytes in the LLC) and N_c the accesses
+// the component serves.
+type Component struct {
+	Name string
+	// Rate is the component's raw failure rate in FIT/Mbit. SRAM arrays
+	// and DRAM have different technologies and therefore different rates.
+	Rate FIT
+}
+
+// Typical per-technology failure rates. DRAM matches Table VII's
+// unprotected rate; the SRAM figures follow the same surveys the paper
+// cites for DRAM ([25], [26]: SRAM cell upsets are of comparable
+// per-Mbit magnitude to unprotected DRAM at these technology nodes).
+var (
+	ComponentDRAM = Component{Name: "main memory (DRAM)", Rate: FITNoECC}
+	ComponentSRAM = Component{Name: "last-level cache (SRAM)", Rate: 4000}
+	ComponentRF   = Component{Name: "register file", Rate: 2000}
+)
+
+// ComponentExposure describes one structure's presence in one component.
+type ComponentExposure struct {
+	Component Component
+	// ResidentBytes is the structure's average footprint within the
+	// component (for main memory, the whole structure; for a cache, its
+	// average resident bytes — e.g. hit-ratio-derived occupancy).
+	ResidentBytes int64
+	// Accesses is the number of accesses the component serves for the
+	// structure (cache hits for a cache, memory accesses for memory).
+	Accesses float64
+}
+
+// DVF returns the exposure's vulnerability contribution.
+func (e ComponentExposure) DVF(execHours float64) float64 {
+	return NError(e.Component.Rate, execHours, e.ResidentBytes) * e.Accesses
+}
+
+// MultiComponent aggregates a structure's DVF across hardware domains —
+// the "holistic view ... of the system stack" the paper motivates, carried
+// one level further down.
+type MultiComponent struct {
+	Structure string
+	ExecHours float64
+	Exposures []ComponentExposure
+}
+
+// Total returns the summed cross-component DVF.
+func (m *MultiComponent) Total() float64 {
+	var sum float64
+	for _, e := range m.Exposures {
+		sum += e.DVF(m.ExecHours)
+	}
+	return sum
+}
+
+// Dominant returns the component contributing the most vulnerability.
+func (m *MultiComponent) Dominant() (ComponentExposure, error) {
+	if len(m.Exposures) == 0 {
+		return ComponentExposure{}, fmt.Errorf("dvf: no component exposures")
+	}
+	best := m.Exposures[0]
+	for _, e := range m.Exposures[1:] {
+		if e.DVF(m.ExecHours) > best.DVF(m.ExecHours) {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// Render formats the per-component breakdown, largest contributor first.
+func (m *MultiComponent) Render() string {
+	rows := make([]ComponentExposure, len(m.Exposures))
+	copy(rows, m.Exposures)
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i].DVF(m.ExecHours) > rows[j].DVF(m.ExecHours)
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "multi-component DVF for %s (T=%.3e h)\n", m.Structure, m.ExecHours)
+	fmt.Fprintf(&b, "%-26s %14s %14s %14s\n", "component", "resident-bytes", "accesses", "DVF")
+	for _, e := range rows {
+		fmt.Fprintf(&b, "%-26s %14d %14.4g %14.4g\n",
+			e.Component.Name, e.ResidentBytes, e.Accesses, e.DVF(m.ExecHours))
+	}
+	fmt.Fprintf(&b, "%-26s %14s %14s %14.4g\n", "TOTAL", "", "", m.Total())
+	return b.String()
+}
+
+// MemoryAndCacheExposure builds the common two-domain analysis for a
+// structure: its DRAM exposure (full footprint, main-memory accesses) plus
+// its LLC exposure (resident share of the cache, the hits the cache
+// serves). cacheResidentBytes is typically min(structBytes, its share of
+// the cache capacity); cacheHits is totalAccesses - memoryAccesses.
+func MemoryAndCacheExposure(structure string, execHours float64,
+	structBytes, cacheResidentBytes int64, memoryAccesses, cacheHits float64) (*MultiComponent, error) {
+	if execHours < 0 {
+		return nil, fmt.Errorf("dvf: negative execution time %g", execHours)
+	}
+	if cacheResidentBytes > structBytes {
+		cacheResidentBytes = structBytes
+	}
+	if cacheResidentBytes < 0 || memoryAccesses < 0 || cacheHits < 0 {
+		return nil, fmt.Errorf("dvf: negative exposure inputs")
+	}
+	return &MultiComponent{
+		Structure: structure,
+		ExecHours: execHours,
+		Exposures: []ComponentExposure{
+			{Component: ComponentDRAM, ResidentBytes: structBytes, Accesses: memoryAccesses},
+			{Component: ComponentSRAM, ResidentBytes: cacheResidentBytes, Accesses: cacheHits},
+		},
+	}, nil
+}

@@ -1,0 +1,31 @@
+package dvf
+
+// CostModel derives a deterministic execution time from a kernel's counted
+// work. The paper measures T on its testbed; this repository replaces the
+// wall clock with a fixed-latency machine model so experiments are exactly
+// reproducible while preserving the paper's ratios (a kernel that does 100x
+// the memory traffic gets ~100x the T). See DESIGN.md ("Substitutions").
+type CostModel struct {
+	RefSeconds  float64 // cost per memory reference (cache-hit path)
+	MemSeconds  float64 // additional cost per main-memory access
+	FlopSeconds float64 // cost per floating-point operation
+}
+
+// DefaultCostModel uses latencies typical of the paper's era: ~1 ns per
+// on-chip reference, ~80 ns per DRAM access, 2 flops per ns.
+var DefaultCostModel = CostModel{
+	RefSeconds:  1e-9,
+	MemSeconds:  80e-9,
+	FlopSeconds: 0.5e-9,
+}
+
+// ExecSeconds returns the modeled execution time in seconds.
+func (c CostModel) ExecSeconds(refs int64, memAccesses, flops float64) float64 {
+	return float64(refs)*c.RefSeconds + memAccesses*c.MemSeconds + flops*c.FlopSeconds
+}
+
+// ExecHours returns the modeled execution time in hours, the unit DVF's
+// FIT rates are expressed in.
+func (c CostModel) ExecHours(refs int64, memAccesses, flops float64) float64 {
+	return c.ExecSeconds(refs, memAccesses, flops) / 3600
+}

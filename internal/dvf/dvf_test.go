@@ -1,0 +1,220 @@
+package dvf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+func TestNErrorUnits(t *testing.T) {
+	// 5000 FIT/Mbit on 1 Mbit (125000 bytes) for 1e9 hours = 5000 errors.
+	got := NError(5000, 1e9, 125000)
+	if !mathx.ApproxEqual(got, 5000, 1e-12) {
+		t.Errorf("NError = %g, want 5000", got)
+	}
+	// Scales linearly in each factor.
+	if !mathx.ApproxEqual(NError(5000, 2e9, 125000), 10000, 1e-12) {
+		t.Error("NError not linear in time")
+	}
+	if !mathx.ApproxEqual(NError(2500, 1e9, 125000), 2500, 1e-12) {
+		t.Error("NError not linear in FIT")
+	}
+	if !mathx.ApproxEqual(NError(5000, 1e9, 250000), 10000, 1e-12) {
+		t.Error("NError not linear in size")
+	}
+}
+
+func TestForStructureEquationOne(t *testing.T) {
+	// DVF_d = FIT * T * S_d * N_ha.
+	got := ForStructure(5000, 1e9, 125000, 3)
+	if !mathx.ApproxEqual(got, 15000, 1e-12) {
+		t.Errorf("DVF_d = %g, want 15000", got)
+	}
+	if ForStructure(5000, 0, 125000, 3) != 0 {
+		t.Error("zero time should yield zero DVF")
+	}
+}
+
+func TestTableVIIFITRates(t *testing.T) {
+	if FITNoECC != 5000 || FITChipkill != 0.02 || FITSECDED != 1300 {
+		t.Errorf("Table VII rates drifted: %g %g %g",
+			float64(FITNoECC), float64(FITChipkill), float64(FITSECDED))
+	}
+	rows := TableVII()
+	if len(rows) != 3 {
+		t.Fatalf("Table VII has %d rows", len(rows))
+	}
+	if rows[0].Rate != FITNoECC || rows[1].Rate != FITChipkill || rows[2].Rate != FITSECDED {
+		t.Error("Table VII row order wrong")
+	}
+}
+
+func TestApplicationTotalIsSum(t *testing.T) {
+	app, err := NewApplication("VM", FITNoECC, 1e-6,
+		[]string{"A", "B"}, []int64{1000, 2000}, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range app.Structures {
+		sum += s.DVF
+	}
+	if app.Total() != sum {
+		t.Errorf("Total %g != sum %g", app.Total(), sum)
+	}
+	a, err := app.Structure("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ForStructure(FITNoECC, 1e-6, 1000, 10)
+	if !mathx.ApproxEqual(a.DVF, want, 1e-12) {
+		t.Errorf("A DVF %g, want %g", a.DVF, want)
+	}
+	if _, err := app.Structure("zzz"); err == nil {
+		t.Error("unknown structure lookup succeeded")
+	}
+}
+
+func TestNewApplicationValidation(t *testing.T) {
+	if _, err := NewApplication("x", FITNoECC, 1,
+		[]string{"A"}, []int64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched inputs accepted")
+	}
+	if _, err := NewApplication("x", FITNoECC, -1,
+		[]string{"A"}, []int64{1}, []float64{1}); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestApplicationRenderSortsByDVF(t *testing.T) {
+	app, _ := NewApplication("k", FITNoECC, 1,
+		[]string{"small", "big"}, []int64{1, 1000}, []float64{1, 1000})
+	out := app.Render()
+	if !strings.Contains(out, "DVF_a") {
+		t.Error("render missing DVF_a")
+	}
+	if strings.Index(out, "big") > strings.Index(out, "small") {
+		t.Error("render should list the most vulnerable structure first")
+	}
+}
+
+// Property: DVF is monotone in every input.
+func TestDVFMonotonicityProperty(t *testing.T) {
+	f := func(fit1, fit2, t1, t2 uint16, s1, s2 uint16, n1, n2 uint16) bool {
+		lo := func(a, b uint16) (float64, float64) {
+			x, y := float64(a)+1, float64(b)+1
+			if x > y {
+				x, y = y, x
+			}
+			return x, y
+		}
+		fl, fh := lo(fit1, fit2)
+		tl, th := lo(t1, t2)
+		sl, sh := lo(s1, s2)
+		nl, nh := lo(n1, n2)
+		return ForStructure(FIT(fl), tl, int64(sl), nl) <=
+			ForStructure(FIT(fh), th, int64(sh), nh)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostModelComposition(t *testing.T) {
+	cm := CostModel{RefSeconds: 1, MemSeconds: 10, FlopSeconds: 0.5}
+	if got := cm.ExecSeconds(3, 2, 4); got != 3+20+2 {
+		t.Errorf("ExecSeconds = %g, want 25", got)
+	}
+	if got := cm.ExecHours(3600, 0, 0); got != 1 {
+		t.Errorf("ExecHours = %g, want 1", got)
+	}
+	if DefaultCostModel.MemSeconds <= DefaultCostModel.RefSeconds {
+		t.Error("memory access must cost more than a cache hit")
+	}
+}
+
+func TestEffectiveFITInterpolation(t *testing.T) {
+	// At zero degradation: unprotected; at saturation and beyond: the
+	// mechanism's floor; in between: strictly decreasing.
+	if SECDED.EffectiveFIT(0) != FITNoECC {
+		t.Error("zero investment should leave the raw rate")
+	}
+	if SECDED.EffectiveFIT(5) != FITSECDED {
+		t.Error("saturation should reach the mechanism's rate")
+	}
+	if SECDED.EffectiveFIT(30) != FITSECDED {
+		t.Error("past saturation the rate must stay at the floor")
+	}
+	prev := float64(SECDED.EffectiveFIT(0))
+	for d := 0.5; d <= 5; d += 0.5 {
+		cur := float64(SECDED.EffectiveFIT(d))
+		if cur >= prev {
+			t.Fatalf("EffectiveFIT not decreasing at %g%%: %g >= %g", d, cur, prev)
+		}
+		prev = cur
+	}
+	// Chipkill's floor is far below SECDED's.
+	if Chipkill.EffectiveFIT(10) >= SECDED.EffectiveFIT(10) {
+		t.Error("chipkill must beat SECDED at full strength")
+	}
+}
+
+func TestSweepUShape(t *testing.T) {
+	// The Figure 7 signature: minimum exactly at the saturation point.
+	degr := make([]float64, 0, 31)
+	for d := 0.0; d <= 30; d++ {
+		degr = append(degr, d)
+	}
+	for _, mech := range []ECC{SECDED, Chipkill} {
+		points, err := mech.Sweep(1e-5, 1<<20, 1e6, degr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := MinPoint(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.DegradationPct != mech.SaturationPct {
+			t.Errorf("%s: minimum at %g%%, want %g%%",
+				mech.Name, best.DegradationPct, mech.SaturationPct)
+		}
+		// Beyond the minimum, DVF rises monotonically (longer exposure).
+		for i := 6; i < len(points); i++ {
+			if points[i].DVF <= points[i-1].DVF {
+				t.Errorf("%s: DVF not rising past saturation at %g%%",
+					mech.Name, points[i].DegradationPct)
+			}
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := SECDED.Sweep(-1, 1, 1, []float64{0}); err == nil {
+		t.Error("negative base time accepted")
+	}
+	if _, err := SECDED.Sweep(1, 1, 1, []float64{-5}); err == nil {
+		t.Error("negative degradation accepted")
+	}
+	if _, err := MinPoint(nil); err == nil {
+		t.Error("MinPoint on empty sweep succeeded")
+	}
+}
+
+func TestMeetsTarget(t *testing.T) {
+	p := SweepPoint{DVF: 10}
+	if !MeetsTarget(p, 10) || MeetsTarget(p, 9.99) {
+		t.Error("MeetsTarget boundary wrong")
+	}
+}
+
+func TestEffectiveFITGeometricMidpoint(t *testing.T) {
+	// Halfway to saturation the rate is the geometric mean of the ends.
+	mid := float64(SECDED.EffectiveFIT(2.5))
+	want := math.Sqrt(float64(FITNoECC) * float64(FITSECDED))
+	if !mathx.ApproxEqual(mid, want, 1e-9) {
+		t.Errorf("midpoint rate %g, want geometric mean %g", mid, want)
+	}
+}

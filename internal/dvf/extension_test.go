@@ -1,0 +1,173 @@
+package dvf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+func TestUnweightedRecoversEquationOne(t *testing.T) {
+	got, err := Unweighted.ForStructure(FITNoECC, 1e-3, 1<<20, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ForStructure(FITNoECC, 1e-3, 1<<20, 12345)
+	if !mathx.ApproxEqual(got, want, 1e-12) {
+		t.Errorf("unweighted = %g, plain = %g", got, want)
+	}
+}
+
+func TestWeightingValidation(t *testing.T) {
+	for _, w := range []Weighting{{0, 1}, {1, 0}, {-1, 1}} {
+		if _, err := w.ForStructure(FITNoECC, 1, 1, 1); err == nil {
+			t.Errorf("invalid weighting %+v accepted", w)
+		}
+		if _, err := w.Rescore(&Application{}); err == nil {
+			t.Errorf("invalid weighting %+v rescored", w)
+		}
+	}
+}
+
+// Property: weighted DVF is monotone in both terms for any positive
+// weights, and scaling-invariant for rankings.
+func TestWeightedMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint8, n1, n2 uint16) bool {
+		w := Weighting{
+			Alpha: float64(aRaw%30)/10 + 0.1,
+			Beta:  float64(bRaw%30)/10 + 0.1,
+		}
+		lo, hi := float64(n1)+1, float64(n2)+1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		v1, err1 := w.ForStructure(FITNoECC, 1e-3, 1<<20, lo)
+		v2, err2 := w.ForStructure(FITNoECC, 1e-3, 1<<20, hi)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return v1 <= v2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedBetaShiftsEmphasisToAccessCount(t *testing.T) {
+	// Two structures: "big" has 10x the size, "hot" has 10x the accesses.
+	// Under beta >> alpha the hot structure must outrank the big one.
+	app, err := NewApplication("k", FITNoECC, 1e-3,
+		[]string{"big", "hot"}, []int64{10 << 20, 1 << 20}, []float64{1e4, 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equation 1: equal products (10x size vs 10x accesses cancel).
+	b0, _ := app.Structure("big")
+	h0, _ := app.Structure("hot")
+	if !mathx.ApproxEqual(b0.DVF, h0.DVF, 1e-9) {
+		t.Fatalf("baseline should tie: %g vs %g", b0.DVF, h0.DVF)
+	}
+	emph, err := Weighting{Alpha: 1, Beta: 2}.Rescore(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := emph.Structure("big")
+	h, _ := emph.Structure("hot")
+	if h.DVF <= b.DVF {
+		t.Errorf("beta-weighted: hot %g should outrank big %g", h.DVF, b.DVF)
+	}
+	// And alpha emphasis flips it.
+	emph2, err := Weighting{Alpha: 2, Beta: 1}.Rescore(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := emph2.Structure("big")
+	h2, _ := emph2.Structure("hot")
+	if b2.DVF <= h2.DVF {
+		t.Errorf("alpha-weighted: big %g should outrank hot %g", b2.DVF, h2.DVF)
+	}
+}
+
+func TestComponentExposureDVF(t *testing.T) {
+	e := ComponentExposure{Component: ComponentDRAM, ResidentBytes: 125000, Accesses: 3}
+	want := ForStructure(FITNoECC, 1e9, 125000, 3)
+	if !mathx.ApproxEqual(e.DVF(1e9), want, 1e-12) {
+		t.Errorf("component DVF = %g, want %g", e.DVF(1e9), want)
+	}
+}
+
+func TestMemoryAndCacheExposure(t *testing.T) {
+	mc, err := MemoryAndCacheExposure("A", 1e-4, 1<<20, 256<<10, 5e4, 9.5e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Exposures) != 2 {
+		t.Fatalf("exposures = %d", len(mc.Exposures))
+	}
+	if mc.Total() <= 0 {
+		t.Error("total should be positive")
+	}
+	dom, err := mc.Dominant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 19x the accesses at 1/4 the resident size and ~0.8x FIT: the cache
+	// dominates here — hot data's vulnerability lives where it is served.
+	if dom.Component.Name != ComponentSRAM.Name {
+		t.Errorf("dominant component = %s, want the cache", dom.Component.Name)
+	}
+	out := mc.Render()
+	for _, want := range []string{"multi-component", "DRAM", "SRAM", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestMemoryAndCacheExposureClampsResidency(t *testing.T) {
+	mc, err := MemoryAndCacheExposure("v", 1e-4, 4096, 1<<20, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Exposures[1].ResidentBytes != 4096 {
+		t.Errorf("cache residency %d not clamped to the structure size", mc.Exposures[1].ResidentBytes)
+	}
+}
+
+func TestMemoryAndCacheExposureValidation(t *testing.T) {
+	if _, err := MemoryAndCacheExposure("x", -1, 1, 1, 1, 1); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := MemoryAndCacheExposure("x", 1, 1, 1, -1, 1); err == nil {
+		t.Error("negative accesses accepted")
+	}
+}
+
+func TestDominantEmpty(t *testing.T) {
+	m := &MultiComponent{}
+	if _, err := m.Dominant(); err == nil {
+		t.Error("empty exposures accepted")
+	}
+}
+
+func TestComponentRatesOrdered(t *testing.T) {
+	// Unprotected DRAM is the worst per Mbit; the register file, being
+	// small and often hardened, the best of the three.
+	if !(ComponentDRAM.Rate > ComponentSRAM.Rate && ComponentSRAM.Rate > ComponentRF.Rate) {
+		t.Errorf("component rate ordering broken: %g %g %g",
+			float64(ComponentDRAM.Rate), float64(ComponentSRAM.Rate), float64(ComponentRF.Rate))
+	}
+}
+
+func TestWeightedNaNGuard(t *testing.T) {
+	w := Weighting{Alpha: 1, Beta: 1}
+	if _, err := w.ForStructure(FITNoECC, 1, 1, -5); err == nil {
+		t.Error("negative N_ha accepted")
+	}
+	v, err := w.ForStructure(FITNoECC, 0, 1, 0)
+	if err != nil || math.IsNaN(v) {
+		t.Errorf("degenerate inputs: %g, %v", v, err)
+	}
+}

@@ -1,0 +1,73 @@
+package dvf
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper notes that Equation 1's plain product assumes N_error and N_ha
+// contribute equally, and that "a further refined definition of DVF could
+// assign a weighting factor to each term to account for diverse
+// vulnerability contributions from each term". Weighting implements that
+// refinement as the exponent-weighted product
+//
+//	DVF_w = N_error^Alpha * N_ha^Beta
+//
+// with Alpha = Beta = 1 recovering Equation 1. Exponent (rather than
+// multiplicative) weights preserve the metric's two essential properties:
+// rankings are invariant to uniform scaling of either term, and the
+// weighted metric remains monotone in both.
+type Weighting struct {
+	Alpha float64 // weight on the error-exposure term N_error
+	Beta  float64 // weight on the access-count term N_ha
+}
+
+// Unweighted is the paper's Equation 1.
+var Unweighted = Weighting{Alpha: 1, Beta: 1}
+
+// Validate rejects non-positive weights, which would invert monotonicity.
+func (w Weighting) Validate() error {
+	if w.Alpha <= 0 || w.Beta <= 0 {
+		return fmt.Errorf("dvf: weights (%g, %g) must be positive", w.Alpha, w.Beta)
+	}
+	return nil
+}
+
+// ForStructure returns the weighted DVF_d.
+func (w Weighting) ForStructure(rate FIT, execHours float64, sizeBytes int64, nha float64) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	ne := NError(rate, execHours, sizeBytes)
+	if ne < 0 || nha < 0 {
+		return 0, fmt.Errorf("dvf: negative inputs (N_error=%g, N_ha=%g)", ne, nha)
+	}
+	return math.Pow(ne, w.Alpha) * math.Pow(nha, w.Beta), nil
+}
+
+// Rescore recomputes an application's per-structure DVFs under the
+// weighting, returning a new Application (the original is not modified).
+func (w Weighting) Rescore(app *Application) (*Application, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Application{
+		Kernel:    app.Kernel,
+		ExecHours: app.ExecHours,
+		Rate:      app.Rate,
+	}
+	for _, s := range app.Structures {
+		d, err := w.ForStructure(app.Rate, app.ExecHours, s.Bytes, s.NHa)
+		if err != nil {
+			return nil, err
+		}
+		out.Structures = append(out.Structures, StructureDVF{
+			Name:   s.Name,
+			Bytes:  s.Bytes,
+			NHa:    s.NHa,
+			NError: s.NError,
+			DVF:    d,
+		})
+	}
+	return out, nil
+}

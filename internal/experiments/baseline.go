@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/dvf"
+	"github.com/resilience-models/dvf/internal/inject"
+	"github.com/resilience-models/dvf/internal/kernels"
+)
+
+// BaselineComparison contrasts the DVF methodology with the traditional
+// statistical fault-injection baseline on one kernel: both produce a
+// vulnerability ranking of the kernel's data structures; DVF does it with
+// one model evaluation, the baseline with trials-per-structure full
+// application runs. The paper's Section I claim — injection "is
+// prohibitively expensive" while the Aspen-based evaluation runs "at the
+// time granularity of seconds" — becomes a measured cost ratio here.
+type BaselineComparison struct {
+	Kernel string
+	// DVFRanking orders structures by DVF, most vulnerable first.
+	DVFRanking []string
+	// InjectRanking orders structures by the campaign's per-flip failure
+	// rate — the conditional probability that a bit flip corrupts the
+	// output, which ignores how *many* flips a structure attracts.
+	InjectRanking []string
+	// AbsoluteRanking orders structures by failure rate times structure
+	// size — the empirical expected-corruption ranking, i.e. the
+	// injection-side quantity commensurable with DVF's N_error weighting.
+	AbsoluteRanking []string
+	RankRho         float64 // Spearman rho: DVF vs per-flip ranking
+	AbsoluteRho     float64 // Spearman rho: DVF vs absolute ranking
+	DVFSeconds      float64 // wall time of the model-based analysis
+	InjectSeconds   float64 // wall time of the injection campaign
+	InjectionRuns   int     // full executions the campaign needed
+	Injection       *inject.Result
+	DVF             *dvf.Application
+}
+
+// CostRatio returns how much more expensive the injection campaign was.
+func (b *BaselineComparison) CostRatio() float64 {
+	if b.DVFSeconds == 0 {
+		return 0
+	}
+	return b.InjectSeconds / b.DVFSeconds
+}
+
+// RunBaseline executes the comparison for one injectable kernel.
+func RunBaseline(k kernels.Kernel, trials int, cfg cache.Config) (*BaselineComparison, error) {
+	injectable, err := inject.AsInjectable(k)
+	if err != nil {
+		return nil, err
+	}
+
+	// DVF side: one untraced run plus model evaluations.
+	t0 := time.Now()
+	app, err := ProfileKernel(k, cfg, dvf.FITNoECC, dvf.DefaultCostModel)
+	if err != nil {
+		return nil, err
+	}
+	dvfSeconds := time.Since(t0).Seconds()
+	dvfRank := make([]dvf.StructureDVF, len(app.Structures))
+	copy(dvfRank, app.Structures)
+	sort.SliceStable(dvfRank, func(i, j int) bool { return dvfRank[i].DVF > dvfRank[j].DVF })
+	dvfNames := make([]string, len(dvfRank))
+	for i, s := range dvfRank {
+		dvfNames[i] = s.Name
+	}
+
+	// Baseline side: the injection campaign.
+	t0 = time.Now()
+	campaign := &inject.Campaign{Kernel: injectable, Trials: trials, Seed: 17}
+	res, err := campaign.Run()
+	if err != nil {
+		return nil, err
+	}
+	injectSeconds := time.Since(t0).Seconds()
+
+	injNames := res.Ranking()
+	rho, err := inject.RankCorrelation(dvfNames, injNames)
+	if err != nil {
+		return nil, err
+	}
+
+	// Absolute (size-weighted) injection ranking: expected corruptions
+	// scale with the flips a structure attracts, i.e. with its N_error,
+	// which for a fixed run is proportional to its size.
+	type weighted struct {
+		name string
+		v    float64
+	}
+	abs := make([]weighted, 0, len(app.Structures))
+	for _, s := range app.Structures {
+		tally, err := res.Tally(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		abs = append(abs, weighted{name: s.Name, v: tally.FailureRate() * float64(s.Bytes)})
+	}
+	sort.SliceStable(abs, func(i, j int) bool { return abs[i].v > abs[j].v })
+	absNames := make([]string, len(abs))
+	for i, w := range abs {
+		absNames[i] = w.name
+	}
+	absRho, err := inject.RankCorrelation(dvfNames, absNames)
+	if err != nil {
+		return nil, err
+	}
+
+	return &BaselineComparison{
+		Kernel:          k.Name(),
+		DVFRanking:      dvfNames,
+		InjectRanking:   injNames,
+		AbsoluteRanking: absNames,
+		RankRho:         rho,
+		AbsoluteRho:     absRho,
+		DVFSeconds:      dvfSeconds,
+		InjectSeconds:   injectSeconds,
+		InjectionRuns:   res.GoldenRuns,
+		Injection:       res,
+		DVF:             app,
+	}, nil
+}
+
+// Render formats the comparison.
+func (b *BaselineComparison) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "baseline comparison: %s\n", b.Kernel)
+	fmt.Fprintf(&sb, "  DVF ranking (model, %.3fs):        %s\n",
+		b.DVFSeconds, strings.Join(b.DVFRanking, " > "))
+	fmt.Fprintf(&sb, "  injection per-flip ranking (%d runs, %.3fs): %s\n",
+		b.InjectionRuns, b.InjectSeconds, strings.Join(b.InjectRanking, " > "))
+	fmt.Fprintf(&sb, "  injection absolute ranking:         %s\n",
+		strings.Join(b.AbsoluteRanking, " > "))
+	fmt.Fprintf(&sb, "  Spearman rho = %.2f (per-flip), %.2f (absolute); injection cost = %.0fx the model\n",
+		b.RankRho, b.AbsoluteRho, b.CostRatio())
+	sb.WriteString(b.Injection.Render())
+	return sb.String()
+}

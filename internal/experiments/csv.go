@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers for every figure, so the regenerated data can be plotted
+// directly. Each writer emits one header row and one record per point,
+// matching the figure's axes.
+
+// WriteCSV emits kernel,cache,structure,model,simulated,error_pct rows.
+func (res *Fig4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kernel", "cache", "structure", "model", "simulated", "error_pct"}); err != nil {
+		return err
+	}
+	for _, r := range res.Rows {
+		rec := []string{
+			r.Kernel, r.Cache, r.Structure,
+			strconv.FormatFloat(r.Model, 'g', -1, 64),
+			strconv.FormatFloat(r.Simulated, 'g', -1, 64),
+			strconv.FormatFloat(r.ErrorPct(), 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits kernel,cache,structure,dvf rows (DVF_a appears as the
+// structure "DVF_a", matching the figure's per-kernel aggregate bar).
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kernel", "cache", "structure", "dvf"}); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		rec := []string{c.Kernel, c.Cache, c.Structure, strconv.FormatFloat(c.DVF, 'g', -1, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits n,cg_iters,pcg_iters,cg_dvf,pcg_dvf rows.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"n", "cg_iters", "pcg_iters", "cg_dvf", "pcg_dvf"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		rec := []string{
+			strconv.Itoa(p.N),
+			strconv.Itoa(p.CGIters),
+			strconv.Itoa(p.PCGIters),
+			strconv.FormatFloat(p.CGDVF, 'g', -1, 64),
+			strconv.FormatFloat(p.PCGDVF, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits degradation_pct followed by one DVF column per mechanism.
+func (r *Fig7Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"degradation_pct"}
+	for _, s := range r.Series {
+		header = append(header, s.Mechanism.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(r.Series) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	for i := range r.Series[0].Points {
+		rec := []string{strconv.FormatFloat(r.Series[0].Points[i].DegradationPct, 'f', 0, 64)}
+		for _, s := range r.Series {
+			if i >= len(s.Points) {
+				return fmt.Errorf("experiments: ragged Fig7 series")
+			}
+			rec = append(rec, strconv.FormatFloat(s.Points[i].DVF, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/dvf"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return records
+}
+
+func TestFig4CSV(t *testing.T) {
+	res := &Fig4Result{Rows: []Fig4Row{
+		{Kernel: "VM", Cache: "Small", Structure: "A", Model: 1000, Simulated: 1000},
+		{Kernel: "NB", Cache: "Small", Structure: "T", Model: 90, Simulated: 100},
+	}}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := parseCSV(t, &buf)
+	if len(rec) != 3 || rec[0][0] != "kernel" {
+		t.Fatalf("records: %v", rec)
+	}
+	if rec[2][5] != "-10.00" {
+		t.Errorf("error column = %q, want -10.00", rec[2][5])
+	}
+}
+
+func TestFig5CSV(t *testing.T) {
+	res := &Fig5Result{Cells: []Fig5Cell{
+		{Kernel: "FT", Cache: "16KB", Structure: "X", DVF: 7.2e-8},
+		{Kernel: "FT", Cache: "16KB", Structure: "DVF_a", DVF: 7.2e-8},
+	}}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := parseCSV(t, &buf)
+	if len(rec) != 3 {
+		t.Fatalf("records: %v", rec)
+	}
+	if v, err := strconv.ParseFloat(rec[1][3], 64); err != nil || v != 7.2e-8 {
+		t.Errorf("dvf column = %q", rec[1][3])
+	}
+}
+
+func TestFig6CSV(t *testing.T) {
+	res := &Fig6Result{Points: []Fig6Point{
+		{N: 100, CGIters: 12, PCGIters: 8, CGDVF: 1e-10, PCGDVF: 2e-10},
+	}}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := parseCSV(t, &buf)
+	if len(rec) != 2 || rec[1][0] != "100" || rec[1][1] != "12" {
+		t.Fatalf("records: %v", rec)
+	}
+}
+
+func TestFig7CSV(t *testing.T) {
+	res := &Fig7Result{Series: []Fig7Series{
+		{Mechanism: dvf.SECDED, Points: []dvf.SweepPoint{{DegradationPct: 0, DVF: 1}, {DegradationPct: 1, DVF: 0.5}}},
+		{Mechanism: dvf.Chipkill, Points: []dvf.SweepPoint{{DegradationPct: 0, DVF: 1}, {DegradationPct: 1, DVF: 0.1}}},
+	}}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := parseCSV(t, &buf)
+	if len(rec) != 3 {
+		t.Fatalf("records: %v", rec)
+	}
+	if !strings.Contains(rec[0][1], "SECDED") {
+		t.Errorf("header = %v", rec[0])
+	}
+	if rec[2][2] != "0.1" {
+		t.Errorf("chipkill column = %q", rec[2][2])
+	}
+}
+
+func TestFig7CSVRaggedSeries(t *testing.T) {
+	res := &Fig7Result{Series: []Fig7Series{
+		{Mechanism: dvf.SECDED, Points: []dvf.SweepPoint{{DVF: 1}, {DVF: 2}}},
+		{Mechanism: dvf.Chipkill, Points: []dvf.SweepPoint{{DVF: 1}}},
+	}}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestFig7CSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Fig7Result{}).WriteCSV(&buf); err != nil {
+		t.Errorf("empty result should write a bare header: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/dvf"
+	"github.com/resilience-models/dvf/internal/kernels"
+)
+
+// Fig5Cell is one bar of Figure 5: the DVF of one data structure of one
+// kernel under one cache configuration (plus the per-kernel DVF_a bars the
+// figure shows alongside).
+type Fig5Cell struct {
+	Kernel    string
+	Cache     string
+	Structure string // "DVF_a" for the application aggregate
+	DVF       float64
+}
+
+// Fig5Result holds the full profiling sweep.
+type Fig5Result struct {
+	Rate  dvf.FIT
+	Cells []Fig5Cell
+}
+
+// Lookup returns the DVF for (kernel, cache, structure).
+func (r *Fig5Result) Lookup(kernel, cacheName, structure string) (float64, error) {
+	for _, c := range r.Cells {
+		if c.Kernel == kernel && c.Cache == cacheName && c.Structure == structure {
+			return c.DVF, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: no cell %s/%s/%s", kernel, cacheName, structure)
+}
+
+// ProfileKernel computes the DVF of every major structure of one kernel on
+// one cache configuration: the kernel runs once untraced to expose its
+// workload counts and profiled model inputs, the CGPMAC models estimate
+// per-structure N_ha, the cost model turns the workload into T, and
+// Equation 1 does the rest.
+func ProfileKernel(k kernels.Kernel, cfg cache.Config, rate dvf.FIT, cost dvf.CostModel) (*dvf.Application, error) {
+	info, err := k.Run(nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: running %s: %w", k.Name(), err)
+	}
+	return profileFromInfo(k, info, cfg, rate, cost)
+}
+
+// profileFromInfo evaluates the models of a prior run against cfg.
+func profileFromInfo(k kernels.Kernel, info *kernels.RunInfo, cfg cache.Config, rate dvf.FIT, cost dvf.CostModel) (*dvf.Application, error) {
+	specs, err := k.Models(info)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: modeling %s: %w", k.Name(), err)
+	}
+	var (
+		names []string
+		sizes []int64
+		nhas  []float64
+		total float64
+	)
+	for _, spec := range specs {
+		st, err := info.Structure(spec.Structure)
+		if err != nil {
+			return nil, err
+		}
+		nha, err := spec.Estimator.MemoryAccesses(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s/%s on %s: %w",
+				k.Name(), spec.Structure, cfg.Name, err)
+		}
+		names = append(names, spec.Structure)
+		sizes = append(sizes, st.Bytes)
+		nhas = append(nhas, nha)
+		total += nha
+	}
+	hours := cost.ExecHours(info.Refs, total, float64(info.Flops))
+	return dvf.NewApplication(k.Name(), rate, hours, names, sizes, nhas)
+}
+
+// RunFig5 executes the full Figure 5 profiling: the six kernels at the
+// Table VI input sizes across the four profiling caches of Table IV, with
+// the unprotected FIT rate of Table VII. Kernels profile concurrently
+// (each owns its state); cells keep the Table II, capacity-ascending order.
+func RunFig5() (*Fig5Result, error) {
+	res := &Fig5Result{Rate: dvf.FITNoECC}
+	suite := kernels.ProfilingSuite()
+	cells := make([][]Fig5Cell, len(suite))
+	errs := make([]error, len(suite))
+	var wg sync.WaitGroup
+	for i, k := range suite {
+		wg.Add(1)
+		go func(i int, k kernels.Kernel) {
+			defer wg.Done()
+			cells[i], errs[i] = profileAllCaches(k, res.Rate)
+		}(i, k)
+	}
+	wg.Wait()
+	for i := range suite {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.Cells = append(res.Cells, cells[i]...)
+	}
+	return res, nil
+}
+
+// profileAllCaches runs one kernel once and evaluates its models against
+// every profiling cache.
+func profileAllCaches(k kernels.Kernel, rate dvf.FIT) ([]Fig5Cell, error) {
+	info, err := k.Run(nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig5Cell
+	for _, cfg := range cache.ProfilingConfigs() {
+		app, err := profileFromInfo(k, info, cfg, rate, dvf.DefaultCostModel)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range app.Structures {
+			out = append(out, Fig5Cell{
+				Kernel: k.Name(), Cache: cfg.Name, Structure: s.Name, DVF: s.DVF,
+			})
+		}
+		out = append(out, Fig5Cell{
+			Kernel: k.Name(), Cache: cfg.Name, Structure: "DVF_a", DVF: app.Total(),
+		})
+	}
+	return out, nil
+}
+
+// Render formats the profiling results as the six bar groups of Figure 5.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: DVF profiling (FIT=%g)\n", float64(r.Rate))
+	fmt.Fprintf(&b, "%-4s %-22s %-7s %14s\n", "kern", "cache", "struct", "DVF")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-4s %-22s %-7s %14.6g\n", c.Kernel, c.Cache, c.Structure, c.DVF)
+	}
+	return b.String()
+}

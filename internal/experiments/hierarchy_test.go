@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// TestLLCOnlyAssumptionOnKernels validates the paper's Section II choice
+// to model only the last-level cache, on the actual Table II workloads:
+// the main-memory loads seen by a multi-level hierarchy stay close to a
+// standalone LLC simulation for every verification kernel.
+func TestLLCOnlyAssumptionOnKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full traces are slow")
+	}
+	// A small L1 in front of the 8 KB verification LLC (8:1 ratio).
+	l1 := cache.Config{Name: "l1", Associativity: 2, Sets: 32, LineSize: 16}
+	for _, k := range kernels.VerificationSuite() {
+		k := k
+		t.Run(k.Name(), func(t *testing.T) {
+			h, err := cache.NewHierarchy(l1, cache.Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alone, err := cache.NewSimulator(cache.Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink := trace.ConsumerFunc(func(r trace.Ref, owner int32) {
+				h.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
+				alone.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
+			})
+			if _, err := k.Run(sink); err != nil {
+				t.Fatal(err)
+			}
+			full := float64(h.LastLevel().TotalStats().Misses)
+			ref := float64(alone.TotalStats().Misses)
+			if ref == 0 {
+				t.Fatal("no misses recorded")
+			}
+			gap := math.Abs(full-ref) / ref
+			if gap > 0.12 {
+				t.Errorf("%s: hierarchy LLC misses %g vs standalone %g (%.1f%% apart)",
+					k.Name(), full, ref, gap*100)
+			}
+		})
+	}
+}

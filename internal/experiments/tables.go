@@ -1,0 +1,36 @@
+package experiments
+
+// Tables V and VI: the input sizes of the verification and profiling runs.
+// These constants pin the suite constructors in the kernels package; the
+// TestTableVInputs/TestTableVIInputs tests assert the two stay in sync.
+
+// InputSize describes one row of Table V or Table VI.
+type InputSize struct {
+	Kernel      string
+	Description string // the paper's wording
+	Value       int    // the size parameter handed to the kernel constructor
+}
+
+// TableV returns the verification input sizes (Table V).
+func TableV() []InputSize {
+	return []InputSize{
+		{"VM", "10^3 Integer Array", 1000},
+		{"CG", "500*500 Double Matrix", 500},
+		{"NB", "1000 Particles", 1000},
+		{"MG", "Problem class = S (32^3 grid)", 32},
+		{"FT", "Problem class = S (2048-point 1D segment)", 2048},
+		{"MC", "Size = small, Lookups = 10^3", 1000},
+	}
+}
+
+// TableVI returns the profiling input sizes (Table VI).
+func TableVI() []InputSize {
+	return []InputSize{
+		{"VM", "10^5 Integer Array", 100000},
+		{"CG", "800*800 Double Matrix", 800},
+		{"NB", "6000 Particles", 6000},
+		{"MG", "Problem class = W (64^3 grid)", 64},
+		{"FT", "Problem class = S (2048-point 1D segment)", 2048},
+		{"MC", "Size = small, Lookups = 10^5", 100000},
+	}
+}

@@ -1,0 +1,62 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/kernels"
+)
+
+func TestBitSensitivityVMC(t *testing.T) {
+	// C is read and written every iteration; its float64 bit profile must
+	// show the classic IEEE-754 asymmetry: flips in the exponent/sign
+	// (high bits) corrupt the sum far more often than low mantissa flips.
+	profile, err := BitSensitivity(kernels.NewVM(300), "C", 8, 12, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile.Rates) != 64 {
+		t.Fatalf("rates = %d, want 64", len(profile.Rates))
+	}
+	high := profile.HighBitsRate(12) // sign + exponent
+	low := profile.LowBitsRate(12)   // low mantissa
+	if high <= low {
+		t.Errorf("high-bit failure rate %.2f not above low-bit %.2f", high, low)
+	}
+	if high < 0.3 {
+		t.Errorf("exponent flips should usually corrupt: rate %.2f", high)
+	}
+	out := profile.Render()
+	if !strings.Contains(out, "bit sensitivity") || !strings.Contains(out, "bit 63") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestBitSensitivityValidation(t *testing.T) {
+	vm := kernels.NewVM(50)
+	if _, err := BitSensitivity(vm, "C", 8, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := BitSensitivity(vm, "C", 0, 1, 1); err == nil {
+		t.Error("zero element size accepted")
+	}
+	if _, err := BitSensitivity(vm, "nope", 8, 1, 1); err == nil {
+		t.Error("unknown structure accepted")
+	}
+	if _, err := BitSensitivity(vm, "C", 1<<20, 1, 1); err == nil {
+		t.Error("element larger than structure accepted")
+	}
+}
+
+func TestBitProfileMeanBounds(t *testing.T) {
+	p := &BitProfile{Rates: []float64{0, 0.5, 1}}
+	if p.LowBitsRate(2) != 0.25 || p.HighBitsRate(2) != 0.75 {
+		t.Errorf("means: low %g high %g", p.LowBitsRate(2), p.HighBitsRate(2))
+	}
+	if p.LowBitsRate(0) != 0 {
+		t.Error("empty window should be 0")
+	}
+	if p.HighBitsRate(99) != 0.5 {
+		t.Error("oversized window should clamp")
+	}
+}

@@ -1,0 +1,302 @@
+// Package inject implements the statistical fault-injection methodology
+// that the DVF paper positions itself against (Section VI, "the
+// statistical-based random fault injection is one of the major methods"):
+// random single-bit flips into an application's data structures, outcome
+// classification over many trials, and an empirical per-structure
+// vulnerability estimate.
+//
+// The paper's argument is twofold: injection campaigns are prohibitively
+// expensive (thousands of full application runs for statistical
+// significance, versus seconds for the analytical model), and they cannot
+// quantitatively rank components. Implementing the baseline makes both
+// claims checkable: the Baseline experiment in internal/experiments
+// correlates campaign-derived vulnerability with DVF rankings and measures
+// the cost ratio directly (see BenchmarkBaselineFaultInjection).
+package inject
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/resilience-models/dvf/internal/kernels"
+)
+
+// Outcome classifies one injected run, following the taxonomy of the
+// paper's reference [24] (Li, Vetter, Yu — SC 2012).
+type Outcome int
+
+const (
+	// Benign: the application completed and its output matched the golden
+	// run within tolerance (the flip was masked, overwritten, or landed in
+	// dead data).
+	Benign Outcome = iota
+	// SDC: silent data corruption — the application completed normally
+	// but produced a wrong result.
+	SDC
+	// Abnormal: the run produced a non-finite result (detected corruption
+	// such as a NaN residual), the moral equivalent of a failed sanity
+	// check in production codes.
+	Abnormal
+	// Crash: the corrupted state crashed the run (e.g. an out-of-range
+	// index panic).
+	Crash
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Benign:
+		return "benign"
+	case SDC:
+		return "sdc"
+	case Abnormal:
+		return "abnormal"
+	case Crash:
+		return "crash"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Tally accumulates outcomes for one target structure.
+type Tally struct {
+	Structure string
+	Trials    int
+	Counts    [4]int // indexed by Outcome
+}
+
+// Rate returns the fraction of trials with the given outcome.
+func (t *Tally) Rate(o Outcome) float64 {
+	if t.Trials == 0 {
+		return 0
+	}
+	return float64(t.Counts[o]) / float64(t.Trials)
+}
+
+// FailureRate returns the fraction of non-benign outcomes — the empirical
+// per-access vulnerability of the structure.
+func (t *Tally) FailureRate() float64 {
+	return t.Rate(SDC) + t.Rate(Abnormal) + t.Rate(Crash)
+}
+
+// Campaign is a fault-injection study over one kernel.
+type Campaign struct {
+	Kernel kernels.Injectable
+	// Trials per structure. Statistical-significance bookkeeping is part
+	// of the point: ErrorMargin reports the 95% confidence half-width.
+	Trials int
+	// Tolerance is the relative checksum deviation separating benign from
+	// SDC; 0 means 1e-9.
+	Tolerance float64
+	// Seed drives fault-site selection.
+	Seed int64
+	// Workers sets the number of trials run concurrently. Trials are
+	// independent full executions, so the campaign parallelizes
+	// embarrassingly; fault sites are drawn up front from Seed, keeping
+	// results identical at any worker count. 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Kernel     string
+	GoldenRuns int // total injected executions performed
+	Tallies    []Tally
+}
+
+// ErrNotInjectable reports a kernel without fault-injection support.
+var ErrNotInjectable = errors.New("inject: kernel does not support fault injection")
+
+// AsInjectable converts a kernel, reporting ErrNotInjectable otherwise.
+func AsInjectable(k kernels.Kernel) (kernels.Injectable, error) {
+	if inj, ok := k.(kernels.Injectable); ok {
+		return inj, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotInjectable, k.Name())
+}
+
+// Run executes the campaign: one golden run, then Trials injected runs per
+// major data structure, each flipping one uniformly random bit of the
+// structure at a uniformly random point of the reference stream.
+func (c *Campaign) Run() (*Result, error) {
+	if c.Kernel == nil {
+		return nil, fmt.Errorf("inject: nil kernel")
+	}
+	if c.Trials <= 0 {
+		return nil, fmt.Errorf("inject: trials=%d must be positive", c.Trials)
+	}
+	tol := c.Tolerance
+	if tol == 0 {
+		tol = 1e-9
+	}
+	golden, err := c.Kernel.Run(nil)
+	if err != nil {
+		return nil, fmt.Errorf("inject: golden run: %w", err)
+	}
+	if golden.Refs == 0 {
+		return nil, fmt.Errorf("inject: golden run emitted no references")
+	}
+	// Draw every fault site up front: results are then independent of the
+	// worker count and identical to a serial run with the same seed.
+	rng := rand.New(rand.NewSource(c.Seed))
+	type job struct {
+		structIdx int
+		fault     kernels.Fault
+	}
+	jobs := make([]job, 0, len(golden.Structures)*c.Trials)
+	for si, st := range golden.Structures {
+		for trial := 0; trial < c.Trials; trial++ {
+			jobs = append(jobs, job{structIdx: si, fault: kernels.Fault{
+				Structure:  st.Name,
+				ByteOffset: rng.Int63n(st.Bytes),
+				Bit:        uint8(rng.Intn(8)),
+				AtRef:      1 + rng.Int63n(golden.Refs),
+			}})
+		}
+	}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	outcomes := make([]Outcome, len(jobs))
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				outcomes[i] = c.classify(golden, jobs[i].fault, tol)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{Kernel: golden.Kernel, GoldenRuns: len(jobs)}
+	tallies := make([]Tally, len(golden.Structures))
+	for si := range golden.Structures {
+		tallies[si] = Tally{Structure: golden.Structures[si].Name, Trials: c.Trials}
+	}
+	for i, jb := range jobs {
+		tallies[jb.structIdx].Counts[outcomes[i]]++
+	}
+	res.Tallies = tallies
+	return res, nil
+}
+
+func (c *Campaign) classify(golden *kernels.RunInfo, fault kernels.Fault, tol float64) Outcome {
+	info, err := c.Kernel.RunInjected(fault, nil)
+	switch {
+	case errors.Is(err, kernels.ErrFaultCrash):
+		return Crash
+	case err != nil:
+		// Configuration-level failures should not happen mid-campaign;
+		// treat them as crashes so they are visible in the tallies.
+		return Crash
+	case math.IsNaN(info.Checksum) || math.IsInf(info.Checksum, 0):
+		return Abnormal
+	}
+	diff := math.Abs(info.Checksum - golden.Checksum)
+	scale := math.Abs(golden.Checksum)
+	if scale < 1 {
+		scale = 1
+	}
+	if diff/scale > tol {
+		return SDC
+	}
+	return Benign
+}
+
+// ErrorMargin returns the 95% confidence half-width of a structure's
+// failure rate (normal approximation) — the statistical-significance cost
+// the paper highlights: halving the margin requires 4x the trials.
+func (t *Tally) ErrorMargin() float64 {
+	if t.Trials == 0 {
+		return 1
+	}
+	p := t.FailureRate()
+	return 1.96 * math.Sqrt(p*(1-p)/float64(t.Trials))
+}
+
+// Ranking returns the structures ordered from most to least vulnerable by
+// empirical failure rate.
+func (r *Result) Ranking() []string {
+	tallies := make([]Tally, len(r.Tallies))
+	copy(tallies, r.Tallies)
+	sort.SliceStable(tallies, func(i, j int) bool {
+		return tallies[i].FailureRate() > tallies[j].FailureRate()
+	})
+	out := make([]string, len(tallies))
+	for i, t := range tallies {
+		out[i] = t.Structure
+	}
+	return out
+}
+
+// Tally returns the named structure's tally.
+func (r *Result) Tally(structure string) (Tally, error) {
+	for _, t := range r.Tallies {
+		if t.Structure == structure {
+			return t, nil
+		}
+	}
+	return Tally{}, fmt.Errorf("inject: no tally for structure %q", structure)
+}
+
+// Render formats the campaign outcome table.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault injection campaign: %s (%d runs)\n", r.Kernel, r.GoldenRuns)
+	fmt.Fprintf(&b, "%-8s %8s %8s %8s %8s %8s %12s %10s\n",
+		"struct", "trials", "benign", "sdc", "abnorm", "crash", "failure", "±95%")
+	for _, t := range r.Tallies {
+		fmt.Fprintf(&b, "%-8s %8d %8d %8d %8d %8d %11.1f%% %9.1f%%\n",
+			t.Structure, t.Trials, t.Counts[Benign], t.Counts[SDC],
+			t.Counts[Abnormal], t.Counts[Crash],
+			t.FailureRate()*100, t.ErrorMargin()*100)
+	}
+	return b.String()
+}
+
+// RankCorrelation returns Spearman's rho between two orderings of the same
+// names (1 = identical ranking, -1 = reversed). Used to compare the
+// injection-derived vulnerability ranking with the DVF ranking.
+func RankCorrelation(a, b []string) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("inject: rankings differ in length: %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 1, nil
+	}
+	pos := make(map[string]int, n)
+	for i, name := range b {
+		pos[name] = i
+	}
+	var d2 float64
+	for i, name := range a {
+		j, ok := pos[name]
+		if !ok {
+			return 0, fmt.Errorf("inject: name %q missing from second ranking", name)
+		}
+		d := float64(i - j)
+		d2 += d * d
+	}
+	return 1 - 6*d2/float64(n*(n*n-1)), nil
+}

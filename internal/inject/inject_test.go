@@ -1,0 +1,329 @@
+package inject
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/kernels"
+)
+
+func TestOutcomeString(t *testing.T) {
+	want := map[Outcome]string{Benign: "benign", SDC: "sdc", Abnormal: "abnormal", Crash: "crash"}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), s)
+		}
+	}
+	if Outcome(9).String() != "Outcome(9)" {
+		t.Error("unknown outcome string wrong")
+	}
+}
+
+func TestAsInjectable(t *testing.T) {
+	if _, err := AsInjectable(kernels.NewVM(10)); err != nil {
+		t.Errorf("VM should be injectable: %v", err)
+	}
+	// Every Table II kernel supports fault injection.
+	for _, k := range kernels.VerificationSuite() {
+		if _, err := AsInjectable(k); err != nil {
+			t.Errorf("%s should be injectable: %v", k.Name(), err)
+		}
+	}
+}
+
+func TestVMDeterministicFaultIsSDC(t *testing.T) {
+	// Flip the top mantissa-adjacent exponent bit of A[0] before it is
+	// read (AtRef=1 fires before the first load completes the multiply):
+	// the checksum must deviate.
+	vm := kernels.NewVM(100)
+	golden, err := vm.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := kernels.Fault{Structure: "A", ByteOffset: 7, Bit: 6, AtRef: 1}
+	info, err := vm.RunInjected(fault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Checksum == golden.Checksum {
+		t.Error("exponent flip in a live element did not change the output")
+	}
+}
+
+func TestVMFaultInDeadElementIsBenign(t *testing.T) {
+	// A has stride 4: element index 1 (bytes 8-15) is never read.
+	vm := kernels.NewVM(100)
+	golden, err := vm.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := kernels.Fault{Structure: "A", ByteOffset: 8, Bit: 7, AtRef: 1}
+	info, err := vm.RunInjected(fault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Checksum != golden.Checksum {
+		t.Error("flip in a never-read element changed the output")
+	}
+}
+
+func TestLateFaultIsMasked(t *testing.T) {
+	// A fault striking after the last reference corrupts only data at
+	// rest; VM's checksum is computed from C's final values, so a flip in
+	// A at the very end is benign.
+	vm := kernels.NewVM(100)
+	golden, err := vm.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := kernels.Fault{Structure: "A", ByteOffset: 0, Bit: 7, AtRef: golden.Refs + 100}
+	info, err := vm.RunInjected(fault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Checksum != golden.Checksum {
+		t.Error("post-execution flip changed the output")
+	}
+}
+
+func TestFaultValidation(t *testing.T) {
+	vm := kernels.NewVM(10)
+	bad := []kernels.Fault{
+		{Structure: "", ByteOffset: 0, Bit: 0, AtRef: 1},
+		{Structure: "A", ByteOffset: -1, Bit: 0, AtRef: 1},
+		{Structure: "A", ByteOffset: 0, Bit: 8, AtRef: 1},
+		{Structure: "A", ByteOffset: 0, Bit: 0, AtRef: 0},
+	}
+	for _, f := range bad {
+		if _, err := vm.RunInjected(f, nil); err == nil {
+			t.Errorf("invalid fault %+v accepted", f)
+		}
+	}
+	if _, err := vm.RunInjected(kernels.Fault{Structure: "Z", AtRef: 1}, nil); err == nil {
+		t.Error("unknown structure accepted")
+	}
+}
+
+func TestMCIndexCorruptionCanCrash(t *testing.T) {
+	// Flip the sign bit of a grid point's table index: lookups through it
+	// panic on the negative index, which must surface as ErrFaultCrash,
+	// not a test-killing panic.
+	mc := kernels.NewMC(2000)
+	crashes := 0
+	for gi := 0; gi < 40; gi++ {
+		fault := kernels.Fault{
+			Structure:  "G",
+			ByteOffset: int64(gi)*16 + 11, // high byte of the int32 index
+			Bit:        7,                 // sign bit
+			AtRef:      1,
+		}
+		_, err := mc.RunInjected(fault, nil)
+		if err != nil {
+			crashes++
+		}
+	}
+	if crashes == 0 {
+		t.Error("no sign-bit index corruption crashed; expected at least one")
+	}
+}
+
+func TestNBTreeCorruptionOutcomes(t *testing.T) {
+	// Flips into the tree's child links can produce every outcome class:
+	// run a small campaign over T only and require both benign and
+	// non-benign results (link corruption is caught by the depth cap or
+	// the arena bounds, data corruption shifts the forces).
+	nb := kernels.NewNB(300)
+	golden, err := nb.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := map[string]int{}
+	for trial := 0; trial < 60; trial++ {
+		fault := kernels.Fault{
+			Structure:  "T",
+			ByteOffset: int64(trial*577) % golden.Structures[0].Bytes,
+			Bit:        uint8(trial % 8),
+			AtRef:      1 + int64(trial*997)%golden.Refs,
+		}
+		info, err := nb.RunInjected(fault, nil)
+		switch {
+		case err != nil:
+			outcomes["crash"]++
+		case info.Checksum != golden.Checksum:
+			outcomes["sdc"]++
+		default:
+			outcomes["benign"]++
+		}
+	}
+	if outcomes["benign"] == 0 || outcomes["sdc"]+outcomes["crash"] == 0 {
+		t.Errorf("tree campaign outcomes lack diversity: %v", outcomes)
+	}
+}
+
+func TestNBParticlePaddingIsBenign(t *testing.T) {
+	nb := kernels.NewNB(100)
+	golden, err := nb.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bytes 20-31 of each particle are padding.
+	fault := kernels.Fault{Structure: "P", ByteOffset: 5*32 + 24, Bit: 3, AtRef: 1}
+	info, err := nb.RunInjected(fault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Checksum != golden.Checksum {
+		t.Error("padding flip changed the output")
+	}
+}
+
+func TestCampaignVM(t *testing.T) {
+	campaign := &Campaign{
+		Kernel: kernels.NewVM(500),
+		Trials: 60,
+		Seed:   3,
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GoldenRuns != 3*60 {
+		t.Errorf("runs = %d, want 180", res.GoldenRuns)
+	}
+	for _, tally := range res.Tallies {
+		if tally.Counts[Benign]+tally.Counts[SDC]+tally.Counts[Abnormal]+tally.Counts[Crash] != tally.Trials {
+			t.Errorf("%s: outcomes do not sum to trials: %+v", tally.Structure, tally)
+		}
+		// VM reads every element of C and one in four of A: both benign
+		// and corrupting outcomes must occur across the campaign.
+		if tally.FailureRate() < 0 || tally.FailureRate() > 1 {
+			t.Errorf("%s: failure rate %g out of range", tally.Structure, tally.FailureRate())
+		}
+	}
+	// C is fully live (read+written every iteration); A is 1/4 live
+	// (stride 4) and half of B (stride 2). Failure rates must reflect the
+	// liveness ordering: C >= B >= A, within noise.
+	cT, _ := res.Tally("C")
+	aT, _ := res.Tally("A")
+	if cT.FailureRate()+0.15 < aT.FailureRate() {
+		t.Errorf("C (%g) should be at least as vulnerable as A (%g)",
+			cT.FailureRate(), aT.FailureRate())
+	}
+	if !strings.Contains(res.Render(), "fault injection campaign") {
+		t.Error("render header missing")
+	}
+}
+
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *Result {
+		t.Helper()
+		res, err := (&Campaign{
+			Kernel:  kernels.NewVM(400),
+			Trials:  40,
+			Seed:    11,
+			Workers: workers,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial.Tallies {
+		if serial.Tallies[i] != parallel.Tallies[i] {
+			t.Errorf("worker count changed results: %+v vs %+v",
+				serial.Tallies[i], parallel.Tallies[i])
+		}
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := (&Campaign{}).Run(); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if _, err := (&Campaign{Kernel: kernels.NewVM(10), Trials: 0}).Run(); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestTallyErrorMargin(t *testing.T) {
+	tally := Tally{Trials: 100}
+	tally.Counts[SDC] = 50
+	m := tally.ErrorMargin()
+	if math.Abs(m-1.96*math.Sqrt(0.25/100)) > 1e-12 {
+		t.Errorf("margin = %g", m)
+	}
+	// Margin shrinks like 1/sqrt(trials): the paper's cost argument.
+	big := Tally{Trials: 10000}
+	big.Counts[SDC] = 5000
+	if big.ErrorMargin() >= m/5 {
+		t.Errorf("margin did not shrink with trials: %g vs %g", big.ErrorMargin(), m)
+	}
+	if (&Tally{}).ErrorMargin() != 1 {
+		t.Error("empty tally should report full uncertainty")
+	}
+}
+
+func TestRankCorrelation(t *testing.T) {
+	same := []string{"A", "B", "C", "D"}
+	if rho, err := RankCorrelation(same, same); err != nil || rho != 1 {
+		t.Errorf("identical rankings: rho=%g err=%v", rho, err)
+	}
+	rev := []string{"D", "C", "B", "A"}
+	if rho, _ := RankCorrelation(same, rev); rho != -1 {
+		t.Errorf("reversed rankings: rho=%g", rho)
+	}
+	if _, err := RankCorrelation(same, same[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := RankCorrelation([]string{"A", "B"}, []string{"A", "Z"}); err == nil {
+		t.Error("name mismatch accepted")
+	}
+	if rho, _ := RankCorrelation([]string{"A"}, []string{"A"}); rho != 1 {
+		t.Error("singleton ranking should be trivially correlated")
+	}
+}
+
+func TestResultRankingSorted(t *testing.T) {
+	res := &Result{Tallies: []Tally{
+		{Structure: "low", Trials: 10, Counts: [4]int{9, 1, 0, 0}},
+		{Structure: "high", Trials: 10, Counts: [4]int{2, 8, 0, 0}},
+	}}
+	r := res.Ranking()
+	if r[0] != "high" || r[1] != "low" {
+		t.Errorf("ranking = %v", r)
+	}
+	if _, err := res.Tally("nope"); err == nil {
+		t.Error("unknown tally lookup succeeded")
+	}
+}
+
+func TestCampaignCG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CG campaign is slow")
+	}
+	campaign := &Campaign{
+		Kernel: kernels.NewCG(60, 4),
+		Trials: 25,
+		Seed:   5,
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tallies) != 4 {
+		t.Fatalf("tallies = %d, want A, x, p, r", len(res.Tallies))
+	}
+	// Every tally must be internally consistent.
+	for _, tally := range res.Tallies {
+		sum := 0
+		for _, c := range tally.Counts {
+			sum += c
+		}
+		if sum != tally.Trials {
+			t.Errorf("%s: counts sum %d != trials %d", tally.Structure, sum, tally.Trials)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// Fault describes one injected soft error: a single bit flip in a data
+// structure, triggered when the kernel emits its AtRef-th memory
+// reference. Using the reference stream as the clock reproduces how
+// Pin-based injectors (the paper's reference [24]) pick injection points
+// uniformly over the dynamic execution.
+type Fault struct {
+	Structure  string // name of the target data structure
+	ByteOffset int64  // byte within the structure
+	Bit        uint8  // bit within that byte (0-7)
+	AtRef      int64  // 1-based reference index at which to strike
+}
+
+// Validate reports malformed faults.
+func (f Fault) Validate() error {
+	if f.Structure == "" {
+		return fmt.Errorf("fault: empty structure name")
+	}
+	if f.ByteOffset < 0 {
+		return fmt.Errorf("fault: negative byte offset %d", f.ByteOffset)
+	}
+	if f.Bit > 7 {
+		return fmt.Errorf("fault: bit %d out of range", f.Bit)
+	}
+	if f.AtRef < 1 {
+		return fmt.Errorf("fault: reference index %d must be >= 1", f.AtRef)
+	}
+	return nil
+}
+
+// flipper corrupts one bit of a structure's backing storage.
+type flipper func(byteOffset int64, bit uint8) error
+
+// float64Flipper flips bits inside a []float64 backing store.
+func float64Flipper(s []float64) flipper {
+	return func(off int64, bit uint8) error {
+		i := off / 8
+		if i < 0 || i >= int64(len(s)) {
+			return fmt.Errorf("fault: offset %d outside %d-element float64 slice", off, len(s))
+		}
+		b := uint(off%8)*8 + uint(bit)
+		s[i] = math.Float64frombits(math.Float64bits(s[i]) ^ (1 << b))
+		return nil
+	}
+}
+
+// complex128Flipper flips bits inside a []complex128 backing store.
+func complex128Flipper(s []complex128) flipper {
+	return func(off int64, bit uint8) error {
+		i := off / 16
+		if i < 0 || i >= int64(len(s)) {
+			return fmt.Errorf("fault: offset %d outside %d-element complex slice", off, len(s))
+		}
+		b := uint(off%8)*8 + uint(bit)
+		re, im := real(s[i]), imag(s[i])
+		if off%16 < 8 {
+			re = math.Float64frombits(math.Float64bits(re) ^ (1 << b))
+		} else {
+			im = math.Float64frombits(math.Float64bits(im) ^ (1 << b))
+		}
+		s[i] = complex(re, im)
+		return nil
+	}
+}
+
+// float32Flip flips one bit of a single float32, addressed by the byte
+// offset within the value (0-3) and the bit within that byte.
+func float32Flip(v *float32, byteWithin int64, bit uint8) error {
+	if byteWithin < 0 || byteWithin > 3 {
+		return fmt.Errorf("fault: byte offset %d outside a float32", byteWithin)
+	}
+	b := uint(byteWithin)*8 + uint(bit)
+	*v = math.Float32frombits(math.Float32bits(*v) ^ (1 << b))
+	return nil
+}
+
+// int32Flip flips one bit of a single int32.
+func int32Flip(v *int32, byteWithin int64, bit uint8) error {
+	if byteWithin < 0 || byteWithin > 3 {
+		return fmt.Errorf("fault: byte offset %d outside an int32", byteWithin)
+	}
+	b := uint(byteWithin)*8 + uint(bit)
+	*v ^= int32(1 << b)
+	return nil
+}
+
+// float64Flipper64 flips one bit of a single float64, addressed by the
+// byte offset within the value (0-7) and the bit within that byte.
+func float64Flipper64(v *float64, byteWithin int64, bit uint8) error {
+	if byteWithin < 0 || byteWithin > 7 {
+		return fmt.Errorf("fault: byte offset %d outside a float64", byteWithin)
+	}
+	b := uint(byteWithin)*8 + uint(bit)
+	*v = math.Float64frombits(math.Float64bits(*v) ^ (1 << b))
+	return nil
+}
+
+// flipHolder allows arming an injector before the target storage exists:
+// kernels whose data structures are built through the trace memory create
+// the injector (wrapping the sink) first and bind the real flipper once
+// the slices are allocated. References are only emitted after binding.
+type flipHolder struct{ f flipper }
+
+func (h *flipHolder) flip(off int64, bit uint8) error {
+	if h.f == nil {
+		return fmt.Errorf("fault: flipper fired before the target was bound")
+	}
+	return h.f(off, bit)
+}
+
+// injector wraps a trace consumer, firing the armed fault when the
+// reference count reaches the trigger point.
+type injector struct {
+	inner trace.Consumer
+	fault Fault
+	flip  flipper
+	count int64
+	fired bool
+	err   error
+}
+
+func newInjector(inner trace.Consumer, fault Fault, flip flipper) *injector {
+	return &injector{inner: inner, fault: fault, flip: flip}
+}
+
+// Access implements trace.Consumer.
+func (inj *injector) Access(r trace.Ref, owner int32) {
+	inj.count++
+	if !inj.fired && inj.count == inj.fault.AtRef {
+		inj.fired = true
+		if err := inj.flip(inj.fault.ByteOffset, inj.fault.Bit); err != nil && inj.err == nil {
+			inj.err = err
+		}
+	}
+	if inj.inner != nil {
+		inj.inner.Access(r, owner)
+	}
+}
+
+// finish fires a not-yet-triggered fault (the trigger point lay beyond the
+// run's reference count — inject at end, matching injectors that corrupt
+// data at rest) and returns any flip error.
+func (inj *injector) finish() error {
+	if !inj.fired {
+		inj.fired = true
+		if err := inj.flip(inj.fault.ByteOffset, inj.fault.Bit); err != nil && inj.err == nil {
+			inj.err = err
+		}
+	}
+	return inj.err
+}
+
+// Injectable is implemented by kernels that support runtime single-bit
+// fault injection into their major data structures.
+type Injectable interface {
+	Kernel
+	// RunInjected executes the kernel with the fault armed, returning the
+	// (possibly corrupted) run info. Algorithm-level panics caused by the
+	// corruption are converted into errors wrapping ErrFaultCrash.
+	RunInjected(fault Fault, sink trace.Consumer) (*RunInfo, error)
+}
+
+// ErrFaultCrash marks a run that crashed (panicked) due to an injected
+// fault — the "crash" outcome class of fault-injection studies.
+var ErrFaultCrash = fmt.Errorf("kernels: injected fault crashed the run")
+
+// runGuarded invokes fn, converting panics into ErrFaultCrash.
+func runGuarded(fn func() (*RunInfo, error)) (info *RunInfo, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			info = nil
+			err = fmt.Errorf("%w: %v", ErrFaultCrash, r)
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,187 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+func TestFloat64FlipperBitAddressing(t *testing.T) {
+	s := []float64{0, 0}
+	flip := float64Flipper(s)
+	// Flip bit 0 of byte 0 of element 1: the LSB of its mantissa.
+	if err := flip(8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(s[1]) != 1 {
+		t.Errorf("bits = %x, want 1", math.Float64bits(s[1]))
+	}
+	if s[0] != 0 {
+		t.Error("neighbor element disturbed")
+	}
+	// Flip bit 7 of byte 7 of element 0: the sign bit.
+	if err := flip(7, 7); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(s[0]) != 1<<63 {
+		t.Errorf("bits = %x, want sign bit", math.Float64bits(s[0]))
+	}
+	// Flipping twice restores the value.
+	if err := flip(7, 7); err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 0 {
+		t.Error("double flip did not restore")
+	}
+	if err := flip(16, 0); err == nil {
+		t.Error("out-of-range offset accepted")
+	}
+}
+
+func TestComplex128FlipperTargetsHalves(t *testing.T) {
+	s := []complex128{complex(0, 0)}
+	flip := complex128Flipper(s)
+	if err := flip(0, 0); err != nil { // real part LSB
+		t.Fatal(err)
+	}
+	if math.Float64bits(real(s[0])) != 1 || imag(s[0]) != 0 {
+		t.Errorf("real flip wrong: %v", s[0])
+	}
+	if err := flip(8, 0); err != nil { // imaginary part LSB
+		t.Fatal(err)
+	}
+	if math.Float64bits(imag(s[0])) != 1 {
+		t.Errorf("imag flip wrong: %v", s[0])
+	}
+	if err := flip(99, 0); err == nil {
+		t.Error("out-of-range offset accepted")
+	}
+}
+
+func TestFloat64Flipper64Validation(t *testing.T) {
+	v := 0.0
+	if err := float64Flipper64(&v, 8, 0); err == nil {
+		t.Error("byte offset 8 accepted")
+	}
+	if err := float64Flipper64(&v, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(v) != 8 {
+		t.Errorf("bits = %x, want 8", math.Float64bits(v))
+	}
+}
+
+func TestInjectorFiresExactlyOnce(t *testing.T) {
+	fired := 0
+	flip := func(off int64, bit uint8) error {
+		fired++
+		return nil
+	}
+	inj := newInjector(nil, Fault{Structure: "X", AtRef: 3}, flip)
+	for i := 0; i < 10; i++ {
+		inj.Access(trace.Ref{Addr: uint64(i)}, 1)
+	}
+	if err := inj.finish(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("flip fired %d times, want 1", fired)
+	}
+}
+
+func TestInjectorFiresAtEndWhenBeyondStream(t *testing.T) {
+	fired := 0
+	inj := newInjector(nil, Fault{Structure: "X", AtRef: 100}, func(int64, uint8) error {
+		fired++
+		return nil
+	})
+	inj.Access(trace.Ref{}, 1)
+	if fired != 0 {
+		t.Fatal("fired early")
+	}
+	if err := inj.finish(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("finish did not fire the late fault (fired=%d)", fired)
+	}
+}
+
+func TestInjectorForwardsToInnerConsumer(t *testing.T) {
+	rec := &trace.Recorder{}
+	inj := newInjector(rec, Fault{Structure: "X", AtRef: 1}, func(int64, uint8) error { return nil })
+	inj.Access(trace.Ref{Addr: 42, Size: 8}, 7)
+	if rec.Len() != 1 || rec.Refs[0].Addr != 42 || rec.Owners[0] != 7 {
+		t.Errorf("inner consumer not reached: %+v", rec)
+	}
+}
+
+func TestFlipHolderUnboundErrors(t *testing.T) {
+	h := &flipHolder{}
+	if err := h.flip(0, 0); err == nil {
+		t.Error("unbound holder fired without error")
+	}
+}
+
+func TestRunGuardedConvertsPanics(t *testing.T) {
+	_, err := runGuarded(func() (*RunInfo, error) {
+		panic("index out of range")
+	})
+	if err == nil {
+		t.Fatal("panic not converted")
+	}
+	// The sentinel must be matchable.
+	if !isFaultCrash(err) {
+		t.Errorf("error %v does not wrap ErrFaultCrash", err)
+	}
+}
+
+func isFaultCrash(err error) bool {
+	for e := err; e != nil; {
+		if e == ErrFaultCrash {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+func TestFTInjectedFaultChangesSpectrum(t *testing.T) {
+	ft := NewFT(256)
+	golden, err := ft.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a high exponent bit of element 10's real part mid-transform.
+	fault := Fault{Structure: "X", ByteOffset: 10*16 + 6, Bit: 6, AtRef: golden.Refs / 2}
+	info, err := ft.RunInjected(fault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Checksum == golden.Checksum {
+		t.Error("exponent flip mid-FFT did not change the output power")
+	}
+}
+
+func TestMGInjectedFaultPropagates(t *testing.T) {
+	mg := NewMG(16, 1)
+	golden, err := mg.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element (8,8,8) of the finest grid, byte 7 (exponent), bit 4: a
+	// visible magnitude change, not a sub-ulp mantissa tweak.
+	fault := Fault{Structure: "R", ByteOffset: (16*16*8+16*8+8)*8 + 7, Bit: 4, AtRef: 1}
+	info, err := mg.RunInjected(fault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Checksum == golden.Checksum {
+		t.Error("interior grid flip did not propagate through the V-cycle")
+	}
+}

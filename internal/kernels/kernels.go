@@ -1,0 +1,103 @@
+// Package kernels implements the six numerical algorithms of Table II of
+// the DVF paper — vector multiplication, conjugate gradient, Barnes-Hut
+// N-body, multi-grid, 1D FFT and Monte Carlo lookup — plus the
+// preconditioned CG variant of the first use case (Section V-A).
+//
+// Every kernel is a real, working implementation of its algorithm, written
+// from scratch in Go (replacing the NPB / GitHub / XSBench reference codes
+// the paper instruments with Pin). Each kernel is instrumented at the
+// source level: it allocates its major data structures through a
+// trace.Registry and emits a memory reference for every element it touches,
+// so any trace.Consumer — typically the cache simulator — observes the
+// stream Pin would have produced for the same algorithm.
+//
+// Each kernel also knows its own CGPMAC model: Models() returns, for every
+// major data structure, the patterns.Estimator that predicts its number of
+// main-memory accesses. The Figure 4 verification experiment compares these
+// predictions against the cache simulator driven by the kernel's own trace.
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/resilience-models/dvf/internal/patterns"
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// Structure describes one major data structure of a kernel run.
+type Structure struct {
+	Name  string // the paper's name, e.g. "A", "T", "R"
+	Bytes int64  // footprint in bytes
+	ID    int32  // trace region ID (0 when the kernel did not run traced)
+}
+
+// RunInfo captures everything a kernel run exposes to the modeling layer.
+type RunInfo struct {
+	Kernel     string               // kernel name, e.g. "CG"
+	Structures []Structure          // major data structures in Table II order
+	Refs       int64                // total memory references emitted
+	Flops      int64                // floating-point operations executed
+	Measured   map[string]float64   // profiled model inputs (e.g. "k", "iter")
+	Profiles   map[string][]float64 // per-structure element visit frequencies
+	Checksum   float64              // algorithm-dependent correctness witness
+}
+
+// Structure returns the named structure, or an error naming the kernel.
+func (ri *RunInfo) Structure(name string) (Structure, error) {
+	for _, s := range ri.Structures {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Structure{}, fmt.Errorf("kernels: %s has no structure %q", ri.Kernel, name)
+}
+
+// WorkingSetBytes returns the combined footprint of the major structures.
+func (ri *RunInfo) WorkingSetBytes() int64 {
+	var total int64
+	for _, s := range ri.Structures {
+		total += s.Bytes
+	}
+	return total
+}
+
+// ModelSpec couples a data structure with its CGPMAC estimator.
+type ModelSpec struct {
+	Structure string
+	Estimator patterns.Estimator
+}
+
+// Kernel is the common interface of the six algorithms.
+type Kernel interface {
+	// Name returns the paper's two-letter kernel code (VM, CG, NB, MG, FT, MC).
+	Name() string
+	// Class returns the computational method class of Table II.
+	Class() string
+	// PatternSummary returns the Table II memory access pattern description.
+	PatternSummary() string
+	// Run executes the algorithm, emitting every memory reference to sink
+	// (which may be nil to collect RunInfo only).
+	Run(sink trace.Consumer) (*RunInfo, error)
+	// Models returns the CGPMAC model for every major data structure, using
+	// the profiled inputs of a prior run (the paper's k, iter, etc.).
+	Models(info *RunInfo) ([]ModelSpec, error)
+}
+
+// elem8 is the byte width used for scalar float64 / int64 elements.
+const elem8 = 8
+
+// memory wraps trace plumbing shared by the kernels: it builds a registry,
+// allocates regions, and exposes a Memory even when sink is nil.
+type memory struct {
+	reg *trace.Registry
+	mem *trace.Memory
+}
+
+func newMemory(sink trace.Consumer) *memory {
+	reg := trace.NewRegistry()
+	return &memory{reg: reg, mem: trace.NewMemory(reg, sink)}
+}
+
+func (m *memory) alloc(name string, bytes int64) trace.Region {
+	return m.reg.Alloc(name, uint64(bytes))
+}

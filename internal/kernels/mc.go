@@ -1,0 +1,241 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/resilience-models/dvf/internal/patterns"
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// MC is the Monte Carlo macroscopic cross-section lookup kernel, modeled on
+// XSBench: a unionized energy grid G and a nuclide cross-section table E
+// are probed with randomly sampled energies. Each lookup touches one grid
+// point (the unionized grid makes the search O(1), like XSBench's hash-grid
+// mode — the paper's profiled k for the grid is 1) and then gathers the
+// cross sections of every nuclide in the sampled material, so E sees
+// several random accesses per lookup. Both structures follow the random
+// access pattern concurrently.
+//
+// Because G and E are accessed randomly at the same time, the model splits
+// the cache between them in proportion to their sizes (the Section III-C
+// interference rule, which the paper illustrates with exactly this
+// Grid/Energy pair). The MC working set (~2.2 MB) deliberately exceeds the
+// N-body kernel's, and its per-lookup nuclide loop makes its execution
+// time the longest of the suite — both properties the paper calls out when
+// comparing the two random-pattern kernels in Figure 5.
+type MC struct {
+	GridPoints int   // elements in G
+	TableSize  int   // elements in E
+	Nuclides   int   // cross sections gathered per lookup
+	Lookups    int   // number of lookups (iter)
+	Seed       int64 // energy sampling seed
+}
+
+// NewMC returns the paper's "small" MC configuration with the given number
+// of lookups.
+func NewMC(lookups int) *MC {
+	return &MC{GridPoints: 50000, TableSize: 60000, Nuclides: 16, Lookups: lookups, Seed: 2}
+}
+
+// Name implements Kernel.
+func (*MC) Name() string { return "MC" }
+
+// Class implements Kernel (Table II).
+func (*MC) Class() string { return "Monte Carlo" }
+
+// PatternSummary implements Kernel (Table II).
+func (*MC) PatternSummary() string { return "Random" }
+
+// Validate reports configuration errors.
+func (mc *MC) Validate() error {
+	if mc.GridPoints <= 0 || mc.TableSize <= 0 {
+		return fmt.Errorf("mc: grid=%d and table=%d must be positive", mc.GridPoints, mc.TableSize)
+	}
+	if mc.Nuclides <= 0 || mc.Nuclides > mc.TableSize {
+		return fmt.Errorf("mc: nuclides=%d must be in [1, table=%d]", mc.Nuclides, mc.TableSize)
+	}
+	if mc.Lookups < 0 {
+		return fmt.Errorf("mc: lookups=%d must be non-negative", mc.Lookups)
+	}
+	return nil
+}
+
+const (
+	mcGridElem  = 16 // bytes per grid point: energy + table index base
+	mcTableElem = 24 // bytes per table entry: three cross sections
+)
+
+type mcGridPoint struct {
+	energy float64
+	xsBase int32
+}
+
+type mcXSEntry struct{ total, scatter, absorb float64 }
+
+// Run performs the lookups.
+func (mc *MC) Run(sink trace.Consumer) (*RunInfo, error) {
+	return mc.run(sink, nil)
+}
+
+// RunInjected implements Injectable: it executes the lookups with a single
+// bit flip armed against G or E. A flip landing in a grid point's table
+// index can drive the gather out of range, producing the "crash" outcome
+// class of fault-injection studies.
+func (mc *MC) RunInjected(fault Fault, sink trace.Consumer) (*RunInfo, error) {
+	if err := fault.Validate(); err != nil {
+		return nil, err
+	}
+	return runGuarded(func() (*RunInfo, error) { return mc.run(sink, &fault) })
+}
+
+// gridFlipper corrupts a grid point: bytes 0-7 are the energy (float64),
+// bytes 8-11 the int32 table index, bytes 12-15 padding (flips there are
+// architecturally benign, as on real hardware).
+func gridFlipper(grid []mcGridPoint) flipper {
+	return func(off int64, bit uint8) error {
+		rec := off / mcGridElem
+		if rec < 0 || rec >= int64(len(grid)) {
+			return fmt.Errorf("fault: offset %d outside %d grid points", off, len(grid))
+		}
+		switch within := off % mcGridElem; {
+		case within < 8:
+			return float64Flipper64(&grid[rec].energy, within, bit)
+		case within < 12:
+			b := uint(within-8)*8 + uint(bit)
+			grid[rec].xsBase ^= int32(1 << b)
+			return nil
+		default:
+			return nil // padding
+		}
+	}
+}
+
+func (mc *MC) run(sink trace.Consumer, fault *Fault) (*RunInfo, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	var inj *injector
+	grid := make([]mcGridPoint, mc.GridPoints)
+	table := make([]mcXSEntry, mc.TableSize)
+	if fault != nil {
+		var flip flipper
+		switch fault.Structure {
+		case "G":
+			flip = gridFlipper(grid)
+		case "E":
+			flip = func(off int64, bit uint8) error {
+				rec := off / mcTableElem
+				if rec < 0 || rec >= int64(len(table)) {
+					return fmt.Errorf("fault: offset %d outside %d table entries", off, len(table))
+				}
+				fields := []*float64{&table[rec].total, &table[rec].scatter, &table[rec].absorb}
+				within := off % mcTableElem
+				return float64Flipper64(fields[within/8], within%8, bit)
+			}
+		default:
+			return nil, fmt.Errorf("mc: no injectable structure %q", fault.Structure)
+		}
+		inj = newInjector(sink, *fault, flip)
+		sink = inj
+	}
+	m := newMemory(sink)
+	regG := m.alloc("G", int64(mc.GridPoints)*mcGridElem)
+	regE := m.alloc("E", int64(mc.TableSize)*mcTableElem)
+	rng := rand.New(rand.NewSource(mc.Seed))
+	for i := range grid {
+		grid[i] = mcGridPoint{
+			energy: float64(i) / float64(mc.GridPoints),
+			xsBase: int32(rng.Intn(mc.TableSize)),
+		}
+	}
+	for i := range table {
+		table[i] = mcXSEntry{
+			total:   rng.Float64(),
+			scatter: rng.Float64() * 0.7,
+			absorb:  rng.Float64() * 0.3,
+		}
+	}
+
+	// Construction pass: the model assumes each element is traversed once
+	// before the random accesses (XSBench's grid build).
+	for i := range grid {
+		m.mem.StoreN(regG, i, mcGridElem)
+	}
+	for i := range table {
+		m.mem.StoreN(regE, i, mcTableElem)
+	}
+
+	var flops int64
+	var checksum float64
+	stride := mc.TableSize/mc.Nuclides - 1
+	if stride < 1 {
+		stride = 1
+	}
+	for l := 0; l < mc.Lookups; l++ {
+		e := rng.Float64()
+		// Unionized grid: energy maps straight to its grid cell.
+		gi := int(e * float64(mc.GridPoints))
+		if gi >= mc.GridPoints {
+			gi = mc.GridPoints - 1
+		}
+		m.mem.LoadN(regG, gi, mcGridElem)
+		base := int(grid[gi].xsBase)
+		// Gather the macroscopic cross section over the material's
+		// nuclides; indices are spread across the table as in XSBench's
+		// per-nuclide grids.
+		var total, scatter, absorb float64
+		for nuc := 0; nuc < mc.Nuclides; nuc++ {
+			ti := (base + nuc*stride) % mc.TableSize
+			m.mem.LoadN(regE, ti, mcTableElem)
+			xs := table[ti]
+			w := 1 / float64(nuc+1)
+			total += xs.total * w
+			scatter += xs.scatter * w * e
+			absorb += xs.absorb * w
+			flops += 8
+		}
+		checksum += total + scatter + absorb
+	}
+
+	if inj != nil {
+		if err := inj.finish(); err != nil {
+			return nil, err
+		}
+	}
+	return &RunInfo{
+		Kernel: mc.Name(),
+		Structures: []Structure{
+			{Name: "G", Bytes: int64(mc.GridPoints) * mcGridElem, ID: int32(regG.ID)},
+			{Name: "E", Bytes: int64(mc.TableSize) * mcTableElem, ID: int32(regE.ID)},
+		},
+		Refs:  m.mem.Refs(),
+		Flops: flops,
+		Measured: map[string]float64{
+			"iter": float64(mc.Lookups),
+			"kG":   1,
+			"kE":   float64(mc.Nuclides),
+		},
+		Checksum: checksum,
+	}, nil
+}
+
+// Models returns the two random-access models with the cache split between
+// G and E in proportion to their sizes.
+func (mc *MC) Models(info *RunInfo) ([]ModelSpec, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	iter := int(info.Measured["iter"])
+	sizeG := int64(mc.GridPoints) * mcGridElem
+	sizeE := int64(mc.TableSize) * mcTableElem
+	ratios := patterns.SplitCacheRatios(sizeG, sizeE)
+	return []ModelSpec{
+		{Structure: "G", Estimator: patterns.Random{
+			N: mc.GridPoints, ElemSize: mcGridElem, K: 1, Iterations: iter,
+			CacheRatio: ratios[0], Aligned: true}},
+		{Structure: "E", Estimator: patterns.Random{
+			N: mc.TableSize, ElemSize: mcTableElem, K: mc.Nuclides, Iterations: iter,
+			CacheRatio: ratios[1], Aligned: true}},
+	}, nil
+}

@@ -1,0 +1,189 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/cache"
+)
+
+func TestMCRunChecksum(t *testing.T) {
+	info, err := NewMC(1000).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(info.Checksum) || info.Checksum <= 0 {
+		t.Errorf("checksum = %g", info.Checksum)
+	}
+	if info.Measured["iter"] != 1000 || info.Measured["kG"] != 1 {
+		t.Errorf("measured = %v", info.Measured)
+	}
+}
+
+func TestMCWorkingSetExceedsNB(t *testing.T) {
+	// The paper's Figure 5 discussion: MC's working set is larger than
+	// NB's (at the profiling sizes).
+	mc, err := NewMC(100).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := NewNB(6000).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.WorkingSetBytes() <= nb.WorkingSetBytes() {
+		t.Errorf("MC working set %d <= NB %d", mc.WorkingSetBytes(), nb.WorkingSetBytes())
+	}
+}
+
+func TestMCRefsPerLookup(t *testing.T) {
+	k := NewMC(100)
+	info, err := k.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	construction := int64(k.GridPoints + k.TableSize)
+	perLookup := int64(1 + k.Nuclides)
+	if info.Refs != construction+100*perLookup {
+		t.Errorf("refs = %d, want %d", info.Refs, construction+100*perLookup)
+	}
+}
+
+func TestMCModelWithin15Percent(t *testing.T) {
+	for _, cfg := range cache.VerificationConfigs() {
+		k := NewMC(1000)
+		info, sim := runTraced(t, k, cfg)
+		for _, s := range []string{"G", "E"} {
+			if e := modelError(t, k, info, sim, s); math.Abs(e) > 0.15 {
+				t.Errorf("MC %s on %s: model error %.1f%%", s, cfg.Name, e*100)
+			}
+		}
+	}
+}
+
+func TestMCCacheSplitProportionalToSizes(t *testing.T) {
+	k := NewMC(10)
+	info, err := k.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := k.Models(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("specs = %d, want 2", len(specs))
+	}
+	g, _ := info.Structure("G")
+	e, _ := info.Structure("E")
+	if g.Bytes >= e.Bytes {
+		t.Fatalf("expected E to be the larger structure: G=%d E=%d", g.Bytes, e.Bytes)
+	}
+}
+
+func TestMCValidate(t *testing.T) {
+	bad := []*MC{
+		{GridPoints: 0, TableSize: 10, Nuclides: 1, Lookups: 1},
+		{GridPoints: 10, TableSize: 0, Nuclides: 1, Lookups: 1},
+		{GridPoints: 10, TableSize: 10, Nuclides: 0, Lookups: 1},
+		{GridPoints: 10, TableSize: 10, Nuclides: 11, Lookups: 1},
+		{GridPoints: 10, TableSize: 10, Nuclides: 1, Lookups: -1},
+	}
+	for _, k := range bad {
+		if _, err := k.Run(nil); err == nil {
+			t.Errorf("invalid %+v ran", k)
+		}
+	}
+}
+
+func TestMCDeterministic(t *testing.T) {
+	a, err := NewMC(500).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMC(500).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum {
+		t.Error("MC runs are not deterministic")
+	}
+}
+
+func TestTableIIRegistry(t *testing.T) {
+	rows := TableIIRows()
+	if len(rows) != 6 {
+		t.Fatalf("Table II has %d rows, want 6", len(rows))
+	}
+	suite := VerificationSuite()
+	if len(suite) != 6 {
+		t.Fatalf("verification suite has %d kernels", len(suite))
+	}
+	for i, k := range suite {
+		if k.Name() != rows[i].Code {
+			t.Errorf("suite[%d] = %s, table row = %s", i, k.Name(), rows[i].Code)
+		}
+		if k.Class() != rows[i].Class {
+			t.Errorf("%s class %q != table %q", k.Name(), k.Class(), rows[i].Class)
+		}
+	}
+	for _, k := range ProfilingSuite() {
+		if k.Name() == "" {
+			t.Error("profiling suite kernel without a name")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, code := range []string{"VM", "CG", "NB", "MG", "FT", "MC"} {
+		k, err := ByName(code)
+		if err != nil || k.Name() != code {
+			t.Errorf("ByName(%s) = %v, %v", code, k, err)
+		}
+	}
+	if _, err := ByName("XX"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestAllKernelsModelTheirStructures(t *testing.T) {
+	// Every structure reported by Run must have a model, and vice versa.
+	for _, k := range VerificationSuite() {
+		info, err := k.Run(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		specs, err := k.Models(info)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		if len(specs) != len(info.Structures) {
+			t.Errorf("%s: %d models for %d structures", k.Name(), len(specs), len(info.Structures))
+		}
+		for _, spec := range specs {
+			if _, err := info.Structure(spec.Structure); err != nil {
+				t.Errorf("%s: model for unknown structure %q", k.Name(), spec.Structure)
+			}
+			if spec.Estimator.PatternName() == "" {
+				t.Errorf("%s/%s: empty pattern name", k.Name(), spec.Structure)
+			}
+		}
+	}
+}
+
+func BenchmarkNBForcePhase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewNB(1000).Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMCLookups(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewMC(10000).Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

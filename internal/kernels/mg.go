@@ -1,0 +1,375 @@
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/patterns"
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// MG is the multi-grid kernel: the V-cycle over a 3-D grid hierarchy, with
+// the Algorithm 3 four-neighbor smoother at every level. Matching the
+// paper (and NPB MG's storage scheme), all grid levels live in one array R,
+// which is the kernel's single major data structure; its accesses follow
+// the template-based pattern.
+//
+// The grid sizes follow NPB classes: class S is 32^3 (verification) and
+// class W is 64^3 (profiling).
+type MG struct {
+	N      int // finest grid dimension per axis (power of two)
+	Cycles int // number of V-cycles; 0 means 1
+	Smooth int // smoother sweeps per level per leg; 0 means 1
+}
+
+// NewMG returns an MG kernel over an n^3 finest grid.
+func NewMG(n, cycles int) *MG {
+	return &MG{N: n, Cycles: cycles}
+}
+
+// Name implements Kernel.
+func (*MG) Name() string { return "MG" }
+
+// Class implements Kernel (Table II).
+func (*MG) Class() string { return "Structured grids" }
+
+// PatternSummary implements Kernel (Table II).
+func (*MG) PatternSummary() string { return "Template-based" }
+
+// Validate reports configuration errors.
+func (mg *MG) Validate() error {
+	if mg.N < 8 || mg.N&(mg.N-1) != 0 {
+		return fmt.Errorf("mg: n=%d must be a power of two >= 8", mg.N)
+	}
+	if mg.Cycles < 0 || mg.Smooth < 0 {
+		return fmt.Errorf("mg: cycles=%d and smooth=%d must be non-negative", mg.Cycles, mg.Smooth)
+	}
+	return nil
+}
+
+const mgMinGrid = 8 // coarsest level dimension
+
+// mgLevels returns the per-level grid dimensions from finest to coarsest.
+func mgLevels(n int) []int {
+	var dims []int
+	for d := n; d >= mgMinGrid; d /= 2 {
+		dims = append(dims, d)
+	}
+	return dims
+}
+
+// mgOffsets returns each level's element offset within the single R array
+// and the total element count.
+func mgOffsets(dims []int) (offsets []int, total int) {
+	offsets = make([]int, len(dims))
+	for l, d := range dims {
+		offsets[l] = total
+		total += d * d * d
+	}
+	return offsets, total
+}
+
+// mgGrid addresses one level inside R.
+type mgGrid struct {
+	data   []float64
+	offset int // element offset of this level within R
+	n      int // dimension per axis
+	reg    trace.Region
+	mem    *trace.Memory
+}
+
+func (g *mgGrid) idx(i, j, k int) int { return (i*g.n+j)*g.n + k }
+
+func (g *mgGrid) load(i, j, k int) float64 {
+	e := g.idx(i, j, k)
+	g.mem.LoadN(g.reg, g.offset+e, elem8)
+	return g.data[g.offset+e]
+}
+
+func (g *mgGrid) store(i, j, k int, v float64) {
+	e := g.idx(i, j, k)
+	g.data[g.offset+e] = v
+	g.mem.StoreN(g.reg, g.offset+e, elem8)
+}
+
+// smooth applies the Algorithm 3 smoother: every interior cell is replaced
+// by the scaled sum of its four lateral neighbors (the paper's pseudocode,
+// a damped Jacobi-like relaxation in the j/i plane).
+func (g *mgGrid) smooth() int64 {
+	n := g.n
+	var flops int64
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			for k := 0; k < n; k++ {
+				v := 0.25 * (g.load(i, j-1, k) +
+					g.load(i, j+1, k) +
+					g.load(i-1, j, k) +
+					g.load(i+1, j, k))
+				g.store(i, j, k, v)
+				flops += 4
+			}
+		}
+	}
+	return flops
+}
+
+// restrict injects the fine grid into the coarse one by averaging each
+// 2x2x2 block of children.
+func restrictGrid(fine, coarse *mgGrid) int64 {
+	nc := coarse.n
+	var flops int64
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			for k := 0; k < nc; k++ {
+				sum := 0.0
+				for di := 0; di < 2; di++ {
+					for dj := 0; dj < 2; dj++ {
+						for dk := 0; dk < 2; dk++ {
+							sum += fine.load(2*i+di, 2*j+dj, 2*k+dk)
+						}
+					}
+				}
+				coarse.store(i, j, k, sum/8)
+				flops += 8
+			}
+		}
+	}
+	return flops
+}
+
+// prolong adds each coarse cell's value back onto its eight children.
+func prolong(coarse, fine *mgGrid) int64 {
+	nc := coarse.n
+	var flops int64
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			for k := 0; k < nc; k++ {
+				v := coarse.load(i, j, k)
+				for di := 0; di < 2; di++ {
+					for dj := 0; dj < 2; dj++ {
+						for dk := 0; dk < 2; dk++ {
+							f := fine.load(2*i+di, 2*j+dj, 2*k+dk)
+							fine.store(2*i+di, 2*j+dj, 2*k+dk, f+0.5*v)
+							flops++
+						}
+					}
+				}
+			}
+		}
+	}
+	return flops
+}
+
+// Run executes the configured number of V-cycles.
+func (mg *MG) Run(sink trace.Consumer) (*RunInfo, error) {
+	return mg.run(sink, nil)
+}
+
+// RunInjected implements Injectable: it executes the V-cycles with a
+// single bit flip armed against the grid array R.
+func (mg *MG) RunInjected(fault Fault, sink trace.Consumer) (*RunInfo, error) {
+	if err := fault.Validate(); err != nil {
+		return nil, err
+	}
+	return runGuarded(func() (*RunInfo, error) { return mg.run(sink, &fault) })
+}
+
+func (mg *MG) run(sink trace.Consumer, fault *Fault) (*RunInfo, error) {
+	if err := mg.Validate(); err != nil {
+		return nil, err
+	}
+	cycles := mg.Cycles
+	if cycles == 0 {
+		cycles = 1
+	}
+	sweeps := mg.Smooth
+	if sweeps == 0 {
+		sweeps = 1
+	}
+	dims := mgLevels(mg.N)
+	offsets, total := mgOffsets(dims)
+
+	data := make([]float64, total)
+	var inj *injector
+	if fault != nil {
+		if fault.Structure != "R" {
+			return nil, fmt.Errorf("mg: no injectable structure %q", fault.Structure)
+		}
+		inj = newInjector(sink, *fault, float64Flipper(data))
+		sink = inj
+	}
+	m := newMemory(sink)
+	reg := m.alloc("R", int64(total)*elem8)
+	grids := make([]*mgGrid, len(dims))
+	for l := range dims {
+		grids[l] = &mgGrid{data: data, offset: offsets[l], n: dims[l], reg: reg, mem: m.mem}
+	}
+	// Deterministic initial field (untraced initialization).
+	g0 := grids[0]
+	for i := 0; i < g0.n; i++ {
+		for j := 0; j < g0.n; j++ {
+			for k := 0; k < g0.n; k++ {
+				data[g0.idx(i, j, k)] = float64((i*7+j*3+k)%13) / 13
+			}
+		}
+	}
+
+	var flops int64
+	for c := 0; c < cycles; c++ {
+		// Downward leg: smooth then restrict.
+		for l := 0; l < len(grids)-1; l++ {
+			for s := 0; s < sweeps; s++ {
+				flops += grids[l].smooth()
+			}
+			flops += restrictGrid(grids[l], grids[l+1])
+		}
+		// Coarsest solve: extra smoothing.
+		for s := 0; s < 2*sweeps; s++ {
+			flops += grids[len(grids)-1].smooth()
+		}
+		// Upward leg: prolong then smooth.
+		for l := len(grids) - 2; l >= 0; l-- {
+			flops += prolong(grids[l+1], grids[l])
+			for s := 0; s < sweeps; s++ {
+				flops += grids[l].smooth()
+			}
+		}
+	}
+
+	if inj != nil {
+		if err := inj.finish(); err != nil {
+			return nil, err
+		}
+	}
+	var checksum float64
+	for _, v := range data[:g0.n*g0.n*g0.n] {
+		checksum += v
+	}
+	return &RunInfo{
+		Kernel: mg.Name(),
+		Structures: []Structure{
+			{Name: "R", Bytes: int64(total) * elem8, ID: int32(reg.ID)},
+		},
+		Refs:  m.mem.Refs(),
+		Flops: flops,
+		Measured: map[string]float64{
+			"n":      float64(mg.N),
+			"levels": float64(len(dims)),
+			"cycles": float64(cycles),
+		},
+		Checksum: checksum,
+	}, nil
+}
+
+// Models returns the template-based model for R: it replays the V-cycle's
+// element template (exactly the access order of the pseudocode above)
+// through the two-step reuse-distance algorithm of Section III-C. The
+// template is generated lazily per cache configuration, since the block
+// conversion depends on the line size.
+func (mg *MG) Models(info *RunInfo) ([]ModelSpec, error) {
+	if err := mg.Validate(); err != nil {
+		return nil, err
+	}
+	cycles := mg.Cycles
+	if cycles == 0 {
+		cycles = 1
+	}
+	sweeps := mg.Smooth
+	if sweeps == 0 {
+		sweeps = 1
+	}
+	dims := mgLevels(mg.N)
+	offsets, total := mgOffsets(dims)
+	bytesR := int64(total) * elem8
+
+	est := patterns.Func{
+		Name:  "template",
+		Bytes: bytesR,
+		F: func(c cache.Config) (float64, error) {
+			ctr := patterns.NewTemplateCounter(c.Lines(), false)
+			visit := func(elem int) {
+				first := int64(elem) * elem8 / int64(c.LineSize)
+				last := (int64(elem)*elem8 + elem8 - 1) / int64(c.LineSize)
+				for b := first; b <= last; b++ {
+					ctr.Visit(b)
+				}
+			}
+			smoothT := func(l int) {
+				n := dims[l]
+				at := func(i, j, k int) int { return offsets[l] + (i*n+j)*n + k }
+				for i := 1; i < n-1; i++ {
+					for j := 1; j < n-1; j++ {
+						for k := 0; k < n; k++ {
+							visit(at(i, j-1, k))
+							visit(at(i, j+1, k))
+							visit(at(i-1, j, k))
+							visit(at(i+1, j, k))
+							visit(at(i, j, k)) // the store
+						}
+					}
+				}
+			}
+			restrictT := func(l int) {
+				nc := dims[l+1]
+				nf := dims[l]
+				atF := func(i, j, k int) int { return offsets[l] + (i*nf+j)*nf + k }
+				atC := func(i, j, k int) int { return offsets[l+1] + (i*nc+j)*nc + k }
+				for i := 0; i < nc; i++ {
+					for j := 0; j < nc; j++ {
+						for k := 0; k < nc; k++ {
+							for di := 0; di < 2; di++ {
+								for dj := 0; dj < 2; dj++ {
+									for dk := 0; dk < 2; dk++ {
+										visit(atF(2*i+di, 2*j+dj, 2*k+dk))
+									}
+								}
+							}
+							visit(atC(i, j, k))
+						}
+					}
+				}
+			}
+			prolongT := func(l int) {
+				nc := dims[l+1]
+				nf := dims[l]
+				atF := func(i, j, k int) int { return offsets[l] + (i*nf+j)*nf + k }
+				atC := func(i, j, k int) int { return offsets[l+1] + (i*nc+j)*nc + k }
+				for i := 0; i < nc; i++ {
+					for j := 0; j < nc; j++ {
+						for k := 0; k < nc; k++ {
+							visit(atC(i, j, k))
+							for di := 0; di < 2; di++ {
+								for dj := 0; dj < 2; dj++ {
+									for dk := 0; dk < 2; dk++ {
+										f := atF(2*i+di, 2*j+dj, 2*k+dk)
+										visit(f)
+										visit(f)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+			for cyc := 0; cyc < cycles; cyc++ {
+				for l := 0; l < len(dims)-1; l++ {
+					for s := 0; s < sweeps; s++ {
+						smoothT(l)
+					}
+					restrictT(l)
+				}
+				for s := 0; s < 2*sweeps; s++ {
+					smoothT(len(dims) - 1)
+				}
+				for l := len(dims) - 2; l >= 0; l-- {
+					prolongT(l)
+					for s := 0; s < sweeps; s++ {
+						smoothT(l)
+					}
+				}
+			}
+			return float64(ctr.Misses()), nil
+		},
+	}
+	return []ModelSpec{{Structure: "R", Estimator: est}}, nil
+}

@@ -1,0 +1,133 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/cache"
+)
+
+func TestMGLevels(t *testing.T) {
+	dims := mgLevels(64)
+	want := []int{64, 32, 16, 8}
+	if len(dims) != len(want) {
+		t.Fatalf("levels = %v, want %v", dims, want)
+	}
+	for i := range want {
+		if dims[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", dims, want)
+		}
+	}
+	offsets, total := mgOffsets(dims)
+	if offsets[0] != 0 || offsets[1] != 64*64*64 {
+		t.Errorf("offsets = %v", offsets)
+	}
+	if total != 64*64*64+32*32*32+16*16*16+8*8*8 {
+		t.Errorf("total elements = %d", total)
+	}
+}
+
+func TestMGRunSmoothsField(t *testing.T) {
+	info, err := NewMG(16, 1).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(info.Checksum) || info.Checksum == 0 {
+		t.Errorf("checksum = %g", info.Checksum)
+	}
+	if len(info.Structures) != 1 || info.Structures[0].Name != "R" {
+		t.Fatalf("structures = %+v, want the single R", info.Structures)
+	}
+	wantBytes := int64(16*16*16+8*8*8) * 8
+	if info.Structures[0].Bytes != wantBytes {
+		t.Errorf("R bytes = %d, want %d", info.Structures[0].Bytes, wantBytes)
+	}
+}
+
+func TestMGSmootherReducesVariation(t *testing.T) {
+	// The 4-neighbor averaging smoother must shrink the field's range on
+	// the interior.
+	m := newMemory(nil)
+	reg := m.alloc("R", 16*16*16*8)
+	data := make([]float64, 16*16*16)
+	for i := range data {
+		data[i] = float64(i % 17)
+	}
+	g := &mgGrid{data: data, offset: 0, n: 16, reg: reg, mem: m.mem}
+	spread := func() float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 1; i < 15; i++ {
+			for j := 1; j < 15; j++ {
+				for k := 0; k < 16; k++ {
+					v := data[g.idx(i, j, k)]
+					lo = math.Min(lo, v)
+					hi = math.Max(hi, v)
+				}
+			}
+		}
+		return hi - lo
+	}
+	before := spread()
+	g.smooth()
+	g.smooth()
+	if after := spread(); after >= before {
+		t.Errorf("smoother did not contract the field: %g -> %g", before, after)
+	}
+}
+
+func TestMGRestrictProlongRoundTrip(t *testing.T) {
+	m := newMemory(nil)
+	fineN, coarseN := 8, 4
+	total := fineN*fineN*fineN + coarseN*coarseN*coarseN
+	reg := m.alloc("R", int64(total*8))
+	data := make([]float64, total)
+	fine := &mgGrid{data: data, offset: 0, n: fineN, reg: reg, mem: m.mem}
+	coarse := &mgGrid{data: data, offset: fineN * fineN * fineN, n: coarseN, reg: reg, mem: m.mem}
+	// Constant fine field restricts to the same constant.
+	for i := 0; i < fineN*fineN*fineN; i++ {
+		data[i] = 3
+	}
+	restrictGrid(fine, coarse)
+	for i := 0; i < coarseN*coarseN*coarseN; i++ {
+		if data[fine.n*fine.n*fine.n+i] != 3 {
+			t.Fatalf("restriction of constant field: got %g at %d", data[fine.n*fine.n*fine.n+i], i)
+		}
+	}
+	// Prolongation adds half the coarse value onto each child.
+	prolong(coarse, fine)
+	if data[0] != 3+1.5 {
+		t.Errorf("prolonged value = %g, want 4.5", data[0])
+	}
+}
+
+func TestMGModelWithin15Percent(t *testing.T) {
+	for _, cfg := range cache.VerificationConfigs() {
+		k := NewMG(32, 1)
+		info, sim := runTraced(t, k, cfg)
+		if e := modelError(t, k, info, sim, "R"); math.Abs(e) > 0.15 {
+			t.Errorf("MG R on %s: model error %.1f%%", cfg.Name, e*100)
+		}
+	}
+}
+
+func TestMGValidate(t *testing.T) {
+	for _, bad := range []*MG{{N: 7}, {N: 12}, {N: 4}, {N: 16, Cycles: -1}} {
+		if _, err := bad.Run(nil); err == nil {
+			t.Errorf("invalid %+v ran", bad)
+		}
+	}
+}
+
+func TestMGRefsScaleWithCycles(t *testing.T) {
+	one, err := NewMG(16, 1).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := NewMG(16, 2).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Refs <= one.Refs || two.Refs >= 3*one.Refs {
+		t.Errorf("refs: 1 cycle %d, 2 cycles %d", one.Refs, two.Refs)
+	}
+}

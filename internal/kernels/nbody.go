@@ -1,0 +1,433 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/resilience-models/dvf/internal/patterns"
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// NB is the Barnes-Hut N-body kernel (Algorithm 2). Particles are inserted
+// into a quadtree T; the force phase traverses the tree once per particle,
+// pruning subtrees whose extent-over-distance ratio is below Theta. The
+// major data structures are the tree T and the particle array P; accesses
+// to T are random in the paper's classification because how deep each
+// traversal descends depends on the (random) particle distribution.
+type NB struct {
+	N     int     // number of particles
+	Theta float64 // Barnes-Hut opening angle; 0 means 0.5
+	Seed  int64   // particle distribution seed
+	// PlainRandom selects the paper's original random-access model
+	// (uniform k distinct visits per iteration, the Algorithm 2 Aspen
+	// example) instead of the frequency-weighted extension. The plain model
+	// overestimates memory accesses on small caches because it ignores
+	// that the top of the tree is visited by every traversal and stays
+	// resident; the weighted model feeds the profiled per-node visit
+	// frequencies instead. Both are exposed so the ablation benchmark can
+	// compare them.
+	PlainRandom bool
+}
+
+// NewNB returns an NB kernel with the default opening angle.
+func NewNB(n int) *NB {
+	return &NB{N: n, Theta: 0.5, Seed: 1}
+}
+
+// Name implements Kernel.
+func (*NB) Name() string { return "NB" }
+
+// Class implements Kernel (Table II).
+func (*NB) Class() string { return "N-body method" }
+
+// PatternSummary implements Kernel (Table II).
+func (*NB) PatternSummary() string { return "Random" }
+
+// Validate reports configuration errors.
+func (nb *NB) Validate() error {
+	if nb.N < 2 {
+		return fmt.Errorf("nbody: n=%d must be at least 2", nb.N)
+	}
+	if nb.Theta < 0 {
+		return fmt.Errorf("nbody: theta=%g must be non-negative", nb.Theta)
+	}
+	return nil
+}
+
+const (
+	nbNodeSize     = 32 // bytes per tree node (paper's E for T)
+	nbParticleSize = 32 // bytes per particle
+	nbMaxDepth     = 32 // insertion depth cap for near-coincident particles
+)
+
+// nbNode is a quadtree node. Geometric centers are carried on the stack
+// during traversal (the standard space-saving trick), so the stored state
+// is the mass moments plus child links: 3*4 + 4*4 + 4 = 32 bytes.
+type nbNode struct {
+	mass     float32  // total mass
+	mx, my   float32  // mass-weighted position sums (normalized after build)
+	children [4]int32 // child indices; -1 = empty
+	leaf     int32    // particle index for leaf nodes; -1 = internal/empty
+}
+
+type nbParticle struct {
+	x, y   float32
+	mass   float32
+	fx, fy float32
+}
+
+// nbState bundles the traced simulation state.
+type nbState struct {
+	nodes      []nbNode
+	particles  []nbParticle
+	regT       trace.Region
+	regP       trace.Region
+	mem        *trace.Memory
+	theta      float32
+	visits     int64   // node loads during the current force traversal
+	visitCount []int64 // per-node visit totals over the force phase
+}
+
+func (s *nbState) loadNode(i int32) *nbNode {
+	s.mem.LoadN(s.regT, int(i), nbNodeSize)
+	return &s.nodes[i]
+}
+
+func (s *nbState) storeNode(i int32) {
+	s.mem.StoreN(s.regT, int(i), nbNodeSize)
+}
+
+func (s *nbState) loadParticle(i int) *nbParticle {
+	s.mem.LoadN(s.regP, i, nbParticleSize)
+	return &s.particles[i]
+}
+
+func (s *nbState) storeParticle(i int) {
+	s.mem.StoreN(s.regP, i, nbParticleSize)
+}
+
+func (s *nbState) newNode() int32 {
+	if len(s.nodes) == cap(s.nodes) {
+		// The node arena is sized to the trace region; growing it would
+		// desynchronize simulated addresses from real storage.
+		panic("nbody: node arena exhausted")
+	}
+	s.nodes = append(s.nodes, nbNode{children: [4]int32{-1, -1, -1, -1}, leaf: -1})
+	return int32(len(s.nodes) - 1)
+}
+
+// quadrant returns the child index of (x, y) within a cell centered at
+// (cx, cy), and the child cell's center.
+func quadrant(x, y, cx, cy, half float32) (int, float32, float32) {
+	q := 0
+	h := half / 2
+	ncx, ncy := cx-h, cy-h
+	if x >= cx {
+		q |= 1
+		ncx = cx + h
+	}
+	if y >= cy {
+		q |= 2
+		ncy = cy + h
+	}
+	return q, ncx, ncy
+}
+
+// insert places particle pi into the subtree rooted at node ni, whose cell
+// is centered at (cx, cy) with half-extent half.
+func (s *nbState) insert(ni int32, pi int32, cx, cy, half float32, depth int) {
+	p := s.particles[pi]
+	node := s.loadNode(ni)
+	wasEmpty := node.leaf == -1 && node.mass == 0 &&
+		node.children == [4]int32{-1, -1, -1, -1}
+	// Accumulate mass moments on the way down. Note: descend may append to
+	// s.nodes, so after any descend the node must be re-indexed, never
+	// accessed through this pointer.
+	node.mass += p.mass
+	node.mx += p.mass * p.x
+	node.my += p.mass * p.y
+
+	switch {
+	case wasEmpty:
+		node.leaf = pi
+		s.storeNode(ni)
+	case node.leaf >= 0:
+		// Occupied leaf: split, reinsert the old occupant, then descend.
+		old := node.leaf
+		node.leaf = -1
+		s.storeNode(ni)
+		if depth >= nbMaxDepth {
+			// Near-coincident particles: keep as an aggregated pseudo-leaf
+			// (the extra particle contributes mass to the ancestors only).
+			s.nodes[ni].leaf = old
+			s.storeNode(ni)
+			return
+		}
+		s.descend(ni, old, cx, cy, half, depth)
+		s.descend(ni, pi, cx, cy, half, depth)
+	default:
+		s.storeNode(ni)
+		s.descend(ni, pi, cx, cy, half, depth)
+	}
+}
+
+// descend routes particle pi into the proper child of internal node ni.
+func (s *nbState) descend(ni, pi int32, cx, cy, half float32, depth int) {
+	p := s.particles[pi]
+	q, ncx, ncy := quadrant(p.x, p.y, cx, cy, half)
+	child := s.nodes[ni].children[q]
+	if child == -1 {
+		child = s.newNode()
+		s.nodes[ni].children[q] = child
+		s.storeNode(ni)
+	}
+	s.insert(child, pi, ncx, ncy, half/2, depth+1)
+}
+
+// nbForceDepthCap bounds force-phase recursion. A healthy quadtree never
+// approaches it (depth <= nbMaxDepth); it exists so that corrupted child
+// links (fault injection can create cycles) terminate as a wrong answer
+// or a recoverable panic instead of exhausting the stack.
+const nbForceDepthCap = 4 * nbMaxDepth
+
+// force accumulates the force on particle pi from the subtree at ni.
+func (s *nbState) force(pi int32, ni int32, half float32, p *nbParticle, depth int) (fx, fy float32, flops int64) {
+	if depth > nbForceDepthCap {
+		return 0, 0, 0
+	}
+	node := s.loadNode(ni)
+	s.visits++
+	if s.visitCount != nil {
+		s.visitCount[ni]++
+	}
+	if node.mass == 0 {
+		return 0, 0, 0
+	}
+	comX := node.mx / node.mass
+	comY := node.my / node.mass
+	dx := comX - p.x
+	dy := comY - p.y
+	dist2 := dx*dx + dy*dy + 1e-9
+	dist := float32(math.Sqrt(float64(dist2)))
+
+	if node.leaf >= 0 || 2*half/dist < s.theta {
+		if node.leaf == pi {
+			return 0, 0, 4
+		}
+		f := node.mass * p.mass / (dist2 * dist)
+		return f * dx, f * dy, 12
+	}
+	for q := 0; q < 4; q++ {
+		if c := node.children[q]; c != -1 {
+			cfx, cfy, fl := s.force(pi, c, half/2, p, depth+1)
+			fx += cfx
+			fy += cfy
+			flops += fl + 2
+		}
+	}
+	return fx, fy, flops + 8
+}
+
+// nodeFlipper corrupts one bit of the quadtree arena: bytes 0-11 of a
+// node are its float32 mass moments, 12-27 the four child links, 28-31
+// the leaf index. Corrupted links can point anywhere in the arena —
+// including ancestors — which the depth-capped traversal converts into a
+// wrong answer or a recoverable out-of-range panic.
+func nodeFlipper(arena []nbNode) flipper {
+	return func(off int64, bit uint8) error {
+		rec := off / nbNodeSize
+		if rec < 0 || rec >= int64(len(arena)) {
+			return fmt.Errorf("fault: offset %d outside %d tree nodes", off, len(arena))
+		}
+		node := &arena[rec]
+		switch within := off % nbNodeSize; {
+		case within < 4:
+			return float32Flip(&node.mass, within, bit)
+		case within < 8:
+			return float32Flip(&node.mx, within-4, bit)
+		case within < 12:
+			return float32Flip(&node.my, within-8, bit)
+		case within < 28:
+			return int32Flip(&node.children[(within-12)/4], (within-12)%4, bit)
+		default:
+			return int32Flip(&node.leaf, within-28, bit)
+		}
+	}
+}
+
+// particleFlipper corrupts one bit of the particle array: bytes 0-19 are
+// the five float32 fields (x, y, mass, fx, fy); 20-31 are padding, where
+// flips are architecturally benign.
+func particleFlipper(parts []nbParticle) flipper {
+	return func(off int64, bit uint8) error {
+		rec := off / nbParticleSize
+		if rec < 0 || rec >= int64(len(parts)) {
+			return fmt.Errorf("fault: offset %d outside %d particles", off, len(parts))
+		}
+		p := &parts[rec]
+		fields := []*float32{&p.x, &p.y, &p.mass, &p.fx, &p.fy}
+		within := off % nbParticleSize
+		if within >= 20 {
+			return nil // padding
+		}
+		return float32Flip(fields[within/4], within%4, bit)
+	}
+}
+
+// Run builds the quadtree and computes the net force on every particle.
+func (nb *NB) Run(sink trace.Consumer) (*RunInfo, error) {
+	return nb.run(sink, nil)
+}
+
+// RunInjected implements Injectable: it executes the simulation with a
+// single bit flip armed against the tree T or the particle array P.
+func (nb *NB) RunInjected(fault Fault, sink trace.Consumer) (*RunInfo, error) {
+	if err := fault.Validate(); err != nil {
+		return nil, err
+	}
+	return runGuarded(func() (*RunInfo, error) { return nb.run(sink, &fault) })
+}
+
+func (nb *NB) run(sink trace.Consumer, fault *Fault) (*RunInfo, error) {
+	if err := nb.Validate(); err != nil {
+		return nil, err
+	}
+	theta := nb.Theta
+	if theta == 0 {
+		theta = 0.5
+	}
+	var (
+		inj    *injector
+		holder *flipHolder
+	)
+	if fault != nil {
+		if fault.Structure != "T" && fault.Structure != "P" {
+			return nil, fmt.Errorf("nbody: no injectable structure %q", fault.Structure)
+		}
+		holder = &flipHolder{}
+		inj = newInjector(sink, *fault, holder.flip)
+		sink = inj
+	}
+	m := newMemory(sink)
+	n := nb.N
+	maxNodes := 8 * n
+	regT := m.alloc("T", int64(maxNodes)*nbNodeSize)
+	regP := m.alloc("P", int64(n)*nbParticleSize)
+
+	s := &nbState{
+		nodes:     make([]nbNode, 0, maxNodes),
+		particles: make([]nbParticle, n),
+		regT:      regT,
+		regP:      regP,
+		mem:       m.mem,
+		theta:     float32(theta),
+	}
+	rng := rand.New(rand.NewSource(nb.Seed))
+	for i := range s.particles {
+		s.particles[i] = nbParticle{
+			x:    float32(rng.Float64()),
+			y:    float32(rng.Float64()),
+			mass: float32(0.5 + rng.Float64()),
+		}
+	}
+	if holder != nil {
+		switch fault.Structure {
+		case "T":
+			holder.f = nodeFlipper(s.nodes[:cap(s.nodes)])
+		case "P":
+			holder.f = particleFlipper(s.particles)
+		}
+	}
+
+	// Tree construction: every particle is read once and inserted; this is
+	// the "traversed once before the random accesses" phase of the model.
+	root := s.newNode()
+	var flops int64
+	for i := 0; i < n; i++ {
+		s.loadParticle(i)
+		s.insert(root, int32(i), 0.5, 0.5, 0.5, 0)
+		flops += 6
+	}
+
+	// Force phase: one tree traversal per particle. Per-node visit counts
+	// are profiled alongside, feeding the weighted random-access model.
+	s.visitCount = make([]int64, len(s.nodes))
+	var totalVisits int64
+	var checksum float64
+	for i := 0; i < n; i++ {
+		p := s.loadParticle(i)
+		s.visits = 0
+		fx, fy, fl := s.force(int32(i), root, 0.5, p, 0)
+		flops += fl
+		s.particles[i].fx = fx
+		s.particles[i].fy = fy
+		s.storeParticle(i)
+		totalVisits += s.visits
+		// Sum of magnitudes: the signed sum is ~0 by Newton's third law
+		// and would drown any real error in cancellation noise.
+		checksum += math.Abs(float64(fx)) + math.Abs(float64(fy))
+	}
+	if inj != nil {
+		if err := inj.finish(); err != nil {
+			return nil, err
+		}
+	}
+	numNodes := len(s.nodes)
+	kAvg := float64(totalVisits) / float64(n)
+	freqs := make([]float64, numNodes)
+	for i, c := range s.visitCount {
+		freqs[i] = float64(c) / float64(n)
+	}
+
+	return &RunInfo{
+		Kernel: nb.Name(),
+		Structures: []Structure{
+			{Name: "T", Bytes: int64(numNodes) * nbNodeSize, ID: int32(regT.ID)},
+			{Name: "P", Bytes: int64(n) * nbParticleSize, ID: int32(regP.ID)},
+		},
+		Refs:  m.mem.Refs(),
+		Flops: flops,
+		Measured: map[string]float64{
+			"nodes": float64(numNodes),
+			"k":     kAvg,
+			"iter":  float64(n),
+		},
+		Profiles: map[string][]float64{"T": freqs},
+		Checksum: checksum,
+	}, nil
+}
+
+// Models returns the Aspen parameterization: T is random-access with the
+// profiled (N, E, k, iter, r) tuple — by default through the
+// frequency-weighted model, or through the paper's plain uniform model
+// when PlainRandom is set — and P streams twice (construction pass plus
+// force pass).
+func (nb *NB) Models(info *RunInfo) ([]ModelSpec, error) {
+	if err := nb.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := int(info.Measured["nodes"])
+	k := int(math.Round(info.Measured["k"]))
+	iter := int(info.Measured["iter"])
+	if nodes <= 0 || iter <= 0 {
+		return nil, fmt.Errorf("nbody: run info lacks profiled tree parameters")
+	}
+	if k > nodes {
+		k = nodes
+	}
+	var tree patterns.Estimator
+	freqs := info.Profiles["T"]
+	if nb.PlainRandom || len(freqs) == 0 {
+		tree = patterns.Random{
+			N: nodes, ElemSize: nbNodeSize, K: k, Iterations: iter, CacheRatio: 1.0}
+	} else {
+		tree = patterns.WeightedRandom{
+			Frequencies: freqs, ElemSize: nbNodeSize, Iterations: iter, CacheRatio: 1.0}
+	}
+	return []ModelSpec{
+		{Structure: "T", Estimator: tree},
+		{Structure: "P", Estimator: patterns.Streaming{
+			ElemSize: nbParticleSize, Count: nb.N, StrideElems: 1, Aligned: true, Repeats: 2}},
+	}, nil
+}

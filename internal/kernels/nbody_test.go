@@ -1,0 +1,162 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/cache"
+)
+
+func TestNBRunProducesForces(t *testing.T) {
+	info, err := NewNB(500).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(info.Checksum) {
+		t.Fatal("force checksum is NaN")
+	}
+	if info.Measured["nodes"] <= 500 {
+		t.Errorf("tree has %g nodes, want more than one per particle", info.Measured["nodes"])
+	}
+	if info.Measured["k"] <= 0 {
+		t.Errorf("profiled k = %g, want positive", info.Measured["k"])
+	}
+	if info.Measured["iter"] != 500 {
+		t.Errorf("iter = %g, want 500", info.Measured["iter"])
+	}
+}
+
+func TestNBForceMatchesDirectSummationForSmallTheta(t *testing.T) {
+	// With theta -> 0 Barnes-Hut degenerates to exact pairwise summation;
+	// compare against a brute-force O(n^2) computation.
+	const n = 60
+	nb := &NB{N: n, Theta: 1e-6, Seed: 7}
+	info, err := nb.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild identical particles with the kernel's RNG stream, truncated
+	// to float32 exactly as the kernel stores them.
+	type particle struct{ x, y, mass float64 }
+	parts := make([]particle, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range parts {
+		parts[i] = particle{
+			x:    float64(float32(rng.Float64())),
+			y:    float64(float32(rng.Float64())),
+			mass: float64(float32(0.5 + rng.Float64())),
+		}
+	}
+	var checksum float64
+	for i := range parts {
+		var fx, fy float64
+		for j := range parts {
+			if i == j {
+				continue
+			}
+			dx := parts[j].x - parts[i].x
+			dy := parts[j].y - parts[i].y
+			d2 := dx*dx + dy*dy + 1e-9
+			d := math.Sqrt(d2)
+			f := parts[j].mass * parts[i].mass / (d2 * d)
+			fx += f * dx
+			fy += f * dy
+		}
+		checksum += math.Abs(fx) + math.Abs(fy)
+	}
+	// float32 arithmetic in the kernel vs float64 here: allow 1% slack.
+	if math.Abs(info.Checksum-checksum) > 0.01*checksum {
+		t.Errorf("barnes-hut checksum %g vs direct %g", info.Checksum, checksum)
+	}
+}
+
+func TestNBThetaControlsVisitCount(t *testing.T) {
+	coarse, err := (&NB{N: 800, Theta: 1.0, Seed: 1}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := (&NB{N: 800, Theta: 0.2, Seed: 1}).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Measured["k"] <= coarse.Measured["k"] {
+		t.Errorf("smaller theta should visit more nodes: %g vs %g",
+			fine.Measured["k"], coarse.Measured["k"])
+	}
+}
+
+func TestNBVisitProfileConsistent(t *testing.T) {
+	info, err := NewNB(400).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := info.Profiles["T"]
+	if len(freqs) != int(info.Measured["nodes"]) {
+		t.Fatalf("profile length %d != node count %g", len(freqs), info.Measured["nodes"])
+	}
+	var sum float64
+	for _, f := range freqs {
+		if f < 0 || f > 1.0001 {
+			t.Fatalf("frequency %g outside [0,1]", f)
+		}
+		sum += f
+	}
+	// Sum of per-iteration visit probabilities equals the average k.
+	if math.Abs(sum-info.Measured["k"]) > 1e-6*sum {
+		t.Errorf("sum of frequencies %g != k %g", sum, info.Measured["k"])
+	}
+	// The root is visited by every traversal.
+	if freqs[0] != 1 {
+		t.Errorf("root visit frequency = %g, want 1", freqs[0])
+	}
+}
+
+func TestNBModelWithin15Percent(t *testing.T) {
+	for _, cfg := range cache.VerificationConfigs() {
+		k := NewNB(1000)
+		info, sim := runTraced(t, k, cfg)
+		for _, s := range []string{"T", "P"} {
+			if e := modelError(t, k, info, sim, s); math.Abs(e) > 0.15 {
+				t.Errorf("NB %s on %s: model error %.1f%%", s, cfg.Name, e*100)
+			}
+		}
+	}
+}
+
+func TestNBPlainRandomOverestimatesOnSmallCache(t *testing.T) {
+	// The ablation the paper's Algorithm 2 example implies: the plain
+	// uniform random model ignores the always-hot top of the tree and so
+	// overestimates misses when the cache is small.
+	k := &NB{N: 1000, Theta: 0.5, Seed: 1, PlainRandom: true}
+	info, sim := runTraced(t, k, cache.Small)
+	if e := modelError(t, k, info, sim, "T"); e < 0.15 {
+		t.Errorf("plain random error %.1f%%, expected a substantial overestimate", e*100)
+	}
+}
+
+func TestNBValidate(t *testing.T) {
+	if _, err := (&NB{N: 1}).Run(nil); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := (&NB{N: 10, Theta: -1}).Run(nil); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := NewNB(100).Models(&RunInfo{Measured: map[string]float64{}}); err == nil {
+		t.Error("missing profile data accepted")
+	}
+}
+
+func TestNBDeterministic(t *testing.T) {
+	a, err := NewNB(300).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNB(300).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum || a.Refs != b.Refs {
+		t.Error("NB runs are not deterministic")
+	}
+}

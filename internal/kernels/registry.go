@@ -1,0 +1,67 @@
+package kernels
+
+import "fmt"
+
+// TableII describes one row of the paper's Table II.
+type TableII struct {
+	Code       string // kernel code, e.g. "CG"
+	FullName   string // algorithm name
+	Class      string // computational method class
+	Structures string // major data structures
+	Patterns   string // memory access patterns
+	Reference  string // example benchmark the paper instrumented
+}
+
+// TableIIRows returns the six rows of Table II in the paper's order.
+func TableIIRows() []TableII {
+	return []TableII{
+		{"VM", "Vector Multiplication", "Dense linear algebra", "A, B, and C", "Streaming", "Homemade code"},
+		{"CG", "Conjugate Gradient", "Sparse linear algebra", "A, x, p and r", "Template+Reuse+Streaming", "NPB CG"},
+		{"NB", "Barnes-Hut simulation", "N-body method", "T and P", "Random", "GitHub Barnes-Hut"},
+		{"MG", "Multi-grid", "Structured grids", "R", "Template-based", "NPB MG"},
+		{"FT", "1D FFT", "Spectral methods", "A", "Template-based", "NPB FT"},
+		{"MC", "Monte Carlo simulation", "Monte Carlo", "G and E", "Random", "XSBench"},
+	}
+}
+
+// VerificationSuite returns the six kernels at the Table V input sizes
+// (the Figure 4 model-verification experiment):
+//
+//	VM 10^3 array, CG 500x500, NB 1000 particles, MG class S (32^3),
+//	FT class S segment (2048-point 1D FFT), MC small with 10^3 lookups.
+func VerificationSuite() []Kernel {
+	return []Kernel{
+		NewVM(1000),
+		NewCG(500, 10),
+		NewNB(1000),
+		NewMG(32, 1),
+		NewFT(2048),
+		NewMC(1000),
+	}
+}
+
+// ProfilingSuite returns the six kernels at the Table VI input sizes
+// (the Figure 5 DVF-profiling experiment):
+//
+//	VM 10^5 array, CG 800x800, NB 6000 particles, MG class W (64^3),
+//	FT class S segment, MC small with 10^5 lookups.
+func ProfilingSuite() []Kernel {
+	return []Kernel{
+		NewVM(100000),
+		NewCG(800, 10),
+		NewNB(6000),
+		NewMG(64, 1),
+		NewFT(2048),
+		NewMC(100000),
+	}
+}
+
+// ByName constructs a kernel by its Table II code at the verification size.
+func ByName(code string) (Kernel, error) {
+	for _, k := range VerificationSuite() {
+		if k.Name() == code {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown kernel %q", code)
+}

@@ -1,0 +1,98 @@
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/resilience-models/dvf/internal/patterns"
+)
+
+// StoreSpec couples a data structure with its writeback estimator.
+type StoreSpec struct {
+	Structure string
+	Estimate  patterns.StoreTraffic
+}
+
+// StoreModeler is implemented by kernels whose write patterns are uniform
+// enough for the first-order store-traffic model: every touched line of
+// the structure is dirtied with a fixed probability. VM, MG and FT qualify
+// (their structures are read-modify-write or read-only throughout); CG's
+// vectors mix written and read-only traversals per phase and are left to
+// the simulator.
+type StoreModeler interface {
+	Kernel
+	// StoreModels returns writeback estimators for the structures whose
+	// store traffic the kernel can model.
+	StoreModels(info *RunInfo) ([]StoreSpec, error)
+}
+
+// StoreModels implements StoreModeler for VM: C accumulates (every fetched
+// line is dirtied); A and B are read-only.
+func (v *VM) StoreModels(info *RunInfo) ([]StoreSpec, error) {
+	specs, err := v.Models(info)
+	if err != nil {
+		return nil, err
+	}
+	ws := info.WorkingSetBytes()
+	out := make([]StoreSpec, 0, len(specs))
+	for _, spec := range specs {
+		dirty := 0.0
+		if spec.Structure == "C" {
+			dirty = 1
+		}
+		out = append(out, StoreSpec{
+			Structure: spec.Structure,
+			Estimate: patterns.StoreEstimate{
+				Loads:           spec.Estimator,
+				DirtyFraction:   dirty,
+				WorkingSetBytes: ws,
+			},
+		})
+	}
+	return out, nil
+}
+
+// StoreModels implements StoreModeler for FT: the in-place transform
+// rewrites every line it touches.
+func (f *FT) StoreModels(info *RunInfo) ([]StoreSpec, error) {
+	specs, err := f.Models(info)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) != 1 {
+		return nil, fmt.Errorf("fft: unexpected model count %d", len(specs))
+	}
+	return []StoreSpec{{
+		Structure: "X",
+		Estimate: patterns.StoreEstimate{
+			Loads:           specs[0].Estimator,
+			DirtyFraction:   1,
+			WorkingSetBytes: info.WorkingSetBytes(),
+		},
+	}}, nil
+}
+
+// StoreModels implements StoreModeler for MG. R's misses include many
+// clean neighbor reads (a line is often fetched for reading and evicted
+// before the sweep writes it), so a miss-proportional estimate overcounts;
+// instead, writebacks are counted as dirty generations: per V-cycle each
+// level's lines are dirtied three times (the downward smooth, the restrict
+// or prolong write into the level, and the upward smooth — with the
+// coarsest level's double smooth playing the third role).
+func (mg *MG) StoreModels(info *RunInfo) ([]StoreSpec, error) {
+	if err := mg.Validate(); err != nil {
+		return nil, err
+	}
+	cycles := int(info.Measured["cycles"])
+	if cycles < 1 {
+		cycles = 1
+	}
+	bytesR := info.Structures[0].Bytes
+	return []StoreSpec{{
+		Structure: "R",
+		Estimate: patterns.DirtyGenerations{
+			Bytes:           bytesR,
+			Generations:     3 * cycles,
+			WorkingSetBytes: bytesR,
+		},
+	}}, nil
+}

@@ -1,0 +1,147 @@
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/resilience-models/dvf/internal/patterns"
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// VM is the vector multiplication kernel of Algorithm 1:
+//
+//	for i <- 1, n:  C_i <- C_i + A_{i*j} * B_{i*k}
+//
+// Three structures with streaming access at different strides. Following
+// the paper's Figure 5(a) discussion, A uses the largest stride (and hence
+// the largest footprint and most memory accesses), B an intermediate one,
+// and C is contiguous.
+type VM struct {
+	N       int // loop trip count
+	StrideA int // j: stride into A, in elements
+	StrideB int // k: stride into B, in elements
+}
+
+// NewVM returns a VM kernel with the paper's stride ratios (A=4, B=2, C=1).
+func NewVM(n int) *VM {
+	return &VM{N: n, StrideA: 4, StrideB: 2}
+}
+
+// Name implements Kernel.
+func (*VM) Name() string { return "VM" }
+
+// Class implements Kernel (Table II).
+func (*VM) Class() string { return "Dense linear algebra" }
+
+// PatternSummary implements Kernel (Table II).
+func (*VM) PatternSummary() string { return "Streaming" }
+
+// Validate reports configuration errors.
+func (v *VM) Validate() error {
+	if v.N <= 0 {
+		return fmt.Errorf("vm: n=%d must be positive", v.N)
+	}
+	if v.StrideA <= 0 || v.StrideB <= 0 {
+		return fmt.Errorf("vm: strides (%d, %d) must be positive", v.StrideA, v.StrideB)
+	}
+	return nil
+}
+
+// Run executes C = C + A*B with strided accesses, emitting one reference
+// per element touched.
+func (v *VM) Run(sink trace.Consumer) (*RunInfo, error) {
+	return v.run(sink, nil)
+}
+
+// RunInjected implements Injectable: it executes the kernel with a single
+// bit flip armed against one of A, B or C.
+func (v *VM) RunInjected(fault Fault, sink trace.Consumer) (*RunInfo, error) {
+	if err := fault.Validate(); err != nil {
+		return nil, err
+	}
+	return runGuarded(func() (*RunInfo, error) { return v.run(sink, &fault) })
+}
+
+func (v *VM) run(sink trace.Consumer, fault *Fault) (*RunInfo, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	countA := v.N * v.StrideA
+	countB := v.N * v.StrideB
+	a := make([]float64, countA)
+	b := make([]float64, countB)
+	c := make([]float64, v.N)
+	for i := range a {
+		a[i] = 1 + float64(i%7)
+	}
+	for i := range b {
+		b[i] = 1 + float64(i%5)
+	}
+
+	var inj *injector
+	if fault != nil {
+		flips := map[string]flipper{
+			"A": float64Flipper(a),
+			"B": float64Flipper(b),
+			"C": float64Flipper(c),
+		}
+		flip, ok := flips[fault.Structure]
+		if !ok {
+			return nil, fmt.Errorf("vm: no injectable structure %q", fault.Structure)
+		}
+		inj = newInjector(sink, *fault, flip)
+		sink = inj
+	}
+
+	m := newMemory(sink)
+	regA := m.alloc("A", int64(countA)*elem8)
+	regB := m.alloc("B", int64(countB)*elem8)
+	regC := m.alloc("C", int64(v.N)*elem8)
+
+	var flops int64
+	for i := 0; i < v.N; i++ {
+		m.mem.LoadN(regA, i*v.StrideA, elem8)
+		m.mem.LoadN(regB, i*v.StrideB, elem8)
+		m.mem.LoadN(regC, i, elem8)
+		c[i] += a[i*v.StrideA] * b[i*v.StrideB]
+		m.mem.StoreN(regC, i, elem8)
+		flops += 2
+	}
+
+	if inj != nil {
+		if err := inj.finish(); err != nil {
+			return nil, err
+		}
+	}
+	var checksum float64
+	for _, x := range c {
+		checksum += x
+	}
+	return &RunInfo{
+		Kernel: v.Name(),
+		Structures: []Structure{
+			{Name: "A", Bytes: int64(countA) * elem8, ID: int32(regA.ID)},
+			{Name: "B", Bytes: int64(countB) * elem8, ID: int32(regB.ID)},
+			{Name: "C", Bytes: int64(v.N) * elem8, ID: int32(regC.ID)},
+		},
+		Refs:     m.mem.Refs(),
+		Flops:    flops,
+		Measured: map[string]float64{"n": float64(v.N)},
+		Checksum: checksum,
+	}, nil
+}
+
+// Models returns one aligned streaming model per structure, with the
+// Aspen-syntax parameters (element size, element count, stride).
+func (v *VM) Models(info *RunInfo) ([]ModelSpec, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return []ModelSpec{
+		{Structure: "A", Estimator: patterns.Streaming{
+			ElemSize: elem8, Count: v.N * v.StrideA, StrideElems: v.StrideA, Aligned: true}},
+		{Structure: "B", Estimator: patterns.Streaming{
+			ElemSize: elem8, Count: v.N * v.StrideB, StrideElems: v.StrideB, Aligned: true}},
+		{Structure: "C", Estimator: patterns.Streaming{
+			ElemSize: elem8, Count: v.N, StrideElems: 1, Aligned: true}},
+	}, nil
+}

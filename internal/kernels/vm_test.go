@@ -1,0 +1,156 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// runTraced executes a kernel against a fresh simulator on cfg and returns
+// both the run info and the simulator.
+func runTraced(t *testing.T, k Kernel, cfg cache.Config) (*RunInfo, *cache.Simulator) {
+	t.Helper()
+	sim, err := cache.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := trace.ConsumerFunc(func(r trace.Ref, owner int32) {
+		sim.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
+	})
+	info, err := k.Run(sink)
+	if err != nil {
+		t.Fatalf("running %s: %v", k.Name(), err)
+	}
+	return info, sim
+}
+
+// modelError returns the relative error of the kernel's model for one
+// structure against the simulator.
+func modelError(t *testing.T, k Kernel, info *RunInfo, sim *cache.Simulator, structure string) float64 {
+	t.Helper()
+	specs, err := k.Models(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range specs {
+		if spec.Structure != structure {
+			continue
+		}
+		st, err := info.Structure(structure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := spec.Estimator.MemoryAccesses(sim.Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		simMisses := float64(sim.StructStats(cache.StructID(st.ID)).Misses)
+		if simMisses == 0 {
+			return 0
+		}
+		return (model - simMisses) / simMisses
+	}
+	t.Fatalf("%s has no model for %q", k.Name(), structure)
+	return 0
+}
+
+func TestVMRunCorrectness(t *testing.T) {
+	// With a[i] in 1..7 and b[i] in 1..5 the checksum is deterministic and
+	// strictly positive.
+	info, err := NewVM(100).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Checksum <= 0 {
+		t.Errorf("checksum = %g, want positive", info.Checksum)
+	}
+	// 4 references per loop iteration (load A, B, C; store C).
+	if info.Refs != 400 {
+		t.Errorf("refs = %d, want 400", info.Refs)
+	}
+	if info.Flops != 200 {
+		t.Errorf("flops = %d, want 200", info.Flops)
+	}
+}
+
+func TestVMStructureSizes(t *testing.T) {
+	info, err := NewVM(1000).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := info.Structure("A")
+	b, _ := info.Structure("B")
+	c, _ := info.Structure("C")
+	if a.Bytes != 4000*8 || b.Bytes != 2000*8 || c.Bytes != 1000*8 {
+		t.Errorf("sizes: A=%d B=%d C=%d", a.Bytes, b.Bytes, c.Bytes)
+	}
+	if a.Bytes <= b.Bytes || b.Bytes <= c.Bytes {
+		t.Error("A must have the largest footprint (paper Figure 5a)")
+	}
+}
+
+func TestVMModelMatchesSimulator(t *testing.T) {
+	for _, cfg := range cache.VerificationConfigs() {
+		k := NewVM(1000)
+		info, sim := runTraced(t, k, cfg)
+		for _, s := range []string{"A", "B", "C"} {
+			if e := modelError(t, k, info, sim, s); e > 0.15 || e < -0.15 {
+				t.Errorf("%s on %s: model error %.1f%%", s, cfg.Name, e*100)
+			}
+		}
+	}
+}
+
+func TestVMValidate(t *testing.T) {
+	bad := []*VM{
+		{N: 0, StrideA: 4, StrideB: 2},
+		{N: 10, StrideA: 0, StrideB: 2},
+		{N: 10, StrideA: 4, StrideB: -1},
+	}
+	for _, k := range bad {
+		if _, err := k.Run(nil); err == nil {
+			t.Errorf("invalid %+v ran", k)
+		}
+		if _, err := k.Models(&RunInfo{}); err == nil {
+			t.Errorf("invalid %+v modeled", k)
+		}
+	}
+}
+
+func TestVMMetadata(t *testing.T) {
+	k := NewVM(10)
+	if k.Name() != "VM" || k.Class() != "Dense linear algebra" || k.PatternSummary() != "Streaming" {
+		t.Errorf("metadata: %s/%s/%s", k.Name(), k.Class(), k.PatternSummary())
+	}
+}
+
+func TestRunInfoStructureLookup(t *testing.T) {
+	info, err := NewVM(10).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := info.Structure("A"); err != nil {
+		t.Error(err)
+	}
+	if _, err := info.Structure("nope"); err == nil {
+		t.Error("unknown structure lookup succeeded")
+	}
+	if ws := info.WorkingSetBytes(); ws != (40+20+10)*8 {
+		t.Errorf("working set = %d", ws)
+	}
+}
+
+func TestVMDeterministicChecksum(t *testing.T) {
+	i1, err := NewVM(500).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := NewVM(500).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.Checksum != i2.Checksum {
+		t.Error("VM runs are not deterministic")
+	}
+}

@@ -1,0 +1,53 @@
+package patterns
+
+import "github.com/resilience-models/dvf/internal/cache"
+
+// Func adapts an arbitrary estimation function to the Estimator interface.
+// Kernels use it to compose the four base models — for example, a vector
+// that is reused both within an iteration (against small interference) and
+// across iterations (against a streamed matrix) sums two Reuse estimates.
+type Func struct {
+	Name  string // pattern label reported by PatternName
+	Bytes int64  // structure footprint reported by Footprint
+	F     func(c cache.Config) (float64, error)
+}
+
+// MemoryAccesses invokes the wrapped function.
+func (f Func) MemoryAccesses(c cache.Config) (float64, error) { return f.F(c) }
+
+// Footprint returns the declared structure size in bytes.
+func (f Func) Footprint() int64 { return f.Bytes }
+
+// PatternName returns the declared pattern label.
+func (f Func) PatternName() string {
+	if f.Name == "" {
+		return "composite"
+	}
+	return f.Name
+}
+
+// Sum combines several estimators into one whose access count is the sum of
+// the parts and whose footprint is taken from the first part. extraInitial
+// subtracts double-counted compulsory loads when the parts each include the
+// structure's initial load; pass 0 when the parts are already disjoint.
+func Sum(name string, bytes int64, extraInitial float64, parts ...Estimator) Func {
+	return Func{
+		Name:  name,
+		Bytes: bytes,
+		F: func(c cache.Config) (float64, error) {
+			var total float64
+			for _, p := range parts {
+				v, err := p.MemoryAccesses(c)
+				if err != nil {
+					return 0, err
+				}
+				total += v
+			}
+			total -= extraInitial
+			if total < 0 {
+				total = 0
+			}
+			return total, nil
+		},
+	}
+}

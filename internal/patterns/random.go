@@ -1,0 +1,165 @@
+package patterns
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+// Random models the random access pattern (Section III-C): a computation
+// loop that visits k distinct elements of the target structure per
+// iteration, where which elements are visited depends on runtime state
+// (e.g. Barnes-Hut tree traversal, Monte Carlo table lookups).
+//
+// The model assumes each element was traversed once during a construction
+// phase before the random visits begin, and estimates the expected number
+// of cache-block reloads per iteration with a hypergeometric analysis
+// (Equations 5-7).
+type Random struct {
+	N          int     // number of elements in the target data structure
+	ElemSize   int     // E: element size in bytes
+	K          int     // k: average distinct elements visited per iteration
+	Iterations int     // iter: number of iterations
+	CacheRatio float64 // r: fraction of the cache available to this structure
+	// Aligned marks a packed, line-aligned array: the block conversion then
+	// uses the exact periodic lines-per-element span instead of the paper's
+	// probabilistic bound.
+	Aligned bool
+}
+
+// Footprint returns D = E * N bytes.
+func (r Random) Footprint() int64 {
+	return int64(r.ElemSize) * int64(r.N)
+}
+
+// PatternName implements Estimator.
+func (Random) PatternName() string { return "random" }
+
+// Validate reports parameter errors.
+func (r Random) Validate() error {
+	switch {
+	case r.N < 0:
+		return fmt.Errorf("random: element count %d must be non-negative", r.N)
+	case r.ElemSize <= 0:
+		return fmt.Errorf("random: element size %d must be positive", r.ElemSize)
+	case r.K < 0 || r.K > r.N:
+		return fmt.Errorf("random: k=%d must satisfy 0 <= k <= N=%d", r.K, r.N)
+	case r.Iterations < 0:
+		return fmt.Errorf("random: iteration count %d must be non-negative", r.Iterations)
+	case r.CacheRatio <= 0 || r.CacheRatio > 1:
+		return fmt.Errorf("random: cache ratio %g must be in (0, 1]", r.CacheRatio)
+	}
+	return nil
+}
+
+// ExpectedMissesPerIteration returns X_E of Equation 6: the expected number
+// of visited elements absent from the cache partition when k distinct
+// elements are visited and m elements fit in the partition.
+func (r Random) ExpectedMissesPerIteration(c cache.Config) (float64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	m := r.elementsInPartition(c)
+	if m >= r.N {
+		return 0, nil
+	}
+	// The number of visited elements present in the cache is hypergeometric:
+	// the cache holds m of the N elements, k are visited, and
+	// P(X = x) = C(k, k-x) * C(N-k, m-k+x) / C(N, m)   (Equation 5)
+	// where X = k - (visited elements found in cache).
+	h := mathx.Hypergeometric{N: r.N, K: r.K, M: m}
+	if !h.Valid() {
+		return 0, fmt.Errorf("random: invalid hypergeometric N=%d K=%d M=%d", r.N, r.K, m)
+	}
+	// X_E = sum over x >= 1 of P(X=x)*x = k - E[found]  (Equation 6).
+	xe := float64(r.K) - h.Mean()
+	if xe < 0 {
+		xe = 0
+	}
+	return xe, nil
+}
+
+// elementsInPartition returns m = floor(Cc * r / E), the number of elements
+// that the structure's cache partition can hold simultaneously.
+func (r Random) elementsInPartition(c cache.Config) int {
+	return int(math.Floor(float64(c.Capacity()) * r.CacheRatio / float64(r.ElemSize)))
+}
+
+// MemoryAccesses implements Equations 5-7.
+//
+// If the partitioned cache holds the whole structure (E*N <= Cc*r), only
+// the compulsory misses of the construction phase occur:
+// ceil(E*N / CL). Otherwise each iteration reloads
+// B_reload = min(B_elm, B_out) blocks (Equation 7), where B_elm converts
+// the expected missing elements X_E into blocks and
+// B_out = E*N/CL - CA*NA*r bounds the blocks that can possibly be absent.
+// The total is ceil(E*N/CL) + B_reload * iter.
+func (r Random) MemoryAccesses(c cache.Config) (float64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if r.N == 0 {
+		return 0, nil
+	}
+	initial := float64(mathx.CeilDiv(r.Footprint(), int64(c.LineSize)))
+	if float64(r.Footprint()) <= float64(c.Capacity())*r.CacheRatio {
+		// Case 1: everything fits; only compulsory misses.
+		return initial, nil
+	}
+	xe, err := r.ExpectedMissesPerIteration(c)
+	if err != nil {
+		return 0, err
+	}
+	// Convert missing elements to cache blocks that must be reloaded.
+	var belm float64
+	switch {
+	case r.Aligned:
+		belm = MeanLinesPerElement(r.ElemSize, c.LineSize) * xe
+	case c.LineSize < r.ElemSize:
+		belm = float64(mathx.CeilDiv(int64(r.ElemSize), int64(c.LineSize))) * xe
+	default:
+		belm = xe
+	}
+	// Blocks of the structure that cannot be resident (Equation 7 bound).
+	bout := float64(r.Footprint())/float64(c.LineSize) -
+		float64(c.Associativity)*float64(c.Sets)*r.CacheRatio
+	if bout < 0 {
+		bout = 0
+	}
+	breload := math.Min(belm, bout)
+	return initial + breload*float64(r.Iterations), nil
+}
+
+// SplitCacheRatios implements the cache-interference partitioning rule of
+// Section III-C: data structures that are randomly and concurrently
+// accessed divide the cache in proportion to their sizes. Given the byte
+// sizes of the concurrent structures it returns their cache ratios r_i
+// (summing to 1). A single structure receives ratio 1.
+func SplitCacheRatios(sizes ...int64) []float64 {
+	var total int64
+	for _, s := range sizes {
+		if s < 0 {
+			s = 0
+		}
+		total += s
+	}
+	out := make([]float64, len(sizes))
+	if total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(sizes))
+		}
+		return out
+	}
+	for i, s := range sizes {
+		if s < 0 {
+			s = 0
+		}
+		out[i] = float64(s) / float64(total)
+	}
+	return out
+}

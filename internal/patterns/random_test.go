@@ -1,0 +1,209 @@
+package patterns
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+func TestRandomFitsInCacheOnlyCompulsory(t *testing.T) {
+	// 500 elements * 8 B = 4 KB <= 8 KB cache: only the construction pass.
+	r := Random{N: 500, ElemSize: 8, K: 100, Iterations: 1000, CacheRatio: 1}
+	want := float64(mathx.CeilDiv(4000, 32)) // 125 blocks
+	if got := mustAccesses(t, r, small()); got != want {
+		t.Errorf("resident random = %g, want %g", got, want)
+	}
+}
+
+func TestRandomPartitionShrinksEffectiveCache(t *testing.T) {
+	// Same structure, but with only a 25% cache share it no longer fits.
+	full := Random{N: 500, ElemSize: 8, K: 100, Iterations: 100, CacheRatio: 1}
+	part := Random{N: 500, ElemSize: 8, K: 100, Iterations: 100, CacheRatio: 0.25}
+	if mustAccesses(t, part, small()) <= mustAccesses(t, full, small()) {
+		t.Error("partitioned cache should increase memory accesses")
+	}
+}
+
+func TestRandomExpectedMissesMatchesHypergeometricMean(t *testing.T) {
+	r := Random{N: 2000, ElemSize: 32, K: 200, Iterations: 1, CacheRatio: 1}
+	c := small() // holds m = 8192/32 = 256 elements
+	xe, err := r.ExpectedMissesPerIteration(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X_E = k - E[found] = k - k*m/N = 200 - 200*256/2000.
+	want := 200 - 200.0*256/2000
+	if !mathx.ApproxEqual(xe, want, 1e-9) {
+		t.Errorf("X_E = %g, want %g", xe, want)
+	}
+}
+
+func TestRandomTotalFormula(t *testing.T) {
+	r := Random{N: 2000, ElemSize: 32, K: 200, Iterations: 50, CacheRatio: 1}
+	c := small()
+	xe, _ := r.ExpectedMissesPerIteration(c)
+	// E == CL, so B_elm = X_E. B_out = 64000/32 - 256 = 1744 > X_E.
+	want := float64(mathx.CeilDiv(64000, 32)) + xe*50
+	if got := mustAccesses(t, r, c); !mathx.ApproxEqual(got, want, 1e-9) {
+		t.Errorf("random total = %g, want %g", got, want)
+	}
+}
+
+func TestRandomBoutBoundsReload(t *testing.T) {
+	// Structure barely exceeds the cache: almost all blocks resident, so
+	// B_out (blocks that cannot be resident) is the binding bound.
+	r := Random{N: 260, ElemSize: 32, K: 260, Iterations: 10, CacheRatio: 1}
+	c := small() // 256 blocks of 32 B
+	got := mustAccesses(t, r, c)
+	initial := 260.0
+	bout := 260.0 - 256.0
+	want := initial + bout*10
+	if !mathx.ApproxEqual(got, want, 1e-9) {
+		t.Errorf("bounded random = %g, want %g", got, want)
+	}
+}
+
+func TestRandomLargeElementExpandsBlocks(t *testing.T) {
+	// E=64 > CL=32: each missing element costs ceil(E/CL)=2 blocks.
+	rBig := Random{N: 1000, ElemSize: 64, K: 100, Iterations: 10, CacheRatio: 1}
+	c := small()
+	xe, _ := rBig.ExpectedMissesPerIteration(c)
+	initial := float64(mathx.CeilDiv(64000, 32))
+	belm := 2 * xe
+	bout := 64000.0/32 - 256
+	want := initial + minf(belm, bout)*10
+	if got := mustAccesses(t, rBig, c); !mathx.ApproxEqual(got, want, 1e-9) {
+		t.Errorf("large-element random = %g, want %g", got, want)
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRandomValidation(t *testing.T) {
+	bad := []Random{
+		{N: -1, ElemSize: 8, K: 0, Iterations: 1, CacheRatio: 1},
+		{N: 10, ElemSize: 0, K: 1, Iterations: 1, CacheRatio: 1},
+		{N: 10, ElemSize: 8, K: 11, Iterations: 1, CacheRatio: 1},
+		{N: 10, ElemSize: 8, K: -1, Iterations: 1, CacheRatio: 1},
+		{N: 10, ElemSize: 8, K: 1, Iterations: -1, CacheRatio: 1},
+		{N: 10, ElemSize: 8, K: 1, Iterations: 1, CacheRatio: 0},
+		{N: 10, ElemSize: 8, K: 1, Iterations: 1, CacheRatio: 1.5},
+	}
+	for _, r := range bad {
+		if _, err := r.MemoryAccesses(small()); err == nil {
+			t.Errorf("invalid %+v accepted", r)
+		}
+	}
+}
+
+func TestRandomZeroElements(t *testing.T) {
+	r := Random{N: 0, ElemSize: 8, K: 0, Iterations: 5, CacheRatio: 1}
+	if got := mustAccesses(t, r, small()); got != 0 {
+		t.Errorf("empty random = %g, want 0", got)
+	}
+}
+
+// Property: more iterations can never decrease the estimate, and the
+// estimate is always at least the compulsory construction cost.
+func TestRandomMonotonicityProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint16, it1, it2 uint8) bool {
+		n := int(nRaw%5000) + 1
+		k := int(kRaw) % (n + 1)
+		i1, i2 := int(it1), int(it2)
+		if i1 > i2 {
+			i1, i2 = i2, i1
+		}
+		r1 := Random{N: n, ElemSize: 16, K: k, Iterations: i1, CacheRatio: 1}
+		r2 := Random{N: n, ElemSize: 16, K: k, Iterations: i2, CacheRatio: 1}
+		a1, err1 := r1.MemoryAccesses(small())
+		a2, err2 := r2.MemoryAccesses(small())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		compulsory := float64(mathx.CeilDiv(r1.Footprint(), 32))
+		return a1 <= a2+1e-9 && a1 >= compulsory-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cross-validation against the cache simulator: a loop that visits k
+// uniformly chosen distinct elements per iteration should land near the
+// model's estimate after enough iterations.
+func TestRandomModelTracksSimulator(t *testing.T) {
+	const (
+		n    = 2000
+		e    = 32
+		k    = 150
+		iter = 400
+	)
+	cfg := small()
+	sim, err := cache.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	// Construction pass.
+	for i := 0; i < n; i++ {
+		sim.Access(uint64(i*e), uint32(e), true, 1)
+	}
+	// Random visit phase: k distinct elements per iteration.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for it := 0; it < iter; it++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for _, idx := range perm[:k] {
+			sim.Access(uint64(idx*e), uint32(e), false, 1)
+		}
+	}
+	simMisses := float64(sim.StructStats(1).Misses)
+
+	r := Random{N: n, ElemSize: e, K: k, Iterations: iter, CacheRatio: 1}
+	got := mustAccesses(t, r, cfg)
+	// The paper reports <=15% model error for the random pattern; hold the
+	// same bound here.
+	if !mathx.ApproxEqual(got, simMisses, 0.15) {
+		t.Errorf("model %g vs simulator %g: error beyond 15%%", got, simMisses)
+	}
+}
+
+func TestSplitCacheRatios(t *testing.T) {
+	r := SplitCacheRatios(3000, 1000)
+	if !mathx.ApproxEqual(r[0], 0.75, 1e-12) || !mathx.ApproxEqual(r[1], 0.25, 1e-12) {
+		t.Errorf("ratios = %v, want [0.75 0.25]", r)
+	}
+	one := SplitCacheRatios(12345)
+	if one[0] != 1 {
+		t.Errorf("single ratio = %v, want [1]", one)
+	}
+	zero := SplitCacheRatios(0, 0)
+	if !mathx.ApproxEqual(zero[0], 0.5, 1e-12) {
+		t.Errorf("degenerate ratios = %v, want equal split", zero)
+	}
+	neg := SplitCacheRatios(-5, 5)
+	if neg[0] != 0 || neg[1] != 1 {
+		t.Errorf("negative size ratios = %v, want [0 1]", neg)
+	}
+}
+
+func BenchmarkRandomModel(b *testing.B) {
+	r := Random{N: 34000, ElemSize: 24, K: 80, Iterations: 100000, CacheRatio: 0.6}
+	c := cache.Profile8MB
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.MemoryAccesses(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

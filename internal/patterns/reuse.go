@@ -1,0 +1,249 @@
+package patterns
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+// Placement selects how a structure's cache blocks are assumed to be
+// distributed over the cache sets.
+type Placement int
+
+const (
+	// PlacementContiguous models a contiguous array: blocks map to sets
+	// round-robin, so every set holds floor(F/NA) or ceil(F/NA) of them.
+	// This matches real contiguous allocations (and this repository's
+	// trace registry), and is the default.
+	PlacementContiguous Placement = iota
+	// PlacementBernoulli is the paper's Equation 8: each block lands in a
+	// uniformly random set (a Bernoulli trial per block), appropriate for
+	// pointer-chasing structures or physically-indexed caches under
+	// arbitrary page mappings.
+	PlacementBernoulli
+)
+
+// String returns the placement name.
+func (p Placement) String() string {
+	switch p {
+	case PlacementContiguous:
+		return "contiguous"
+	case PlacementBernoulli:
+		return "bernoulli"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// Reuse models the data reuse pattern (Section III-C, Equations 8-15):
+// a target data structure A that is predictably re-accessed while other
+// structures (considered in aggregate as B) interfere in the cache.
+//
+// The analysis derives the per-set occupancy distribution of A and B
+// (Equation 8 or its contiguous counterpart), then how many of A's blocks
+// survive in a set after B is loaded and accessed (Equations 10-12), and
+// estimates the per-reuse reload cost as F_A - NA * E(R_A) (Equation 15
+// and the text after it).
+type Reuse struct {
+	TargetBytes int64 // size of A in bytes (F_A = ceil(TargetBytes/CL) blocks)
+	OtherBytes  int64 // aggregate size of the interfering structures B
+	Reuses      int   // number of reuse events after the initial load
+	// Concurrent selects the second scenario of the paper, in which A and B
+	// are loaded concurrently (Equations 10 and 12); otherwise A is loaded
+	// exclusively and B replaces via LRU order (Equations 8 and 11).
+	Concurrent bool
+	// Placement selects the set-occupancy model (contiguous by default).
+	Placement Placement
+}
+
+// Footprint returns the target structure size in bytes.
+func (r Reuse) Footprint() int64 { return r.TargetBytes }
+
+// PatternName implements Estimator.
+func (Reuse) PatternName() string { return "reuse" }
+
+// Validate reports parameter errors.
+func (r Reuse) Validate() error {
+	switch {
+	case r.TargetBytes < 0:
+		return fmt.Errorf("reuse: target size %d must be non-negative", r.TargetBytes)
+	case r.OtherBytes < 0:
+		return fmt.Errorf("reuse: interfering size %d must be non-negative", r.OtherBytes)
+	case r.Reuses < 0:
+		return fmt.Errorf("reuse: reuse count %d must be non-negative", r.Reuses)
+	case r.Placement != PlacementContiguous && r.Placement != PlacementBernoulli:
+		return fmt.Errorf("reuse: unknown placement %d", int(r.Placement))
+	}
+	return nil
+}
+
+// occupancyDist is the per-set block-occupancy distribution of a structure.
+type occupancyDist interface {
+	PMF(x int) float64
+	Max() int
+	Mean() float64
+}
+
+// twoPoint is the deterministic round-robin occupancy of a contiguous
+// structure, capped at the associativity: (F mod NA) sets hold ceil(F/NA)
+// blocks and the rest hold floor(F/NA).
+type twoPoint struct {
+	lo, hi int
+	pHi    float64
+}
+
+func (d twoPoint) PMF(x int) float64 {
+	switch {
+	case d.lo == d.hi && x == d.lo:
+		return 1
+	case x == d.hi:
+		return d.pHi
+	case x == d.lo:
+		return 1 - d.pHi
+	}
+	return 0
+}
+
+func (d twoPoint) Max() int { return d.hi }
+
+func (d twoPoint) Mean() float64 {
+	return float64(d.lo) + float64(d.hi-d.lo)*d.pHi
+}
+
+// occupancy returns the per-set occupancy distribution for a structure of
+// `blocks` cache blocks under the chosen placement.
+func occupancy(blocks int, c cache.Config, p Placement) occupancyDist {
+	if p == PlacementBernoulli {
+		return mathx.Binomial01{
+			N:   blocks,
+			P:   1 / float64(c.Sets),
+			Cap: c.Associativity,
+		}
+	}
+	lo := blocks / c.Sets
+	hi := lo
+	var pHi float64
+	if rem := blocks % c.Sets; rem != 0 {
+		hi = lo + 1
+		pHi = float64(rem) / float64(c.Sets)
+	}
+	if lo > c.Associativity {
+		lo = c.Associativity
+	}
+	if hi > c.Associativity {
+		hi = c.Associativity
+	}
+	if lo == hi {
+		pHi = 0
+	}
+	return twoPoint{lo: lo, hi: hi, pHi: pHi}
+}
+
+// ExpectedResident returns E(R_A) (Equation 15): the expected number of A's
+// blocks still resident in one cache set after the interfering data has
+// been accessed. The result is clamped to [0, CA].
+func (r Reuse) ExpectedResident(c cache.Config) (float64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	fa := int(mathx.CeilDiv(r.TargetBytes, int64(c.LineSize)))
+	fb := int(mathx.CeilDiv(r.OtherBytes, int64(c.LineSize)))
+	if fa == 0 {
+		return 0, nil
+	}
+	distA := occupancy(fa, c, r.Placement)
+	distB := occupancy(fb, c, r.Placement)
+	ca := c.Associativity
+
+	// For the concurrent scenario, I is the expected combined occupancy of
+	// a set, obtained by treating A and B as one structure (Equations 8-9).
+	iCombined := occupancy(fa+fb, c, r.Placement).Mean()
+
+	var expected float64
+	for x := 0; x <= distA.Max(); x++ {
+		px := distA.PMF(x)
+		if px == 0 {
+			continue
+		}
+		for y := 0; y <= distB.Max(); y++ {
+			py := distB.PMF(y)
+			if py == 0 {
+				continue
+			}
+			expected += px * py * r.residentGiven(x, y, ca, iCombined)
+		}
+	}
+	return mathx.Clamp(expected, 0, float64(ca)), nil
+}
+
+// residentGiven returns E[R_A | X_A = x, X_B = y] under the selected
+// scenario.
+func (r Reuse) residentGiven(x, y, ca int, iCombined float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	if !r.Concurrent {
+		// Scenario 1 (Equations 8 then 11): A was loaded exclusively and is
+		// the most recently used data, so LRU replaces non-A blocks first.
+		if x+y <= ca {
+			return float64(x)
+		}
+		if rem := ca - y; rem > 0 {
+			return float64(rem)
+		}
+		return 0
+	}
+	// Scenario 2 (Equations 10 then 12): A and B were loaded concurrently;
+	// any of the I combined resident blocks is a replacement victim, so the
+	// number of A's displaced blocks is hypergeometric over the combined
+	// population.
+	if x+y <= ca {
+		// Equation 10's no-interference branch: everything coexists.
+		return float64(x)
+	}
+	pop := int(math.Round(iCombined))
+	if pop < x {
+		pop = x
+	}
+	draws := y
+	if draws > pop {
+		draws = pop
+	}
+	h := mathx.Hypergeometric{N: pop, K: x, M: draws}
+	if !h.Valid() {
+		return 0
+	}
+	// R = x - displaced; E[displaced] = draws * x / pop.
+	resident := float64(x) - h.Mean()
+	return mathx.Clamp(resident, 0, float64(x))
+}
+
+// ReloadPerReuse returns max(0, F_A - NA*E(R_A)), the expected number of
+// A's blocks that must be reloaded from main memory per reuse event.
+func (r Reuse) ReloadPerReuse(c cache.Config) (float64, error) {
+	er, err := r.ExpectedResident(c)
+	if err != nil {
+		return 0, err
+	}
+	fa := float64(mathx.CeilDiv(r.TargetBytes, int64(c.LineSize)))
+	reload := fa - float64(c.Sets)*er
+	if reload < 0 {
+		reload = 0
+	}
+	return reload, nil
+}
+
+// MemoryAccesses returns the initial compulsory load of A plus the expected
+// reload cost over all reuse events.
+func (r Reuse) MemoryAccesses(c cache.Config) (float64, error) {
+	reload, err := r.ReloadPerReuse(c)
+	if err != nil {
+		return 0, err
+	}
+	fa := float64(mathx.CeilDiv(r.TargetBytes, int64(c.LineSize)))
+	return fa + reload*float64(r.Reuses), nil
+}

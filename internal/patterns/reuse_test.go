@@ -1,0 +1,264 @@
+package patterns
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+func TestReuseNoInterferenceStaysResident(t *testing.T) {
+	// 2 KB target, no interfering data, 8 KB cache: reloads ~ 0.
+	r := Reuse{TargetBytes: 2048, OtherBytes: 0, Reuses: 100}
+	reload, err := r.ReloadPerReuse(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reload > 1 {
+		t.Errorf("reload per reuse = %g, want ~0 with no interference", reload)
+	}
+	got := mustAccesses(t, r, small())
+	fa := 2048.0 / 32
+	if got > fa+float64(r.Reuses) {
+		t.Errorf("total = %g, want close to compulsory %g", got, fa)
+	}
+}
+
+func TestReuseOverwhelmingInterferenceEvictsAll(t *testing.T) {
+	// Interfering working set 100x the cache: y saturates at associativity
+	// in every set, so no target block survives (Equation 11, r = CA - y).
+	r := Reuse{TargetBytes: 4096, OtherBytes: 800 << 10, Reuses: 10}
+	er, err := r.ExpectedResident(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er > 0.05 {
+		t.Errorf("E(R_A) = %g, want ~0 under overwhelming interference", er)
+	}
+	reload, _ := r.ReloadPerReuse(small())
+	fa := 4096.0 / 32
+	if !mathx.ApproxEqual(reload, fa, 0.05) {
+		t.Errorf("reload = %g, want ~F_A = %g", reload, fa)
+	}
+	got := mustAccesses(t, r, small())
+	want := fa + fa*10
+	if !mathx.ApproxEqual(got, want, 0.05) {
+		t.Errorf("total = %g, want ~%g", got, want)
+	}
+}
+
+func TestReuseExpectedResidentBounded(t *testing.T) {
+	// E(R_A) can never exceed the associativity, nor F_A/NA on average.
+	c := small()
+	for _, r := range []Reuse{
+		{TargetBytes: 1 << 20, OtherBytes: 0},
+		{TargetBytes: 1 << 20, OtherBytes: 1 << 20},
+		{TargetBytes: 512, OtherBytes: 1 << 20, Concurrent: true},
+	} {
+		er, err := r.ExpectedResident(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if er < 0 || er > float64(c.Associativity) {
+			t.Errorf("%+v: E(R_A) = %g outside [0, CA]", r, er)
+		}
+	}
+}
+
+func TestReuseConcurrentVsExclusive(t *testing.T) {
+	// With moderate interference, the exclusive scenario (target is MRU,
+	// LRU victimizes B first) must retain at least as much of the target
+	// as the concurrent scenario (any block is a victim).
+	r := Reuse{TargetBytes: 4096, OtherBytes: 6144}
+	exc, err := r.ExpectedResident(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Concurrent = true
+	con, err := r.ExpectedResident(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exc+1e-9 < con {
+		t.Errorf("exclusive E(R_A)=%g < concurrent E(R_A)=%g", exc, con)
+	}
+}
+
+func TestReuseZeroTarget(t *testing.T) {
+	r := Reuse{TargetBytes: 0, OtherBytes: 4096, Reuses: 5}
+	if got := mustAccesses(t, r, small()); got != 0 {
+		t.Errorf("empty target = %g, want 0", got)
+	}
+}
+
+func TestReusePlacementContiguousIsExactForBalancedArrays(t *testing.T) {
+	// 128 blocks over 64 sets: exactly 2 per set, all within CA=4, so a
+	// lone structure stays fully resident under contiguous placement.
+	r := Reuse{TargetBytes: 4096, OtherBytes: 0, Reuses: 20}
+	er, err := r.ExpectedResident(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er != 2 {
+		t.Errorf("contiguous E(R_A) = %g, want exactly 2", er)
+	}
+	if got := mustAccesses(t, r, small()); got != 128 {
+		t.Errorf("total = %g, want 128 (compulsory only)", got)
+	}
+}
+
+func TestReusePlacementBernoulliSpreadsMass(t *testing.T) {
+	// Under Bernoulli placement the same structure loses some blocks to
+	// over-full sets, so E(R_A) is strictly below the deterministic 2.
+	r := Reuse{TargetBytes: 4096, Placement: PlacementBernoulli}
+	er, err := r.ExpectedResident(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er >= 2 || er < 1.5 {
+		t.Errorf("bernoulli E(R_A) = %g, want in [1.5, 2)", er)
+	}
+}
+
+func TestReusePlacementString(t *testing.T) {
+	if PlacementContiguous.String() != "contiguous" ||
+		PlacementBernoulli.String() != "bernoulli" {
+		t.Error("placement names wrong")
+	}
+	if Placement(9).String() != "Placement(9)" {
+		t.Error("unknown placement should render its ordinal")
+	}
+}
+
+func TestReuseTwoPointDistribution(t *testing.T) {
+	c := small() // 64 sets, CA=4
+	// 96 blocks: 32 sets hold 2, 32 sets hold 1 -> pHi = 0.5, mean 1.5.
+	d := occupancy(96, c, PlacementContiguous)
+	if !mathx.ApproxEqual(d.Mean(), 1.5, 1e-12) {
+		t.Errorf("mean = %g, want 1.5", d.Mean())
+	}
+	if !mathx.ApproxEqual(d.PMF(1), 0.5, 1e-12) || !mathx.ApproxEqual(d.PMF(2), 0.5, 1e-12) {
+		t.Errorf("PMF = %g/%g, want 0.5/0.5", d.PMF(1), d.PMF(2))
+	}
+	if d.PMF(0) != 0 || d.PMF(3) != 0 {
+		t.Error("mass outside the two points")
+	}
+	// Oversized structure saturates at the associativity.
+	sat := occupancy(64*10, c, PlacementContiguous)
+	if sat.Mean() != 4 || sat.Max() != 4 {
+		t.Errorf("saturated occupancy mean=%g max=%d, want 4/4", sat.Mean(), sat.Max())
+	}
+}
+
+func TestReuseValidation(t *testing.T) {
+	bad := []Reuse{
+		{TargetBytes: -1},
+		{TargetBytes: 1, OtherBytes: -1},
+		{TargetBytes: 1, Reuses: -1},
+		{TargetBytes: 1, Placement: Placement(42)},
+	}
+	for _, r := range bad {
+		if _, err := r.MemoryAccesses(small()); err == nil {
+			t.Errorf("invalid %+v accepted", r)
+		}
+	}
+}
+
+func TestReuseFootprintAndName(t *testing.T) {
+	r := Reuse{TargetBytes: 4096}
+	if r.Footprint() != 4096 || r.PatternName() != "reuse" {
+		t.Errorf("metadata wrong: %+v", r)
+	}
+}
+
+// Property: reload per reuse is monotone in the interference size and
+// always within [0, F_A].
+func TestReuseMonotoneInInterferenceProperty(t *testing.T) {
+	c := small()
+	f := func(targetKB uint8, otherKB1, otherKB2 uint16) bool {
+		target := (int64(targetKB%64) + 1) << 10
+		o1 := int64(otherKB1%512) << 10
+		o2 := int64(otherKB2%512) << 10
+		if o1 > o2 {
+			o1, o2 = o2, o1
+		}
+		r1 := Reuse{TargetBytes: target, OtherBytes: o1}
+		r2 := Reuse{TargetBytes: target, OtherBytes: o2}
+		v1, err1 := r1.ReloadPerReuse(c)
+		v2, err2 := r2.ReloadPerReuse(c)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		fa := float64(mathx.CeilDiv(target, int64(c.LineSize)))
+		return v1 <= v2+1e-6 && v1 >= -1e-9 && v2 <= fa+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cross-validation: target repeatedly traversed with an interfering stream
+// in between; the reuse model must land near the simulator.
+func TestReuseModelTracksSimulator(t *testing.T) {
+	type tc struct {
+		name          string
+		target, other int64
+		reuses        int
+		tolerance     float64
+	}
+	cases := []tc{
+		{"fits-together", 2048, 2048, 20, 0.30},
+		{"target-evicted", 4096, 65536, 20, 0.15},
+		{"no-interference", 4096, 0, 20, 0.15},
+	}
+	cfg := small()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sim, err := cache.NewSimulator(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			targetBase := uint64(0)
+			otherBase := uint64(1 << 30)
+			// Initial load of target.
+			for off := int64(0); off < c.target; off += 32 {
+				sim.Access(targetBase+uint64(off), 32, false, 1)
+			}
+			for i := 0; i < c.reuses; i++ {
+				// Interfering stream.
+				for off := int64(0); off < c.other; off += 32 {
+					sim.Access(otherBase+uint64(off), 32, false, 2)
+				}
+				// Reuse the target.
+				for off := int64(0); off < c.target; off += 32 {
+					sim.Access(targetBase+uint64(off), 32, false, 1)
+				}
+			}
+			simMisses := float64(sim.StructStats(1).Misses)
+			r := Reuse{TargetBytes: c.target, OtherBytes: c.other, Reuses: c.reuses}
+			got := mustAccesses(t, r, cfg)
+			// Compare against simulator within the stated tolerance, using
+			// an absolute floor of a couple of blocks for tiny counts.
+			diff := got - simMisses
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 4 && !mathx.ApproxEqual(got, simMisses, c.tolerance) {
+				t.Errorf("model %g vs simulator %g beyond %.0f%%",
+					got, simMisses, c.tolerance*100)
+			}
+		})
+	}
+}
+
+func BenchmarkReuseModel(b *testing.B) {
+	r := Reuse{TargetBytes: 5 << 20, OtherBytes: 12 << 10, Reuses: 1000}
+	c := cache.Profile8MB
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.MemoryAccesses(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package patterns
+
+import (
+	"fmt"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+// Store-traffic estimation. The paper's cache simulator "can report the
+// number of cache misses and writebacks"; the analytical models of
+// Section III estimate the miss side. This file adds the write side: in a
+// write-back, write-allocate cache every line that is fetched and dirtied
+// is written to main memory when evicted, so for a structure whose touched
+// lines are (a fraction of the time) dirtied, the writeback count tracks
+// the miss count minus the dirty lines still resident when the run ends
+// (flush-less accounting, matching the verification experiment).
+
+// StoreTraffic is the common interface of the writeback estimators.
+type StoreTraffic interface {
+	// Writebacks returns the estimated dirty evictions through cache c.
+	Writebacks(c cache.Config) (float64, error)
+}
+
+// StoreEstimate predicts the main-memory write traffic of one structure.
+type StoreEstimate struct {
+	// Loads is the structure's miss estimator (its CGPMAC model).
+	Loads Estimator
+	// DirtyFraction is the fraction of fetched lines that get dirtied:
+	// 1 for read-modify-write structures (a stencil grid, an in-place FFT
+	// array, an accumulated output vector), 0 for read-only inputs.
+	DirtyFraction float64
+	// WorkingSetBytes is the total concurrent working set, used to
+	// estimate the structure's fair share of cache residency at the end
+	// of the run. 0 means "the structure is the whole working set".
+	WorkingSetBytes int64
+}
+
+// Writebacks returns the estimated dirty evictions.
+func (s StoreEstimate) Writebacks(c cache.Config) (float64, error) {
+	if s.Loads == nil {
+		return 0, fmt.Errorf("patterns: store estimate lacks a load model")
+	}
+	if s.DirtyFraction < 0 || s.DirtyFraction > 1 {
+		return 0, fmt.Errorf("patterns: dirty fraction %g outside [0, 1]", s.DirtyFraction)
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	misses, err := s.Loads.MemoryAccesses(c)
+	if err != nil {
+		return 0, err
+	}
+	dirtied := s.DirtyFraction * misses
+	// Fair-share residency: of the cache's lines, the structure retains a
+	// share proportional to its footprint within the working set, capped
+	// by its own size.
+	foot := s.Loads.Footprint()
+	ws := s.WorkingSetBytes
+	if ws < foot {
+		ws = foot
+	}
+	resident := float64(c.Lines())
+	if ws > 0 {
+		resident *= float64(foot) / float64(ws)
+	}
+	if ownLines := float64(mathx.CeilDiv(foot, int64(c.LineSize))); resident > ownLines {
+		resident = ownLines
+	}
+	wb := dirtied - resident*s.DirtyFraction
+	if wb < 0 {
+		wb = 0
+	}
+	return wb, nil
+}
+
+// DirtyGenerations predicts writebacks by counting dirty generations: each
+// write sweep dirties the structure's lines once, and every generation is
+// eventually evicted — unless the whole working set fits in the cache (no
+// capacity evictions at all, flush-less) or the lines are still resident
+// at the end. This fits structures whose misses include many clean
+// neighbor reads (a stencil grid), where miss-proportional estimates
+// overcount.
+type DirtyGenerations struct {
+	Bytes           int64 // the structure's footprint
+	Generations     int   // write sweeps over the structure
+	WorkingSetBytes int64 // total concurrent working set (0: just the structure)
+}
+
+// Writebacks implements StoreTraffic.
+func (d DirtyGenerations) Writebacks(c cache.Config) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if d.Bytes < 0 || d.Generations < 0 {
+		return 0, fmt.Errorf("patterns: negative dirty-generation inputs")
+	}
+	ws := d.WorkingSetBytes
+	if ws < d.Bytes {
+		ws = d.Bytes
+	}
+	if ws <= int64(c.Capacity()) {
+		return 0, nil // everything stays resident; nothing is evicted
+	}
+	lines := float64(mathx.CeilDiv(d.Bytes, int64(c.LineSize)))
+	resident := float64(c.Lines()) * float64(d.Bytes) / float64(ws)
+	if resident > lines {
+		resident = lines
+	}
+	wb := lines*float64(d.Generations) - resident
+	if wb < 0 {
+		wb = 0
+	}
+	return wb, nil
+}

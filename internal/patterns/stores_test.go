@@ -1,0 +1,115 @@
+package patterns
+
+import (
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+func TestStoreEstimateReadOnlyIsZero(t *testing.T) {
+	est := StoreEstimate{
+		Loads:         Streaming{ElemSize: 8, Count: 10000, StrideElems: 1, Aligned: true},
+		DirtyFraction: 0,
+	}
+	wb, err := est.Writebacks(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb != 0 {
+		t.Errorf("read-only writebacks = %g", wb)
+	}
+}
+
+func TestStoreEstimateSubtractsResidency(t *testing.T) {
+	// An 8KB accumulated output sharing a 56KB working set on the 8KB
+	// cache: its fair share (8/56 of 256 lines) stays resident.
+	est := StoreEstimate{
+		Loads:           Streaming{ElemSize: 8, Count: 1000, StrideElems: 1, Aligned: true},
+		DirtyFraction:   1,
+		WorkingSetBytes: 56 << 10,
+	}
+	wb, err := est.Writebacks(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 250 - 256.0*8000/(56<<10) // footprint is 1000*8 = 8000 bytes
+	if !mathx.ApproxEqual(wb, want, 1e-9) {
+		t.Errorf("writebacks = %g, want %g", wb, want)
+	}
+}
+
+func TestStoreEstimateValidation(t *testing.T) {
+	if _, err := (StoreEstimate{}).Writebacks(small()); err == nil {
+		t.Error("missing load model accepted")
+	}
+	bad := StoreEstimate{
+		Loads:         Streaming{ElemSize: 8, Count: 1, StrideElems: 1},
+		DirtyFraction: 1.5,
+	}
+	if _, err := bad.Writebacks(small()); err == nil {
+		t.Error("dirty fraction > 1 accepted")
+	}
+	ok := StoreEstimate{Loads: Streaming{ElemSize: 8, Count: 1, StrideElems: 1}, DirtyFraction: 1}
+	if _, err := ok.Writebacks(cache.Config{}); err == nil {
+		t.Error("invalid cache accepted")
+	}
+}
+
+func TestStoreEstimateClampsAtZero(t *testing.T) {
+	// A tiny structure fully resident: residency exceeds dirtied lines.
+	est := StoreEstimate{
+		Loads:         Streaming{ElemSize: 8, Count: 4, StrideElems: 1, Aligned: true},
+		DirtyFraction: 1,
+	}
+	wb, err := est.Writebacks(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb != 0 {
+		t.Errorf("fully resident structure wrote back %g lines", wb)
+	}
+}
+
+func TestDirtyGenerationsResidentIsZero(t *testing.T) {
+	d := DirtyGenerations{Bytes: 4096, Generations: 5}
+	wb, err := d.Writebacks(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb != 0 {
+		t.Errorf("resident working set wrote back %g", wb)
+	}
+}
+
+func TestDirtyGenerationsThrashing(t *testing.T) {
+	// 64KB structure, 3 generations, alone in the 8KB cache: all but the
+	// resident 256 lines of the final generation are written back.
+	d := DirtyGenerations{Bytes: 64 << 10, Generations: 3}
+	wb, err := d.Writebacks(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*2048.0 - 256
+	if !mathx.ApproxEqual(wb, want, 1e-9) {
+		t.Errorf("writebacks = %g, want %g", wb, want)
+	}
+}
+
+func TestDirtyGenerationsValidation(t *testing.T) {
+	if _, err := (DirtyGenerations{Bytes: -1}).Writebacks(small()); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := (DirtyGenerations{Bytes: 1, Generations: -1}).Writebacks(small()); err == nil {
+		t.Error("negative generations accepted")
+	}
+	if _, err := (DirtyGenerations{Bytes: 1, Generations: 1}).Writebacks(cache.Config{}); err == nil {
+		t.Error("invalid cache accepted")
+	}
+}
+
+// Both estimators implement the common interface.
+var (
+	_ StoreTraffic = StoreEstimate{}
+	_ StoreTraffic = DirtyGenerations{}
+)

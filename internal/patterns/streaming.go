@@ -1,0 +1,179 @@
+// Package patterns implements CGPMAC — coarse-grained, pseudocode-based
+// memory access accounting (Section III of the DVF paper). It provides the
+// four generalized memory access pattern models the paper derives:
+//
+//   - Streaming: sequential traversal with fixed stride (Equations 3-4)
+//   - Random: probabilistic reuse under random visits (Equations 5-7)
+//   - Template: explicit access templates with reuse-distance accounting
+//   - Reuse: predictable reuse under cache interference (Equations 8-15)
+//
+// Each model estimates the number of main-memory accesses (N_ha) that
+// accesses to one data structure induce through a last-level cache of a
+// given geometry. The estimates feed the DVF metric
+// (DVF_d = FIT * T * S_d * N_ha).
+package patterns
+
+import (
+	"fmt"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+// Estimator is the common interface of the four pattern models.
+type Estimator interface {
+	// MemoryAccesses estimates N_ha for the pattern through cache c.
+	MemoryAccesses(c cache.Config) (float64, error)
+	// Footprint returns the data structure size D in bytes.
+	Footprint() int64
+	// PatternName returns the paper's one-letter pattern code expanded:
+	// "streaming", "random", "template" or "reuse".
+	PatternName() string
+}
+
+// Streaming models the streaming access pattern: a sequential traversal of
+// a data structure with a fixed stride (Section III-C, Figure 1). Every
+// element is accessed at most once, so all main-memory accesses are
+// compulsory misses.
+type Streaming struct {
+	ElemSize    int  // E: element size in bytes
+	Count       int  // number of elements in the data structure
+	StrideElems int  // S measured in elements (>= 1), as in the Aspen syntax
+	Aligned     bool // true when elements never straddle cache lines
+	Repeats     int  // full traversals; 0 or 1 means a single pass
+}
+
+// Footprint returns D = E * Count bytes.
+func (s Streaming) Footprint() int64 {
+	return int64(s.ElemSize) * int64(s.Count)
+}
+
+// PatternName implements Estimator.
+func (Streaming) PatternName() string { return "streaming" }
+
+// Validate reports parameter errors.
+func (s Streaming) Validate() error {
+	switch {
+	case s.ElemSize <= 0:
+		return fmt.Errorf("streaming: element size %d must be positive", s.ElemSize)
+	case s.Count < 0:
+		return fmt.Errorf("streaming: element count %d must be non-negative", s.Count)
+	case s.StrideElems <= 0:
+		return fmt.Errorf("streaming: stride %d must be >= 1 element", s.StrideElems)
+	}
+	return nil
+}
+
+// misalignProbability is Equation 3: p = ((E-1) mod CL) / CL, the chance
+// that an element is not aligned with a cache line when every byte within
+// a line is an equally likely element start.
+func misalignProbability(elemSize, lineSize int) float64 {
+	return float64((elemSize-1)%lineSize) / float64(lineSize)
+}
+
+// MeanLinesPerElement returns the exact average number of cache lines that
+// an elemSize-byte element of a packed, line-aligned array spans. It
+// refines the paper's probabilistic Equation 4 for the common case where
+// the array base is aligned (as this repository's trace registry
+// guarantees): element k starts at byte offset elemSize*k, so the span
+// pattern is periodic with period lineSize/gcd.
+func MeanLinesPerElement(elemSize, lineSize int) float64 {
+	if elemSize <= 0 || lineSize <= 0 {
+		return 0
+	}
+	g := gcd(elemSize, lineSize)
+	period := lineSize / g
+	total := 0
+	for k := 0; k < period; k++ {
+		start := (elemSize * k) % lineSize
+		total += (start+elemSize-1)/lineSize + 1
+	}
+	return float64(total) / float64(period)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// MemoryAccesses implements the three streaming cases of Section III-C.
+//
+// Case 1 (CL <= E): each element reference costs AE = floor(E/CL) + p line
+// loads (Equation 4); with stride > element size the traversal touches
+// ceil(D/S) elements, and with stride == element size every line of the
+// structure is loaded: ceil(D/CL).
+//
+// Case 2 (E < CL <= S): each element costs 1 + p loads over ceil(D/S)
+// elements.
+//
+// Case 3 (S < CL): every line of the structure is loaded: ceil(D/CL).
+//
+// When Aligned is true the misalignment probability p is zero and the
+// per-element cost becomes the exact ceil(E/CL), matching allocators that
+// naturally align elements (including this repository's trace registry).
+func (s Streaming) MemoryAccesses(c cache.Config) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if s.Count == 0 {
+		return 0, nil
+	}
+	var (
+		E  = s.ElemSize
+		CL = c.LineSize
+		D  = s.Footprint()
+		Sb = int64(s.StrideElems) * int64(E) // stride in bytes
+	)
+	p := misalignProbability(E, CL)
+	if s.Aligned {
+		p = 0
+	}
+
+	var perPass float64
+	switch {
+	case CL <= E:
+		if Sb > int64(E) {
+			// Stride skips elements: ceil(D/S) elements, AE loads each.
+			var ae float64
+			if s.Aligned {
+				ae = float64(mathx.CeilDiv(int64(E), int64(CL)))
+			} else {
+				ae = float64(E/CL) + p
+			}
+			perPass = float64(mathx.CeilDiv(D, Sb)) * ae
+		} else {
+			// Contiguous traversal: every line is loaded once.
+			perPass = float64(mathx.CeilDiv(D, int64(CL)))
+		}
+	case int64(CL) <= Sb:
+		// Element fits in a line; strided elements never share lines.
+		perPass = float64(mathx.CeilDiv(D, Sb)) * (1 + p)
+	default: // Sb < CL
+		perPass = float64(mathx.CeilDiv(D, int64(CL)))
+	}
+
+	repeats := s.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	if repeats == 1 {
+		return perPass, nil
+	}
+	// Repeated traversals reload the footprint only when it exceeds the
+	// cache; otherwise later passes hit (a streaming structure that fits in
+	// cache behaves like a resident structure after its compulsory misses).
+	touched := D
+	if Sb > int64(CL) {
+		// Sparse stride: only the touched lines occupy the cache.
+		touched = mathx.CeilDiv(D, Sb) * int64(CL)
+	}
+	if touched <= int64(c.Capacity()) {
+		return perPass, nil
+	}
+	return perPass * float64(repeats), nil
+}

@@ -1,0 +1,172 @@
+package patterns
+
+import (
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+func small() cache.Config { return cache.Small } // CA=4 NA=64 CL=32, 8 KB
+
+func mustAccesses(t *testing.T, e Estimator, c cache.Config) float64 {
+	t.Helper()
+	got, err := e.MemoryAccesses(c)
+	if err != nil {
+		t.Fatalf("MemoryAccesses(%+v): %v", e, err)
+	}
+	return got
+}
+
+func TestStreamingContiguousLoadsEveryLine(t *testing.T) {
+	// 1000 aligned 8-byte elements, stride 1, CL=32: D/CL = 8000/32 = 250.
+	s := Streaming{ElemSize: 8, Count: 1000, StrideElems: 1, Aligned: true}
+	if got := mustAccesses(t, s, small()); got != 250 {
+		t.Errorf("contiguous stream = %g, want 250", got)
+	}
+}
+
+func TestStreamingStrideSkipsLines(t *testing.T) {
+	// Stride 8 elements of 8 bytes = 64-byte stride > CL=32: each accessed
+	// element loads its own line. Elements accessed = ceil(8000/64) = 125.
+	s := Streaming{ElemSize: 8, Count: 1000, StrideElems: 8, Aligned: true}
+	if got := mustAccesses(t, s, small()); got != 125 {
+		t.Errorf("strided stream = %g, want 125", got)
+	}
+}
+
+func TestStreamingStrideWithinLine(t *testing.T) {
+	// Stride 2 elements = 16 bytes < CL=32: every line still loaded once.
+	s := Streaming{ElemSize: 8, Count: 1000, StrideElems: 2, Aligned: true}
+	if got := mustAccesses(t, s, small()); got != 250 {
+		t.Errorf("sub-line stride = %g, want 250 (all lines)", got)
+	}
+}
+
+func TestStreamingLargeElement(t *testing.T) {
+	// 64-byte elements with CL=32 (case CL <= E), stride 1: contiguous,
+	// so ceil(D/CL) = 100*64/32 = 200 lines.
+	s := Streaming{ElemSize: 64, Count: 100, StrideElems: 1, Aligned: true}
+	if got := mustAccesses(t, s, small()); got != 200 {
+		t.Errorf("large-element stream = %g, want 200", got)
+	}
+	// Stride 2 elements = 128 bytes: 50 elements touched, 2 lines each.
+	s.StrideElems = 2
+	if got := mustAccesses(t, s, small()); got != 100 {
+		t.Errorf("large-element strided = %g, want 100", got)
+	}
+}
+
+func TestStreamingMisalignmentProbability(t *testing.T) {
+	// Equation 3: p = ((E-1) mod CL) / CL.
+	if p := misalignProbability(8, 32); p != 7.0/32 {
+		t.Errorf("p(E=8,CL=32) = %g, want 7/32", p)
+	}
+	if p := misalignProbability(32, 32); p != 31.0/32 {
+		t.Errorf("p(E=32,CL=32) = %g, want 31/32", p)
+	}
+	if p := misalignProbability(1, 32); p != 0 {
+		t.Errorf("p(E=1,CL=32) = %g, want 0 (single byte always fits)", p)
+	}
+}
+
+func TestStreamingUnalignedAddsProbabilisticCost(t *testing.T) {
+	// Case 2 (E < CL <= S): ceil(D/S) * (1+p).
+	s := Streaming{ElemSize: 8, Count: 1000, StrideElems: 8, Aligned: false}
+	want := 125 * (1 + 7.0/32)
+	if got := mustAccesses(t, s, small()); !mathx.ApproxEqual(got, want, 1e-12) {
+		t.Errorf("unaligned strided = %g, want %g", got, want)
+	}
+}
+
+func TestStreamingRepeatsFitInCache(t *testing.T) {
+	// 4 KB structure in an 8 KB cache, 10 passes: later passes hit.
+	s := Streaming{ElemSize: 8, Count: 512, StrideElems: 1, Aligned: true, Repeats: 10}
+	if got := mustAccesses(t, s, small()); got != 128 {
+		t.Errorf("resident repeats = %g, want 128 (compulsory only)", got)
+	}
+}
+
+func TestStreamingRepeatsExceedCache(t *testing.T) {
+	// 64 KB structure in an 8 KB cache, 10 passes: every pass reloads.
+	s := Streaming{ElemSize: 8, Count: 8192, StrideElems: 1, Aligned: true, Repeats: 10}
+	if got := mustAccesses(t, s, small()); got != 2048*10 {
+		t.Errorf("thrashing repeats = %g, want 20480", got)
+	}
+}
+
+func TestStreamingSparseStrideRepeatsUseTouchedFootprint(t *testing.T) {
+	// 64 KB structure but stride 64 elements (512 B): only 128 lines are
+	// ever touched (4 KB), which fits the 8 KB cache, so repeats hit.
+	s := Streaming{ElemSize: 8, Count: 8192, StrideElems: 64, Aligned: true, Repeats: 5}
+	if got := mustAccesses(t, s, small()); got != 128 {
+		t.Errorf("sparse-stride repeats = %g, want 128", got)
+	}
+}
+
+func TestStreamingZeroCount(t *testing.T) {
+	s := Streaming{ElemSize: 8, Count: 0, StrideElems: 1}
+	if got := mustAccesses(t, s, small()); got != 0 {
+		t.Errorf("empty structure = %g, want 0", got)
+	}
+}
+
+func TestStreamingValidation(t *testing.T) {
+	bad := []Streaming{
+		{ElemSize: 0, Count: 1, StrideElems: 1},
+		{ElemSize: 8, Count: -1, StrideElems: 1},
+		{ElemSize: 8, Count: 1, StrideElems: 0},
+	}
+	for _, s := range bad {
+		if _, err := s.MemoryAccesses(small()); err == nil {
+			t.Errorf("invalid %+v accepted", s)
+		}
+	}
+	ok := Streaming{ElemSize: 8, Count: 1, StrideElems: 1}
+	if _, err := ok.MemoryAccesses(cache.Config{}); err == nil {
+		t.Error("invalid cache config accepted")
+	}
+}
+
+func TestStreamingFootprint(t *testing.T) {
+	s := Streaming{ElemSize: 8, Count: 1000, StrideElems: 4}
+	if s.Footprint() != 8000 {
+		t.Errorf("Footprint = %d, want 8000", s.Footprint())
+	}
+	if s.PatternName() != "streaming" {
+		t.Errorf("PatternName = %q", s.PatternName())
+	}
+}
+
+// Cross-validation: the streaming model must match the cache simulator
+// exactly for aligned streams (all misses are compulsory).
+func TestStreamingModelMatchesSimulator(t *testing.T) {
+	cases := []Streaming{
+		{ElemSize: 8, Count: 5000, StrideElems: 1, Aligned: true},
+		{ElemSize: 8, Count: 5000, StrideElems: 4, Aligned: true},
+		{ElemSize: 8, Count: 5000, StrideElems: 8, Aligned: true},
+		{ElemSize: 4, Count: 9999, StrideElems: 3, Aligned: true},
+		{ElemSize: 64, Count: 500, StrideElems: 1, Aligned: true},
+		{ElemSize: 64, Count: 500, StrideElems: 2, Aligned: true},
+		{ElemSize: 16, Count: 1, StrideElems: 5, Aligned: true},
+	}
+	for _, cfg := range []cache.Config{cache.Small, cache.Large, cache.Profile16KB} {
+		for _, s := range cases {
+			sim, err := cache.NewSimulator(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			strideBytes := uint64(s.StrideElems * s.ElemSize)
+			limit := uint64(s.Footprint())
+			for off := uint64(0); off < limit; off += strideBytes {
+				sim.Access(off, uint32(s.ElemSize), false, 1)
+			}
+			want := float64(sim.StructStats(1).Misses)
+			got := mustAccesses(t, s, cfg)
+			if !mathx.ApproxEqual(got, want, 0.01) {
+				t.Errorf("cache %s, stream %+v: model %g, simulator %g",
+					cfg.Name, s, got, want)
+			}
+		}
+	}
+}

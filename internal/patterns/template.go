@@ -1,0 +1,218 @@
+package patterns
+
+import (
+	"fmt"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+// Template models the template-based access pattern (Section III-C): data
+// structures whose accesses follow an explicit, regular template — more
+// structured than random access but not a plain stream (stencils, FFT
+// butterflies, mesh traversals).
+//
+// The paper's two-step algorithm over the cache-block template
+// B = {b1, ..., bn}:
+//
+//  1. a block's first appearance costs one main-memory access;
+//  2. a repeated appearance costs one main-memory access when the reuse
+//     distance since its previous appearance exceeds the maximum available
+//     cache capacity.
+//
+// We measure the reuse distance as the LRU stack distance (the number of
+// distinct blocks touched in between), which is the distance that decides
+// residency in an LRU cache; the raw index distance the paper sketches is
+// available via DistanceRaw for comparison.
+type Template struct {
+	// Blocks is the cache-block access template. Use ElementTemplate to
+	// derive it from element indices.
+	Blocks []int64
+	// CapacityBlocks overrides the cache capacity in blocks (CA*NA) when
+	// positive — "maximum available cache capacity" in the paper — e.g. to
+	// model a structure that owns only a fraction of the cache.
+	CapacityBlocks int
+	// DistanceRaw selects the raw index distance instead of the LRU stack
+	// distance for step 2.
+	DistanceRaw bool
+	// ElemSize records the element size in bytes for Footprint reporting;
+	// zero means unknown (Footprint then reports blocks, not bytes).
+	ElemSize int
+	// FootprintBytes reports the structure size D; zero means "derive from
+	// the largest block index and the cache line size".
+	FootprintBytes int64
+}
+
+// PatternName implements Estimator.
+func (Template) PatternName() string { return "template" }
+
+// Footprint returns the declared footprint, or 0 when unknown at this layer
+// (the Aspen evaluator supplies it from the data-structure declaration).
+func (t Template) Footprint() int64 { return t.FootprintBytes }
+
+// MemoryAccesses runs the two-step algorithm against cache c.
+func (t Template) MemoryAccesses(c cache.Config) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	capBlocks := t.CapacityBlocks
+	if capBlocks <= 0 {
+		capBlocks = c.Lines()
+	}
+	ctr := NewTemplateCounter(capBlocks, t.DistanceRaw)
+	for _, b := range t.Blocks {
+		if b < 0 {
+			return 0, fmt.Errorf("template: negative block id %d", b)
+		}
+		ctr.Visit(b)
+	}
+	return float64(ctr.Misses()), nil
+}
+
+// ElementTemplate converts an element-index template into a cache-block
+// template given the element size and cache line size, assuming the
+// structure is contiguous and line-aligned at offset 0 (which the trace
+// registry guarantees). Elements larger than a line expand into all the
+// lines they span, mirroring how the hardware touches them.
+func ElementTemplate(elems []int64, elemSize, lineSize int) ([]int64, error) {
+	if elemSize <= 0 || lineSize <= 0 {
+		return nil, fmt.Errorf("template: element size %d and line size %d must be positive", elemSize, lineSize)
+	}
+	out := make([]int64, 0, len(elems))
+	for _, e := range elems {
+		if e < 0 {
+			return nil, fmt.Errorf("template: negative element index %d", e)
+		}
+		first := e * int64(elemSize) / int64(lineSize)
+		last := (e*int64(elemSize) + int64(elemSize) - 1) / int64(lineSize)
+		for b := first; b <= last; b++ {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// TemplateCounter is the streaming form of the two-step algorithm, letting
+// callers (like the Aspen evaluator) feed very long templates without
+// materializing them.
+type TemplateCounter struct {
+	capacity int
+	raw      bool
+	misses   int64
+	visits   int64
+
+	// LRU stack distance machinery: each block's last visit time, plus a
+	// Fenwick (binary indexed) tree over visit times marking which times
+	// are the *latest* visit of some block. The number of marked times
+	// greater than lastTime(b) is exactly the number of distinct blocks
+	// seen since b's previous visit.
+	lastVisit map[int64]int64
+	fenwick   []int64
+	timeCap   int
+}
+
+// NewTemplateCounter creates a counter with the given capacity in blocks.
+// raw selects the paper's raw index distance instead of stack distance.
+func NewTemplateCounter(capacityBlocks int, raw bool) *TemplateCounter {
+	return &TemplateCounter{
+		capacity:  capacityBlocks,
+		raw:       raw,
+		lastVisit: make(map[int64]int64),
+		fenwick:   make([]int64, 1),
+		timeCap:   0,
+	}
+}
+
+func (tc *TemplateCounter) fenwickAdd(i int, delta int64) {
+	for ; i < len(tc.fenwick); i += i & (-i) {
+		tc.fenwick[i] += delta
+	}
+}
+
+func (tc *TemplateCounter) fenwickSum(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & (-i) {
+		s += tc.fenwick[i]
+	}
+	return s
+}
+
+// growTo ensures the Fenwick tree can index time n. Growing rebuilds the
+// tree from the current mark set (one mark per block at its last visit
+// time): a Fenwick node covers a range of earlier indices, so freshly
+// appended zero nodes would otherwise report wrong prefix sums. Doubling
+// keeps the rebuild cost amortized O(1) per visit.
+func (tc *TemplateCounter) growTo(n int) {
+	if n < len(tc.fenwick) {
+		return
+	}
+	newLen := len(tc.fenwick)
+	if newLen < 2 {
+		newLen = 2
+	}
+	for newLen <= n {
+		newLen *= 2
+	}
+	tc.fenwick = make([]int64, newLen)
+	for _, t := range tc.lastVisit {
+		tc.fenwickAdd(int(t), 1)
+	}
+}
+
+// Visit feeds the next block of the template and reports whether it counted
+// as a main-memory access (first touch or reuse beyond capacity).
+func (tc *TemplateCounter) Visit(block int64) bool {
+	tc.visits++
+	now := tc.visits // 1-based time
+	tc.growTo(int(now))
+
+	prev, seen := tc.lastVisit[block]
+	miss := false
+	if !seen {
+		miss = true // step 1: first appearance
+	} else {
+		var distance int64
+		if tc.raw {
+			distance = now - prev - 1
+		} else {
+			// Distinct blocks visited strictly after prev: marked times in
+			// (prev, now).
+			distance = tc.fenwickSum(int(now-1)) - tc.fenwickSum(int(prev))
+		}
+		if distance >= int64(tc.capacity) {
+			miss = true // step 2: reuse distance exceeds capacity
+		}
+		tc.fenwickAdd(int(prev), -1)
+	}
+	tc.lastVisit[block] = now
+	tc.fenwickAdd(int(now), 1)
+	if miss {
+		tc.misses++
+	}
+	return miss
+}
+
+// Misses returns the accumulated estimate of main-memory accesses.
+func (tc *TemplateCounter) Misses() int64 { return tc.misses }
+
+// Visits returns the number of template entries consumed.
+func (tc *TemplateCounter) Visits() int64 { return tc.visits }
+
+// DistinctBlocks returns how many unique blocks have been visited.
+func (tc *TemplateCounter) DistinctBlocks() int { return len(tc.lastVisit) }
+
+// RepeatedTraversalMisses is a closed-form shortcut for the common
+// template "traverse the whole structure, passes times": the first pass
+// costs all blocks, and later passes cost all blocks again only when the
+// structure does not fit in the available capacity. It equals feeding the
+// full template through a TemplateCounter but runs in O(1).
+func RepeatedTraversalMisses(structBytes int64, passes int, c cache.Config) float64 {
+	blocks := mathx.CeilDiv(structBytes, int64(c.LineSize))
+	if passes < 1 {
+		passes = 1
+	}
+	if blocks <= int64(c.Lines()) {
+		return float64(blocks)
+	}
+	return float64(blocks) * float64(passes)
+}

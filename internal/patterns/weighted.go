@@ -1,0 +1,179 @@
+package patterns
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/mathx"
+)
+
+// LRUApprox selects the analytic steady-state LRU approximation used by
+// WeightedRandom.
+type LRUApprox int
+
+const (
+	// ApproxChe is Che's approximation: element i with per-iteration visit
+	// probability f_i is resident with probability 1 - exp(-f_i * Tc),
+	// where the characteristic time Tc solves
+	// sum_i (1 - exp(-f_i * Tc)) = m. It models LRU churn well for skewed
+	// stable distributions and is the default.
+	ApproxChe LRUApprox = iota
+	// ApproxLFU keeps exactly the m hottest elements resident — an
+	// optimistic lower bound on misses (a perfect-frequency cache).
+	ApproxLFU
+)
+
+// WeightedRandom extends the paper's random access model to skewed visit
+// distributions. The plain Random model assumes each iteration visits k
+// elements drawn uniformly; tree traversals such as Barnes-Hut violate
+// that badly — the top of the tree is visited by every traversal and stays
+// cached, while deep nodes are visited rarely. Feeding the profiled
+// per-element visit frequencies instead lets the model estimate the
+// expected misses per iteration under an analytic steady-state LRU
+// approximation.
+//
+// Frequencies are per-iteration visit probabilities (visit count divided by
+// iteration count); they are the same kind of profiled application output
+// as the paper's k and iter parameters.
+type WeightedRandom struct {
+	Frequencies []float64 // per-element visit probability, any order
+	ElemSize    int       // E in bytes
+	Iterations  int       // iter
+	CacheRatio  float64   // r: fraction of the cache available
+	Approx      LRUApprox // steady-state approximation (default Che)
+	// Aligned marks a packed, line-aligned array (see Random.Aligned).
+	Aligned bool
+}
+
+// Footprint returns E * len(Frequencies) bytes.
+func (w WeightedRandom) Footprint() int64 {
+	return int64(w.ElemSize) * int64(len(w.Frequencies))
+}
+
+// PatternName implements Estimator.
+func (WeightedRandom) PatternName() string { return "weighted-random" }
+
+// Validate reports parameter errors.
+func (w WeightedRandom) Validate() error {
+	switch {
+	case w.ElemSize <= 0:
+		return fmt.Errorf("weighted-random: element size %d must be positive", w.ElemSize)
+	case w.Iterations < 0:
+		return fmt.Errorf("weighted-random: iteration count %d must be non-negative", w.Iterations)
+	case w.CacheRatio <= 0 || w.CacheRatio > 1:
+		return fmt.Errorf("weighted-random: cache ratio %g must be in (0, 1]", w.CacheRatio)
+	}
+	for _, f := range w.Frequencies {
+		if f < 0 || math.IsNaN(f) {
+			return fmt.Errorf("weighted-random: negative or NaN frequency %g", f)
+		}
+	}
+	return nil
+}
+
+// K returns the implied average number of visits per iteration (the plain
+// model's k), i.e. the sum of the frequencies.
+func (w WeightedRandom) K() float64 {
+	var sum float64
+	for _, f := range w.Frequencies {
+		sum += f
+	}
+	return sum
+}
+
+// MemoryAccesses estimates the construction-pass compulsory misses plus,
+// per iteration, the aggregate visit frequency of the elements beyond the
+// cache partition's capacity when elements are ranked by hotness.
+func (w WeightedRandom) MemoryAccesses(c cache.Config) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	n := len(w.Frequencies)
+	if n == 0 {
+		return 0, nil
+	}
+	initial := float64(mathx.CeilDiv(w.Footprint(), int64(c.LineSize)))
+	m := int(math.Floor(float64(c.Capacity()) * w.CacheRatio / float64(w.ElemSize)))
+	if m >= n {
+		return initial, nil
+	}
+	active := 0
+	for _, f := range w.Frequencies {
+		if f > 0 {
+			active++
+		}
+	}
+	if active <= m {
+		// Every element that is ever revisited fits in the cache.
+		return initial, nil
+	}
+	var missFreq float64
+	switch w.Approx {
+	case ApproxLFU:
+		sorted := make([]float64, n)
+		copy(sorted, w.Frequencies)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		for _, f := range sorted[m:] {
+			missFreq += f
+		}
+	default: // ApproxChe
+		tc := cheCharacteristicTime(w.Frequencies, float64(m))
+		for _, f := range w.Frequencies {
+			if f > 0 {
+				missFreq += f * math.Exp(-f*tc)
+			}
+		}
+	}
+	// Convert missing elements to blocks, as in the plain random model.
+	var perIter float64
+	switch {
+	case w.Aligned:
+		perIter = MeanLinesPerElement(w.ElemSize, c.LineSize) * missFreq
+	case c.LineSize < w.ElemSize:
+		perIter = float64(mathx.CeilDiv(int64(w.ElemSize), int64(c.LineSize))) * missFreq
+	default:
+		perIter = missFreq
+	}
+	bout := float64(w.Footprint())/float64(c.LineSize) -
+		float64(c.Associativity)*float64(c.Sets)*w.CacheRatio
+	if bout < 0 {
+		bout = 0
+	}
+	if perIter > bout {
+		perIter = bout
+	}
+	return initial + perIter*float64(w.Iterations), nil
+}
+
+// cheCharacteristicTime solves sum_i (1 - exp(-f_i * Tc)) = m for Tc by
+// bisection. The left side grows monotonically from 0 toward the number of
+// active elements, so a root exists whenever m is below that count.
+func cheCharacteristicTime(freqs []float64, m float64) float64 {
+	occupied := func(tc float64) float64 {
+		var sum float64
+		for _, f := range freqs {
+			if f > 0 {
+				sum += 1 - math.Exp(-f*tc)
+			}
+		}
+		return sum
+	}
+	lo, hi := 0.0, 1.0
+	for occupied(hi) < m && hi < 1e18 {
+		hi *= 2
+	}
+	for i := 0; i < 200 && hi-lo > 1e-9*hi; i++ {
+		mid := (lo + hi) / 2
+		if occupied(mid) < m {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,177 @@
+// Package plot renders small ASCII line charts, letting the experiment
+// commands draw the paper's figures directly in the terminal (Figure 6's
+// log-scale DVF curves, Figure 7's ECC trade-off) without any plotting
+// dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Config controls the rendering.
+type Config struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int  // plot area columns; 0 means 64
+	Height int  // plot area rows; 0 means 16
+	LogY   bool // log10 y-axis (all y must be positive)
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the series onto a character grid with axes and a legend.
+func Render(cfg Config, series ...Series) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	width := cfg.Width
+	if width <= 0 {
+		width = 64
+	}
+	height := cfg.Height
+	if height <= 0 {
+		height = 16
+	}
+
+	// Collect ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values and %d y values",
+				s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if cfg.LogY {
+				if y <= 0 {
+					return "", fmt.Errorf("plot: series %q has non-positive y=%g on a log axis", s.Name, y)
+				}
+				y = math.Log10(y)
+			}
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	toRow := func(y float64) int {
+		if cfg.LogY {
+			y = math.Log10(y)
+		}
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	// Connect consecutive points with linear interpolation in screen space.
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		prevC, prevR := -1, -1
+		for i := range s.X {
+			c, r := toCol(s.X[i]), toRow(s.Y[i])
+			if prevC >= 0 {
+				steps := maxInt(absInt(c-prevC), absInt(r-prevR))
+				for step := 1; step < steps; step++ {
+					ic := prevC + (c-prevC)*step/steps
+					ir := prevR + (r-prevR)*step/steps
+					if grid[ir][ic] == ' ' {
+						grid[ir][ic] = '.'
+					}
+				}
+			}
+			grid[r][c] = mark
+			prevC, prevR = c, r
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	labelAt := func(row int) string {
+		frac := float64(height-1-row) / float64(height-1)
+		v := ymin + frac*(ymax-ymin)
+		if cfg.LogY {
+			return fmt.Sprintf("%9.2e", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 9)
+		if r == 0 || r == height-1 || r == height/2 {
+			label = labelAt(r)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*g%*g\n", strings.Repeat(" ", 9), width/2, xmin, width-width/2, xmax)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", 9), cfg.XLabel, cfg.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", 9), markers[si%len(markers)], s.Name)
+	}
+	return b.String(), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

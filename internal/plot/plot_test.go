@@ -1,0 +1,109 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicShape(t *testing.T) {
+	out, err := Render(Config{Title: "t", Width: 20, Height: 5},
+		Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + 5 rows + axis + x labels + legend.
+	if len(lines) < 8 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	if lines[0] != "t" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Monotone series: the marker in the first plot row (max y) must be to
+	// the right of the marker in the last plot row (min y).
+	top := strings.IndexByte(lines[1], '*')
+	bottom := strings.IndexByte(lines[5], '*')
+	if top <= bottom {
+		t.Errorf("increasing series rendered wrong: top col %d, bottom col %d\n%s", top, bottom, out)
+	}
+}
+
+func TestRenderMultiSeriesLegend(t *testing.T) {
+	out, err := Render(Config{Width: 10, Height: 4},
+		Series{Name: "a", X: []float64{0, 1}, Y: []float64{1, 1}},
+		Series{Name: "b", X: []float64{0, 1}, Y: []float64{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	out, err := Render(Config{Width: 20, Height: 6, LogY: true},
+		Series{Name: "d", X: []float64{1, 2, 3}, Y: []float64{1e-8, 1e-4, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log axis labels are in scientific notation.
+	if !strings.Contains(out, "e") {
+		t.Errorf("log labels missing:\n%s", out)
+	}
+	// On a log axis the three points are evenly spaced: the middle point
+	// sits near the middle row.
+	lines := strings.Split(out, "\n")
+	var rows []int
+	for r, line := range lines {
+		if strings.ContainsRune(line, '*') {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) < 3 {
+		t.Fatalf("expected three marker rows:\n%s", out)
+	}
+	mid := rows[1]
+	if absInt(mid-(rows[0]+rows[2])/2) > 1 {
+		t.Errorf("log spacing uneven: rows %v\n%s", rows, out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(Config{}); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := Render(Config{}, Series{Name: "x", X: []float64{1}, Y: nil}); err == nil {
+		t.Error("ragged series accepted")
+	}
+	if _, err := Render(Config{}, Series{Name: "x"}); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := Render(Config{LogY: true},
+		Series{Name: "x", X: []float64{1}, Y: []float64{0}}); err == nil {
+		t.Error("non-positive y on log axis accepted")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// Single point and constant series must render without division by
+	// zero artifacts.
+	out, err := Render(Config{Width: 8, Height: 3},
+		Series{Name: "pt", X: []float64{5}, Y: []float64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.ContainsRune(out, '*') {
+		t.Errorf("point not rendered:\n%s", out)
+	}
+}
+
+func TestRenderInterpolationDots(t *testing.T) {
+	out, err := Render(Config{Width: 30, Height: 10},
+		Series{Name: "ramp", X: []float64{0, 1}, Y: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.ContainsRune(out, '.') {
+		t.Errorf("no interpolation between distant points:\n%s", out)
+	}
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The on-disk trace format is a small binary container so that reference
+// streams can be captured once and replayed against many cache
+// configurations, mirroring how the paper reuses Pin traces:
+//
+//	header:  magic "DVFT" | uint16 version | uint32 region count
+//	regions: per region -> uint32 id | uint64 base | uint64 size |
+//	         uint16 name length | name bytes
+//	records: per ref -> uint64 addr | uint32 size | uint8 flags | int32 owner
+//
+// All integers are little-endian. flags bit 0 = write.
+
+const (
+	traceMagic   = "DVFT"
+	traceVersion = 1
+)
+
+// ErrBadTrace reports a malformed trace container.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// Writer streams references into an io.Writer in the container format.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter writes the header (including the registry snapshot) and returns
+// a Writer whose Access method appends records. Call Flush when done.
+func NewWriter(w io.Writer, reg *Registry) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	var hdr [6]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], traceVersion)
+	regions := reg.Regions()
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(regions)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	for _, r := range regions {
+		var rec [20]byte
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(r.ID))
+		binary.LittleEndian.PutUint64(rec[4:12], r.Base)
+		binary.LittleEndian.PutUint64(rec[12:20], r.Size)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return nil, err
+		}
+		var nl [2]byte
+		binary.LittleEndian.PutUint16(nl[:], uint16(len(r.Name)))
+		if _, err := bw.Write(nl[:]); err != nil {
+			return nil, err
+		}
+		if _, err := bw.WriteString(r.Name); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Access appends one reference record. Errors are sticky and surfaced by
+// Flush, so instrumented kernels do not need error plumbing per reference.
+func (tw *Writer) Access(r Ref, owner int32) {
+	if tw.err != nil {
+		return
+	}
+	var rec [17]byte
+	binary.LittleEndian.PutUint64(rec[0:8], r.Addr)
+	binary.LittleEndian.PutUint32(rec[8:12], r.Size)
+	if r.Write {
+		rec[12] = 1
+	}
+	binary.LittleEndian.PutUint32(rec[13:17], uint32(owner))
+	_, tw.err = tw.w.Write(rec[:])
+}
+
+// Flush drains buffered records and returns the first sticky error.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// ReadTrace parses a trace container, returning the region table and
+// invoking fn for each reference record in order.
+func ReadTrace(r io.Reader, fn func(Ref, int32)) ([]Region, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadTrace, err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadTrace)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	nRegions := binary.LittleEndian.Uint32(hdr[2:6])
+	regions := make([]Region, 0, nRegions)
+	for i := uint32(0); i < nRegions; i++ {
+		var rec [20]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated region table", ErrBadTrace)
+		}
+		var nl [2]byte
+		if _, err := io.ReadFull(br, nl[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated region name length", ErrBadTrace)
+		}
+		name := make([]byte, binary.LittleEndian.Uint16(nl[:]))
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("%w: truncated region name", ErrBadTrace)
+		}
+		regions = append(regions, Region{
+			ID:   int32(binary.LittleEndian.Uint32(rec[0:4])),
+			Base: binary.LittleEndian.Uint64(rec[4:12]),
+			Size: binary.LittleEndian.Uint64(rec[12:20]),
+			Name: string(name),
+		})
+	}
+	for {
+		var rec [17]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF {
+				return regions, nil
+			}
+			return nil, fmt.Errorf("%w: truncated record", ErrBadTrace)
+		}
+		fn(Ref{
+			Addr:  binary.LittleEndian.Uint64(rec[0:8]),
+			Size:  binary.LittleEndian.Uint32(rec[8:12]),
+			Write: rec[12]&1 == 1,
+		}, int32(binary.LittleEndian.Uint32(rec[13:17])))
+	}
+}

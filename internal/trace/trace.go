@@ -1,0 +1,222 @@
+// Package trace provides the memory-reference instrumentation substrate
+// that replaces the Pin-based collector of the DVF paper (Section IV).
+//
+// The paper instruments x86 binaries with Pin to collect an
+// (address, size, read/write) reference stream scoped to the computation
+// region of interest, then feeds the stream into a cache simulator. Here,
+// the numerical kernels are instrumented at the source level: each kernel
+// allocates its major data structures through a Registry, which assigns
+// them disjoint simulated address ranges, and emits a Ref through a Memory
+// for every element it touches. Any Consumer (typically the cache
+// simulator, via an adapter) observes exactly the stream Pin would have
+// produced for the same algorithm.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ref is a single memory reference.
+type Ref struct {
+	Addr  uint64 // simulated virtual address
+	Size  uint32 // bytes touched
+	Write bool   // true for stores
+}
+
+// Consumer observes a reference stream. Implementations must tolerate
+// references in any order; Access is called once per reference.
+type Consumer interface {
+	Access(r Ref, owner int32)
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(r Ref, owner int32)
+
+// Access calls f(r, owner).
+func (f ConsumerFunc) Access(r Ref, owner int32) { f(r, owner) }
+
+// Region is a named, contiguous simulated address range owned by one data
+// structure. Regions are handed out by a Registry and never overlap.
+type Region struct {
+	ID   int32  // per-registry identifier, starting at 1 (0 = unattributed)
+	Name string // data structure name, e.g. "A" or "T"
+	Base uint64 // first simulated address
+	Size uint64 // length in bytes
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// String returns "name[base,base+size)".
+func (r Region) String() string {
+	return fmt.Sprintf("%s[%#x,%#x)", r.Name, r.Base, r.Base+r.Size)
+}
+
+// regionAlign is the allocation granularity of the registry. Aligning every
+// region to a generous boundary keeps distinct structures from sharing a
+// cache line, which would otherwise blur per-structure attribution (and is
+// what real allocators achieve with page-aligned large allocations).
+const regionAlign = 4096
+
+// Registry allocates disjoint address ranges to named data structures.
+type Registry struct {
+	next    uint64
+	regions []Region
+}
+
+// NewRegistry creates an empty registry. The address space starts above
+// zero so that a zero address can never be mistaken for a valid element.
+func NewRegistry() *Registry {
+	return &Registry{next: regionAlign}
+}
+
+// Alloc reserves size bytes for the named structure and returns its region.
+// A zero size is allowed (the region then contains no addresses).
+func (g *Registry) Alloc(name string, size uint64) Region {
+	r := Region{
+		ID:   int32(len(g.regions) + 1),
+		Name: name,
+		Base: g.next,
+		Size: size,
+	}
+	g.regions = append(g.regions, r)
+	g.next += (size + regionAlign - 1) / regionAlign * regionAlign
+	if size%regionAlign == 0 {
+		g.next += regionAlign // keep a guard gap between regions
+	}
+	return r
+}
+
+// Regions returns all allocated regions in allocation order.
+func (g *Registry) Regions() []Region {
+	out := make([]Region, len(g.regions))
+	copy(out, g.regions)
+	return out
+}
+
+// Lookup returns the region containing addr, or false when the address is
+// unattributed. Runs in O(log n) over the allocated regions.
+func (g *Registry) Lookup(addr uint64) (Region, bool) {
+	i := sort.Search(len(g.regions), func(i int) bool {
+		return g.regions[i].Base+g.regions[i].Size > addr
+	})
+	if i < len(g.regions) && g.regions[i].Contains(addr) {
+		return g.regions[i], true
+	}
+	return Region{}, false
+}
+
+// Memory couples a registry with a consumer and offers the element-level
+// instrumentation calls the kernels use. All methods are cheap wrappers so
+// that instrumentation stays readable at algorithm call sites:
+//
+//	mem.LoadN(a, i, 8)   // read  the 8-byte element a[i]
+//	mem.StoreN(c, i, 8)  // write the 8-byte element c[i]
+type Memory struct {
+	reg  *Registry
+	sink Consumer
+	refs int64
+}
+
+// NewMemory builds a Memory that reports references to sink. A nil sink
+// discards references (useful when only the algorithm's result is needed).
+func NewMemory(reg *Registry, sink Consumer) *Memory {
+	return &Memory{reg: reg, sink: sink}
+}
+
+// Registry returns the underlying registry.
+func (m *Memory) Registry() *Registry { return m.reg }
+
+// Refs returns the number of references emitted so far.
+func (m *Memory) Refs() int64 { return m.refs }
+
+// Load emits a read of size bytes at byte offset off within region r.
+func (m *Memory) Load(r Region, off uint64, size uint32) {
+	m.emit(r, off, size, false)
+}
+
+// Store emits a write of size bytes at byte offset off within region r.
+func (m *Memory) Store(r Region, off uint64, size uint32) {
+	m.emit(r, off, size, true)
+}
+
+// LoadN emits a read of the idx-th element of elemSize bytes in region r.
+func (m *Memory) LoadN(r Region, idx int, elemSize uint32) {
+	m.emit(r, uint64(idx)*uint64(elemSize), elemSize, false)
+}
+
+// StoreN emits a write of the idx-th element of elemSize bytes in region r.
+func (m *Memory) StoreN(r Region, idx int, elemSize uint32) {
+	m.emit(r, uint64(idx)*uint64(elemSize), elemSize, true)
+}
+
+func (m *Memory) emit(r Region, off uint64, size uint32, write bool) {
+	if off+uint64(size) > r.Size {
+		panic(fmt.Sprintf("trace: access %s+%d(%dB) out of bounds", r, off, size))
+	}
+	m.refs++
+	if m.sink == nil {
+		return
+	}
+	m.sink.Access(Ref{Addr: r.Base + off, Size: size, Write: write}, r.ID)
+}
+
+// Recorder is a Consumer that stores the full stream, mainly for tests and
+// for writing traces to disk via Encode.
+type Recorder struct {
+	Refs   []Ref
+	Owners []int32
+}
+
+// Access appends the reference to the in-memory log.
+func (rec *Recorder) Access(r Ref, owner int32) {
+	rec.Refs = append(rec.Refs, r)
+	rec.Owners = append(rec.Owners, owner)
+}
+
+// Len returns the number of recorded references.
+func (rec *Recorder) Len() int { return len(rec.Refs) }
+
+// Counter is a Consumer that only counts reads and writes per owner.
+type Counter struct {
+	Reads  map[int32]int64
+	Writes map[int32]int64
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter {
+	return &Counter{Reads: map[int32]int64{}, Writes: map[int32]int64{}}
+}
+
+// Access tallies the reference.
+func (c *Counter) Access(r Ref, owner int32) {
+	if r.Write {
+		c.Writes[owner]++
+	} else {
+		c.Reads[owner]++
+	}
+}
+
+// Total returns reads+writes across all owners.
+func (c *Counter) Total() int64 {
+	var n int64
+	for _, v := range c.Reads {
+		n += v
+	}
+	for _, v := range c.Writes {
+		n += v
+	}
+	return n
+}
+
+// Tee fans a reference stream out to several consumers.
+func Tee(consumers ...Consumer) Consumer {
+	return ConsumerFunc(func(r Ref, owner int32) {
+		for _, c := range consumers {
+			c.Access(r, owner)
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryAllocDisjoint(t *testing.T) {
+	g := NewRegistry()
+	a := g.Alloc("A", 1000)
+	b := g.Alloc("B", 500)
+	c := g.Alloc("C", 4096)
+	regions := []Region{a, b, c}
+	for i := range regions {
+		for j := range regions {
+			if i == j {
+				continue
+			}
+			ri, rj := regions[i], regions[j]
+			if ri.Base < rj.Base+rj.Size && rj.Base < ri.Base+ri.Size {
+				t.Errorf("regions overlap: %v and %v", ri, rj)
+			}
+		}
+	}
+	if a.ID == b.ID || b.ID == c.ID {
+		t.Error("region IDs must be unique")
+	}
+	if a.ID == 0 || b.ID == 0 {
+		t.Error("region IDs must not use the unattributed value 0")
+	}
+}
+
+func TestRegistryAlignment(t *testing.T) {
+	g := NewRegistry()
+	a := g.Alloc("A", 1)
+	b := g.Alloc("B", 1)
+	if a.Base%regionAlign != 0 || b.Base%regionAlign != 0 {
+		t.Errorf("regions not aligned: %v %v", a, b)
+	}
+	if a.Base == 0 {
+		t.Error("first region must not start at address 0")
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	g := NewRegistry()
+	a := g.Alloc("A", 100)
+	b := g.Alloc("B", 100)
+	if r, ok := g.Lookup(a.Base + 50); !ok || r.Name != "A" {
+		t.Errorf("Lookup inside A = %v,%v", r, ok)
+	}
+	if r, ok := g.Lookup(b.Base); !ok || r.Name != "B" {
+		t.Errorf("Lookup at B base = %v,%v", r, ok)
+	}
+	if _, ok := g.Lookup(a.Base + 200); ok {
+		t.Error("Lookup in the guard gap should fail")
+	}
+	if _, ok := g.Lookup(0); ok {
+		t.Error("Lookup(0) should fail")
+	}
+}
+
+func TestRegistryLookupProperty(t *testing.T) {
+	g := NewRegistry()
+	var regs []Region
+	sizes := []uint64{1, 7, 4096, 4097, 100000}
+	for i, s := range sizes {
+		regs = append(regs, g.Alloc(strings.Repeat("x", i+1), s))
+	}
+	f := func(pick uint8, off uint32) bool {
+		r := regs[int(pick)%len(regs)]
+		addr := r.Base + uint64(off)%r.Size
+		got, ok := g.Lookup(addr)
+		return ok && got.ID == r.ID
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryEmitsRefs(t *testing.T) {
+	g := NewRegistry()
+	a := g.Alloc("A", 80)
+	rec := &Recorder{}
+	mem := NewMemory(g, rec)
+	mem.LoadN(a, 3, 8)
+	mem.StoreN(a, 9, 8)
+	mem.Load(a, 0, 4)
+	if rec.Len() != 3 || mem.Refs() != 3 {
+		t.Fatalf("recorded %d refs, counted %d, want 3", rec.Len(), mem.Refs())
+	}
+	if rec.Refs[0].Addr != a.Base+24 || rec.Refs[0].Write {
+		t.Errorf("LoadN(3): %+v", rec.Refs[0])
+	}
+	if rec.Refs[1].Addr != a.Base+72 || !rec.Refs[1].Write {
+		t.Errorf("StoreN(9): %+v", rec.Refs[1])
+	}
+	if rec.Owners[0] != int32(a.ID) {
+		t.Errorf("owner = %d, want %d", rec.Owners[0], a.ID)
+	}
+}
+
+func TestMemoryOutOfBoundsPanics(t *testing.T) {
+	g := NewRegistry()
+	a := g.Alloc("A", 16)
+	mem := NewMemory(g, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds access did not panic")
+		}
+	}()
+	mem.LoadN(a, 2, 8) // offset 16..24 is out of the 16-byte region
+}
+
+func TestMemoryNilSinkCountsOnly(t *testing.T) {
+	g := NewRegistry()
+	a := g.Alloc("A", 64)
+	mem := NewMemory(g, nil)
+	for i := 0; i < 8; i++ {
+		mem.LoadN(a, i, 8)
+	}
+	if mem.Refs() != 8 {
+		t.Errorf("Refs = %d, want 8", mem.Refs())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	g := NewRegistry()
+	a := g.Alloc("A", 64)
+	b := g.Alloc("B", 64)
+	c := NewCounter()
+	mem := NewMemory(g, c)
+	mem.LoadN(a, 0, 8)
+	mem.LoadN(a, 1, 8)
+	mem.StoreN(b, 0, 8)
+	if c.Reads[int32(a.ID)] != 2 || c.Writes[int32(b.ID)] != 1 || c.Total() != 3 {
+		t.Errorf("counter state: %+v", c)
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	r1, r2 := &Recorder{}, &Recorder{}
+	sink := Tee(r1, r2)
+	sink.Access(Ref{Addr: 1, Size: 4}, 7)
+	if r1.Len() != 1 || r2.Len() != 1 {
+		t.Error("Tee did not reach all consumers")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := NewRegistry()
+	a := g.Alloc("alpha", 128)
+	b := g.Alloc("beta", 256)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory(g, w)
+	mem.LoadN(a, 0, 8)
+	mem.StoreN(b, 3, 16)
+	mem.LoadN(a, 15, 8)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Ref
+	var owners []int32
+	regions, err := ReadTrace(&buf, func(r Ref, o int32) {
+		got = append(got, r)
+		owners = append(owners, o)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 2 || regions[0].Name != "alpha" || regions[1].Name != "beta" {
+		t.Errorf("region table: %v", regions)
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d refs, want 3", len(got))
+	}
+	if got[1].Addr != b.Base+48 || !got[1].Write || got[1].Size != 16 {
+		t.Errorf("record 1: %+v", got[1])
+	}
+	if owners[0] != int32(a.ID) || owners[1] != int32(b.ID) {
+		t.Errorf("owners: %v", owners)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("nope"),
+		[]byte("DVFT"),                           // truncated header
+		append([]byte("DVFT"), 9, 0, 0, 0, 0, 0), // bad version
+		append([]byte("DVFT"), 1, 0, 5, 0, 0, 0, 1), // truncated region table
+	}
+	for i, raw := range cases {
+		if _, err := ReadTrace(bytes.NewReader(raw), func(Ref, int32) {}); err == nil {
+			t.Errorf("case %d: ReadTrace accepted garbage", i)
+		}
+	}
+}
+
+func TestReadTraceTruncatedRecord(t *testing.T) {
+	g := NewRegistry()
+	g.Alloc("A", 64)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, g)
+	w.Access(Ref{Addr: 1, Size: 4}, 1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-5] // chop the last record
+	if _, err := ReadTrace(bytes.NewReader(raw), func(Ref, int32) {}); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	r := Region{Name: "A", Base: 0x1000, Size: 0x100}
+	if got := r.String(); got != "A[0x1000,0x1100)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func BenchmarkMemoryEmit(b *testing.B) {
+	g := NewRegistry()
+	a := g.Alloc("A", 1<<20)
+	mem := NewMemory(g, ConsumerFunc(func(Ref, int32) {}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem.LoadN(a, i&((1<<17)-1), 8)
+	}
+}
