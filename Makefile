@@ -1,0 +1,35 @@
+# Development gates. `make check` is the full pre-merge gate; the
+# tier-1 gate in ROADMAP.md (`go build ./... && go test ./...`) is the
+# subset run by automation.
+#
+#   make check        vet + build + tests + race detector + bench smoke
+#   make test         the tier-1 test run
+#   make race         full suite under the race detector (slow: the
+#                     experiments package replays every figure)
+#   make bench-smoke  one iteration of the sequential-vs-sharded replay
+#                     benchmarks, as a compile-and-run sanity check
+#   make bench        full benchmark suite (regenerates every figure)
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench
+
+check: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench=Sharded -benchtime=1x .
+
+bench:
+	$(GO) test -run '^$$' -bench=. -benchmem .

@@ -12,6 +12,11 @@
 //
 //	dvf-trace -replay ft.trace -cache small
 //	dvf-trace -replay ft.trace -all
+//
+// Replay defaults to the set-sharded parallel engine with one worker per
+// CPU; -workers=1 falls back to the sequential simulator. Both produce
+// bit-identical reports — the cache decomposes exactly by set index — so
+// the flag only trades wall-clock time.
 package main
 
 import (
@@ -44,6 +49,7 @@ func main() {
 	replay := flag.String("replay", "", "trace file to replay")
 	cacheName := flag.String("cache", "small", "cache to replay against")
 	all := flag.Bool("all", false, "replay against every Table IV cache")
+	workers := flag.Int("workers", 0, "replay workers (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	switch {
@@ -66,7 +72,7 @@ func main() {
 			configs = append(configs, cfg)
 		}
 		for _, cfg := range configs {
-			if err := doReplay(*replay, cfg); err != nil {
+			if err := doReplay(*replay, cfg, *workers); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -158,16 +164,17 @@ func kernelRegistry(info *kernels.RunInfo, rec *trace.Recorder) *trace.Registry 
 	return reg
 }
 
-func doReplay(path string, cfg cache.Config) error {
+func doReplay(path string, cfg cache.Config, workers int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	sim, err := cache.NewSimulator(cfg)
+	sim, err := cache.NewEngine(cfg, workers)
 	if err != nil {
 		return err
 	}
+	defer sim.Close()
 	regions, err := trace.ReadTrace(f, func(r trace.Ref, owner int32) {
 		sim.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
 	})

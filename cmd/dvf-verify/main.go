@@ -2,7 +2,12 @@
 // verification kernels through the cache simulator and compares the CGPMAC
 // analytical estimates against the simulated main-memory access counts.
 //
-//	-csv    emit machine-readable CSV instead of the table
+//	-csv        emit machine-readable CSV instead of the table
+//	-workers N  simulation parallelism: 0 (default) fans the twelve
+//	            (kernel, cache) cells out concurrently, 1 falls back to
+//	            the strictly sequential path, N>1 bounds the fan-out to N
+//	            cells and replays each on the set-sharded engine with N
+//	            workers. The output is identical for every setting.
 package main
 
 import (
@@ -16,8 +21,9 @@ import (
 
 func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the table")
+	workers := flag.Int("workers", 0, "simulation workers (0 = parallel default, 1 = sequential)")
 	flag.Parse()
-	res, err := experiments.RunFig4()
+	res, err := experiments.RunFig4Workers(*workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,256 @@
+package cache
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// ShardedSim replays one reference stream through one cache geometry using
+// several CPU cores, producing exactly the counters the sequential
+// Simulator would.
+//
+// The decomposition exploits the structure of a set-associative LRU cache:
+// a reference to block b only ever reads or writes the state of set
+// b mod NA, so the simulation is exactly decomposable by set index. Shard
+// w owns every set s with s mod workers == w; all references to a set are
+// routed to its owning shard in stream order, so each set sees precisely
+// the sequence of accesses it would see sequentially, and every counter a
+// set produces (accesses, hits, misses, evictions and writebacks — a
+// victim lives in the same set as the reference that evicts it) lands in
+// exactly one shard. Folding the per-shard counters with a commutative sum
+// therefore reproduces the sequential Stats bit for bit; the differential
+// and fuzz tests in this package enforce that equality for every
+// registered kernel, geometry and shard count.
+//
+// Each shard owns a private full-geometry Simulator (set storage is
+// allocated lazily, so untouched sets cost one nil slice header) and is
+// fed by a trace.FanOut worker through batched channels. Multi-line
+// references are split into per-block references *before* routing, because
+// consecutive blocks land in consecutive sets and hence, in general, in
+// different shards.
+//
+// Like Simulator, a ShardedSim must be fed from a single goroutine. The
+// stats accessors (StructStats, TotalStats, PerStructStats, Report) and
+// the state transitions (Flush, Reset) internally Drain the pipeline first,
+// so they observe — and operate on — a quiescent engine; they must be
+// called from the feeding goroutine. Call Close when done to stop the
+// workers.
+type ShardedSim struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	shards    []*Simulator
+	fan       *trace.FanOut
+	names     map[StructID]string
+}
+
+// NewShardedSim builds a sharded engine with the given worker count.
+// workers <= 0 selects runtime.NumCPU(); the count is clamped to the number
+// of sets. One worker is legal (the engine then degenerates to a pipelined
+// sequential simulation); NewEngine picks the plain Simulator in that case
+// instead.
+func NewShardedSim(cfg Config, workers int) (*ShardedSim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > cfg.Sets {
+		workers = cfg.Sets
+	}
+	s := &ShardedSim{
+		cfg:    cfg,
+		shards: make([]*Simulator, workers),
+		names:  make(map[StructID]string),
+	}
+	sinks := make([]trace.Consumer, workers)
+	for i := range s.shards {
+		sim, err := NewSimulator(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = sim
+		sinks[i] = trace.ConsumerFunc(func(r trace.Ref, owner int32) {
+			sim.Access(r.Addr, r.Size, r.Write, StructID(owner))
+		})
+	}
+	s.lineShift = s.shards[0].lineShift
+	s.setMask = s.shards[0].setMask
+	s.fan = trace.NewFanOut(sinks, func(r trace.Ref, _ int32) int {
+		return int((r.Addr>>s.lineShift)&s.setMask) % workers
+	}, trace.DefaultBatch)
+	return s, nil
+}
+
+// Config returns the geometry the engine was built with.
+func (s *ShardedSim) Config() Config { return s.cfg }
+
+// Workers returns the number of shard workers actually running.
+func (s *ShardedSim) Workers() int { return len(s.shards) }
+
+// Label associates a human-readable name with a structure ID for reporting.
+func (s *ShardedSim) Label(id StructID, name string) { s.names[id] = name }
+
+// Access presents a single memory reference, exactly like Simulator.Access.
+// References spanning multiple cache lines are split here — not in the
+// shards — because consecutive blocks belong to different sets and so, in
+// general, to different shards.
+func (s *ShardedSim) Access(addr uint64, size uint32, write bool, owner StructID) {
+	if size == 0 {
+		size = 1
+	}
+	first := addr >> s.lineShift
+	last := (addr + uint64(size) - 1) >> s.lineShift
+	for blk := first; blk <= last; blk++ {
+		// A one-byte reference at the block's base address touches exactly
+		// block blk in the shard's Simulator, which is all accessBlock
+		// inspects; write and owner carry through unchanged.
+		s.fan.Access(trace.Ref{Addr: blk << s.lineShift, Size: 1, Write: write}, int32(owner))
+	}
+}
+
+// Drain blocks until every reference submitted so far has been simulated.
+// On return the workers are idle, so shard state is safe to read until the
+// next Access.
+func (s *ShardedSim) Drain() { s.fan.Drain() }
+
+// Flush drains the pipeline, then writes back all dirty lines and
+// invalidates every shard, exactly like Simulator.Flush.
+func (s *ShardedSim) Flush() {
+	s.fan.Drain()
+	for _, sh := range s.shards {
+		sh.Flush()
+	}
+}
+
+// Reset drains the pipeline and clears cache contents and all counters.
+func (s *ShardedSim) Reset() {
+	s.fan.Drain()
+	for _, sh := range s.shards {
+		sh.Reset()
+	}
+}
+
+// StructStats drains the pipeline and returns the counters attributed to
+// id, summed across shards.
+func (s *ShardedSim) StructStats(id StructID) Stats {
+	s.fan.Drain()
+	var agg Stats
+	for _, sh := range s.shards {
+		agg = agg.add(sh.StructStats(id))
+	}
+	return agg
+}
+
+// TotalStats drains the pipeline and returns the counters aggregated over
+// all structures and shards.
+func (s *ShardedSim) TotalStats() Stats {
+	s.fan.Drain()
+	var agg Stats
+	for _, sh := range s.shards {
+		agg = agg.add(sh.TotalStats())
+	}
+	return agg
+}
+
+// PerStructStats drains the pipeline and returns every structure's
+// counters, folded across shards.
+func (s *ShardedSim) PerStructStats() map[StructID]Stats {
+	s.fan.Drain()
+	merged := make(map[StructID]Stats)
+	for _, sh := range s.shards {
+		for id, st := range sh.PerStructStats() {
+			merged[id] = merged[id].add(st)
+		}
+	}
+	return merged
+}
+
+// Report drains the pipeline and renders the merged per-structure summary,
+// byte-identical to the sequential Simulator's report for the same stream.
+func (s *ShardedSim) Report() string {
+	per := s.PerStructStats()
+	var total Stats
+	for _, sh := range s.shards {
+		total = total.add(sh.TotalStats())
+	}
+	return renderReport(s.cfg, per, total, s.names)
+}
+
+// ResidentBlocks drains the pipeline and returns how many valid lines
+// currently belong to id across all shards.
+func (s *ShardedSim) ResidentBlocks(id StructID) int {
+	s.fan.Drain()
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.ResidentBlocks(id)
+	}
+	return n
+}
+
+// Close flushes pending batches and stops the shard workers. The engine's
+// counters remain readable after Close; further Access calls panic.
+func (s *ShardedSim) Close() { s.fan.Close() }
+
+// Engine is the surface shared by the sequential Simulator and the
+// parallel ShardedSim, so replay drivers can switch between them with a
+// flag. Both implementations produce identical Stats for identical
+// streams; an Engine must be driven from a single goroutine.
+type Engine interface {
+	// Access presents one memory reference (split across lines as needed).
+	Access(addr uint64, size uint32, write bool, owner StructID)
+	// Drain waits until every submitted reference has been simulated.
+	Drain()
+	// Flush writes back all dirty lines and invalidates the cache.
+	Flush()
+	// Reset clears cache contents and all counters.
+	Reset()
+	// Label names a structure ID for reporting.
+	Label(id StructID, name string)
+	// Config returns the simulated geometry.
+	Config() Config
+	// StructStats returns the counters attributed to id.
+	StructStats(id StructID) Stats
+	// TotalStats returns the counters aggregated over all structures.
+	TotalStats() Stats
+	// PerStructStats returns every structure's counters.
+	PerStructStats() map[StructID]Stats
+	// Report renders the per-structure summary table.
+	Report() string
+	// Close releases any workers; the engine stays readable afterwards.
+	Close()
+}
+
+var (
+	_ Engine = (*Simulator)(nil)
+	_ Engine = (*ShardedSim)(nil)
+)
+
+// NewEngine returns the replay engine for the requested worker count:
+// workers == 1 yields the sequential Simulator, workers > 1 a ShardedSim
+// with that many shard workers, and workers <= 0 auto-scales to
+// runtime.NumCPU() (which on a single-core machine is again the sequential
+// path). Whatever the choice, the resulting Stats are identical.
+func NewEngine(cfg Config, workers int) (Engine, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 {
+		return NewSimulator(cfg)
+	}
+	return NewShardedSim(cfg, workers)
+}
+
+// EngineName returns a short human-readable description of an engine, for
+// logs and reports.
+func EngineName(e Engine) string {
+	switch e := e.(type) {
+	case *ShardedSim:
+		return fmt.Sprintf("sharded(%d workers)", e.Workers())
+	default:
+		return "sequential"
+	}
+}

@@ -1,0 +1,211 @@
+// Differential proof of the sharded engine: for every registered kernel,
+// the set-sharded parallel simulator must produce exactly the sequential
+// simulator's per-structure counters — Accesses, Hits, Misses, Writebacks
+// and Evictions — on every cache geometry and shard count, including the
+// odd, non-power-of-two count that stresses the set→shard modulo routing.
+//
+// This file lives in package cache_test because it drives the real Table II
+// kernels, and the kernels package (via patterns) imports cache.
+package cache_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// diffKernels returns one modest-sized instance per kernel registered in
+// internal/kernels/registry.go (the Table II codes). The sizes are scaled
+// down from the verification suite so the full kernel × config × shard
+// matrix stays fast enough to run under -race, while every access pattern
+// class — streaming, template+reuse, random tree walk, stencil, butterfly
+// and random lookup — still exercises the router.
+func diffKernels() []kernels.Kernel {
+	return []kernels.Kernel{
+		kernels.NewVM(1000),
+		kernels.NewCG(100, 3),
+		kernels.NewNB(300),
+		kernels.NewMG(16, 1),
+		kernels.NewFT(512),
+		kernels.NewMC(1000),
+	}
+}
+
+// TestDiffKernelsCoverRegistry pins diffKernels to the registry: if a new
+// kernel code appears in Table II, this test fails until the differential
+// suite covers it.
+func TestDiffKernelsCoverRegistry(t *testing.T) {
+	covered := map[string]bool{}
+	for _, k := range diffKernels() {
+		covered[k.Name()] = true
+	}
+	for _, row := range kernels.TableIIRows() {
+		if !covered[row.Code] {
+			t.Errorf("kernel %s is registered but missing from the sharded differential suite", row.Code)
+		}
+	}
+	if len(covered) < len(kernels.TableIIRows()) {
+		t.Errorf("suite covers %d kernels, registry has %d", len(covered), len(kernels.TableIIRows()))
+	}
+}
+
+// diffConfigs returns the three cache geometries of the differential
+// matrix: the Table IV verification cache, the smallest-line profiling
+// cache (8 B lines maximize multi-line splits), and a tiny direct-mapped
+// cache that makes every reference a potential eviction.
+func diffConfigs() []cache.Config {
+	return []cache.Config{
+		cache.Small,
+		cache.Profile16KB,
+		{Name: "direct-mapped", Associativity: 1, Sets: 4, LineSize: 32},
+	}
+}
+
+// diffShardCounts returns the shard counts under test, deduplicated:
+// degenerate single-worker, even splits, a prime count that divides no
+// power-of-two set count, and whatever this machine's NumCPU is.
+func diffShardCounts() []int {
+	counts := []int{1, 2, 4, 7, runtime.NumCPU()}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range counts {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// recordOnce caches each kernel's reference stream so the matrix replays a
+// recording instead of re-running the kernel per cell.
+var (
+	recMu   sync.Mutex
+	recMap  = map[string]*trace.Recorder{}
+	ownersM = map[string][]cache.StructID{}
+)
+
+func recordKernel(t *testing.T, k kernels.Kernel) (*trace.Recorder, []cache.StructID) {
+	t.Helper()
+	recMu.Lock()
+	defer recMu.Unlock()
+	if rec, ok := recMap[k.Name()]; ok {
+		return rec, ownersM[k.Name()]
+	}
+	rec := &trace.Recorder{}
+	if _, err := k.Run(rec); err != nil {
+		t.Fatalf("running %s: %v", k.Name(), err)
+	}
+	seen := map[cache.StructID]bool{cache.Unattributed: true}
+	var ids []cache.StructID
+	for _, o := range rec.Owners {
+		if !seen[cache.StructID(o)] {
+			seen[cache.StructID(o)] = true
+			ids = append(ids, cache.StructID(o))
+		}
+	}
+	ids = append(ids, cache.Unattributed)
+	recMap[k.Name()] = rec
+	ownersM[k.Name()] = ids
+	return rec, ids
+}
+
+func replay(e cache.Engine, rec *trace.Recorder) {
+	for i, r := range rec.Refs {
+		e.Access(r.Addr, r.Size, r.Write, cache.StructID(rec.Owners[i]))
+	}
+	e.Flush()
+}
+
+// TestShardedDifferentialAllKernels is the satellite's full matrix: every
+// registered kernel × three cache geometries × shard counts {1, 2, 4, 7,
+// NumCPU}, asserting exact per-structure Stats equality (all five
+// counters) plus identical totals and reports.
+func TestShardedDifferentialAllKernels(t *testing.T) {
+	for _, k := range diffKernels() {
+		k := k
+		t.Run(k.Name(), func(t *testing.T) {
+			rec, ids := recordKernel(t, k)
+			for _, cfg := range diffConfigs() {
+				seq, err := cache.NewSimulator(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				replay(seq, rec)
+				seqReport := seq.Report()
+				for _, workers := range diffShardCounts() {
+					shard, err := cache.NewShardedSim(cfg, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					replay(shard, rec)
+					for _, id := range ids {
+						got, want := shard.StructStats(id), seq.StructStats(id)
+						if got != want {
+							t.Errorf("%s on %s, %d shards, struct %d: sharded %+v != sequential %+v",
+								k.Name(), cfg.Name, workers, id, got, want)
+						}
+					}
+					if got, want := shard.TotalStats(), seq.TotalStats(); got != want {
+						t.Errorf("%s on %s, %d shards: totals %+v != %+v",
+							k.Name(), cfg.Name, workers, got, want)
+					}
+					if got := shard.Report(); got != seqReport {
+						t.Errorf("%s on %s, %d shards: reports differ", k.Name(), cfg.Name, workers)
+					}
+					shard.Close()
+				}
+			}
+		})
+	}
+}
+
+// TestShardedDifferentialViaConsumer routes a kernel through the engines
+// behind the trace.Consumer interface — the exact wiring the experiment
+// drivers use — and demands equal per-structure memory-access totals.
+func TestShardedDifferentialViaConsumer(t *testing.T) {
+	k := kernels.NewFT(512)
+	cfg := cache.Small
+
+	runThrough := func(e cache.Engine) *kernels.RunInfo {
+		sink := trace.ConsumerFunc(func(r trace.Ref, owner int32) {
+			e.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
+		})
+		info, err := k.Run(sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Flush()
+		return info
+	}
+
+	seq, err := cache.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqInfo := runThrough(seq)
+	shard, err := cache.NewShardedSim(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shard.Close()
+	shardInfo := runThrough(shard)
+
+	if seqInfo.Refs != shardInfo.Refs {
+		t.Fatalf("kernel emitted %d refs sequentially, %d sharded", seqInfo.Refs, shardInfo.Refs)
+	}
+	for _, st := range seqInfo.Structures {
+		id := cache.StructID(st.ID)
+		a, b := seq.StructStats(id), shard.StructStats(id)
+		if a != b {
+			t.Errorf("struct %s: sequential %+v != sharded %+v", st.Name, a, b)
+		}
+		if a.MemoryAccesses() != b.MemoryAccesses() {
+			t.Errorf("struct %s: N_ha %d != %d", st.Name, a.MemoryAccesses(), b.MemoryAccesses())
+		}
+	}
+}

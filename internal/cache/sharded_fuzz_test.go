@@ -1,0 +1,67 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzShardedVsSequential generates a random cache geometry, shard count
+// and reference stream from the fuzzed inputs and demands that the
+// set-sharded engine reproduce the sequential simulator's counters
+// exactly — per structure, in total, and after a mid-stream drain and a
+// final flush. The seed corpus under testdata/fuzz pins the regression
+// cases (including a prime shard count and a direct-mapped geometry) that
+// run on every plain `go test`.
+func FuzzShardedVsSequential(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(5), uint8(2), uint8(1), uint16(2000))
+	f.Add(int64(42), uint8(0), uint8(0), uint8(0), uint8(6), uint16(500))  // direct-mapped, prime shards
+	f.Add(int64(7), uint8(7), uint8(7), uint8(3), uint8(2), uint16(4096)) // largest geometry
+	f.Fuzz(func(t *testing.T, seed int64, assocSel, setSel, lineSel, workerSel uint8, n uint16) {
+		cfg := Config{
+			Name:          "fuzz",
+			Associativity: int(assocSel%8) + 1,
+			Sets:          1 << (setSel % 8),
+			LineSize:      1 << (3 + lineSel%4),
+		}
+		workers := int(workerSel%8) + 1
+		seq, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatalf("geometry %v rejected: %v", cfg, err)
+		}
+		shard, err := NewShardedSim(cfg, workers)
+		if err != nil {
+			t.Fatalf("sharded %v rejected: %v", cfg, err)
+		}
+		defer shard.Close()
+
+		rng := rand.New(rand.NewSource(seed))
+		refs := int(n)
+		for i := 0; i < refs; i++ {
+			addr := uint64(rng.Intn(1 << 16))
+			size := uint32(rng.Intn(64) + 1) // up to several lines, forcing splits
+			write := rng.Intn(3) == 0
+			owner := StructID(rng.Intn(4))
+			seq.Access(addr, size, write, owner)
+			shard.Access(addr, size, write, owner)
+			if i == refs/2 {
+				// Mid-stream barrier: counters must already agree while
+				// both caches still hold live, dirty state.
+				shard.Drain()
+				if got, want := shard.TotalStats(), seq.TotalStats(); got != want {
+					t.Fatalf("mid-stream totals: sharded %+v != sequential %+v", got, want)
+				}
+			}
+		}
+		seq.Flush()
+		shard.Flush()
+		for id := StructID(0); id < 4; id++ {
+			if got, want := shard.StructStats(id), seq.StructStats(id); got != want {
+				t.Errorf("cfg %+v workers=%d struct %d: sharded %+v != sequential %+v",
+					cfg, workers, id, got, want)
+			}
+		}
+		if got, want := shard.TotalStats(), seq.TotalStats(); got != want {
+			t.Errorf("cfg %+v workers=%d: totals %+v != %+v", cfg, workers, got, want)
+		}
+	})
+}

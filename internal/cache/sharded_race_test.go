@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Race-detector targets for the sharded engine: these tests are cheap
+// enough to run always, but their value is under `go test -race`, where
+// the detector checks every feed/drain/merge handoff between the producer
+// goroutine and the shard workers.
+
+// TestShardedRaceFeedDrainInterleaved drives a long stream while
+// repeatedly interleaving the operations that synchronize with the
+// workers — Drain barriers, mid-stream stats reads, flushes and a reset —
+// then checks the final counters against a sequential replay of the same
+// decisions.
+func TestShardedRaceFeedDrainInterleaved(t *testing.T) {
+	cfg := Config{Name: "race", Associativity: 2, Sets: 32, LineSize: 16}
+	seq, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := NewShardedSim(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shard.Close()
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 30000; i++ {
+		addr := uint64(rng.Intn(1 << 13))
+		size := uint32(rng.Intn(40) + 1)
+		write := rng.Intn(4) == 0
+		owner := StructID(rng.Intn(3) + 1)
+		seq.Access(addr, size, write, owner)
+		shard.Access(addr, size, write, owner)
+		switch {
+		case i%5000 == 4999:
+			seq.Flush()
+			shard.Flush()
+		case i%1777 == 0:
+			shard.Drain()
+		case i%1999 == 0:
+			if got, want := shard.TotalStats(), seq.TotalStats(); got != want {
+				t.Fatalf("mid-stream at %d: %+v != %+v", i, got, want)
+			}
+		}
+		if i == 15000 {
+			seq.Reset()
+			shard.Reset()
+		}
+	}
+	seq.Flush()
+	shard.Flush()
+	for id := StructID(1); id <= 3; id++ {
+		if got, want := shard.StructStats(id), seq.StructStats(id); got != want {
+			t.Errorf("struct %d: %+v != %+v", id, got, want)
+		}
+	}
+}
+
+// TestShardedRaceManyEngines runs several independent sharded engines at
+// once — the RunFig4 shape, where concurrent cells each own an engine —
+// so the detector can watch for any accidental sharing between engines.
+func TestShardedRaceManyEngines(t *testing.T) {
+	cfg := Config{Name: "many", Associativity: 4, Sets: 16, LineSize: 32}
+	want := func(seed int64) Stats {
+		sim, _ := NewSimulator(cfg)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 8000; i++ {
+			sim.Access(uint64(rng.Intn(1<<12)), uint32(rng.Intn(16)+1), rng.Intn(3) == 0, 1)
+		}
+		sim.Flush()
+		return sim.TotalStats()
+	}
+
+	const engines = 6
+	var wg sync.WaitGroup
+	errs := make([]error, engines)
+	stats := make([]Stats, engines)
+	for g := 0; g < engines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			shard, err := NewShardedSim(cfg, 1+g%4)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer shard.Close()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 8000; i++ {
+				shard.Access(uint64(rng.Intn(1<<12)), uint32(rng.Intn(16)+1), rng.Intn(3) == 0, 1)
+			}
+			shard.Flush()
+			stats[g] = shard.TotalStats()
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < engines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if exp := want(int64(g)); stats[g] != exp {
+			t.Errorf("engine %d: %+v, want %+v", g, stats[g], exp)
+		}
+	}
+}
+
+// TestShardedRaceStatsAfterClose reads every accessor after Close; the
+// worker shutdown must leave the merged state fully readable.
+func TestShardedRaceStatsAfterClose(t *testing.T) {
+	shard, err := NewShardedSim(Small, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		shard.Access(uint64(i)*8, 8, i%2 == 0, StructID(i%3))
+	}
+	shard.Close()
+	total := shard.TotalStats()
+	if total.Accesses == 0 {
+		t.Error("no accesses recorded")
+	}
+	var sum Stats
+	for id, st := range shard.PerStructStats() {
+		sum = sum.add(st)
+		_ = shard.StructStats(id)
+	}
+	if sum != total {
+		t.Errorf("per-struct sum %+v != total %+v", sum, total)
+	}
+	if shard.Report() == "" {
+		t.Error("empty report")
+	}
+}

@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// feedBoth drives the same pseudo-random stream through both engines.
+func feedBoth(seq, shard Engine, seed int64, n int, addrSpace uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		addr := uint64(rng.Int63n(int64(addrSpace)))
+		size := uint32(rng.Intn(32) + 1)
+		write := rng.Intn(3) == 0
+		owner := StructID(rng.Intn(4)) // includes Unattributed
+		seq.Access(addr, size, write, owner)
+		shard.Access(addr, size, write, owner)
+	}
+}
+
+func compareEngines(t *testing.T, seq, shard Engine, label string) {
+	t.Helper()
+	for id := StructID(0); id < 4; id++ {
+		if got, want := shard.StructStats(id), seq.StructStats(id); got != want {
+			t.Errorf("%s: struct %d: sharded %+v, sequential %+v", label, id, got, want)
+		}
+	}
+	if got, want := shard.TotalStats(), seq.TotalStats(); got != want {
+		t.Errorf("%s: totals: sharded %+v, sequential %+v", label, got, want)
+	}
+}
+
+func TestShardedMatchesSequentialAcrossWorkerCounts(t *testing.T) {
+	cfg := Config{Name: "shardtest", Associativity: 4, Sets: 64, LineSize: 32}
+	for _, workers := range []int{1, 2, 3, 4, 7, 16, 64} {
+		seq, err := NewSimulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard, err := NewShardedSim(cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedBoth(seq, shard, int64(workers), 20000, 1<<14)
+		seq.Flush()
+		shard.Flush()
+		compareEngines(t, seq, shard, cfg.Name)
+		if got, want := shard.Report(), seq.Report(); got != want {
+			t.Errorf("workers=%d: reports differ:\nsharded:\n%s\nsequential:\n%s", workers, got, want)
+		}
+		shard.Close()
+	}
+}
+
+func TestShardedFlushThenContinue(t *testing.T) {
+	cfg := Config{Name: "flushtest", Associativity: 2, Sets: 8, LineSize: 16}
+	seq, _ := NewSimulator(cfg)
+	shard, err := NewShardedSim(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shard.Close()
+	feedBoth(seq, shard, 7, 5000, 1<<10)
+	seq.Flush()
+	shard.Flush()
+	// The engines keep working after a Flush, exactly like the sequential
+	// simulator: the cache is cold again but counters accumulate.
+	feedBoth(seq, shard, 8, 5000, 1<<10)
+	seq.Flush()
+	shard.Flush()
+	compareEngines(t, seq, shard, "after second flush")
+}
+
+func TestShardedReset(t *testing.T) {
+	cfg := Config{Name: "resettest", Associativity: 2, Sets: 16, LineSize: 32}
+	seq, _ := NewSimulator(cfg)
+	shard, err := NewShardedSim(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shard.Close()
+	feedBoth(seq, shard, 9, 3000, 1<<12)
+	seq.Reset()
+	shard.Reset()
+	if got := shard.TotalStats(); got != (Stats{}) {
+		t.Fatalf("stats after reset: %+v", got)
+	}
+	feedBoth(seq, shard, 10, 3000, 1<<12)
+	seq.Flush()
+	shard.Flush()
+	compareEngines(t, seq, shard, "after reset")
+}
+
+func TestShardedResidentBlocks(t *testing.T) {
+	cfg := Config{Name: "res", Associativity: 4, Sets: 16, LineSize: 32}
+	seq, _ := NewSimulator(cfg)
+	shard, err := NewShardedSim(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shard.Close()
+	feedBoth(seq, shard, 11, 4000, 1<<12)
+	for id := StructID(0); id < 4; id++ {
+		if got, want := shard.ResidentBlocks(id), seq.ResidentBlocks(id); got != want {
+			t.Errorf("struct %d: resident %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestShardedWorkerClamping(t *testing.T) {
+	cfg := Config{Name: "clamp", Associativity: 1, Sets: 4, LineSize: 16}
+	shard, err := NewShardedSim(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shard.Close()
+	if shard.Workers() != 4 {
+		t.Errorf("workers = %d, want clamp to %d sets", shard.Workers(), cfg.Sets)
+	}
+	auto, err := NewShardedSim(Small, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer auto.Close()
+	want := runtime.NumCPU()
+	if want > Small.Sets {
+		want = Small.Sets
+	}
+	if auto.Workers() != want {
+		t.Errorf("auto workers = %d, want %d", auto.Workers(), want)
+	}
+}
+
+func TestShardedRejectsBadGeometry(t *testing.T) {
+	if _, err := NewShardedSim(Config{Name: "bad", Associativity: 0, Sets: 4, LineSize: 16}, 2); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestNewEngineSelection(t *testing.T) {
+	e1, err := NewEngine(Small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+	if _, ok := e1.(*Simulator); !ok {
+		t.Errorf("workers=1: got %T, want *Simulator", e1)
+	}
+	if EngineName(e1) != "sequential" {
+		t.Errorf("EngineName(seq) = %q", EngineName(e1))
+	}
+	e4, err := NewEngine(Small, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e4.Close()
+	s, ok := e4.(*ShardedSim)
+	if !ok {
+		t.Fatalf("workers=4: got %T, want *ShardedSim", e4)
+	}
+	if s.Workers() != 4 {
+		t.Errorf("workers = %d, want 4", s.Workers())
+	}
+	if !strings.Contains(EngineName(e4), "sharded(4") {
+		t.Errorf("EngineName(sharded) = %q", EngineName(e4))
+	}
+	if s.Config() != Small {
+		t.Errorf("Config() = %v", s.Config())
+	}
+}
+
+func TestShardedAccessAfterClosePanics(t *testing.T) {
+	shard, err := NewShardedSim(Small, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard.Access(0, 8, false, 1)
+	shard.Close()
+	shard.Close() // idempotent
+	if got := shard.TotalStats().Accesses; got != 1 {
+		t.Errorf("stats unreadable after close: accesses = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Access after Close did not panic")
+		}
+	}()
+	shard.Access(0, 8, false, 1)
+}
+
+// TestShardedLabelsInReport checks names flow into the merged report.
+func TestShardedLabelsInReport(t *testing.T) {
+	shard, err := NewShardedSim(Small, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shard.Close()
+	shard.Label(1, "A")
+	shard.Access(0, 8, false, 1)
+	if rep := shard.Report(); !strings.Contains(rep, "A") || !strings.Contains(rep, "TOTAL") {
+		t.Errorf("report missing label or total:\n%s", rep)
+	}
+}

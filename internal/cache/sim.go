@@ -54,7 +54,11 @@ type line struct {
 }
 
 // Simulator is a write-back, write-allocate, set-associative LRU cache.
-// It is not safe for concurrent use; drive one simulator per goroutine.
+// A Simulator's methods must not be called concurrently: drive one
+// simulator per goroutine, or use ShardedSim — which partitions the sets
+// of a single geometry across several internal Simulators and is proven
+// bit-identical to this sequential engine — to parallelize one replay
+// across cores.
 type Simulator struct {
 	cfg        Config
 	lineShift  uint
@@ -70,6 +74,10 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Set backing storage is allocated lazily, on a set's first miss: a
+	// ShardedSim builds one full-geometry Simulator per shard but feeds
+	// each only its own slice of the sets, so eager allocation would
+	// multiply the footprint by the shard count for no benefit.
 	s := &Simulator{
 		cfg:        cfg,
 		lineShift:  uint(bits.TrailingZeros(uint(cfg.LineSize))),
@@ -77,9 +85,6 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		sets:       make([][]line, cfg.Sets),
 		perStruct:  make(map[StructID]*Stats),
 		structName: make(map[StructID]string),
-	}
-	for i := range s.sets {
-		s.sets[i] = make([]line, 0, cfg.Associativity)
 	}
 	return s, nil
 }
@@ -133,6 +138,9 @@ func (s *Simulator) accessBlock(blk uint64, write bool, owner StructID) {
 	s.total.Misses++
 	newLine := line{tag: tag, owner: owner, valid: true, dirty: write}
 	if len(set) < s.cfg.Associativity {
+		if cap(set) == 0 {
+			set = make([]line, 0, s.cfg.Associativity)
+		}
 		set = append(set, line{})
 		copy(set[1:], set[:len(set)-1])
 		set[0] = newLine
@@ -197,6 +205,23 @@ func (s *Simulator) StructStats(id StructID) Stats {
 // TotalStats returns the counters aggregated over all structures.
 func (s *Simulator) TotalStats() Stats { return s.total }
 
+// PerStructStats returns a copy of every structure's counters.
+func (s *Simulator) PerStructStats() map[StructID]Stats {
+	out := make(map[StructID]Stats, len(s.perStruct))
+	for id, st := range s.perStruct {
+		out[id] = *st
+	}
+	return out
+}
+
+// Drain is a no-op on the sequential simulator; it exists so Simulator and
+// ShardedSim share the Engine interface (the sharded engine uses Drain as
+// its feed/worker barrier).
+func (s *Simulator) Drain() {}
+
+// Close is a no-op on the sequential simulator (Engine interface).
+func (s *Simulator) Close() {}
+
 // ResidentBlocks returns how many valid lines currently belong to id,
 // useful for occupancy assertions in tests.
 func (s *Simulator) ResidentBlocks(id StructID) int {
@@ -213,16 +238,22 @@ func (s *Simulator) ResidentBlocks(id StructID) int {
 
 // Report renders a deterministic per-structure summary table.
 func (s *Simulator) Report() string {
-	ids := make([]StructID, 0, len(s.perStruct))
-	for id := range s.perStruct {
+	return renderReport(s.cfg, s.PerStructStats(), s.total, s.structName)
+}
+
+// renderReport is the shared report formatter: both engines render through
+// it, so a sharded replay's report is byte-identical to the sequential one.
+func renderReport(cfg Config, perStruct map[StructID]Stats, total Stats, names map[StructID]string) string {
+	ids := make([]StructID, 0, len(perStruct))
+	for id := range perStruct {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	out := fmt.Sprintf("cache %s\n%-12s %10s %10s %10s %10s\n",
-		s.cfg, "struct", "accesses", "misses", "writebacks", "missratio")
+		cfg, "struct", "accesses", "misses", "writebacks", "missratio")
 	for _, id := range ids {
-		st := s.perStruct[id]
-		name := s.structName[id]
+		st := perStruct[id]
+		name := names[id]
 		if name == "" {
 			name = fmt.Sprintf("#%d", id)
 		}
@@ -230,7 +261,7 @@ func (s *Simulator) Report() string {
 			name, st.Accesses, st.Misses, st.Writebacks, st.MissRatio())
 	}
 	out += fmt.Sprintf("%-12s %10d %10d %10d %10.4f\n",
-		"TOTAL", s.total.Accesses, s.total.Misses, s.total.Writebacks, s.total.MissRatio())
+		"TOTAL", total.Accesses, total.Misses, total.Writebacks, total.MissRatio())
 	return out
 }
 

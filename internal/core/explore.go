@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"github.com/resilience-models/dvf/internal/dvf"
 	"github.com/resilience-models/dvf/internal/experiments"
@@ -49,20 +48,13 @@ func Explore(k Kernel, caches []CacheConfig, protections []dvf.ECC) (*ExploreRes
 		}
 	}
 	points := make([]DesignPoint, len(cells))
-	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	for i := range cells {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			points[i], errs[i] = explorePoint(k, cells[i].cfg, cells[i].prot)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := experiments.Parallel(len(cells), 0, func(i int) error {
+		var err error
+		points[i], err = explorePoint(k, cells[i].cfg, cells[i].prot)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	res := &ExploreResult{Points: points}
 	sort.SliceStable(res.Points, func(i, j int) bool {

@@ -7,7 +7,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/kernels"
@@ -56,14 +55,25 @@ func (res *Fig4Result) MaxAbsErrorPct() float64 {
 	return max
 }
 
-// VerifyKernel runs one kernel traced through the cache simulator on cfg
-// and compares the per-structure CGPMAC estimates against the simulated
-// miss counts — the Figure 4 procedure for a single (kernel, cache) cell.
+// VerifyKernel runs one kernel traced through the sequential cache
+// simulator on cfg and compares the per-structure CGPMAC estimates against
+// the simulated miss counts — the Figure 4 procedure for a single
+// (kernel, cache) cell.
 func VerifyKernel(k kernels.Kernel, cfg cache.Config) ([]Fig4Row, error) {
-	sim, err := cache.NewSimulator(cfg)
+	return VerifyKernelWorkers(k, cfg, 1)
+}
+
+// VerifyKernelWorkers is VerifyKernel with an explicit simulation-engine
+// worker count: 1 selects the sequential Simulator, anything else the
+// set-sharded parallel engine (0 = one worker per CPU). The row values are
+// identical either way — the sharded engine is bit-identical by set
+// decomposition — only the wall-clock time changes.
+func VerifyKernelWorkers(k kernels.Kernel, cfg cache.Config, workers int) ([]Fig4Row, error) {
+	sim, err := cache.NewEngine(cfg, workers)
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Close()
 	sink := trace.ConsumerFunc(func(r trace.Ref, owner int32) {
 		sim.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
 	})
@@ -101,7 +111,22 @@ func VerifyKernel(k kernels.Kernel, cfg cache.Config) ([]Fig4Row, error) {
 // twelve (kernel, cache) cells are independent — each owns its kernel
 // instance and simulator — so they run concurrently; results keep the
 // deterministic cache-major, Table II order.
-func RunFig4() (*Fig4Result, error) {
+func RunFig4() (*Fig4Result, error) { return RunFig4Workers(0) }
+
+// RunFig4Workers is RunFig4 with an explicit worker count:
+//
+//	workers == 1  everything strictly sequential — cells run one after
+//	              another on the sequential Simulator, no goroutines at
+//	              all (the drivers' -workers=1 fallback path);
+//	workers == 0  the default: all cells fan out concurrently, each on a
+//	              sequential engine (twelve cells already saturate the
+//	              machine);
+//	workers  > 1  at most `workers` cells in flight, each replaying on a
+//	              set-sharded engine with `workers` shard workers — the
+//	              setting that exercises ShardedSim end to end.
+//
+// The rows are identical for every setting; only wall-clock time changes.
+func RunFig4Workers(workers int) (*Fig4Result, error) {
 	type cell struct {
 		cfg cache.Config
 		k   kernels.Kernel
@@ -112,22 +137,21 @@ func RunFig4() (*Fig4Result, error) {
 			cells = append(cells, cell{cfg: cfg, k: k})
 		}
 	}
-	rows := make([][]Fig4Row, len(cells))
-	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	for i := range cells {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			rows[i], errs[i] = VerifyKernel(cells[i].k, cells[i].cfg)
-		}(i)
+	engineWorkers := workers
+	if workers == 0 {
+		engineWorkers = 1 // concurrent cells already cover the cores
 	}
-	wg.Wait()
+	rows := make([][]Fig4Row, len(cells))
+	err := Parallel(len(cells), workers, func(i int) error {
+		var err error
+		rows[i], err = VerifyKernelWorkers(cells[i].k, cells[i].cfg, engineWorkers)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig4Result{}
 	for i := range cells {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		res.Rows = append(res.Rows, rows[i]...)
 	}
 	return res, nil

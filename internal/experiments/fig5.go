@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/dvf"
@@ -84,24 +83,25 @@ func profileFromInfo(k kernels.Kernel, info *kernels.RunInfo, cfg cache.Config, 
 // Table VI input sizes across the four profiling caches of Table IV, with
 // the unprotected FIT rate of Table VII. Kernels profile concurrently
 // (each owns its state); cells keep the Table II, capacity-ascending order.
-func RunFig5() (*Fig5Result, error) {
+func RunFig5() (*Fig5Result, error) { return RunFig5Workers(0) }
+
+// RunFig5Workers is RunFig5 with a bound on how many kernels profile
+// concurrently: 1 profiles them sequentially in the caller's goroutine
+// (the -workers=1 fallback), 0 leaves the fan-out unbounded. The cells are
+// identical for every setting.
+func RunFig5Workers(workers int) (*Fig5Result, error) {
 	res := &Fig5Result{Rate: dvf.FITNoECC}
 	suite := kernels.ProfilingSuite()
 	cells := make([][]Fig5Cell, len(suite))
-	errs := make([]error, len(suite))
-	var wg sync.WaitGroup
-	for i, k := range suite {
-		wg.Add(1)
-		go func(i int, k kernels.Kernel) {
-			defer wg.Done()
-			cells[i], errs[i] = profileAllCaches(k, res.Rate)
-		}(i, k)
+	err := Parallel(len(suite), workers, func(i int) error {
+		var err error
+		cells[i], err = profileAllCaches(suite[i], res.Rate)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	for i := range suite {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		res.Cells = append(res.Cells, cells[i]...)
 	}
 	return res, nil

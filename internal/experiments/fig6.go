@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/dvf"
@@ -46,24 +45,25 @@ func Fig6Sizes() []int {
 // traffic, but converges in a handful of iterations while CG's iteration
 // count grows with the problem's condition number — so PCG's DVF starts
 // slightly worse and crosses below CG's as n grows.
-func RunFig6() (*Fig6Result, error) {
+func RunFig6() (*Fig6Result, error) { return RunFig6Workers(0) }
+
+// RunFig6Workers is RunFig6 with a bound on how many problem sizes solve
+// concurrently: 1 runs the sweep sequentially in the caller's goroutine
+// (the -workers=1 fallback), 0 leaves the fan-out unbounded. The points
+// are identical for every setting.
+func RunFig6Workers(workers int) (*Fig6Result, error) {
 	res := &Fig6Result{Cache: cache.Profile8MB, Rate: dvf.FITNoECC, Tol: 1e-8}
 	sizes := Fig6Sizes()
 	points := make([]*Fig6Point, len(sizes))
-	errs := make([]error, len(sizes))
-	var wg sync.WaitGroup
-	for i, n := range sizes {
-		wg.Add(1)
-		go func(i, n int) {
-			defer wg.Done()
-			points[i], errs[i] = runFig6Point(n, res.Tol, res.Cache, res.Rate)
-		}(i, n)
+	err := Parallel(len(sizes), workers, func(i int) error {
+		var err error
+		points[i], err = runFig6Point(sizes[i], res.Tol, res.Cache, res.Rate)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	for i := range sizes {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		res.Points = append(res.Points, *points[i])
 	}
 	return res, nil

@@ -35,6 +35,11 @@ func Fig7Degradations() []float64 {
 // application DVF is swept over performance degradations for SECDED and
 // chipkill protection, on the largest Table IV cache (as the paper
 // specifies for Section V).
+//
+// Unlike Figures 4-6 this experiment is purely analytical — one untraced
+// kernel run feeds two closed-form sweeps — so there is no reference
+// stream to shard and no fan-out to bound; the drivers' -workers flag does
+// not apply here.
 func RunFig7() (*Fig7Result, error) {
 	cfg := cache.Profile8MB
 	k := kernels.NewVM(100000)

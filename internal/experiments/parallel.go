@@ -1,0 +1,51 @@
+package experiments
+
+import "sync"
+
+// Parallel runs fn(0) … fn(n-1), returning the first error in index order.
+//
+// workers bounds the number of concurrently running calls: 1 runs every
+// call sequentially in the caller's goroutine (the deterministic fallback
+// behind the drivers' -workers=1 flag — no goroutines at all), 0 or a
+// value >= n imposes no bound (the historical fan-out of the figure
+// drivers), and anything in between gates the calls through a semaphore.
+// All experiment fan-outs — RunFig4, RunFig5, RunFig6 and core.Explore —
+// route through this helper, so its concurrency discipline is what the
+// race-targeted tests exercise.
+func Parallel(n, workers int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var sem chan struct{}
+	if workers > 0 && workers < n {
+		sem = make(chan struct{}, workers)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with -race; the
+// golden-file tests use it to skip re-running the heavyweight figure
+// sweeps whose byte-level output is engine-agnostic and already covered
+// by the non-race runs.
+const raceEnabled = true

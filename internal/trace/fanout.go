@@ -1,0 +1,159 @@
+package trace
+
+import "sync"
+
+// FanOut partitions a reference stream across a fixed pool of worker
+// goroutines, one per sink. Each incoming reference is assigned to a worker
+// by a caller-supplied route function; references bound for the same worker
+// are delivered in submission order, which is the property the sharded
+// cache engine relies on (all references to one cache set must stay
+// ordered, references to different sets may interleave freely).
+//
+// References are shipped in batches to amortize channel overhead: a single
+// channel operation moves DefaultBatch references, so the per-reference
+// synchronization cost is a few nanoseconds even for streams of hundreds of
+// millions of references. Drained batches are recycled through a sync.Pool.
+//
+// The producer side (Access, Drain, Close) must be driven from a single
+// goroutine, mirroring the contract of trace.Memory. The sinks run
+// concurrently, one goroutine each; a sink is only ever invoked from its
+// own worker goroutine, so sinks need no internal locking.
+type FanOut struct {
+	route func(Ref, int32) int
+	chans []chan fanMsg
+	bufs  [][]fanRec
+	batch int
+	pool  sync.Pool
+	wg    sync.WaitGroup
+
+	closed bool
+}
+
+// DefaultBatch is the fan-out batch size: large enough that channel
+// synchronization vanishes from profiles, small enough that partial batches
+// flushed by Drain stay cheap (~96 KB of records per in-flight batch).
+const DefaultBatch = 4096
+
+// chanDepth bounds the batches buffered per worker so a fast producer can
+// run ahead of slow workers without unbounded memory growth.
+const chanDepth = 4
+
+type fanRec struct {
+	ref   Ref
+	owner int32
+}
+
+// fanMsg is either a batch of records, a barrier acknowledgement request,
+// or both (Drain piggybacks the final partial batch on the barrier).
+type fanMsg struct {
+	recs []fanRec
+	ack  chan<- struct{}
+}
+
+// NewFanOut starts one worker goroutine per sink. route maps a reference to
+// a worker index in [0, len(sinks)); it must be pure (the same reference
+// always routes to the same worker). batch <= 0 selects DefaultBatch.
+// Callers must Close the FanOut to stop the workers.
+func NewFanOut(sinks []Consumer, route func(Ref, int32) int, batch int) *FanOut {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	f := &FanOut{
+		route: route,
+		chans: make([]chan fanMsg, len(sinks)),
+		bufs:  make([][]fanRec, len(sinks)),
+		batch: batch,
+	}
+	f.pool.New = func() any {
+		s := make([]fanRec, 0, batch)
+		return &s
+	}
+	for i := range sinks {
+		f.chans[i] = make(chan fanMsg, chanDepth)
+		f.bufs[i] = f.getBuf()
+		f.wg.Add(1)
+		go func(ch <-chan fanMsg, sink Consumer) {
+			defer f.wg.Done()
+			for msg := range ch {
+				for _, rec := range msg.recs {
+					sink.Access(rec.ref, rec.owner)
+				}
+				if msg.recs != nil {
+					f.putBuf(msg.recs)
+				}
+				if msg.ack != nil {
+					msg.ack <- struct{}{}
+				}
+			}
+		}(f.chans[i], sinks[i])
+	}
+	return f
+}
+
+func (f *FanOut) getBuf() []fanRec {
+	return (*f.pool.Get().(*[]fanRec))[:0]
+}
+
+func (f *FanOut) putBuf(b []fanRec) {
+	b = b[:0]
+	f.pool.Put(&b)
+}
+
+// Workers returns the number of worker goroutines.
+func (f *FanOut) Workers() int { return len(f.chans) }
+
+// Access routes one reference to its worker, flushing the worker's batch
+// when full. It implements Consumer.
+func (f *FanOut) Access(r Ref, owner int32) {
+	if f.closed {
+		panic("trace: FanOut.Access after Close")
+	}
+	i := f.route(r, owner)
+	buf := append(f.bufs[i], fanRec{ref: r, owner: owner})
+	if len(buf) >= f.batch {
+		f.chans[i] <- fanMsg{recs: buf}
+		buf = f.getBuf()
+	}
+	f.bufs[i] = buf
+}
+
+// Drain flushes all partial batches and blocks until every worker has
+// consumed everything submitted so far. On return the workers are idle and
+// parked on their channels, so the caller may inspect (or mutate) sink
+// state without racing them — until the next Access. Drain after Close is
+// a no-op.
+func (f *FanOut) Drain() {
+	if f.closed {
+		return
+	}
+	ack := make(chan struct{}, len(f.chans))
+	for i := range f.chans {
+		msg := fanMsg{ack: ack}
+		if len(f.bufs[i]) > 0 {
+			msg.recs = f.bufs[i]
+			f.bufs[i] = f.getBuf()
+		}
+		f.chans[i] <- msg
+	}
+	for range f.chans {
+		<-ack
+	}
+}
+
+// Close flushes all pending batches, stops the workers and waits for them
+// to exit. After Close the sinks are quiescent forever; further Access
+// calls panic, further Drain/Close calls are no-ops.
+func (f *FanOut) Close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for i := range f.chans {
+		if len(f.bufs[i]) > 0 {
+			f.chans[i] <- fanMsg{recs: f.bufs[i]}
+			f.bufs[i] = nil
+		}
+		close(f.chans[i])
+	}
+	f.wg.Wait()
+}

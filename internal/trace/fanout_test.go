@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// orderSink records the stream one worker sees, for ordering assertions.
+type orderSink struct {
+	refs   []Ref
+	owners []int32
+}
+
+func (s *orderSink) Access(r Ref, owner int32) {
+	s.refs = append(s.refs, r)
+	s.owners = append(s.owners, owner)
+}
+
+func TestFanOutPreservesPerWorkerOrder(t *testing.T) {
+	const workers, n = 3, 10000
+	sinks := make([]Consumer, workers)
+	recs := make([]*orderSink, workers)
+	for i := range sinks {
+		recs[i] = &orderSink{}
+		sinks[i] = recs[i]
+	}
+	route := func(r Ref, _ int32) int { return int(r.Addr) % workers }
+	f := NewFanOut(sinks, route, 64) // small batch: force many flushes
+	for i := 0; i < n; i++ {
+		f.Access(Ref{Addr: uint64(i), Size: 1}, int32(i))
+	}
+	f.Close()
+
+	total := 0
+	for w, rec := range recs {
+		total += len(rec.refs)
+		prev := int64(-1)
+		for i, r := range rec.refs {
+			if int(r.Addr)%workers != w {
+				t.Fatalf("worker %d received ref for worker %d", w, int(r.Addr)%workers)
+			}
+			if int64(r.Addr) <= prev {
+				t.Fatalf("worker %d: ref %d out of order (%d after %d)", w, i, r.Addr, prev)
+			}
+			prev = int64(r.Addr)
+			if rec.owners[i] != int32(r.Addr) {
+				t.Fatalf("worker %d: owner %d does not match ref %d", w, rec.owners[i], r.Addr)
+			}
+		}
+	}
+	if total != n {
+		t.Errorf("workers saw %d refs, want %d", total, n)
+	}
+}
+
+func TestFanOutDrainFlushesPartialBatches(t *testing.T) {
+	var count atomic.Int64
+	sink := ConsumerFunc(func(Ref, int32) { count.Add(1) })
+	f := NewFanOut([]Consumer{sink, sink}, func(r Ref, _ int32) int { return int(r.Addr % 2) }, 4096)
+	defer f.Close()
+	for i := 0; i < 100; i++ { // far below one batch
+		f.Access(Ref{Addr: uint64(i)}, 0)
+	}
+	f.Drain()
+	if got := count.Load(); got != 100 {
+		t.Errorf("after drain: %d refs delivered, want 100", got)
+	}
+	// Feeding resumes after a drain.
+	for i := 0; i < 50; i++ {
+		f.Access(Ref{Addr: uint64(i)}, 0)
+	}
+	f.Drain()
+	if got := count.Load(); got != 150 {
+		t.Errorf("after second drain: %d refs delivered, want 150", got)
+	}
+}
+
+func TestFanOutExactBatchBoundary(t *testing.T) {
+	var count atomic.Int64
+	sink := ConsumerFunc(func(Ref, int32) { count.Add(1) })
+	f := NewFanOut([]Consumer{sink}, func(Ref, int32) int { return 0 }, 8)
+	for i := 0; i < 16; i++ { // exactly two full batches
+		f.Access(Ref{Addr: uint64(i)}, 0)
+	}
+	f.Close()
+	if got := count.Load(); got != 16 {
+		t.Errorf("delivered %d, want 16", got)
+	}
+}
+
+func TestFanOutCloseIdempotentAndDrainAfterClose(t *testing.T) {
+	var count atomic.Int64
+	sink := ConsumerFunc(func(Ref, int32) { count.Add(1) })
+	f := NewFanOut([]Consumer{sink}, func(Ref, int32) int { return 0 }, 0)
+	if f.Workers() != 1 {
+		t.Fatalf("workers = %d", f.Workers())
+	}
+	f.Access(Ref{Addr: 1}, 0)
+	f.Close()
+	f.Close() // must not panic or deadlock
+	f.Drain() // no-op after close
+	if got := count.Load(); got != 1 {
+		t.Errorf("delivered %d, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Access after Close did not panic")
+		}
+	}()
+	f.Access(Ref{Addr: 2}, 0)
+}
+
+// TestFanOutManyConcurrentInstances is a race-detector target: several
+// FanOuts run complete feed/drain/close lifecycles concurrently, sharing
+// nothing but the code (and each FanOut's own sync.Pool).
+func TestFanOutManyConcurrentInstances(t *testing.T) {
+	const instances = 8
+	done := make(chan int64, instances)
+	for g := 0; g < instances; g++ {
+		go func(g int) {
+			var count atomic.Int64
+			sink := ConsumerFunc(func(Ref, int32) { count.Add(1) })
+			f := NewFanOut([]Consumer{sink, sink, sink}, func(r Ref, _ int32) int { return int(r.Addr) % 3 }, 128)
+			for i := 0; i < 5000; i++ {
+				f.Access(Ref{Addr: uint64(i + g)}, int32(g))
+				if i%1000 == 0 {
+					f.Drain()
+				}
+			}
+			f.Close()
+			done <- count.Load()
+		}(g)
+	}
+	for g := 0; g < instances; g++ {
+		if got := <-done; got != 5000 {
+			t.Errorf("instance saw %d refs, want 5000", got)
+		}
+	}
+}
