@@ -2,19 +2,29 @@
 # tier-1 gate in ROADMAP.md (`go build ./... && go test ./...`) is the
 # subset run by automation.
 #
-#   make check        vet + build + tests + race detector + bench smoke
+#   make check        fmt-check + vet + build + tests + race detector +
+#                     bench smoke + fuzz smoke
+#   make fmt-check    fail if any file is not gofmt-clean
 #   make test         the tier-1 test run
 #   make race         full suite under the race detector (slow: the
 #                     experiments package replays every figure)
 #   make bench-smoke  one iteration of the sequential-vs-sharded replay
 #                     benchmarks, as a compile-and-run sanity check
 #   make bench        full benchmark suite (regenerates every figure)
+#   make fuzz-smoke   bounded fuzz of the sharded-vs-sequential cache
+#                     differential and the trace codec round-trip;
+#                     FUZZTIME bounds each target (default 10s)
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench-smoke bench
+.PHONY: check fmt-check vet build test race bench-smoke bench fuzz-smoke
 
-check: vet build test race bench-smoke
+check: fmt-check vet build test race bench-smoke fuzz-smoke
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -33,3 +43,7 @@ bench-smoke:
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem .
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzShardedVsSequential$$' -fuzztime $(FUZZTIME) ./internal/cache
+	$(GO) test -run '^$$' -fuzz '^FuzzEncodeDecode$$' -fuzztime $(FUZZTIME) ./internal/trace

@@ -25,6 +25,7 @@ import (
 	"github.com/resilience-models/dvf/internal/aspen"
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/dvf"
+	"github.com/resilience-models/dvf/internal/obs"
 )
 
 var tableIV = map[string]cache.Config{
@@ -44,7 +45,9 @@ func main() {
 	cacheName := flag.String("cache", "", "override cache: small, large, 16kb, 128kb, 1mb, 8mb")
 	fit := flag.Float64("fit", -1, "override the memory FIT rate (failures/1e9h/Mbit)")
 	sweep := flag.Bool("sweep", false, "evaluate across the four profiling caches")
+	o := obs.AddFlags(nil)
 	flag.Parse()
+	defer o.Start()()
 
 	if flag.NArg() != 1 {
 		log.Fatalf("usage: aspenc [flags] model.aspen")

@@ -15,13 +15,16 @@ import (
 	"github.com/resilience-models/dvf/internal/core"
 	"github.com/resilience-models/dvf/internal/dvf"
 	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dvf-explore: ")
 	kernel := flag.String("kernel", "VM", "kernel to explore (Table II code)")
+	o := obs.AddFlags(nil)
 	flag.Parse()
+	defer o.Start()()
 
 	k, err := kernels.ByName(*kernel)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"github.com/resilience-models/dvf/internal/experiments"
 	"github.com/resilience-models/dvf/internal/inject"
 	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/obs"
 )
 
 func main() {
@@ -22,7 +23,9 @@ func main() {
 	trials := flag.Int("trials", 100, "injection trials per data structure")
 	bits := flag.String("bits", "", "run a bit-position sensitivity study on this structure")
 	elemSize := flag.Int64("elem", 8, "element size in bytes for the bit study")
+	o := obs.AddFlags(nil)
 	flag.Parse()
+	defer o.Start()()
 
 	k, err := kernels.ByName(*kernel)
 	if err != nil {

@@ -13,13 +13,16 @@ import (
 	"log"
 
 	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dvf-model: ")
 	kernel := flag.String("kernel", "VM", "kernel to model: VM, CG, NB, FT or MC")
+	o := obs.AddFlags(nil)
 	flag.Parse()
+	defer o.Start()()
 
 	k, err := kernels.ByName(*kernel)
 	if err != nil {

@@ -12,12 +12,16 @@ import (
 	"os"
 
 	"github.com/resilience-models/dvf/internal/experiments"
+	"github.com/resilience-models/dvf/internal/obs"
 )
 
 func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the table")
+	workers := flag.Int("workers", 0, "profiling workers (0 = parallel default, 1 = sequential)")
+	o := obs.AddFlags(nil)
 	flag.Parse()
-	res, err := experiments.RunFig5()
+	defer o.Start()()
+	res, err := experiments.RunFig5Sink(*workers, o.Sink())
 	if err != nil {
 		log.Fatal(err)
 	}

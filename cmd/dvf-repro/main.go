@@ -15,6 +15,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"github.com/resilience-models/dvf/internal/dvf"
 	"github.com/resilience-models/dvf/internal/experiments"
 	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/obs"
 )
 
 type check struct {
@@ -32,6 +34,9 @@ type check struct {
 }
 
 func main() {
+	o := obs.AddFlags(nil)
+	flag.Parse()
+	stop := o.Start()
 	checks := []check{
 		{"Figure 4: model error <= 15% on every structure", checkFig4},
 		{"Figure 5: profiling orderings and the FT jump", checkFig5},
@@ -52,6 +57,7 @@ func main() {
 		}
 		fmt.Printf("[%s] %-50s %6.2fs  %s\n", status, c.name, time.Since(start).Seconds(), detail)
 	}
+	stop()
 	if failed > 0 {
 		fmt.Printf("\n%d of %d reproduction checks failed\n", failed, len(checks))
 		os.Exit(1)

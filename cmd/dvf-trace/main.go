@@ -28,6 +28,8 @@ import (
 
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/obs"
 	"github.com/resilience-models/dvf/internal/trace"
 )
 
@@ -50,14 +52,16 @@ func main() {
 	cacheName := flag.String("cache", "small", "cache to replay against")
 	all := flag.Bool("all", false, "replay against every Table IV cache")
 	workers := flag.Int("workers", 0, "replay workers (0 = one per CPU, 1 = sequential)")
+	o := obs.AddFlags(nil)
 	flag.Parse()
+	defer o.Start()()
 
 	switch {
 	case *record:
 		if *out == "" {
 			log.Fatal("-record requires -out")
 		}
-		if err := doRecord(*kernel, *out); err != nil {
+		if err := doRecord(*kernel, *out, o.Sink()); err != nil {
 			log.Fatal(err)
 		}
 	case *replay != "":
@@ -72,7 +76,7 @@ func main() {
 			configs = append(configs, cfg)
 		}
 		for _, cfg := range configs {
-			if err := doReplay(*replay, cfg, *workers); err != nil {
+			if err := doReplay(*replay, cfg, *workers, o.Sink()); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -82,7 +86,7 @@ func main() {
 	}
 }
 
-func doRecord(code, out string) error {
+func doRecord(code, out string, sink metrics.Sink) error {
 	k, err := kernels.ByName(code)
 	if err != nil {
 		return err
@@ -98,7 +102,9 @@ func doRecord(code, out string) error {
 	// CG's q); capture the stream in memory first, then reconstruct the
 	// table from the observed ranges and write the file.
 	rec := &trace.Recorder{}
-	info, err := k.Run(rec)
+	sw := sink.Timer("trace.record_ns").Start()
+	info, err := k.Run(trace.Instrumented(rec, sink, "trace.record"))
+	sw.Stop()
 	if err != nil {
 		return err
 	}
@@ -164,7 +170,7 @@ func kernelRegistry(info *kernels.RunInfo, rec *trace.Recorder) *trace.Registry 
 	return reg
 }
 
-func doReplay(path string, cfg cache.Config, workers int) error {
+func doReplay(path string, cfg cache.Config, workers int, sink metrics.Sink) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -175,15 +181,23 @@ func doReplay(path string, cfg cache.Config, workers int) error {
 		return err
 	}
 	defer sim.Close()
-	regions, err := trace.ReadTrace(f, func(r trace.Ref, owner int32) {
+	sim.Instrument(sink)
+	consume := trace.Instrumented(trace.ConsumerFunc(func(r trace.Ref, owner int32) {
 		sim.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
+	}), sink, "trace.replay")
+	sw := sink.Timer("trace.replay_ns").Start()
+	regions, err := trace.ReadTrace(f, func(r trace.Ref, owner int32) {
+		consume.Access(r, owner)
 	})
+	sim.Drain()
+	sw.Stop()
 	if err != nil {
 		return err
 	}
 	for _, r := range regions {
 		sim.Label(cache.StructID(r.ID), r.Name)
 	}
+	sim.PublishStats(sink, "cache.replay")
 	fmt.Print(sim.Report())
 	return nil
 }

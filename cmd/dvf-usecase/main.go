@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"github.com/resilience-models/dvf/internal/experiments"
+	"github.com/resilience-models/dvf/internal/obs"
 	"github.com/resilience-models/dvf/internal/plot"
 )
 
@@ -21,9 +22,11 @@ func main() {
 	which := flag.String("case", "all", "use case to run: cgpcg, ecc or all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the tables")
 	plotOut := flag.Bool("plot", false, "draw the figures as ASCII charts")
+	o := obs.AddFlags(nil)
 	flag.Parse()
+	defer o.Start()()
 	if *which == "cgpcg" || *which == "all" {
-		res, err := experiments.RunFig6()
+		res, err := experiments.RunFig6Sink(0, o.Sink())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -43,7 +46,7 @@ func main() {
 		}
 	}
 	if *which == "ecc" || *which == "all" {
-		res, err := experiments.RunFig7()
+		res, err := experiments.RunFig7Sink(o.Sink())
 		if err != nil {
 			log.Fatal(err)
 		}

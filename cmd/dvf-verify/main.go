@@ -8,6 +8,8 @@
 //	            the strictly sequential path, N>1 bounds the fan-out to N
 //	            cells and replays each on the set-sharded engine with N
 //	            workers. The output is identical for every setting.
+//	-metrics X  dump a pipeline metrics snapshot on exit (internal/obs)
+//	-pprof P    write P.cpu.pprof and P.heap.pprof profiles
 package main
 
 import (
@@ -17,13 +19,16 @@ import (
 	"os"
 
 	"github.com/resilience-models/dvf/internal/experiments"
+	"github.com/resilience-models/dvf/internal/obs"
 )
 
 func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the table")
 	workers := flag.Int("workers", 0, "simulation workers (0 = parallel default, 1 = sequential)")
+	o := obs.AddFlags(nil)
 	flag.Parse()
-	res, err := experiments.RunFig4Workers(*workers)
+	defer o.Start()()
+	res, err := experiments.RunFig4Sink(*workers, o.Sink())
 	if err != nil {
 		log.Fatal(err)
 	}

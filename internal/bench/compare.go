@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DefaultRegressPct is the ns/ref regression threshold -compare gates on
+// when the caller does not override it.
+const DefaultRegressPct = 20.0
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// MaxRegressPct flags a cell whose ns/ref grew by more than this
+	// percentage over the baseline. <= 0 selects DefaultRegressPct.
+	MaxRegressPct float64
+}
+
+// Delta is one cell's ns/ref movement between two manifests.
+type Delta struct {
+	Key      string  // kernel/cache/engine
+	OldNs    float64 // baseline ns/ref
+	NewNs    float64 // current ns/ref
+	DeltaPct float64 // (new-old)/old * 100
+}
+
+// CompareResult is the outcome of matching a fresh manifest against a
+// baseline.
+type CompareResult struct {
+	Threshold   float64 // the applied regression threshold, percent
+	Regressions []Delta // cells slower than the threshold allows
+	Improved    []Delta // cells at least threshold faster (informational)
+	Unchanged   int     // matched cells within the threshold either way
+	OnlyOld     []string
+	OnlyNew     []string
+}
+
+// Failed reports whether the gate should fail the run.
+func (r *CompareResult) Failed() bool { return len(r.Regressions) > 0 }
+
+// Compare matches new cells to old by kernel/cache/engine and flags every
+// ns/ref regression beyond the threshold. Cells present on only one side
+// are reported but never fail the gate — coverage changes are a reviewed
+// code change, not a perf regression.
+func Compare(old, new *Manifest, opt CompareOptions) *CompareResult {
+	threshold := opt.MaxRegressPct
+	if threshold <= 0 {
+		threshold = DefaultRegressPct
+	}
+	res := &CompareResult{Threshold: threshold}
+	oldCells := make(map[string]Cell, len(old.Cells))
+	for _, c := range old.Cells {
+		oldCells[c.Key()] = c
+	}
+	seen := make(map[string]bool, len(new.Cells))
+	for _, c := range new.Cells {
+		key := c.Key()
+		seen[key] = true
+		base, ok := oldCells[key]
+		if !ok {
+			res.OnlyNew = append(res.OnlyNew, key)
+			continue
+		}
+		if base.NsPerRef <= 0 {
+			res.Unchanged++
+			continue
+		}
+		d := Delta{
+			Key:      key,
+			OldNs:    base.NsPerRef,
+			NewNs:    c.NsPerRef,
+			DeltaPct: (c.NsPerRef - base.NsPerRef) / base.NsPerRef * 100,
+		}
+		switch {
+		case d.DeltaPct > threshold:
+			res.Regressions = append(res.Regressions, d)
+		case d.DeltaPct < -threshold:
+			res.Improved = append(res.Improved, d)
+		default:
+			res.Unchanged++
+		}
+	}
+	for key := range oldCells {
+		if !seen[key] {
+			res.OnlyOld = append(res.OnlyOld, key)
+		}
+	}
+	sort.Slice(res.Regressions, func(i, j int) bool {
+		return res.Regressions[i].DeltaPct > res.Regressions[j].DeltaPct
+	})
+	sort.Slice(res.Improved, func(i, j int) bool {
+		return res.Improved[i].DeltaPct < res.Improved[j].DeltaPct
+	})
+	sort.Strings(res.OnlyOld)
+	sort.Strings(res.OnlyNew)
+	return res
+}
+
+// Render writes the human-readable comparison report.
+func (r *CompareResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "bench compare: threshold ±%.0f%% ns/ref\n", r.Threshold)
+	for _, d := range r.Regressions {
+		fmt.Fprintf(w, "REGRESSION %-40s %8.2f -> %8.2f ns/ref (%+.1f%%)\n",
+			d.Key, d.OldNs, d.NewNs, d.DeltaPct)
+	}
+	for _, d := range r.Improved {
+		fmt.Fprintf(w, "improved   %-40s %8.2f -> %8.2f ns/ref (%+.1f%%)\n",
+			d.Key, d.OldNs, d.NewNs, d.DeltaPct)
+	}
+	for _, key := range r.OnlyOld {
+		fmt.Fprintf(w, "only in baseline: %s\n", key)
+	}
+	for _, key := range r.OnlyNew {
+		fmt.Fprintf(w, "only in this run: %s\n", key)
+	}
+	fmt.Fprintf(w, "%d regressions, %d improved, %d unchanged\n",
+		len(r.Regressions), len(r.Improved), r.Unchanged)
+}

@@ -1,0 +1,122 @@
+// Package bench runs the trace→cache replay pipeline as a benchmark and
+// records the outcome in a schema-versioned run manifest, the
+// machine-readable perf trajectory that dvf-bench writes and CI gates on.
+// A manifest from one commit can be compared against a manifest from
+// another (Compare) to flag ns/ref regressions before they merge.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/metrics"
+)
+
+// Schema identifies the manifest layout. Compare refuses manifests with a
+// different schema rather than misreading them; bump on any field-meaning
+// change.
+const Schema = "dvf-bench/v1"
+
+// Cell is one benchmarked (kernel, cache, engine) combination. WallNs is
+// the best (minimum) wall time across iterations — the standard defense
+// against scheduler noise in short benchmarks — and NsPerRef is WallNs
+// divided by the replayed reference count.
+type Cell struct {
+	Kernel   string      `json:"kernel"`
+	Cache    string      `json:"cache"`
+	Engine   string      `json:"engine"` // "sequential" or "sharded"
+	Workers  int         `json:"workers"`
+	Iters    int         `json:"iters"`
+	Refs     int64       `json:"refs"`
+	WallNs   int64       `json:"wall_ns"`
+	NsPerRef float64     `json:"ns_per_ref"`
+	Stats    cache.Stats `json:"stats"` // total counters, for cross-engine identity checks
+}
+
+// Key returns the identity under which cells are matched across manifests.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/%s/%s", c.Kernel, c.Cache, c.Engine)
+}
+
+// Speedup records the sharded engine's advantage over the sequential one
+// for the same (kernel, cache) replay.
+type Speedup struct {
+	Kernel  string  `json:"kernel"`
+	Cache   string  `json:"cache"`
+	Workers int     `json:"workers"`
+	Factor  float64 `json:"factor"` // sequential wall / sharded wall
+}
+
+// Manifest is one dvf-bench run: the environment it ran in, every
+// benchmarked cell, the derived speedups, and the pipeline's own metrics
+// snapshot (fan-out batching, drain latency, memory high-water marks).
+type Manifest struct {
+	Schema     string           `json:"schema"`
+	Timestamp  string           `json:"timestamp"` // RFC3339 UTC
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Cells      []Cell           `json:"cells"`
+	Speedups   []Speedup        `json:"speedups,omitempty"`
+	Metrics    metrics.Snapshot `json:"metrics"`
+}
+
+// NewManifest returns an empty manifest stamped with the current
+// environment and time.
+func NewManifest() *Manifest {
+	return &Manifest{
+		Schema:     Schema,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// Filename returns the canonical manifest file name for this run,
+// BENCH_<timestamp>.json, safe for globbing as BENCH_*.json.
+func (m *Manifest) Filename() string {
+	t, err := time.Parse(time.RFC3339, m.Timestamp)
+	if err != nil {
+		t = time.Now().UTC()
+	}
+	return "BENCH_" + t.UTC().Format("20060102T150405Z") + ".json"
+}
+
+// WriteJSON encodes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadManifest decodes a manifest and validates its schema tag.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("bench: decoding manifest: %w", err)
+	}
+	if m.Schema != Schema {
+		return nil, fmt.Errorf("bench: manifest schema %q, this binary speaks %q", m.Schema, Schema)
+	}
+	return &m, nil
+}
+
+// ReadManifestFile reads a manifest from disk.
+func ReadManifestFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadManifest(f)
+}

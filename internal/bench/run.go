@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// Options selects what a benchmark run covers.
+type Options struct {
+	Kernels []string                         // Table II codes; nil/empty = the full verification suite
+	Configs []cache.Config                   // nil/empty = both Table IV verification caches
+	Workers int                              // sharded engine workers; <= 0 auto-scales to NumCPU
+	Iters   int                              // replay iterations per cell (best-of); <= 0 means 1
+	Sink    metrics.Sink                     // pipeline observability; nil disables
+	Logf    func(format string, args ...any) // progress output; nil discards
+}
+
+// Run records each selected kernel's trace once, then replays the
+// identical reference stream through the sequential and the set-sharded
+// engine on every selected cache, timing each replay. Per (kernel, cache)
+// it verifies the two engines produced bit-identical aggregate counters —
+// a live differential check riding along with every benchmark run — and
+// derives the sharded speedup.
+func Run(o Options) (*Manifest, error) {
+	codes := o.Kernels
+	if len(codes) == 0 {
+		for _, k := range kernels.VerificationSuite() {
+			codes = append(codes, k.Name())
+		}
+	}
+	configs := o.Configs
+	if len(configs) == 0 {
+		configs = cache.VerificationConfigs()
+	}
+	iters := o.Iters
+	if iters <= 0 {
+		iters = 1
+	}
+	shardWorkers := o.Workers
+	if shardWorkers == 1 {
+		shardWorkers = 0 // a 1-worker "sharded" run is just the sequential engine
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	m := NewManifest()
+	for _, code := range codes {
+		k, err := kernels.ByName(code)
+		if err != nil {
+			return nil, err
+		}
+		rec := &trace.Recorder{}
+		sw := o.Sink.Timer("bench.record_ns").Start()
+		if _, err := k.Run(trace.Instrumented(rec, o.Sink, "bench.record")); err != nil {
+			return nil, fmt.Errorf("bench: recording %s: %w", code, err)
+		}
+		sw.Stop()
+		o.Sink.SampleMem()
+		logf("%s: recorded %d references", code, rec.Len())
+
+		for _, cfg := range configs {
+			seq, err := replayCell(k.Name(), cfg, rec, 1, iters, o.Sink)
+			if err != nil {
+				return nil, err
+			}
+			shard, err := replayCell(k.Name(), cfg, rec, shardWorkers, iters, o.Sink)
+			if err != nil {
+				return nil, err
+			}
+			if seq.Stats != shard.Stats {
+				return nil, fmt.Errorf("bench: %s on %s: sequential and sharded stats diverge: %+v vs %+v",
+					code, cfg.Name, seq.Stats, shard.Stats)
+			}
+			m.Cells = append(m.Cells, seq, shard)
+			factor := 0.0
+			if shard.WallNs > 0 {
+				factor = float64(seq.WallNs) / float64(shard.WallNs)
+			}
+			m.Speedups = append(m.Speedups, Speedup{
+				Kernel: code, Cache: cfg.Name, Workers: shard.Workers, Factor: factor,
+			})
+			logf("%s on %-22s seq %8.2f ns/ref   sharded(%d) %8.2f ns/ref   speedup %.2fx",
+				code, cfg.Name, seq.NsPerRef, shard.Workers, shard.NsPerRef, factor)
+		}
+	}
+	o.Sink.SampleMem()
+	m.Metrics = o.Sink.Snapshot()
+	return m, nil
+}
+
+// replayCell replays one recorded stream through one engine configuration
+// iters times and keeps the best wall time. workers==1 selects the
+// sequential engine; anything else the sharded one.
+func replayCell(kernel string, cfg cache.Config, rec *trace.Recorder, workers, iters int, sink metrics.Sink) (Cell, error) {
+	cell := Cell{
+		Kernel: kernel,
+		Cache:  cfg.Name,
+		Iters:  iters,
+		Refs:   int64(rec.Len()),
+	}
+	var last cache.Engine
+	for it := 0; it < iters; it++ {
+		eng, err := cache.NewEngine(cfg, workers)
+		if err != nil {
+			return Cell{}, err
+		}
+		eng.Instrument(sink)
+		t0 := time.Now()
+		for i, r := range rec.Refs {
+			eng.Access(r.Addr, r.Size, r.Write, cache.StructID(rec.Owners[i]))
+		}
+		eng.Drain()
+		wall := time.Since(t0).Nanoseconds()
+		if it == 0 || wall < cell.WallNs {
+			cell.WallNs = wall
+		}
+		if last != nil {
+			last.Close()
+		}
+		last = eng
+	}
+	cell.Stats = last.TotalStats()
+	cell.Workers = engineWorkers(last)
+	// Label from what NewEngine actually built: on a single-core machine an
+	// auto-scaled "sharded" request degenerates to the sequential engine.
+	cell.Engine = "sequential"
+	if cell.Workers > 1 {
+		cell.Engine = "sharded"
+	}
+	last.Close()
+	if cell.Refs > 0 {
+		cell.NsPerRef = float64(cell.WallNs) / float64(cell.Refs)
+	}
+	sink.Counter("bench.replayed_refs").Add(cell.Refs * int64(iters))
+	return cell, nil
+}
+
+// engineWorkers reports the actual worker count an engine runs with.
+func engineWorkers(e cache.Engine) int {
+	if s, ok := e.(*cache.ShardedSim); ok {
+		return s.Workers()
+	}
+	return 1
+}
+
+// RenderSummary writes the human-readable table for a manifest.
+func RenderSummary(w io.Writer, m *Manifest) {
+	fmt.Fprintf(w, "dvf-bench %s  %s %s/%s  GOMAXPROCS=%d\n",
+		m.Timestamp, m.GoVersion, m.GOOS, m.GOARCH, m.GOMAXPROCS)
+	fmt.Fprintf(w, "%-6s %-22s %-10s %8s %12s %12s %10s\n",
+		"kernel", "cache", "engine", "workers", "refs", "wall", "ns/ref")
+	for _, c := range m.Cells {
+		fmt.Fprintf(w, "%-6s %-22s %-10s %8d %12d %12s %10.2f\n",
+			c.Kernel, c.Cache, c.Engine, c.Workers, c.Refs,
+			time.Duration(c.WallNs).Round(time.Microsecond), c.NsPerRef)
+	}
+	for _, s := range m.Speedups {
+		fmt.Fprintf(w, "speedup %-6s %-22s sharded(%d) %.2fx\n", s.Kernel, s.Cache, s.Workers, s.Factor)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"github.com/resilience-models/dvf/internal/metrics"
 	"github.com/resilience-models/dvf/internal/trace"
 )
 
@@ -44,6 +45,7 @@ type ShardedSim struct {
 	shards    []*Simulator
 	fan       *trace.FanOut
 	names     map[StructID]string
+	drain     *metrics.Timer // nil until Instrument; nil-safe
 }
 
 // NewShardedSim builds a sharded engine with the given worker count.
@@ -112,10 +114,39 @@ func (s *ShardedSim) Access(addr uint64, size uint32, write bool, owner StructID
 	}
 }
 
+// Instrument attaches observability to the engine: the internal fan-out's
+// batching counters (see trace.FanOut.Instrument) and a "cache.drain_ns"
+// latency histogram around the feed/worker barrier. Call it from the
+// feeding goroutine before the first Access; a nil sink is a no-op.
+func (s *ShardedSim) Instrument(sink metrics.Sink) {
+	if sink == nil {
+		return
+	}
+	s.fan.Instrument(sink)
+	s.drain = sink.Timer("cache.drain_ns")
+}
+
+// PublishStats drains the pipeline and exports the merged aggregate
+// counters as gauges under prefix, plus each shard's totals under
+// "<prefix>.shard<N>." so per-shard load imbalance is visible.
+func (s *ShardedSim) PublishStats(sink metrics.Sink, prefix string) {
+	if sink == nil {
+		return
+	}
+	publishStats(sink, prefix, s.TotalStats())
+	for i, sh := range s.shards {
+		publishStats(sink, fmt.Sprintf("%s.shard%d", prefix, i), sh.TotalStats())
+	}
+}
+
 // Drain blocks until every reference submitted so far has been simulated.
 // On return the workers are idle, so shard state is safe to read until the
 // next Access.
-func (s *ShardedSim) Drain() { s.fan.Drain() }
+func (s *ShardedSim) Drain() {
+	sw := s.drain.Start()
+	s.fan.Drain()
+	sw.Stop()
+}
 
 // Flush drains the pipeline, then writes back all dirty lines and
 // invalidates every shard, exactly like Simulator.Flush.
@@ -220,6 +251,12 @@ type Engine interface {
 	PerStructStats() map[StructID]Stats
 	// Report renders the per-structure summary table.
 	Report() string
+	// Instrument attaches a metrics sink (nil is a no-op); call before
+	// the first Access, from the feeding goroutine.
+	Instrument(sink metrics.Sink)
+	// PublishStats exports the engine's aggregate counters as gauges
+	// under prefix (nil sink is a no-op).
+	PublishStats(sink metrics.Sink, prefix string)
 	// Close releases any workers; the engine stays readable afterwards.
 	Close()
 }

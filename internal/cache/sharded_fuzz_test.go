@@ -14,7 +14,7 @@ import (
 // run on every plain `go test`.
 func FuzzShardedVsSequential(f *testing.F) {
 	f.Add(int64(1), uint8(3), uint8(5), uint8(2), uint8(1), uint16(2000))
-	f.Add(int64(42), uint8(0), uint8(0), uint8(0), uint8(6), uint16(500))  // direct-mapped, prime shards
+	f.Add(int64(42), uint8(0), uint8(0), uint8(0), uint8(6), uint16(500)) // direct-mapped, prime shards
 	f.Add(int64(7), uint8(7), uint8(7), uint8(3), uint8(2), uint16(4096)) // largest geometry
 	f.Fuzz(func(t *testing.T, seed int64, assocSel, setSel, lineSel, workerSel uint8, n uint16) {
 		cfg := Config{

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+
+	"github.com/resilience-models/dvf/internal/metrics"
 )
 
 // StructID identifies a registered data structure for per-structure
@@ -221,6 +223,31 @@ func (s *Simulator) Drain() {}
 
 // Close is a no-op on the sequential simulator (Engine interface).
 func (s *Simulator) Close() {}
+
+// Instrument is a no-op on the sequential simulator: its counters are the
+// Stats themselves, exported on demand by PublishStats. It exists so both
+// engines share the Engine interface.
+func (s *Simulator) Instrument(sink metrics.Sink) {}
+
+// PublishStats exports the simulator's aggregate counters as gauges under
+// prefix ("<prefix>.accesses", ".hits", ".misses", ".evictions",
+// ".writebacks"). The counters are maintained by the simulation itself, so
+// publishing is a handful of gauge stores at reporting time — the hot path
+// is never touched.
+func (s *Simulator) PublishStats(sink metrics.Sink, prefix string) {
+	publishStats(sink, prefix, s.total)
+}
+
+func publishStats(sink metrics.Sink, prefix string, st Stats) {
+	if sink == nil {
+		return
+	}
+	sink.Gauge(prefix + ".accesses").Set(st.Accesses)
+	sink.Gauge(prefix + ".hits").Set(st.Hits)
+	sink.Gauge(prefix + ".misses").Set(st.Misses)
+	sink.Gauge(prefix + ".evictions").Set(st.Evictions)
+	sink.Gauge(prefix + ".writebacks").Set(st.Writebacks)
+}
 
 // ResidentBlocks returns how many valid lines currently belong to id,
 // useful for occupancy assertions in tests.

@@ -10,6 +10,7 @@ import (
 
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/metrics"
 	"github.com/resilience-models/dvf/internal/trace"
 )
 
@@ -69,15 +70,31 @@ func VerifyKernel(k kernels.Kernel, cfg cache.Config) ([]Fig4Row, error) {
 // identical either way — the sharded engine is bit-identical by set
 // decomposition — only the wall-clock time changes.
 func VerifyKernelWorkers(k kernels.Kernel, cfg cache.Config, workers int) ([]Fig4Row, error) {
+	return VerifyKernelSink(k, cfg, workers, nil)
+}
+
+// VerifyKernelSink is VerifyKernelWorkers with observability: a live sink
+// receives the kernel's reference-stream counters (trace.Instrumented), a
+// "experiments.kernel_run_ns" timing of the traced run, the engine's
+// batching/drain instruments and its final per-cell cache counters. The
+// rows are byte-identical with or without a sink — instrumentation only
+// observes the stream, never reorders it — which the metrics golden guard
+// test asserts for every figure.
+func VerifyKernelSink(k kernels.Kernel, cfg cache.Config, workers int, ms metrics.Sink) ([]Fig4Row, error) {
 	sim, err := cache.NewEngine(cfg, workers)
 	if err != nil {
 		return nil, err
 	}
 	defer sim.Close()
-	sink := trace.ConsumerFunc(func(r trace.Ref, owner int32) {
+	sim.Instrument(ms)
+	var sink trace.Consumer = trace.ConsumerFunc(func(r trace.Ref, owner int32) {
 		sim.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
 	})
+	sink = trace.Instrumented(sink, ms, "experiments.trace")
+	sw := ms.Timer("experiments.kernel_run_ns").Start()
 	info, err := k.Run(sink)
+	sw.Stop()
+	defer sim.PublishStats(ms, "cache."+k.Name()+"."+cfg.Name)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: running %s: %w", k.Name(), err)
 	}
@@ -127,6 +144,14 @@ func RunFig4() (*Fig4Result, error) { return RunFig4Workers(0) }
 //
 // The rows are identical for every setting; only wall-clock time changes.
 func RunFig4Workers(workers int) (*Fig4Result, error) {
+	return RunFig4Sink(workers, nil)
+}
+
+// RunFig4Sink is RunFig4Workers with a metrics sink threaded through the
+// fan-out (ParallelSink) and every verification cell (VerifyKernelSink).
+// A nil sink reproduces RunFig4Workers exactly; a live sink adds
+// per-task/per-cell observability without changing a single output byte.
+func RunFig4Sink(workers int, ms metrics.Sink) (*Fig4Result, error) {
 	type cell struct {
 		cfg cache.Config
 		k   kernels.Kernel
@@ -142,9 +167,9 @@ func RunFig4Workers(workers int) (*Fig4Result, error) {
 		engineWorkers = 1 // concurrent cells already cover the cores
 	}
 	rows := make([][]Fig4Row, len(cells))
-	err := Parallel(len(cells), workers, func(i int) error {
+	err := ParallelSink(len(cells), workers, ms, func(i int) error {
 		var err error
-		rows[i], err = VerifyKernelWorkers(cells[i].k, cells[i].cfg, engineWorkers)
+		rows[i], err = VerifyKernelSink(cells[i].k, cells[i].cfg, engineWorkers, ms)
 		return err
 	})
 	if err != nil {

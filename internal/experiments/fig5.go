@@ -7,6 +7,7 @@ import (
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/dvf"
 	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/metrics"
 )
 
 // Fig5Cell is one bar of Figure 5: the DVF of one data structure of one
@@ -90,12 +91,20 @@ func RunFig5() (*Fig5Result, error) { return RunFig5Workers(0) }
 // (the -workers=1 fallback), 0 leaves the fan-out unbounded. The cells are
 // identical for every setting.
 func RunFig5Workers(workers int) (*Fig5Result, error) {
+	return RunFig5Sink(workers, nil)
+}
+
+// RunFig5Sink is RunFig5Workers with a metrics sink: per-kernel task wall
+// times via ParallelSink and untraced kernel-run timings under
+// "experiments.kernel_run_ns". The cells are identical with or without a
+// sink.
+func RunFig5Sink(workers int, ms metrics.Sink) (*Fig5Result, error) {
 	res := &Fig5Result{Rate: dvf.FITNoECC}
 	suite := kernels.ProfilingSuite()
 	cells := make([][]Fig5Cell, len(suite))
-	err := Parallel(len(suite), workers, func(i int) error {
+	err := ParallelSink(len(suite), workers, ms, func(i int) error {
 		var err error
-		cells[i], err = profileAllCaches(suite[i], res.Rate)
+		cells[i], err = profileAllCaches(suite[i], res.Rate, ms)
 		return err
 	})
 	if err != nil {
@@ -109,8 +118,10 @@ func RunFig5Workers(workers int) (*Fig5Result, error) {
 
 // profileAllCaches runs one kernel once and evaluates its models against
 // every profiling cache.
-func profileAllCaches(k kernels.Kernel, rate dvf.FIT) ([]Fig5Cell, error) {
+func profileAllCaches(k kernels.Kernel, rate dvf.FIT, ms metrics.Sink) ([]Fig5Cell, error) {
+	sw := ms.Timer("experiments.kernel_run_ns").Start()
 	info, err := k.Run(nil)
+	sw.Stop()
 	if err != nil {
 		return nil, err
 	}

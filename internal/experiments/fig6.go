@@ -7,6 +7,7 @@ import (
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/dvf"
 	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/metrics"
 )
 
 // Fig6Point is one problem size of the CG-vs-PCG comparison (Figure 6):
@@ -52,10 +53,17 @@ func RunFig6() (*Fig6Result, error) { return RunFig6Workers(0) }
 // (the -workers=1 fallback), 0 leaves the fan-out unbounded. The points
 // are identical for every setting.
 func RunFig6Workers(workers int) (*Fig6Result, error) {
+	return RunFig6Sink(workers, nil)
+}
+
+// RunFig6Sink is RunFig6Workers with a metrics sink: per-problem-size task
+// wall times via ParallelSink. The points are identical with or without a
+// sink.
+func RunFig6Sink(workers int, ms metrics.Sink) (*Fig6Result, error) {
 	res := &Fig6Result{Cache: cache.Profile8MB, Rate: dvf.FITNoECC, Tol: 1e-8}
 	sizes := Fig6Sizes()
 	points := make([]*Fig6Point, len(sizes))
-	err := Parallel(len(sizes), workers, func(i int) error {
+	err := ParallelSink(len(sizes), workers, ms, func(i int) error {
 		var err error
 		points[i], err = runFig6Point(sizes[i], res.Tol, res.Cache, res.Rate)
 		return err

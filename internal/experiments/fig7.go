@@ -7,6 +7,7 @@ import (
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/dvf"
 	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/metrics"
 )
 
 // Fig7Series is one ECC mechanism's DVF-vs-degradation curve of Figure 7.
@@ -40,10 +41,17 @@ func Fig7Degradations() []float64 {
 // kernel run feeds two closed-form sweeps — so there is no reference
 // stream to shard and no fan-out to bound; the drivers' -workers flag does
 // not apply here.
-func RunFig7() (*Fig7Result, error) {
+func RunFig7() (*Fig7Result, error) { return RunFig7Sink(nil) }
+
+// RunFig7Sink is RunFig7 with a metrics sink timing the single untraced
+// kernel run ("experiments.kernel_run_ns") and the analytical sweep
+// ("experiments.task_ns"). The series are identical with or without a sink.
+func RunFig7Sink(ms metrics.Sink) (*Fig7Result, error) {
 	cfg := cache.Profile8MB
 	k := kernels.NewVM(100000)
+	sw := ms.Timer("experiments.kernel_run_ns").Start()
 	info, err := k.Run(nil)
+	sw.Stop()
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +68,9 @@ func RunFig7() (*Fig7Result, error) {
 	}
 	res := &Fig7Result{Kernel: k.Name(), Cache: cfg}
 	for _, mech := range []dvf.ECC{dvf.SECDED, dvf.Chipkill} {
+		sw := ms.Timer("experiments.task_ns").Start()
 		points, err := mech.Sweep(app.ExecHours, totalBytes, totalNHa, Fig7Degradations())
+		sw.Stop()
 		if err != nil {
 			return nil, err
 		}

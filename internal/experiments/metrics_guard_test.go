@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/metrics"
+)
+
+// csvWriter is the common shape of every figure result.
+type csvWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+// These tests guard the zero-interference contract of the metrics sink:
+// instrumenting a figure sweep must never change its scientific output.
+// Each figure's CSV is rendered twice — once through the plain entry
+// point (nil sink) and once with a live registry threaded through every
+// hot path — and the two byte streams must be identical, while the live
+// run must actually have recorded something.
+
+func csvFig(t *testing.T, run func() (csvWriter, error)) []byte {
+	t.Helper()
+	res, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func requireLive(t *testing.T, s metrics.Sink) {
+	t.Helper()
+	snap := s.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) == 0 {
+		t.Fatal("live sink recorded no instruments; the sweep is not instrumented")
+	}
+}
+
+func TestFig7CSVUnchangedByMetrics(t *testing.T) {
+	off := csvFig(t, func() (csvWriter, error) {
+		return RunFig7()
+	})
+	ms := metrics.New()
+	on := csvFig(t, func() (csvWriter, error) {
+		return RunFig7Sink(ms)
+	})
+	if !bytes.Equal(off, on) {
+		t.Error("Fig7 CSV differs with metrics enabled")
+	}
+	requireLive(t, ms)
+}
+
+func TestFig6CSVUnchangedByMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence sweep is slow")
+	}
+	off := csvFig(t, func() (csvWriter, error) {
+		return RunFig6Workers(1)
+	})
+	ms := metrics.New()
+	on := csvFig(t, func() (csvWriter, error) {
+		return RunFig6Sink(1, ms)
+	})
+	if !bytes.Equal(off, on) {
+		t.Error("Fig6 CSV differs with metrics enabled")
+	}
+	requireLive(t, ms)
+}
+
+func TestFig5CSVUnchangedByMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling sweep is slow")
+	}
+	if raceEnabled {
+		t.Skip("byte-identity is schedule-agnostic; race runs cover the instruments elsewhere")
+	}
+	off := csvFig(t, func() (csvWriter, error) {
+		return RunFig5Workers(1)
+	})
+	ms := metrics.New()
+	on := csvFig(t, func() (csvWriter, error) {
+		return RunFig5Sink(1, ms)
+	})
+	if !bytes.Equal(off, on) {
+		t.Error("Fig5 CSV differs with metrics enabled")
+	}
+	requireLive(t, ms)
+}
+
+func TestFig4CSVUnchangedByMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full verification sweep is slow")
+	}
+	if raceEnabled {
+		t.Skip("byte-identity is schedule-agnostic; race runs cover the instruments elsewhere")
+	}
+	off := csvFig(t, func() (csvWriter, error) {
+		return RunFig4Workers(1)
+	})
+	ms := metrics.New()
+	on := csvFig(t, func() (csvWriter, error) {
+		return RunFig4Sink(1, ms)
+	})
+	if !bytes.Equal(off, on) {
+		t.Error("Fig4 CSV differs with metrics enabled")
+	}
+	requireLive(t, ms)
+}

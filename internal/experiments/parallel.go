@@ -1,6 +1,11 @@
 package experiments
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"github.com/resilience-models/dvf/internal/metrics"
+)
 
 // Parallel runs fn(0) … fn(n-1), returning the first error in index order.
 //
@@ -13,8 +18,38 @@ import "sync"
 // route through this helper, so its concurrency discipline is what the
 // race-targeted tests exercise.
 func Parallel(n, workers int, fn func(int) error) error {
+	return ParallelSink(n, workers, nil, fn)
+}
+
+// ParallelSink is Parallel with observability: with a live sink it records
+// each task's wall time in the "experiments.task_ns" histogram, accumulates
+// "experiments.tasks" and "experiments.busy_ns" counters and the
+// "experiments.wall_ns" counter for the fan-out's own elapsed time — the
+// inputs to a worker-utilization ratio busy/(wall*workers). A nil sink is
+// exactly Parallel: the task closures are not even wrapped, so the
+// scheduling (and therefore any timing-sensitive interleaving) is
+// untouched.
+func ParallelSink(n, workers int, sink metrics.Sink, fn func(int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if sink != nil {
+		taskNs := sink.Histogram("experiments.task_ns")
+		tasks := sink.Counter("experiments.tasks")
+		busy := sink.Counter("experiments.busy_ns")
+		wall := sink.Counter("experiments.wall_ns")
+		inner := fn
+		fn = func(i int) error {
+			t0 := time.Now()
+			err := inner(i)
+			d := time.Since(t0).Nanoseconds()
+			taskNs.Observe(d)
+			busy.Add(d)
+			tasks.Inc()
+			return err
+		}
+		t0 := time.Now()
+		defer func() { wall.Add(time.Since(t0).Nanoseconds()) }()
 	}
 	if workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {

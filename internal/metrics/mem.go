@@ -1,0 +1,33 @@
+package metrics
+
+import "runtime"
+
+// SampleMem records the Go runtime's memory statistics and, where the
+// platform exposes it, the process peak RSS and cumulative CPU time, as
+// gauges under the "mem." and "cpu." prefixes. Peak gauges
+// (mem.heap_alloc_peak_bytes, mem.rss_peak_bytes) are running maxima
+// across samples, so calling SampleMem at stage boundaries yields the
+// pipeline's high-water marks.
+//
+// runtime.ReadMemStats stops the world briefly; call this at stage
+// boundaries, never per-reference.
+func (r *Registry) SampleMem() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("mem.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("mem.heap_alloc_peak_bytes").SetMax(int64(ms.HeapAlloc))
+	r.Gauge("mem.heap_sys_bytes").Set(int64(ms.HeapSys))
+	r.Gauge("mem.total_alloc_bytes").Set(int64(ms.TotalAlloc))
+	r.Gauge("mem.mallocs").Set(int64(ms.Mallocs))
+	r.Gauge("mem.num_gc").Set(int64(ms.NumGC))
+	r.Gauge("mem.gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+	if rss, ok := ProcessPeakRSS(); ok {
+		r.Gauge("mem.rss_peak_bytes").SetMax(rss)
+	}
+	if cpu, ok := ProcessCPUTime(); ok {
+		r.Gauge("cpu.process_ns").Set(cpu.Nanoseconds())
+	}
+}

@@ -1,0 +1,4 @@
+package metrics
+
+// maxrssBytes: Darwin getrusage reports ru_maxrss in bytes.
+const maxrssBytes = true

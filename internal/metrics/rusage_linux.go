@@ -1,0 +1,4 @@
+package metrics
+
+// maxrssBytes: Linux getrusage reports ru_maxrss in kilobytes.
+const maxrssBytes = false

@@ -1,0 +1,11 @@
+//go:build !linux && !darwin
+
+package metrics
+
+import "time"
+
+// ProcessCPUTime is unavailable on this platform.
+func ProcessCPUTime() (time.Duration, bool) { return 0, false }
+
+// ProcessPeakRSS is unavailable on this platform.
+func ProcessPeakRSS() (int64, bool) { return 0, false }

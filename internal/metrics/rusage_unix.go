@@ -1,0 +1,34 @@
+//go:build linux || darwin
+
+package metrics
+
+import (
+	"syscall"
+	"time"
+)
+
+// ProcessCPUTime returns the process's cumulative user+system CPU time.
+// The second result is false on platforms without getrusage.
+func ProcessCPUTime() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	user := time.Duration(ru.Utime.Sec)*time.Second + time.Duration(ru.Utime.Usec)*time.Microsecond
+	sys := time.Duration(ru.Stime.Sec)*time.Second + time.Duration(ru.Stime.Usec)*time.Microsecond
+	return user + sys, true
+}
+
+// ProcessPeakRSS returns the process's peak resident set size in bytes.
+// The second result is false on platforms without getrusage.
+func ProcessPeakRSS() (int64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	// Linux reports ru_maxrss in kilobytes, Darwin in bytes.
+	if maxrssBytes {
+		return ru.Maxrss, true
+	}
+	return ru.Maxrss * 1024, true
+}

@@ -1,0 +1,41 @@
+package metrics
+
+import "time"
+
+// Timer records wall-clock durations into a nanosecond histogram. A nil
+// Timer is a no-op whose stopwatches never even read the clock, so timing
+// a section costs nothing until someone attaches a live sink.
+type Timer struct {
+	h *Histogram
+}
+
+// Start begins timing a section; pair with Stopwatch.Stop. On a nil timer
+// the returned stopwatch is inert and Stop skips the clock read entirely.
+func (t *Timer) Start() Stopwatch {
+	if t == nil || t.h == nil {
+		return Stopwatch{}
+	}
+	return Stopwatch{h: t.h, t0: time.Now()}
+}
+
+// Observe records one duration directly.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(d.Nanoseconds())
+}
+
+// Stopwatch is one in-flight timing section handed out by Timer.Start.
+type Stopwatch struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Stop records the elapsed time since Start. Safe on the zero Stopwatch.
+func (s Stopwatch) Stop() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.t0).Nanoseconds())
+}

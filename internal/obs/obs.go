@@ -1,0 +1,117 @@
+// Package obs is the shared observability entry point for every cmd/
+// binary: it contributes the -metrics and -pprof flags, owns the
+// lifecycle of the CPU/heap profiles, and dumps a metrics snapshot on
+// exit. Binaries wire it in three lines:
+//
+//	o := obs.AddFlags(nil)          // before flag.Parse
+//	flag.Parse()
+//	defer o.Start()()               // returns the sink via o.Sink()
+//
+// The deferred stop writes the profiles and the snapshot. Error paths that
+// exit through log.Fatal bypass deferred calls — and therefore lose the
+// dump — which is acceptable: profiles of failed runs are rarely the ones
+// being hunted.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"github.com/resilience-models/dvf/internal/metrics"
+)
+
+// Options carries the parsed flag values and the live instrumentation
+// state between AddFlags and the deferred stop.
+type Options struct {
+	metricsPath string
+	pprofPrefix string
+
+	sink    metrics.Sink
+	cpuFile *os.File
+}
+
+// AddFlags registers -metrics and -pprof on fs (flag.CommandLine when fs
+// is nil) and returns the options handle to Start later.
+func AddFlags(fs *flag.FlagSet) *Options {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	o := &Options{}
+	fs.StringVar(&o.metricsPath, "metrics", "",
+		"dump a metrics snapshot on exit: '-' for text on stderr, or a file path (.json for JSON, text otherwise)")
+	fs.StringVar(&o.pprofPrefix, "pprof", "",
+		"write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles of this run")
+	return o
+}
+
+// Start begins CPU profiling and creates the metrics registry when the
+// respective flags were given; call it after flag parsing. The returned
+// stop function finalizes profiles and dumps the snapshot — defer it.
+func (o *Options) Start() func() {
+	if o.metricsPath != "" {
+		o.sink = metrics.New()
+	}
+	if o.pprofPrefix != "" {
+		f, err := os.Create(o.pprofPrefix + ".cpu.pprof")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: cpu profile: %v\n", err)
+		} else if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: cpu profile: %v\n", err)
+			f.Close()
+		} else {
+			o.cpuFile = f
+		}
+	}
+	return o.stop
+}
+
+// Sink returns the metrics sink for threading into pipelines: nil (free of
+// overhead) unless -metrics was given. Valid after Start.
+func (o *Options) Sink() metrics.Sink { return o.sink }
+
+func (o *Options) stop() {
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		o.cpuFile.Close()
+		o.cpuFile = nil
+		if f, err := os.Create(o.pprofPrefix + ".heap.pprof"); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: heap profile: %v\n", err)
+		} else {
+			runtime.GC() // fold transient garbage out of the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: heap profile: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+	if o.sink == nil {
+		return
+	}
+	o.sink.SampleMem()
+	snap := o.sink.Snapshot()
+	switch {
+	case o.metricsPath == "-":
+		if err := snap.WriteText(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: metrics dump: %v\n", err)
+		}
+	default:
+		f, err := os.Create(o.metricsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: metrics dump: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if strings.HasSuffix(o.metricsPath, ".json") {
+			err = snap.WriteJSON(f)
+		} else {
+			err = snap.WriteText(f)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: metrics dump: %v\n", err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDisabledFlagsCostNothing: without -metrics the sink must be nil, the
+// contract that keeps the default pipeline uninstrumented.
+func TestDisabledFlagsCostNothing(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop := o.Start()
+	if o.Sink() != nil {
+		t.Error("sink is live without -metrics")
+	}
+	stop()
+}
+
+// TestMetricsDumpJSONAndText drives the full flag lifecycle and checks
+// both dump encodings land on disk.
+func TestMetricsDumpJSONAndText(t *testing.T) {
+	for _, name := range []string{"snap.json", "snap.txt"} {
+		path := filepath.Join(t.TempDir(), name)
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		o := AddFlags(fs)
+		if err := fs.Parse([]string{"-metrics", path}); err != nil {
+			t.Fatal(err)
+		}
+		stop := o.Start()
+		if o.Sink() == nil {
+			t.Fatal("sink is nil with -metrics set")
+		}
+		o.Sink().Counter("test.counter").Add(42)
+		stop()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "test.counter") {
+			t.Errorf("%s: dump does not contain the counter:\n%s", name, data)
+		}
+		if strings.HasSuffix(name, ".json") != strings.Contains(string(data), `"schema"`) {
+			t.Errorf("%s: wrong encoding chosen:\n%s", name, data)
+		}
+	}
+}
+
+// TestPprofProfilesWritten checks both profile files appear.
+func TestPprofProfilesWritten(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := AddFlags(fs)
+	if err := fs.Parse([]string{"-pprof", prefix}); err != nil {
+		t.Fatal(err)
+	}
+	stop := o.Start()
+	stop()
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		if _, err := os.Stat(prefix + suffix); err != nil {
+			t.Errorf("missing profile %s: %v", suffix, err)
+		}
+	}
+}

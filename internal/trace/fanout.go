@@ -1,6 +1,11 @@
 package trace
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"github.com/resilience-models/dvf/internal/metrics"
+)
 
 // FanOut partitions a reference stream across a fixed pool of worker
 // goroutines, one per sink. Each incoming reference is assigned to a worker
@@ -25,8 +30,20 @@ type FanOut struct {
 	batch int
 	pool  sync.Pool
 	wg    sync.WaitGroup
+	met   fanMetrics
 
 	closed bool
+}
+
+// fanMetrics holds the fan-out's instruments. All fields are nil until
+// Instrument attaches a sink; every use is nil-safe, so the default path
+// pays one predictable nil check per event, nothing more.
+type fanMetrics struct {
+	refs      *metrics.Counter   // references routed through Access
+	batches   *metrics.Counter   // batches shipped to workers
+	occupancy *metrics.Histogram // records per shipped batch
+	stalls    *metrics.Counter   // sends that blocked on a full worker channel
+	stallNs   *metrics.Histogram // time the producer spent blocked, per stall
 }
 
 // DefaultBatch is the fan-out batch size: large enough that channel
@@ -102,16 +119,57 @@ func (f *FanOut) putBuf(b []fanRec) {
 // Workers returns the number of worker goroutines.
 func (f *FanOut) Workers() int { return len(f.chans) }
 
+// Instrument attaches fan-out counters to sink under the
+// "trace.fanout." prefix: refs and batches counters, a batch-occupancy
+// histogram, and a channel-stall counter plus stall-duration histogram
+// (producer blocked because every buffered batch of a worker was full). A
+// nil sink leaves the fan-out uninstrumented. Call it from the producer
+// goroutine before the first Access; it returns f for chaining.
+func (f *FanOut) Instrument(s metrics.Sink) *FanOut {
+	if s == nil {
+		return f
+	}
+	f.met = fanMetrics{
+		refs:      s.Counter("trace.fanout.refs"),
+		batches:   s.Counter("trace.fanout.batches"),
+		occupancy: s.Histogram("trace.fanout.batch_occupancy"),
+		stalls:    s.Counter("trace.fanout.stalls"),
+		stallNs:   s.Histogram("trace.fanout.stall_ns"),
+	}
+	return f
+}
+
+// ship sends one message to worker i, tracking channel stalls when
+// instrumented. The non-blocking fast path costs one select only on the
+// instrumented path; the uninstrumented path is a plain channel send.
+func (f *FanOut) ship(i int, msg fanMsg) {
+	if f.met.stalls == nil {
+		f.chans[i] <- msg
+		return
+	}
+	select {
+	case f.chans[i] <- msg:
+	default:
+		f.met.stalls.Inc()
+		t0 := time.Now()
+		f.chans[i] <- msg
+		f.met.stallNs.Observe(time.Since(t0).Nanoseconds())
+	}
+}
+
 // Access routes one reference to its worker, flushing the worker's batch
 // when full. It implements Consumer.
 func (f *FanOut) Access(r Ref, owner int32) {
 	if f.closed {
 		panic("trace: FanOut.Access after Close")
 	}
+	f.met.refs.Add(1)
 	i := f.route(r, owner)
 	buf := append(f.bufs[i], fanRec{ref: r, owner: owner})
 	if len(buf) >= f.batch {
-		f.chans[i] <- fanMsg{recs: buf}
+		f.met.batches.Inc()
+		f.met.occupancy.Observe(int64(len(buf)))
+		f.ship(i, fanMsg{recs: buf})
 		buf = f.getBuf()
 	}
 	f.bufs[i] = buf
@@ -132,8 +190,10 @@ func (f *FanOut) Drain() {
 		if len(f.bufs[i]) > 0 {
 			msg.recs = f.bufs[i]
 			f.bufs[i] = f.getBuf()
+			f.met.batches.Inc()
+			f.met.occupancy.Observe(int64(len(msg.recs)))
 		}
-		f.chans[i] <- msg
+		f.ship(i, msg)
 	}
 	for range f.chans {
 		<-ack
@@ -150,7 +210,9 @@ func (f *FanOut) Close() {
 	f.closed = true
 	for i := range f.chans {
 		if len(f.bufs[i]) > 0 {
-			f.chans[i] <- fanMsg{recs: f.bufs[i]}
+			f.met.batches.Inc()
+			f.met.occupancy.Observe(int64(len(f.bufs[i])))
+			f.ship(i, fanMsg{recs: f.bufs[i]})
 			f.bufs[i] = nil
 		}
 		close(f.chans[i])

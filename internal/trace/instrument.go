@@ -1,0 +1,28 @@
+package trace
+
+import "github.com/resilience-models/dvf/internal/metrics"
+
+// Instrumented wraps a consumer so every reference flowing through it is
+// tallied into sink under prefix: <prefix>.refs, <prefix>.bytes and
+// <prefix>.writes counters. This is how kernel trace generation and trace
+// replay are observed without touching the kernels themselves. A nil sink
+// returns next unchanged, so the uninstrumented path keeps its exact call
+// graph; a nil next with a live sink yields a pure counting consumer.
+func Instrumented(next Consumer, sink metrics.Sink, prefix string) Consumer {
+	if sink == nil {
+		return next
+	}
+	refs := sink.Counter(prefix + ".refs")
+	bytes := sink.Counter(prefix + ".bytes")
+	writes := sink.Counter(prefix + ".writes")
+	return ConsumerFunc(func(r Ref, owner int32) {
+		refs.Inc()
+		bytes.Add(int64(r.Size))
+		if r.Write {
+			writes.Inc()
+		}
+		if next != nil {
+			next.Access(r, owner)
+		}
+	})
+}
