@@ -2,9 +2,12 @@
 # tier-1 gate in ROADMAP.md (`go build ./... && go test ./...`) is the
 # subset run by automation.
 #
-#   make check        fmt-check + vet + build + tests + race detector +
-#                     bench smoke + fuzz smoke
+#   make check        fmt-check + vet + lint + build + tests + race
+#                     detector + bench smoke + fuzz smoke
 #   make fmt-check    fail if any file is not gofmt-clean
+#   make lint         run the repo's own static-analysis suite
+#                     (cmd/dvf-lint) over every package; LINTFLAGS
+#                     narrows it, e.g. LINTFLAGS='-only nilsink,determinism'
 #   make test         the tier-1 test run
 #   make race         full suite under the race detector (slow: the
 #                     experiments package replays every figure)
@@ -17,10 +20,11 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+LINTFLAGS ?=
 
-.PHONY: check fmt-check vet build test race bench-smoke bench fuzz-smoke
+.PHONY: check fmt-check vet lint build test race bench-smoke bench fuzz-smoke
 
-check: fmt-check vet build test race bench-smoke fuzz-smoke
+check: fmt-check vet lint build test race bench-smoke fuzz-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -28,6 +32,9 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/dvf-lint $(LINTFLAGS) ./...
 
 build:
 	$(GO) build ./...

@@ -91,7 +91,10 @@ func main() {
 		stop()
 		log.Fatal(err)
 	}
-	bench.RenderSummary(os.Stdout, m)
+	if err := bench.RenderSummary(os.Stdout, m); err != nil {
+		stop()
+		log.Fatal(err)
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -105,11 +108,17 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := m.WriteJSON(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			stop()
 			log.Fatal(err)
 		}
-		f.Close()
+		// The manifest is the product of the run: a failed close means a
+		// possibly truncated file, which must fail loudly, not gate CI on
+		// garbage.
+		if err := f.Close(); err != nil {
+			stop()
+			log.Fatal(err)
+		}
 		fmt.Printf("manifest: %s\n", path)
 	}
 
@@ -121,7 +130,10 @@ func main() {
 			log.Fatal(err)
 		}
 		res := bench.Compare(base, m, bench.CompareOptions{MaxRegressPct: *regressPct})
-		res.Render(os.Stdout)
+		if err := res.Render(os.Stdout); err != nil {
+			stop()
+			log.Fatal(err)
+		}
 		if res.Failed() {
 			if *warnOnly {
 				fmt.Println("warn-only: regressions reported, exit 0")

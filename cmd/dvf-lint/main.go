@@ -1,0 +1,106 @@
+// Command dvf-lint runs the repository's own static-analysis suite
+// (internal/analysis) over the named packages and fails the build on any
+// finding. The checkers mechanically enforce the invariants the test
+// suite can only probe dynamically: the nil-sink observability contract,
+// determinism of the golden-output packages, atomic-access discipline,
+// error-result hygiene and goroutine join paths.
+//
+// Usage:
+//
+//	dvf-lint ./...                      # whole module, all checkers
+//	dvf-lint -only nilsink,errdrop ./internal/... ./cmd/...
+//	dvf-lint -list                      # show the registered checkers
+//
+// Findings print one per line as "file:line: [checker] message" and the
+// exit status is 1 when anything was found, 2 on usage or load errors.
+// Suppressions are in-source and audited: //dvf:allow <checker> <reason>
+// on (or directly above) the flagged line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+	"github.com/resilience-models/dvf/internal/analysis/checkers"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dvf-lint: ")
+	only := flag.String("only", "", "comma-separated subset of checkers to run (default: all)")
+	list := flag.Bool("list", false, "list registered checkers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range checkers.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := checkers.Select(*only)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	paths, err := loader.Expand(cwd, patterns)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	if len(paths) == 0 {
+		log.Println("no packages matched")
+		os.Exit(2)
+	}
+
+	var pkgs []*analysis.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.Run(pkgs, analyzers, false)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(relDiag(cwd, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dvf-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// relDiag renders one finding with a cwd-relative path for clickable,
+// stable output.
+func relDiag(cwd string, d analysis.Diagnostic) string {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
+		file = rel
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", file, d.Pos.Line, d.Checker, d.Message)
+}

@@ -1,0 +1,211 @@
+// Package analysis is a small, stdlib-only static-analysis framework —
+// go/parser + go/ast + go/types and nothing from x/tools — purpose-built
+// to enforce this repository's own invariants: bit-identical
+// sequential-vs-sharded replay, byte-identical golden CSVs with metrics
+// on or off, the zero-overhead nil-sink pattern, and disciplined
+// concurrency. The dynamic proofs (differential tests, golden guards,
+// fuzz targets) can only catch a violation on an exercised path; the
+// checkers built on this framework reject the violating code itself.
+//
+// The model mirrors golang.org/x/tools/go/analysis in miniature: an
+// Analyzer bundles a name, a doc string and a Run function; Run receives
+// a Pass holding one type-checked package and reports findings through
+// Pass.Reportf. The driver (cmd/dvf-lint) loads packages with Loader,
+// runs every registered checker and renders findings as
+// "file:line: [checker] message".
+//
+// Suppression is explicit and audited: a comment
+//
+//	//dvf:allow <checker> <reason>
+//
+// on the flagged line (or the line above it) silences that checker for
+// that line. The reason is mandatory — a bare directive is itself
+// reported — so every exception in the tree documents why it is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the checker in diagnostics and in -only selections.
+	Name string
+	// Doc is a one-paragraph description of the invariant it guards.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path (testdata packages get their bare
+	// directory name).
+	Path string
+	// Force disables the checker's own import-path scoping; the
+	// expect-comment test harness sets it so testdata packages are
+	// analyzed regardless of where they live.
+	Force bool
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Checker string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Checker, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Checker: p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether the package's import path matches any of the
+// given path fragments; a forced pass (test harness) is always in scope.
+// Checkers use it to confine themselves to the packages whose invariant
+// they guard.
+func (p *Pass) InScope(fragments ...string) bool {
+	if p.Force {
+		return true
+	}
+	for _, f := range fragments {
+		if strings.Contains(p.Path, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowDirective is one parsed //dvf:allow comment.
+type allowDirective struct {
+	file    string
+	line    int
+	checker string
+	reason  string
+	used    bool
+}
+
+const allowPrefix = "//dvf:allow"
+
+// parseDirectives extracts //dvf:allow comments from every file of the
+// package. A directive with a missing checker name or empty reason is
+// converted into a framework diagnostic instead.
+func parseDirectives(fset *token.FileSet, files []*ast.File) ([]*allowDirective, []Diagnostic) {
+	var dirs []*allowDirective
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     pos,
+						Checker: "directive",
+						Message: "dvf:allow needs a checker name and a reason: //dvf:allow <checker> <why this is safe>",
+					})
+					continue
+				}
+				dirs = append(dirs, &allowDirective{
+					file:    pos.Filename,
+					line:    pos.Line,
+					checker: fields[0],
+					reason:  strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// Run executes the analyzers over the loaded packages and returns the
+// surviving diagnostics sorted by position. force is threaded into each
+// pass (used only by the test harness).
+func Run(pkgs []*Package, analyzers []*Analyzer, force bool) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, bad := parseDirectives(pkg.Fset, pkg.Files)
+		all = append(all, bad...)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Path:      pkg.Path,
+				Force:     force,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range diags {
+			if !suppressed(dirs, d) {
+				all = append(all, d)
+			}
+		}
+		for _, dir := range dirs {
+			if !dir.used {
+				all = append(all, Diagnostic{
+					Pos:     token.Position{Filename: dir.file, Line: dir.line},
+					Checker: "directive",
+					Message: fmt.Sprintf("dvf:allow %s suppresses nothing here; delete it", dir.checker),
+				})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Checker < b.Checker
+	})
+	return all, nil
+}
+
+// suppressed reports whether a directive on the diagnostic's line (or the
+// line directly above, for comment-above style) covers it, marking the
+// directive used.
+func suppressed(dirs []*allowDirective, d Diagnostic) bool {
+	for _, dir := range dirs {
+		if dir.checker != d.Checker || dir.file != d.Pos.Filename {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}

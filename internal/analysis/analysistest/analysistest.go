@@ -1,0 +1,127 @@
+// Package analysistest runs a checker over packages under a testdata/src
+// tree and verifies its diagnostics against // want "regexp" comments in
+// the sources — the same expectation style as x/tools' analysistest,
+// reimplemented on the stdlib so the module stays dependency-free.
+//
+// A want comment asserts one diagnostic on its own line; several patterns
+// assert several diagnostics:
+//
+//	for k := range m { // want `map range` `second finding`
+//
+// Patterns are regular expressions matched against the diagnostic
+// message. Lines without a want comment must produce no diagnostic; both
+// missed and unexpected findings fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+// expectation is one want pattern awaiting a matching diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads each named package from testdata/src (resolved relative to
+// the calling test's working directory, i.e. the checker package) and
+// checks the analyzer's findings against the want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	if err := loader.SetTestdataRoot("testdata/src"); err != nil {
+		t.Fatalf("testdata root: %v", err)
+	}
+	for _, pkgPath := range pkgs {
+		pkg, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkgPath, err)
+		}
+		diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a}, true)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+		expects, err := parseWants(pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkgPath, err)
+		}
+		checkExpectations(t, pkgPath, diags, expects)
+	}
+}
+
+// parseWants extracts the expectations from every file of the package.
+func parseWants(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRe.FindAllStringSubmatch(rest, -1)
+				if len(matches) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment (no quoted pattern)", pos.Filename, pos.Line)
+				}
+				for _, m := range matches {
+					pat := m[1]
+					if m[2] != "" || pat == "" {
+						unq, err := strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkExpectations matches diagnostics to wants one-to-one.
+func checkExpectations(t *testing.T, pkgPath string, diags []analysis.Diagnostic, expects []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, e := range expects {
+			if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic:\n  %s", pkgPath, d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: %s:%d: no diagnostic matched want %q", pkgPath, e.file, e.line, e.pattern)
+		}
+	}
+}

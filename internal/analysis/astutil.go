@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Parents builds a child-to-parent node map for one file, the navigation
+// structure checkers use to walk from a flagged expression outward to the
+// statement or call consuming it.
+func Parents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// Deref strips one level of pointer indirection.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedIn reports whether t (possibly behind a pointer) is a named type
+// declared in a package with the given name ("metrics", "time", ...).
+func NamedIn(t types.Type, pkgName string) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := Deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// CalleeFunc resolves a call expression to the function or method object
+// it invokes, or nil for indirect calls, conversions and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// IsPkgCall reports whether call invokes a package-level function named
+// name from the package with import path pkgPath (e.g. "time", "Now").
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	f := CalleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	if f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ReceiverType returns the type of the receiver expression of a method
+// call, or nil when call is not a method call on a selector.
+func ReceiverType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil // package-qualified call, not a method
+	}
+	return s.Recv()
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// FuncDecls yields every function declaration with a body across the
+// pass's files, paired with its file for position/parent lookups.
+func (p *Pass) FuncDecls() []FuncInFile {
+	var out []FuncInFile
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, FuncInFile{File: f, Decl: fd})
+			}
+		}
+	}
+	return out
+}
+
+// FuncInFile pairs a function declaration with its enclosing file.
+type FuncInFile struct {
+	File *ast.File
+	Decl *ast.FuncDecl
+}

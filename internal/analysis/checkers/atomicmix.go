@@ -1,0 +1,126 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+// AtomicMix flags struct fields and package-level variables that are
+// accessed through sync/atomic in one place and with a plain load or
+// store in another. Mixing the two silently downgrades the atomic
+// accesses: the plain access races with every atomic one, and the race
+// detector only notices when both paths are exercised concurrently. The
+// repository's convention is the method-style atomic.Int64 types (which
+// make plain access impossible); this checker guards the legacy
+// call-style API for anyone who reaches for it.
+var AtomicMix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must never be accessed plainly elsewhere",
+	Run:  runAtomicMix,
+}
+
+// atomicFuncs are the sync/atomic package functions whose first argument
+// is the address of the guarded word.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicMix(pass *analysis.Pass) error {
+	// First pass: every field/package-var whose address feeds an atomic
+	// call, plus the exact &x nodes inside those calls (excluded from the
+	// plain-access scan).
+	atomicTarget := make(map[types.Object]token.Pos)
+	inAtomicCall := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicFuncs[fn.Name()] {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if obj := guardableObj(pass, addr.X); obj != nil {
+				if _, seen := atomicTarget[obj]; !seen {
+					atomicTarget[obj] = call.Pos()
+				}
+				markUses(pass, addr.X, inAtomicCall)
+			}
+			return true
+		})
+	}
+	if len(atomicTarget) == 0 {
+		return nil
+	}
+	// Second pass: any other appearance of those objects is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || inAtomicCall[id] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if pos, guarded := atomicTarget[obj]; guarded {
+				pass.Reportf(id.Pos(), "%s is accessed with sync/atomic at %s but plainly here; every access must go through sync/atomic",
+					objLabel(obj), pass.Fset.Position(pos))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// guardableObj resolves expr to a struct field or package-level variable;
+// locals are skipped (closures capturing a local atomic counter read it
+// only after the atomic phase completes, a pattern the inject worker pool
+// uses legitimately).
+func guardableObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok && !v.IsField() && v.Parent() == pass.Pkg.Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+// markUses records every identifier under expr so the second pass can
+// skip the sanctioned atomic-call occurrence.
+func markUses(pass *analysis.Pass, expr ast.Expr, set map[ast.Node]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			set[id] = true
+		}
+		return true
+	})
+}
+
+func objLabel(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return "field " + v.Name()
+	}
+	return "variable " + obj.Name()
+}

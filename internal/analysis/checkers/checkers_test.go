@@ -1,0 +1,51 @@
+package checkers
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/analysis/analysistest"
+)
+
+func TestNilSink(t *testing.T)       { analysistest.Run(t, NilSink, "nilsink", "metrics") }
+func TestDeterminism(t *testing.T)   { analysistest.Run(t, Determinism, "determinism") }
+func TestAtomicMix(t *testing.T)     { analysistest.Run(t, AtomicMix, "atomicmix") }
+func TestErrDrop(t *testing.T)       { analysistest.Run(t, ErrDrop, "errdrop") }
+func TestGoroutineLeak(t *testing.T) { analysistest.Run(t, GoroutineLeak, "goroutineleak") }
+
+func TestRegistryAllSorted(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("expected 5 registered checkers, got %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Errorf("registry out of order: %s before %s", all[i-1].Name, all[i].Name)
+		}
+	}
+	for _, a := range all {
+		if a.Doc == "" {
+			t.Errorf("checker %s has no doc string", a.Name)
+		}
+	}
+}
+
+func TestRegistrySelect(t *testing.T) {
+	sel, err := Select("nilsink,determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "nilsink" || sel[1].Name != "determinism" {
+		got := make([]string, len(sel))
+		for i, a := range sel {
+			got[i] = a.Name
+		}
+		t.Errorf("Select kept neither order nor content: %v", got)
+	}
+	if sel, err := Select("  "); err != nil || len(sel) != 5 {
+		t.Errorf("blank selection should return all checkers, got %d, %v", len(sel), err)
+	}
+	if _, err := Select("nope"); err == nil || !strings.Contains(err.Error(), "unknown checker") {
+		t.Errorf("unknown checker should error with the known set, got %v", err)
+	}
+}

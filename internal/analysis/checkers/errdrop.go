@@ -1,0 +1,125 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+// ErrDrop flags call statements that silently discard an error result in
+// internal/ and cmd/ code. A bare `f.Close()` after writing, or an
+// unchecked `fmt.Fprintf(w, ...)` to a caller-supplied writer, turns an
+// I/O failure into corrupted-but-successful output — precisely the
+// failure mode a resilience-modeling tool must not exhibit itself.
+//
+// Deliberate discards stay expressible and visible: assign to blank
+// (`_ = f()`). Allowlisted as best-effort by convention:
+//
+//   - fmt.Print/Printf/Println (CLI progress output to stdout);
+//   - fmt.Fprint* to os.Stdout, os.Stderr, a *strings.Builder or a
+//     *bytes.Buffer (the first two are terminal diagnostics, the last
+//     two cannot fail);
+//   - methods on *strings.Builder and *bytes.Buffer (errors always nil);
+//   - deferred calls (`defer f.Close()` on read paths; write paths
+//     should close explicitly and check).
+var ErrDrop = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "no silently discarded error results in internal/ and cmd/ code",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *analysis.Pass) error {
+	if !pass.InScope("internal/", "cmd/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if errIdx := errorResultIndex(pass, call); errIdx >= 0 && !errDropAllowed(pass, call) {
+				pass.Reportf(call.Pos(), "result %d of %s is an error that is silently discarded; handle it or assign to _ explicitly",
+					errIdx, callLabel(pass, call))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorResultIndex returns the index of the first error result of the
+// call, or -1 when the call returns no error (or is not a function call).
+func errorResultIndex(pass *analysis.Pass, call *ast.CallExpr) int {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return -1
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return -1 // conversion or builtin
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if analysis.IsErrorType(sig.Results().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func errDropAllowed(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && bestEffortWriter(pass, call.Args[0])
+		}
+	}
+	if recv := analysis.ReceiverType(pass.TypesInfo, call); recv != nil && infallibleBuffer(recv) {
+		return true
+	}
+	return false
+}
+
+// bestEffortWriter recognizes writers whose failures are acceptable
+// (terminal streams) or impossible (in-memory buffers).
+func bestEffortWriter(pass *analysis.Pass, w ast.Expr) bool {
+	if sel, ok := ast.Unparen(w).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "os" {
+				return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+			}
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[w]; ok && infallibleBuffer(tv.Type) {
+		return true
+	}
+	return false
+}
+
+// infallibleBuffer matches *strings.Builder and *bytes.Buffer.
+func infallibleBuffer(t types.Type) bool {
+	n, ok := analysis.Deref(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+func callLabel(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
+		return fn.Name()
+	}
+	return "this call"
+}

@@ -1,0 +1,253 @@
+// Package checkers holds the project-specific analyzers dvf-lint runs:
+// each one mechanically enforces an invariant the repository otherwise
+// guards only with dynamic tests (differential replay, golden CSVs, race
+// and fuzz targets). See the individual analyzer docs for the contract
+// each protects.
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+// NilSink enforces the zero-overhead observability contract from
+// DESIGN.md: instrumented entry points come in pairs, and the metrics
+// package's instruments tolerate nil receivers.
+//
+// Rule 1 (every package): an exported function or method whose name ends
+// in "Sink" is an instrumented variant; the package must also export the
+// un-suffixed sibling (Run ↔ RunSink), and some function in the package
+// must delegate to the Sink variant with a literal nil sink — the
+// uninstrumented path must exist and must cost nothing.
+//
+// Rule 2 (packages named "metrics"): every exported method with a
+// pointer receiver must be nil-safe: either a `receiver == nil` guard
+// appears before any other use of the receiver, or the body only invokes
+// further methods on the receiver (delegation like Inc → Add), which are
+// themselves checked.
+var NilSink = &analysis.Analyzer{
+	Name: "nilsink",
+	Doc:  "instrumented ...Sink APIs need a nil-delegating wrapper; metrics instruments need nil-receiver guards",
+	Run:  runNilSink,
+}
+
+func runNilSink(pass *analysis.Pass) error {
+	checkSinkWrappers(pass)
+	if pass.Pkg.Name() == "metrics" {
+		checkNilGuards(pass)
+	}
+	return nil
+}
+
+// funcKey names a function uniquely within the package: "Name" for
+// functions, "Recv.Name" for methods.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// sinkParamIndex finds the parameter whose type is the metrics sink — a
+// pointer to a named type from a package called "metrics" (metrics.Sink
+// is an alias for *metrics.Registry). Returns -1 when absent.
+func sinkParamIndex(sig *types.Signature) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if analysis.NamedIn(sig.Params().At(i).Type(), "metrics") {
+			return i
+		}
+	}
+	return -1
+}
+
+func checkSinkWrappers(pass *analysis.Pass) {
+	decls := pass.FuncDecls()
+	byKey := make(map[string]*ast.FuncDecl, len(decls))
+	for _, d := range decls {
+		byKey[funcKey(d.Decl)] = d.Decl
+	}
+	for _, d := range decls {
+		fd := d.Decl
+		name := fd.Name.Name
+		base, hasSuffix := strings.CutSuffix(name, "Sink")
+		if !hasSuffix || base == "" || !fd.Name.IsExported() || !ast.IsExported(base) {
+			continue
+		}
+		obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := obj.Type().(*types.Signature)
+		sinkIdx := sinkParamIndex(sig)
+		if sinkIdx < 0 {
+			pass.Reportf(fd.Name.Pos(),
+				"%s is named like an instrumented variant but takes no metrics sink parameter", name)
+			continue
+		}
+		key := strings.TrimSuffix(funcKey(fd), "Sink")
+		sibling, ok := byKey[key]
+		if !ok {
+			pass.Reportf(fd.Name.Pos(),
+				"exported %s has no sink-less wrapper %s delegating with a nil sink", name, base)
+			continue
+		}
+		if !delegatesWithNil(pass, obj, sinkIdx) {
+			pass.Reportf(sibling.Name.Pos(),
+				"no function in this package calls %s with a literal nil sink; the uninstrumented path %s must delegate with nil", name, base)
+		}
+	}
+}
+
+// delegatesWithNil reports whether any function in the package calls
+// target with an untyped nil literal in the sink position.
+func delegatesWithNil(pass *analysis.Pass, target *types.Func, sinkIdx int) bool {
+	found := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if analysis.CalleeFunc(pass.TypesInfo, call) != target {
+				return true
+			}
+			if sinkIdx < len(call.Args) {
+				if id, ok := ast.Unparen(call.Args[sinkIdx]).(*ast.Ident); ok && id.Name == "nil" {
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// checkNilGuards verifies rule 2 over every exported pointer-receiver
+// method of the package.
+func checkNilGuards(pass *analysis.Pass) {
+	for _, d := range pass.FuncDecls() {
+		fd := d.Decl
+		if fd.Recv == nil || len(fd.Recv.List) == 0 || !fd.Name.IsExported() {
+			continue
+		}
+		if _, ok := fd.Recv.List[0].Type.(*ast.StarExpr); !ok {
+			continue // value receivers copy; nil cannot reach them
+		}
+		if len(fd.Recv.List[0].Names) == 0 {
+			pass.Reportf(fd.Name.Pos(),
+				"method %s has an unnamed pointer receiver and therefore no nil-receiver guard", fd.Name.Name)
+			continue
+		}
+		recv := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+		if recv == nil {
+			continue
+		}
+		if !nilSafeBody(pass, fd, recv) {
+			pass.Reportf(fd.Name.Pos(),
+				"exported method %s on pointer receiver must start with a nil-receiver guard (or only delegate to methods on the receiver)", fd.Name.Name)
+		}
+	}
+}
+
+// nilSafeBody implements the rule-2 body shape check.
+func nilSafeBody(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) bool {
+	parents := analysis.Parents(fd)
+	guardPos := guardPosition(pass, fd, recv)
+	safe := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if !safe {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recv {
+			return true
+		}
+		if guardPos.IsValid() && id.Pos() > guardPos {
+			return true // after the guard every use is safe
+		}
+		if useIsNilComparison(parents, id) || useIsMethodDispatch(pass, parents, id) {
+			return true
+		}
+		safe = false
+		return false
+	})
+	return safe
+}
+
+// guardPosition returns the end position of the first `recv == nil`
+// comparison inside a top-level if statement whose body returns, or
+// NoPos. Receiver uses past that position are safe: the nil case has
+// already short-circuited the condition or exited the function.
+func guardPosition(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) token.Pos {
+	for _, stmt := range fd.Body.List {
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if n := len(ifs.Body.List); n == 0 {
+			continue
+		} else if _, returns := ifs.Body.List[n-1].(*ast.ReturnStmt); !returns {
+			continue
+		}
+		guard := token.NoPos
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.EQL {
+				x, xo := ast.Unparen(be.X).(*ast.Ident)
+				y, yo := ast.Unparen(be.Y).(*ast.Ident)
+				if (xo && pass.TypesInfo.Uses[x] == recv && yo && y.Name == "nil") ||
+					(yo && pass.TypesInfo.Uses[y] == recv && xo && x.Name == "nil") {
+					guard = be.End()
+				}
+			}
+			return guard == token.NoPos
+		})
+		if guard.IsValid() {
+			return guard
+		}
+	}
+	return token.NoPos
+}
+
+// useIsNilComparison reports whether the identifier only participates in
+// a `recv == nil` / `recv != nil` comparison.
+func useIsNilComparison(parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	p := parents[id]
+	if pe, ok := p.(*ast.ParenExpr); ok {
+		p = parents[pe]
+	}
+	be, ok := p.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	op := be.Op.String()
+	return op == "==" || op == "!="
+}
+
+// useIsMethodDispatch reports whether the identifier is the receiver of a
+// method call (nil method dispatch is safe: the callee guards).
+func useIsMethodDispatch(pass *analysis.Pass, parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	sel, ok := parents[id].(*ast.SelectorExpr)
+	if !ok || sel.X != id {
+		return false
+	}
+	call, ok := parents[sel].(*ast.CallExpr)
+	if !ok || call.Fun != sel {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.MethodVal
+}

@@ -1,0 +1,53 @@
+// Package atomicmix exercises the atomicmix checker: objects accessed
+// both through sync/atomic and plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read loads hits without atomic — races with every bump.
+func (c *counter) read() int64 {
+	return c.hits // want `field hits is accessed with sync/atomic`
+}
+
+// total is consistently atomic: no diagnostics.
+func (c *counter) addTotal(n int64) {
+	atomic.AddInt64(&c.total, n)
+}
+
+func (c *counter) readTotal() int64 {
+	return atomic.LoadInt64(&c.total)
+}
+
+var generation int64
+
+func bumpGen() { atomic.AddInt64(&generation, 1) }
+
+func readGen() int64 {
+	return generation // want `variable generation is accessed with sync/atomic`
+}
+
+// plainOnly is never touched by sync/atomic, so plain access is fine.
+var plainOnly int64
+
+func usePlain() int64 {
+	plainOnly++
+	return plainOnly
+}
+
+// localCounter shows the sanctioned local pattern: a stack variable fed
+// to atomic ops inside the launch scope is read only after the join, so
+// locals are exempt.
+func localCounter(run func(func())) int64 {
+	var n int64
+	run(func() { atomic.AddInt64(&n, 1) })
+	return n
+}

@@ -1,0 +1,132 @@
+package determinism
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// emit writes a line per iteration: map order becomes output order.
+func emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `side-effecting call inside a map range`
+	}
+}
+
+// emitSorted collects keys, sorts, then writes — the sanctioned shape.
+func emitSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// merge writes through the iteration key: every key visited exactly
+// once, order irrelevant.
+func merge(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// index is the non-arithmetic keyed-write form.
+func index(paths map[string]string) map[string]string {
+	out := make(map[string]string, len(paths))
+	for k, v := range paths {
+		out[k] = v
+	}
+	return out
+}
+
+// sumInts accumulates integers, which commutes.
+func sumInts(m map[string]int64) int64 {
+	var n int64
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// sumFloats accumulates floats — addition does not associate, so the
+// low bits depend on iteration order.
+func sumFloats(m map[string]float64) float64 {
+	var x float64
+	for _, v := range m {
+		x += v // want `map iteration order reaches x`
+	}
+	return x
+}
+
+// concat builds a string in iteration order.
+func concat(m map[string]string) string {
+	var s string
+	for _, v := range m {
+		s += v // want `map iteration order reaches s`
+	}
+	return s
+}
+
+// keysUnsorted collects keys but never sorts them.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration order reaches keys`
+	}
+	return keys
+}
+
+// count uses an integer increment, which commutes.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// send leaks iteration order into a channel.
+func send(ch chan<- string, m map[string]int) {
+	for k := range m {
+		ch <- k // want `channel send inside a map range`
+	}
+}
+
+// prune uses the one sanctioned side-effecting call: delete on the
+// ranged map keyed by the iteration key.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// validate may return early — a ReturnStmt is not a write.
+func validate(m map[string]int) error {
+	for k, v := range m {
+		if v < 0 {
+			return fmt.Errorf("negative value for %s", k)
+		}
+	}
+	return nil
+}
+
+// callbacks captures per-iteration state in closures: writes inside the
+// FuncLit are deferred work, not loop effects, and the map write itself
+// is keyed.
+func callbacks(m map[string]int) map[string]func() int {
+	out := make(map[string]func() int, len(m))
+	for k, v := range m {
+		v := v
+		out[k] = func() int {
+			total := 0
+			total += v
+			return total
+		}
+	}
+	return out
+}

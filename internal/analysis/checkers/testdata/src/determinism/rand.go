@@ -1,0 +1,5 @@
+package determinism
+
+import "math/rand" // want `math/rand in a golden-output package`
+
+func roll() int { return rand.Intn(6) }

@@ -1,0 +1,46 @@
+// Package errdrop exercises the errdrop checker: bare call statements
+// that discard an error result.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func work() error            { return nil }
+func pair() (int, error)     { return 0, nil }
+func clean()                 {}
+func makeErr() (func(), int) { return clean, 0 }
+
+func drops() {
+	work() // want `result 0 of work is an error that is silently discarded`
+	pair() // want `result 1 of pair is an error that is silently discarded`
+	clean()
+	_ = work() // explicit discard: visible and greppable
+	if err := work(); err != nil {
+		_ = err
+	}
+	f, _ := makeErr()
+	f()
+}
+
+func output(w io.Writer, f *os.File) {
+	fmt.Fprintf(w, "x") // want `silently discarded`
+	fmt.Fprintf(os.Stdout, "x")
+	fmt.Fprintln(os.Stderr, "x")
+	fmt.Println("x")
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "x")
+	sb.WriteString("x")
+
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+	fmt.Fprintf(&buf, "x")
+
+	f.Close()       // want `result 0 of Close is an error that is silently discarded`
+	defer f.Close() // deferred closes are the read-path idiom
+}

@@ -1,0 +1,99 @@
+// Package goroutineleak exercises the goroutineleak checker: goroutines
+// launched with no visible join path.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+func waitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func leaky() {
+	go func() { // want `goroutine body has no join path`
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+func chanSend() chan int {
+	out := make(chan int)
+	go func() {
+		out <- 1
+	}()
+	return out
+}
+
+func chanClose() <-chan int {
+	out := make(chan int)
+	go func() {
+		close(out)
+	}()
+	return out
+}
+
+func worker(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// sliceRange ranges, but not over a channel — that says nothing about
+// liveness, so the goroutine is still unjoinable.
+func sliceRange(xs []int) {
+	go func() { // want `goroutine body has no join path`
+		for _, x := range xs {
+			_ = x
+		}
+	}()
+}
+
+func background() {}
+
+func named() {
+	go background() // want `launches background without a channel, context, or WaitGroup`
+}
+
+func run(done chan struct{}) { close(done) }
+
+func namedWithChan(done chan struct{}) {
+	go run(done)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+func namedWithCtx(ctx context.Context) {
+	go watch(ctx)
+}
+
+type pool struct{ wg sync.WaitGroup }
+
+func (p *pool) work() { p.wg.Done() }
+
+// opaqueReceiver launches a method whose join primitive hides behind a
+// pointer receiver; the checker cannot prove a join and conservatively
+// flags the launch (pass the WaitGroup explicitly, or launch a literal).
+func opaqueReceiver(p *pool) {
+	go p.work() // want `without a channel, context, or WaitGroup`
+}
+
+type task struct{ done chan struct{} }
+
+func (t task) finish() { close(t.done) }
+
+// structCarrier launches a method on a struct value that carries a
+// channel field — the ack pattern — which counts as joinable.
+func structCarrier(t task) {
+	go t.finish()
+}

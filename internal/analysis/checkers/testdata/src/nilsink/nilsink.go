@@ -1,0 +1,71 @@
+// Package nilsink exercises the nilsink checker's rule 1: every
+// exported ...Sink API needs a sink-less wrapper that delegates with a
+// literal nil.
+package nilsink
+
+import "metrics"
+
+// Result is a placeholder return type.
+type Result struct{}
+
+// Run is the uninstrumented wrapper for RunSink: correct pair.
+func Run() (*Result, error) { return RunSink(nil) }
+
+// RunSink is the instrumented variant.
+func RunSink(ms metrics.Sink) (*Result, error) {
+	_ = ms
+	return &Result{}, nil
+}
+
+// ProfileSink has no Profile sibling at all.
+func ProfileSink(ms metrics.Sink) error { // want `no sink-less wrapper Profile`
+	_ = ms
+	return nil
+}
+
+// Trace exists as a sibling of TraceSink but routes through a helper
+// instead of delegating with nil — callers without a registry would pay
+// for one anyway.
+func Trace() error { return traceImpl(metrics.New()) } // want `literal nil sink`
+
+// TraceSink is the instrumented variant nobody nil-delegates to.
+func TraceSink(ms metrics.Sink) error { return traceImpl(ms) }
+
+func traceImpl(ms metrics.Sink) error {
+	_ = ms
+	return nil
+}
+
+// CountSink is Sink-named but takes no sink — the name lies.
+func CountSink() int { return 0 } // want `takes no metrics sink parameter`
+
+// Replay delegates through an intermediate hop; the nil literal appears
+// in ReplayWorkers, which is enough — the chain bottoms out in nil.
+func Replay() error { return ReplayWorkers(1) }
+
+// ReplayWorkers is the mid-chain variant.
+func ReplayWorkers(n int) error { return ReplaySink(n, nil) }
+
+// ReplaySink is the fully instrumented variant.
+func ReplaySink(n int, ms metrics.Sink) error {
+	_, _ = n, ms
+	return nil
+}
+
+// helperSink is unexported: internal plumbing is allowed to demand a
+// sink unconditionally.
+func helperSink(ms metrics.Sink) { _ = ms }
+
+// Engine checks the method form of the rule.
+type Engine struct{}
+
+// Report is the sink-less method wrapper: correct pair.
+func (e *Engine) Report() string { return e.ReportSink(nil) }
+
+// ReportSink is the instrumented method variant.
+func (e *Engine) ReportSink(ms metrics.Sink) string {
+	_ = ms
+	return ""
+}
+
+var _ = helperSink

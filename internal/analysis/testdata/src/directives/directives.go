@@ -1,0 +1,19 @@
+// Package directives is the fixture for the framework's //dvf:allow
+// tests: one unsuppressed finding, one suppressed, one unused directive
+// and one malformed directive.
+package directives
+
+// BadOne trips the test analyzer and carries no directive.
+func BadOne() {}
+
+//dvf:allow flagfunc framework test exercising line-above suppression
+func BadTwo() {}
+
+//dvf:allow flagfunc there is nothing here to suppress
+func fine() {}
+
+//dvf:allow
+func alsoFine() {}
+
+var _ = fine
+var _ = alsoFine

@@ -39,6 +39,12 @@ func TestRunProducesManifest(t *testing.T) {
 	if len(m.Cells) != 2 {
 		t.Fatalf("cells = %d, want 2 (sequential + sharded)", len(m.Cells))
 	}
+	for i := 1; i < len(m.Cells); i++ {
+		if m.Cells[i-1].Key() >= m.Cells[i].Key() {
+			t.Errorf("cells not key-sorted before encoding: %q >= %q",
+				m.Cells[i-1].Key(), m.Cells[i].Key())
+		}
+	}
 	seq, shard := m.Cells[0], m.Cells[1]
 	if seq.Engine != "sequential" {
 		t.Errorf("first cell engine = %q, want sequential", seq.Engine)

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"fmt"
 	"io"
 	"sort"
 )
@@ -97,23 +96,26 @@ func Compare(old, new *Manifest, opt CompareOptions) *CompareResult {
 	return res
 }
 
-// Render writes the human-readable comparison report.
-func (r *CompareResult) Render(w io.Writer) {
-	fmt.Fprintf(w, "bench compare: threshold ±%.0f%% ns/ref\n", r.Threshold)
+// Render writes the human-readable comparison report. The first write
+// error is returned; later lines are skipped.
+func (r *CompareResult) Render(w io.Writer) error {
+	ew := &errWriter{w: w}
+	ew.printf("bench compare: threshold ±%.0f%% ns/ref\n", r.Threshold)
 	for _, d := range r.Regressions {
-		fmt.Fprintf(w, "REGRESSION %-40s %8.2f -> %8.2f ns/ref (%+.1f%%)\n",
+		ew.printf("REGRESSION %-40s %8.2f -> %8.2f ns/ref (%+.1f%%)\n",
 			d.Key, d.OldNs, d.NewNs, d.DeltaPct)
 	}
 	for _, d := range r.Improved {
-		fmt.Fprintf(w, "improved   %-40s %8.2f -> %8.2f ns/ref (%+.1f%%)\n",
+		ew.printf("improved   %-40s %8.2f -> %8.2f ns/ref (%+.1f%%)\n",
 			d.Key, d.OldNs, d.NewNs, d.DeltaPct)
 	}
 	for _, key := range r.OnlyOld {
-		fmt.Fprintf(w, "only in baseline: %s\n", key)
+		ew.printf("only in baseline: %s\n", key)
 	}
 	for _, key := range r.OnlyNew {
-		fmt.Fprintf(w, "only in this run: %s\n", key)
+		ew.printf("only in this run: %s\n", key)
 	}
-	fmt.Fprintf(w, "%d regressions, %d improved, %d unchanged\n",
+	ew.printf("%d regressions, %d improved, %d unchanged\n",
 		len(r.Regressions), len(r.Improved), r.Unchanged)
+	return ew.err
 }

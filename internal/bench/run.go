@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"github.com/resilience-models/dvf/internal/cache"
@@ -93,6 +94,17 @@ func Run(o Options) (*Manifest, error) {
 	}
 	o.Sink.SampleMem()
 	m.Metrics = o.Sink.Snapshot()
+	// Encode in key order, not enumeration order: -kernels/-caches
+	// selections then produce comparable manifests regardless of how the
+	// caller spelled the selection.
+	sort.Slice(m.Cells, func(i, j int) bool { return m.Cells[i].Key() < m.Cells[j].Key() })
+	sort.Slice(m.Speedups, func(i, j int) bool {
+		a, b := m.Speedups[i], m.Speedups[j]
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		return a.Cache < b.Cache
+	})
 	return m, nil
 }
 
@@ -151,18 +163,35 @@ func engineWorkers(e cache.Engine) int {
 	return 1
 }
 
-// RenderSummary writes the human-readable table for a manifest.
-func RenderSummary(w io.Writer, m *Manifest) {
-	fmt.Fprintf(w, "dvf-bench %s  %s %s/%s  GOMAXPROCS=%d\n",
+// RenderSummary writes the human-readable table for a manifest. The
+// first write error is returned; later lines are skipped.
+func RenderSummary(w io.Writer, m *Manifest) error {
+	ew := &errWriter{w: w}
+	ew.printf("dvf-bench %s  %s %s/%s  GOMAXPROCS=%d\n",
 		m.Timestamp, m.GoVersion, m.GOOS, m.GOARCH, m.GOMAXPROCS)
-	fmt.Fprintf(w, "%-6s %-22s %-10s %8s %12s %12s %10s\n",
+	ew.printf("%-6s %-22s %-10s %8s %12s %12s %10s\n",
 		"kernel", "cache", "engine", "workers", "refs", "wall", "ns/ref")
 	for _, c := range m.Cells {
-		fmt.Fprintf(w, "%-6s %-22s %-10s %8d %12d %12s %10.2f\n",
+		ew.printf("%-6s %-22s %-10s %8d %12d %12s %10.2f\n",
 			c.Kernel, c.Cache, c.Engine, c.Workers, c.Refs,
 			time.Duration(c.WallNs).Round(time.Microsecond), c.NsPerRef)
 	}
 	for _, s := range m.Speedups {
-		fmt.Fprintf(w, "speedup %-6s %-22s sharded(%d) %.2fx\n", s.Kernel, s.Cache, s.Workers, s.Factor)
+		ew.printf("speedup %-6s %-22s sharded(%d) %.2fx\n", s.Kernel, s.Cache, s.Workers, s.Factor)
 	}
+	return ew.err
+}
+
+// errWriter is the shared sticky-error formatter for the package's
+// report renderers: the first failed write latches, later writes no-op.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
 }

@@ -1,7 +1,7 @@
 // Package obs is the shared observability entry point for every cmd/
-// binary: it contributes the -metrics and -pprof flags, owns the
-// lifecycle of the CPU/heap profiles, and dumps a metrics snapshot on
-// exit. Binaries wire it in three lines:
+// binary: it contributes the -metrics, -pprof and -pprof-http flags,
+// owns the lifecycle of the CPU/heap profiles and the live pprof server,
+// and dumps a metrics snapshot on exit. Binaries wire it in three lines:
 //
 //	o := obs.AddFlags(nil)          // before flag.Parse
 //	flag.Parse()
@@ -16,9 +16,12 @@ package obs
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
-	"runtime/pprof"
+	rpprof "runtime/pprof"
 	"strings"
 
 	"github.com/resilience-models/dvf/internal/metrics"
@@ -29,13 +32,18 @@ import (
 type Options struct {
 	metricsPath string
 	pprofPrefix string
+	pprofHTTP   string
 
-	sink    metrics.Sink
-	cpuFile *os.File
+	sink     metrics.Sink
+	cpuFile  *os.File
+	listener net.Listener
+	server   *http.Server
+	served   chan struct{}
 }
 
-// AddFlags registers -metrics and -pprof on fs (flag.CommandLine when fs
-// is nil) and returns the options handle to Start later.
+// AddFlags registers -metrics, -pprof and -pprof-http on fs
+// (flag.CommandLine when fs is nil) and returns the options handle to
+// Start later.
 func AddFlags(fs *flag.FlagSet) *Options {
 	if fs == nil {
 		fs = flag.CommandLine
@@ -45,12 +53,15 @@ func AddFlags(fs *flag.FlagSet) *Options {
 		"dump a metrics snapshot on exit: '-' for text on stderr, or a file path (.json for JSON, text otherwise)")
 	fs.StringVar(&o.pprofPrefix, "pprof", "",
 		"write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles of this run")
+	fs.StringVar(&o.pprofHTTP, "pprof-http", "",
+		"serve live net/http/pprof endpoints on this address (e.g. localhost:6060) for the duration of the run")
 	return o
 }
 
-// Start begins CPU profiling and creates the metrics registry when the
-// respective flags were given; call it after flag parsing. The returned
-// stop function finalizes profiles and dumps the snapshot — defer it.
+// Start begins CPU profiling, starts the live pprof server and creates
+// the metrics registry when the respective flags were given; call it
+// after flag parsing. The returned stop function shuts the server down,
+// finalizes profiles and dumps the snapshot — defer it.
 func (o *Options) Start() func() {
 	if o.metricsPath != "" {
 		o.sink = metrics.New()
@@ -59,33 +70,86 @@ func (o *Options) Start() func() {
 		f, err := os.Create(o.pprofPrefix + ".cpu.pprof")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "obs: cpu profile: %v\n", err)
-		} else if err := pprof.StartCPUProfile(f); err != nil {
+		} else if err := rpprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "obs: cpu profile: %v\n", err)
-			f.Close()
+			_ = f.Close() // nothing was profiled into it; the create error path
 		} else {
 			o.cpuFile = f
 		}
 	}
+	if o.pprofHTTP != "" {
+		o.startServer()
+	}
 	return o.stop
+}
+
+// startServer brings up the live pprof endpoint. The handlers are wired
+// onto a private mux so the binary never exposes whatever else was
+// registered on http.DefaultServeMux.
+func (o *Options) startServer() {
+	ln, err := net.Listen("tcp", o.pprofHTTP)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obs: pprof-http: %v\n", err)
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	o.listener = ln
+	o.server = &http.Server{Handler: mux}
+	o.served = make(chan struct{})
+	go func() {
+		// Serve returns ErrServerClosed on the stop path; anything else is
+		// a real failure worth a diagnostic.
+		if err := o.server.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "obs: pprof-http: %v\n", err)
+		}
+		close(o.served)
+	}()
 }
 
 // Sink returns the metrics sink for threading into pipelines: nil (free of
 // overhead) unless -metrics was given. Valid after Start.
 func (o *Options) Sink() metrics.Sink { return o.sink }
 
+// PprofAddr returns the live pprof server's listen address ("" when
+// -pprof-http is off or the listener failed). Valid after Start; useful
+// when the flag requested port 0.
+func (o *Options) PprofAddr() string {
+	if o.listener == nil {
+		return ""
+	}
+	return o.listener.Addr().String()
+}
+
 func (o *Options) stop() {
+	if o.server != nil {
+		if err := o.server.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: pprof-http: %v\n", err)
+		}
+		<-o.served // join the serve goroutine before tearing down state
+		o.server = nil
+		o.listener = nil
+	}
 	if o.cpuFile != nil {
-		pprof.StopCPUProfile()
-		o.cpuFile.Close()
+		rpprof.StopCPUProfile()
+		if err := o.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: cpu profile: %v\n", err)
+		}
 		o.cpuFile = nil
 		if f, err := os.Create(o.pprofPrefix + ".heap.pprof"); err != nil {
 			fmt.Fprintf(os.Stderr, "obs: heap profile: %v\n", err)
 		} else {
 			runtime.GC() // fold transient garbage out of the heap profile
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			if err := rpprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "obs: heap profile: %v\n", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: heap profile: %v\n", err)
+			}
 		}
 	}
 	if o.sink == nil {
@@ -104,11 +168,13 @@ func (o *Options) stop() {
 			fmt.Fprintf(os.Stderr, "obs: metrics dump: %v\n", err)
 			return
 		}
-		defer f.Close()
 		if strings.HasSuffix(o.metricsPath, ".json") {
 			err = snap.WriteJSON(f)
 		} else {
 			err = snap.WriteText(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "obs: metrics dump: %v\n", err)

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"flag"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -50,6 +52,105 @@ func TestMetricsDumpJSONAndText(t *testing.T) {
 			t.Errorf("%s: wrong encoding chosen:\n%s", name, data)
 		}
 	}
+}
+
+// TestFlagsRegistered: AddFlags must contribute exactly the three
+// observability flags, with defaults that keep everything off.
+func TestFlagsRegistered(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	AddFlags(fs)
+	for _, name := range []string{"metrics", "pprof", "pprof-http"} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Errorf("flag -%s not registered", name)
+			continue
+		}
+		if f.DefValue != "" {
+			t.Errorf("flag -%s defaults to %q; observability must be opt-in", name, f.DefValue)
+		}
+	}
+}
+
+// TestNilSinkPassthrough: the sink returned without -metrics is nil and
+// every instrument obtained through it must no-op instead of panicking —
+// the zero-overhead contract the pipeline relies on.
+func TestNilSinkPassthrough(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop := o.Start()
+	defer stop()
+	sink := o.Sink()
+	if sink != nil {
+		t.Fatal("sink must be nil without -metrics")
+	}
+	sink.Counter("c").Add(1)
+	sink.Histogram("h").Observe(2)
+	sink.Timer("t").Start().Stop()
+	sink.SampleMem()
+	if got := sink.Counter("c").Value(); got != 0 {
+		t.Errorf("nil counter accumulated %d", got)
+	}
+}
+
+// TestPprofHTTPLifecycle: -pprof-http serves the pprof index on a private
+// mux for the duration of the run, and stop tears it down and joins the
+// serve goroutine.
+func TestPprofHTTPLifecycle(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := AddFlags(fs)
+	if err := fs.Parse([]string{"-pprof-http", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.PprofAddr() != "" {
+		t.Error("PprofAddr must be empty before Start")
+	}
+	stop := o.Start()
+	addr := o.PprofAddr()
+	if addr == "" {
+		t.Fatal("PprofAddr empty after Start with -pprof-http")
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET pprof index: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%.200s", body)
+	}
+	stop()
+	if o.PprofAddr() != "" {
+		t.Error("PprofAddr must clear after stop")
+	}
+	if _, err := http.Get("http://" + addr + "/debug/pprof/"); err == nil {
+		t.Error("server still reachable after stop")
+	}
+}
+
+// TestPprofHTTPBadAddr: an unbindable address must degrade to a warning,
+// not take the binary down — observability is never on the critical path.
+func TestPprofHTTPBadAddr(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := AddFlags(fs)
+	if err := fs.Parse([]string{"-pprof-http", "256.256.256.256:1"}); err != nil {
+		t.Fatal(err)
+	}
+	stop := o.Start()
+	if o.PprofAddr() != "" {
+		t.Error("listener should not exist for an unbindable address")
+	}
+	stop()
 }
 
 // TestPprofProfilesWritten checks both profile files appear.
