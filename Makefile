@@ -17,14 +17,16 @@
 #   make fuzz-smoke   bounded fuzz of the sharded-vs-sequential cache
 #                     differential and the trace codec round-trip;
 #                     FUZZTIME bounds each target (default 10s)
+#   make trace-smoke  record a fig4 timeline with -trace-out and
+#                     schema-validate it with dvf-flame -check
 
 GO ?= go
 FUZZTIME ?= 10s
 LINTFLAGS ?=
 
-.PHONY: check fmt-check vet lint build test race bench-smoke bench fuzz-smoke
+.PHONY: check fmt-check vet lint build test race bench-smoke bench fuzz-smoke trace-smoke
 
-check: fmt-check vet lint build test race bench-smoke fuzz-smoke
+check: fmt-check vet lint build test race bench-smoke fuzz-smoke trace-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -54,3 +56,9 @@ bench:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzShardedVsSequential$$' -fuzztime $(FUZZTIME) ./internal/cache
 	$(GO) test -run '^$$' -fuzz '^FuzzEncodeDecode$$' -fuzztime $(FUZZTIME) ./internal/trace
+
+TRACEOUT ?= trace-out
+trace-smoke:
+	mkdir -p $(TRACEOUT)
+	$(GO) run ./cmd/dvf-verify -workers 2 -csv -trace-out $(TRACEOUT)/fig4.json > /dev/null
+	$(GO) run ./cmd/dvf-flame -check $(TRACEOUT)/fig4.json

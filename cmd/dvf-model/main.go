@@ -32,7 +32,7 @@ func main() {
 	if !ok {
 		log.Fatalf("%s cannot express itself as Aspen source", k.Name())
 	}
-	info, err := k.Run(nil)
+	info, err := kernels.RunTraced(k, nil, o.Tracer())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func main() {
 	o := obs.AddFlags(nil)
 	flag.Parse()
 	defer o.Start()()
-	res, err := experiments.RunFig5Sink(*workers, o.Sink())
+	res, err := experiments.RunFig5Obs(*workers, o.Sink(), o.Tracer())
 	if err != nil {
 		log.Fatal(err)
 	}

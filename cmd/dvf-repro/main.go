@@ -25,12 +25,14 @@ import (
 	"github.com/resilience-models/dvf/internal/dvf"
 	"github.com/resilience-models/dvf/internal/experiments"
 	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/metrics"
 	"github.com/resilience-models/dvf/internal/obs"
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 type check struct {
 	name string
-	fn   func() (string, error)
+	fn   func(ms metrics.Sink, tz tracez.Recorder) (string, error)
 }
 
 func main() {
@@ -48,7 +50,7 @@ func main() {
 	failed := 0
 	for _, c := range checks {
 		start := time.Now()
-		detail, err := c.fn()
+		detail, err := c.fn(o.Sink(), o.Tracer())
 		status := "PASS"
 		if err != nil {
 			status = "FAIL"
@@ -65,8 +67,8 @@ func main() {
 	fmt.Printf("\nall %d reproduction checks passed\n", len(checks))
 }
 
-func checkFig4() (string, error) {
-	res, err := experiments.RunFig4()
+func checkFig4(ms metrics.Sink, tz tracez.Recorder) (string, error) {
+	res, err := experiments.RunFig4Obs(0, ms, tz)
 	if err != nil {
 		return "", err
 	}
@@ -79,8 +81,8 @@ func checkFig4() (string, error) {
 		res.MaxAbsErrorPct(), len(res.Rows)), nil
 }
 
-func checkFig5() (string, error) {
-	res, err := experiments.RunFig5()
+func checkFig5(ms metrics.Sink, tz tracez.Recorder) (string, error) {
+	res, err := experiments.RunFig5Obs(0, ms, tz)
 	if err != nil {
 		return "", err
 	}
@@ -116,8 +118,8 @@ func checkFig5() (string, error) {
 	return fmt.Sprintf("FT jump %.0fx below its working set", ft16/ft128), nil
 }
 
-func checkFig6() (string, error) {
-	res, err := experiments.RunFig6()
+func checkFig6(ms metrics.Sink, tz tracez.Recorder) (string, error) {
+	res, err := experiments.RunFig6Obs(0, ms, tz)
 	if err != nil {
 		return "", err
 	}
@@ -135,8 +137,8 @@ func checkFig6() (string, error) {
 	return fmt.Sprintf("crossover at n=%d", x), nil
 }
 
-func checkFig7() (string, error) {
-	res, err := experiments.RunFig7()
+func checkFig7(ms metrics.Sink, tz tracez.Recorder) (string, error) {
+	res, err := experiments.RunFig7Obs(ms, tz)
 	if err != nil {
 		return "", err
 	}
@@ -152,7 +154,7 @@ func checkFig7() (string, error) {
 	return "both mechanisms minimize DVF at 5%", nil
 }
 
-func checkStores() (string, error) {
+func checkStores(_ metrics.Sink, _ tracez.Recorder) (string, error) {
 	var worst float64
 	cells := 0
 	for _, k := range experiments.StoreModelers() {
@@ -175,7 +177,7 @@ func checkStores() (string, error) {
 	return fmt.Sprintf("max |error| %.1f%% over %d cells", worst, cells), nil
 }
 
-func checkBaseline() (string, error) {
+func checkBaseline(_ metrics.Sink, _ tracez.Recorder) (string, error) {
 	cmp, err := experiments.RunBaseline(kernels.NewMC(3000), 40, cache.Large)
 	if err != nil {
 		return "", err

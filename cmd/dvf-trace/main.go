@@ -31,6 +31,7 @@ import (
 	"github.com/resilience-models/dvf/internal/metrics"
 	"github.com/resilience-models/dvf/internal/obs"
 	"github.com/resilience-models/dvf/internal/trace"
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 var tableIV = map[string]cache.Config{
@@ -61,7 +62,7 @@ func main() {
 		if *out == "" {
 			log.Fatal("-record requires -out")
 		}
-		if err := doRecord(*kernel, *out, o.Sink()); err != nil {
+		if err := doRecord(*kernel, *out, o.Sink(), o.Tracer()); err != nil {
 			log.Fatal(err)
 		}
 	case *replay != "":
@@ -76,7 +77,7 @@ func main() {
 			configs = append(configs, cfg)
 		}
 		for _, cfg := range configs {
-			if err := doReplay(*replay, cfg, *workers, o.Sink()); err != nil {
+			if err := doReplay(*replay, cfg, *workers, o.Sink(), o.Tracer()); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -86,7 +87,7 @@ func main() {
 	}
 }
 
-func doRecord(code, out string, sink metrics.Sink) error {
+func doRecord(code, out string, sink metrics.Sink, tz tracez.Recorder) error {
 	k, err := kernels.ByName(code)
 	if err != nil {
 		return err
@@ -103,19 +104,23 @@ func doRecord(code, out string, sink metrics.Sink) error {
 	// table from the observed ranges and write the file.
 	rec := &trace.Recorder{}
 	sw := sink.Timer("trace.record_ns").Start()
-	info, err := k.Run(trace.Instrumented(rec, sink, "trace.record"))
+	info, err := kernels.RunTraced(k, trace.Instrumented(rec, sink, "trace.record"), tz)
 	sw.Stop()
 	if err != nil {
 		return err
 	}
+	sp := tz.Track("trace.encode").Begin("encode " + out)
 	w, err := trace.NewWriter(f, kernelRegistry(info, rec))
 	if err != nil {
+		sp.End()
 		return err
 	}
 	for i, r := range rec.Refs {
 		w.Access(r, rec.Owners[i])
 	}
-	if err := w.Flush(); err != nil {
+	err = w.Flush()
+	sp.EndInt("refs", int64(len(rec.Refs)))
+	if err != nil {
 		return err
 	}
 	fmt.Printf("recorded %s: %d references, %d structures -> %s\n",
@@ -170,7 +175,7 @@ func kernelRegistry(info *kernels.RunInfo, rec *trace.Recorder) *trace.Registry 
 	return reg
 }
 
-func doReplay(path string, cfg cache.Config, workers int, sink metrics.Sink) error {
+func doReplay(path string, cfg cache.Config, workers int, sink metrics.Sink, tz tracez.Recorder) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -182,14 +187,17 @@ func doReplay(path string, cfg cache.Config, workers int, sink metrics.Sink) err
 	}
 	defer sim.Close()
 	sim.Instrument(sink)
+	sim.Trace(tz)
 	consume := trace.Instrumented(trace.ConsumerFunc(func(r trace.Ref, owner int32) {
 		sim.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
 	}), sink, "trace.replay")
 	sw := sink.Timer("trace.replay_ns").Start()
+	sp := tz.Track("trace.replay").Begin("replay " + cfg.Name)
 	regions, err := trace.ReadTrace(f, func(r trace.Ref, owner int32) {
 		consume.Access(r, owner)
 	})
 	sim.Drain()
+	sp.End()
 	sw.Stop()
 	if err != nil {
 		return err

@@ -26,7 +26,7 @@ func main() {
 	flag.Parse()
 	defer o.Start()()
 	if *which == "cgpcg" || *which == "all" {
-		res, err := experiments.RunFig6Sink(0, o.Sink())
+		res, err := experiments.RunFig6Obs(0, o.Sink(), o.Tracer())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +46,7 @@ func main() {
 		}
 	}
 	if *which == "ecc" || *which == "all" {
-		res, err := experiments.RunFig7Sink(o.Sink())
+		res, err := experiments.RunFig7Obs(o.Sink(), o.Tracer())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -28,7 +28,7 @@ func main() {
 	o := obs.AddFlags(nil)
 	flag.Parse()
 	defer o.Start()()
-	res, err := experiments.RunFig4Sink(*workers, o.Sink())
+	res, err := experiments.RunFig4Obs(*workers, o.Sink(), o.Tracer())
 	if err != nil {
 		log.Fatal(err)
 	}

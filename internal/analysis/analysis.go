@@ -83,15 +83,38 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // InScope reports whether the package's import path matches any of the
 // given path fragments; a forced pass (test harness) is always in scope.
 // Checkers use it to confine themselves to the packages whose invariant
-// they guard.
+// they guard. Fragments match whole path segments: "internal/trace" is in
+// scope for ".../internal/trace" and ".../internal/trace/sub" but not for
+// ".../internal/tracez"; a fragment ending in "/" matches any segment
+// with that prefix ("internal/" covers the whole internal tree).
 func (p *Pass) InScope(fragments ...string) bool {
 	if p.Force {
 		return true
 	}
 	for _, f := range fragments {
-		if strings.Contains(p.Path, f) {
+		if containsPathSegments(p.Path, f) {
 			return true
 		}
+	}
+	return false
+}
+
+// containsPathSegments is strings.Contains aligned to '/' boundaries on
+// both sides (the right side is open when fragment ends in '/').
+func containsPathSegments(path, fragment string) bool {
+	open := strings.HasSuffix(fragment, "/")
+	for off := 0; off+len(fragment) <= len(path); {
+		j := strings.Index(path[off:], fragment)
+		if j < 0 {
+			return false
+		}
+		start := off + j
+		end := start + len(fragment)
+		if (start == 0 || path[start-1] == '/') &&
+			(open || end == len(path) || path[end] == '/') {
+			return true
+		}
+		off = start + 1
 	}
 	return false
 }

@@ -111,6 +111,17 @@ func TestInScope(t *testing.T) {
 	if p.InScope("internal/trace", "cmd/") {
 		t.Error("unrelated fragments should be out of scope")
 	}
+	tracez := &analysis.Pass{Path: "github.com/resilience-models/dvf/internal/tracez"}
+	if tracez.InScope("internal/trace") {
+		t.Error("fragment must match whole path segments, not a name prefix")
+	}
+	if !tracez.InScope("internal/") {
+		t.Error("trailing-slash fragment should prefix-match a segment")
+	}
+	sub := &analysis.Pass{Path: "github.com/resilience-models/dvf/internal/trace/sub"}
+	if !sub.InScope("internal/trace") {
+		t.Error("fragment should match a parent of a nested package")
+	}
 	forced := &analysis.Pass{Path: "anything", Force: true}
 	if !forced.InScope("internal/cache") {
 		t.Error("forced pass must always be in scope")

@@ -17,8 +17,9 @@ import (
 // A launched func literal passes when its body contains a join signal: a
 // WaitGroup Done/Wait call, a channel send or close, a channel receive,
 // or a select (the ctx.Done pattern). A launched named function passes
-// when the call site hands it a channel, a context.Context or a
-// *sync.WaitGroup — the join then lives inside the callee.
+// when the call site hands it a channel, a context.Context, a
+// *sync.WaitGroup, or a (pointer to a) struct carrying a channel field —
+// the join then lives inside the callee.
 var GoroutineLeak = &analysis.Analyzer{
 	Name: "goroutineleak",
 	Doc:  "library goroutines must have a join path (WaitGroup, channel, or context)",
@@ -114,7 +115,18 @@ func isJoinType(t types.Type) bool {
 		return true
 	case *types.Pointer:
 		if n, ok := u.Elem().(*types.Named); ok {
-			return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+			if n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup" {
+				return true
+			}
+			// A pointer to a struct carrying a channel field — the
+			// streaming-flush pattern (tracez.Tracer): the launcher closes
+			// the channel, the goroutine ranges over it. A struct whose
+			// only primitive is an embedded WaitGroup stays flagged: the
+			// checker cannot see the callee balance Add/Done through an
+			// opaque receiver.
+			if st, ok := n.Underlying().(*types.Struct); ok {
+				return structHasChanField(st)
+			}
 		}
 	case *types.Interface:
 		if n, ok := t.(*types.Named); ok {
@@ -123,10 +135,15 @@ func isJoinType(t types.Type) bool {
 	case *types.Struct:
 		// A struct value carrying a channel field (the fan-out's fanMsg
 		// ack pattern) can signal completion.
-		for i := 0; i < u.NumFields(); i++ {
-			if _, ok := u.Field(i).Type().Underlying().(*types.Chan); ok {
-				return true
-			}
+		return structHasChanField(u)
+	}
+	return false
+}
+
+func structHasChanField(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if _, ok := st.Field(i).Type().Underlying().(*types.Chan); ok {
+			return true
 		}
 	}
 	return false

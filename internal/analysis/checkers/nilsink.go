@@ -24,11 +24,11 @@ import (
 // must delegate to the Sink variant with a literal nil sink — the
 // uninstrumented path must exist and must cost nothing.
 //
-// Rule 2 (packages named "metrics"): every exported method with a
-// pointer receiver must be nil-safe: either a `receiver == nil` guard
-// appears before any other use of the receiver, or the body only invokes
-// further methods on the receiver (delegation like Inc → Add), which are
-// themselves checked.
+// Rule 2 (packages named "metrics" or "tracez" — the nil-able handle
+// packages): every exported method with a pointer receiver must be
+// nil-safe: either a `receiver == nil` guard appears before any other
+// use of the receiver, or the body only invokes further methods on the
+// receiver (delegation like Inc → Add), which are themselves checked.
 var NilSink = &analysis.Analyzer{
 	Name: "nilsink",
 	Doc:  "instrumented ...Sink APIs need a nil-delegating wrapper; metrics instruments need nil-receiver guards",
@@ -37,7 +37,8 @@ var NilSink = &analysis.Analyzer{
 
 func runNilSink(pass *analysis.Pass) error {
 	checkSinkWrappers(pass)
-	if pass.Pkg.Name() == "metrics" {
+	switch pass.Pkg.Name() {
+	case "metrics", "tracez":
 		checkNilGuards(pass)
 	}
 	return nil

@@ -97,3 +97,22 @@ func (t task) finish() { close(t.done) }
 func structCarrier(t task) {
 	go t.finish()
 }
+
+type flusher struct {
+	out  chan int
+	done chan struct{}
+}
+
+func (f *flusher) loop() {
+	for range f.out {
+	}
+	close(f.done)
+}
+
+// pointerCarrier launches a method behind a pointer whose struct carries
+// channel fields — the streaming-flush pattern: the launcher closes
+// f.out and the goroutine ranges over it, so a join path exists inside
+// the callee.
+func pointerCarrier(f *flusher) {
+	go f.loop()
+}

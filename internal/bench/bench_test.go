@@ -173,6 +173,56 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 	}
 }
 
+// TestCompareEnvNotes checks that environment drift between the baseline
+// and the current run is surfaced as informational notes without ever
+// failing the gate.
+func TestCompareEnvNotes(t *testing.T) {
+	old := syntheticManifest(map[string]float64{"VM/small/sequential": 10.0})
+	new := syntheticManifest(map[string]float64{"VM/small/sequential": 10.0})
+	old.GoVersion = "go1.21.0"
+	new.GoVersion = "go1.22.0"
+	old.GOMAXPROCS, new.GOMAXPROCS = 4, 16
+	old.GitRev, new.GitRev = "aaaa", "bbbb"
+	res := Compare(old, new, CompareOptions{})
+	if res.Failed() {
+		t.Fatal("environment drift alone failed the gate")
+	}
+	if len(res.EnvNotes) != 3 {
+		t.Fatalf("env notes = %v, want 3 (go version, GOMAXPROCS, git rev)", res.EnvNotes)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "note: go version differs") {
+		t.Errorf("report missing env note:\n%s", buf.String())
+	}
+	same := Compare(old, old, CompareOptions{})
+	if len(same.EnvNotes) != 0 {
+		t.Errorf("identical environments produced notes: %v", same.EnvNotes)
+	}
+}
+
+// TestRenderSummaryDigests checks the summary includes the git rev stamp
+// and per-histogram latency quantile digests.
+func TestRenderSummaryDigests(t *testing.T) {
+	sink := metrics.New()
+	m, err := Run(smallOptions(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.GitRev = "abc123def456"
+	var buf bytes.Buffer
+	if err := RenderSummary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rev=abc123def456") {
+		t.Errorf("summary missing git rev:\n%s", out)
+	}
+	if !strings.Contains(out, "latency bench.record_ns") || !strings.Contains(out, "p90<=") {
+		t.Errorf("summary missing latency quantile digest:\n%s", out)
+	}
+}
+
 // TestCompareRealRunAgainstItself replays a real manifest against itself:
 // zero delta everywhere, so the gate must pass at any threshold.
 func TestCompareRealRunAgainstItself(t *testing.T) {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"io"
 	"sort"
 )
@@ -33,6 +34,11 @@ type CompareResult struct {
 	Unchanged   int     // matched cells within the threshold either way
 	OnlyOld     []string
 	OnlyNew     []string
+	// EnvNotes flags environment differences between the two manifests
+	// (go version, platform, GOMAXPROCS, commit). Informational only: a
+	// cross-environment comparison is often intentional, but the reader
+	// should know the numbers were not produced on equal footing.
+	EnvNotes []string
 }
 
 // Failed reports whether the gate should fail the run.
@@ -47,7 +53,7 @@ func Compare(old, new *Manifest, opt CompareOptions) *CompareResult {
 	if threshold <= 0 {
 		threshold = DefaultRegressPct
 	}
-	res := &CompareResult{Threshold: threshold}
+	res := &CompareResult{Threshold: threshold, EnvNotes: envNotes(old, new)}
 	oldCells := make(map[string]Cell, len(old.Cells))
 	for _, c := range old.Cells {
 		oldCells[c.Key()] = c
@@ -96,11 +102,33 @@ func Compare(old, new *Manifest, opt CompareOptions) *CompareResult {
 	return res
 }
 
+// envNotes describes every environment field that differs between the
+// baseline and the current manifest.
+func envNotes(old, new *Manifest) []string {
+	var notes []string
+	diff := func(field, o, n string) {
+		if o != n && (o != "" || n != "") {
+			notes = append(notes, fmt.Sprintf("%s differs: baseline %q, this run %q", field, o, n))
+		}
+	}
+	diff("go version", old.GoVersion, new.GoVersion)
+	diff("platform", old.GOOS+"/"+old.GOARCH, new.GOOS+"/"+new.GOARCH)
+	if old.GOMAXPROCS != new.GOMAXPROCS {
+		notes = append(notes, fmt.Sprintf("GOMAXPROCS differs: baseline %d, this run %d",
+			old.GOMAXPROCS, new.GOMAXPROCS))
+	}
+	diff("git rev", old.GitRev, new.GitRev)
+	return notes
+}
+
 // Render writes the human-readable comparison report. The first write
 // error is returned; later lines are skipped.
 func (r *CompareResult) Render(w io.Writer) error {
 	ew := &errWriter{w: w}
 	ew.printf("bench compare: threshold ±%.0f%% ns/ref\n", r.Threshold)
+	for _, note := range r.EnvNotes {
+		ew.printf("note: %s\n", note)
+	}
 	for _, d := range r.Regressions {
 		ew.printf("REGRESSION %-40s %8.2f -> %8.2f ns/ref (%+.1f%%)\n",
 			d.Key, d.OldNs, d.NewNs, d.DeltaPct)

@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/resilience-models/dvf/internal/cache"
@@ -63,6 +65,7 @@ type Manifest struct {
 	GOARCH     string           `json:"goarch"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	NumCPU     int              `json:"num_cpu"`
+	GitRev     string           `json:"git_rev,omitempty"` // short commit hash, "" outside a checkout
 	Cells      []Cell           `json:"cells"`
 	Speedups   []Speedup        `json:"speedups,omitempty"`
 	Metrics    metrics.Snapshot `json:"metrics"`
@@ -79,7 +82,28 @@ func NewManifest() *Manifest {
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		GitRev:     gitRev(),
 	}
+}
+
+// gitRev returns the short commit hash of the working tree, with a
+// "+dirty" suffix when uncommitted changes are present. Best-effort: any
+// failure (no git binary, not a checkout, shallow CI tarball) yields ""
+// and the manifest simply omits the field.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	rev := strings.TrimSpace(string(out))
+	if rev == "" {
+		return ""
+	}
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+		len(strings.TrimSpace(string(status))) > 0 {
+		rev += "+dirty"
+	}
+	return rev
 }
 
 // Filename returns the canonical manifest file name for this run,

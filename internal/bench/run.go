@@ -167,8 +167,12 @@ func engineWorkers(e cache.Engine) int {
 // first write error is returned; later lines are skipped.
 func RenderSummary(w io.Writer, m *Manifest) error {
 	ew := &errWriter{w: w}
-	ew.printf("dvf-bench %s  %s %s/%s  GOMAXPROCS=%d\n",
-		m.Timestamp, m.GoVersion, m.GOOS, m.GOARCH, m.GOMAXPROCS)
+	rev := ""
+	if m.GitRev != "" {
+		rev = "  rev=" + m.GitRev
+	}
+	ew.printf("dvf-bench %s  %s %s/%s  GOMAXPROCS=%d%s\n",
+		m.Timestamp, m.GoVersion, m.GOOS, m.GOARCH, m.GOMAXPROCS, rev)
 	ew.printf("%-6s %-22s %-10s %8s %12s %12s %10s\n",
 		"kernel", "cache", "engine", "workers", "refs", "wall", "ns/ref")
 	for _, c := range m.Cells {
@@ -179,7 +183,29 @@ func RenderSummary(w io.Writer, m *Manifest) error {
 	for _, s := range m.Speedups {
 		ew.printf("speedup %-6s %-22s sharded(%d) %.2fx\n", s.Kernel, s.Cache, s.Workers, s.Factor)
 	}
+	for _, name := range sortedKeys(m.Metrics.Histograms) {
+		h := m.Metrics.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		// Recompute from the buckets rather than trusting the encoded
+		// fields: manifests written before the quantile fields existed
+		// still render correctly.
+		p50, p90, p99 := h.Quantiles()
+		ew.printf("latency %-32s count=%d p50<=%d p90<=%d p99<=%d max=%d\n",
+			name, h.Count, p50, p90, p99, h.Max)
+	}
 	return ew.err
+}
+
+// sortedKeys orders map keys so reports render deterministically.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // errWriter is the shared sticky-error formatter for the package's

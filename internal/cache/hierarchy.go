@@ -3,6 +3,8 @@ package cache
 import (
 	"fmt"
 	"strings"
+
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 // Hierarchy is a multi-level inclusive cache: references filter through
@@ -73,6 +75,20 @@ func (h *Hierarchy) Access(addr uint64, size uint32, write bool, owner StructID)
 func (h *Hierarchy) Flush() {
 	for _, lvl := range h.levels {
 		lvl.Flush()
+	}
+}
+
+// Trace attaches a timeline to every level: one track per level
+// ("cache.L1", "cache.L2", …) with flush/reset spans and a per-level
+// progress counter, so the filtering effect of the upper levels is
+// directly visible as diverging progress rates. A nil recorder is a
+// no-op.
+func (h *Hierarchy) Trace(tz tracez.Recorder) {
+	if tz == nil {
+		return
+	}
+	for i, lvl := range h.levels {
+		lvl.traceNamed(tz, fmt.Sprintf("cache.L%d", i+1))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/resilience-models/dvf/internal/metrics"
 	"github.com/resilience-models/dvf/internal/trace"
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 // ShardedSim replays one reference stream through one cache geometry using
@@ -46,6 +47,7 @@ type ShardedSim struct {
 	fan       *trace.FanOut
 	names     map[StructID]string
 	drain     *metrics.Timer // nil until Instrument; nil-safe
+	tk        *tracez.Track  // nil until Trace; nil-safe
 }
 
 // NewShardedSim builds a sharded engine with the given worker count.
@@ -126,6 +128,20 @@ func (s *ShardedSim) Instrument(sink metrics.Sink) {
 	s.drain = sink.Timer("cache.drain_ns")
 }
 
+// Trace attaches a timeline to the engine: one track per shard worker
+// (shard0, shard1, …) carrying a span per replayed batch, the fan-out's
+// producer-stall track and queue-depth counter, and a "cache.sharded"
+// track with spans around the Drain barrier, Flush and Reset. A nil
+// recorder leaves the engine untraced. Call it from the feeding
+// goroutine before the first Access.
+func (s *ShardedSim) Trace(tz tracez.Recorder) {
+	if tz == nil {
+		return
+	}
+	s.fan.Trace(tz, "shard")
+	s.tk = tz.Track("cache.sharded")
+}
+
 // PublishStats drains the pipeline and exports the merged aggregate
 // counters as gauges under prefix, plus each shard's totals under
 // "<prefix>.shard<N>." so per-shard load imbalance is visible.
@@ -143,14 +159,18 @@ func (s *ShardedSim) PublishStats(sink metrics.Sink, prefix string) {
 // On return the workers are idle, so shard state is safe to read until the
 // next Access.
 func (s *ShardedSim) Drain() {
+	sp := s.tk.Begin("cache.drain")
 	sw := s.drain.Start()
 	s.fan.Drain()
 	sw.Stop()
+	sp.End()
 }
 
 // Flush drains the pipeline, then writes back all dirty lines and
 // invalidates every shard, exactly like Simulator.Flush.
 func (s *ShardedSim) Flush() {
+	sp := s.tk.Begin("cache.flush")
+	defer sp.End()
 	s.fan.Drain()
 	for _, sh := range s.shards {
 		sh.Flush()
@@ -159,6 +179,8 @@ func (s *ShardedSim) Flush() {
 
 // Reset drains the pipeline and clears cache contents and all counters.
 func (s *ShardedSim) Reset() {
+	sp := s.tk.Begin("cache.reset")
+	defer sp.End()
 	s.fan.Drain()
 	for _, sh := range s.shards {
 		sh.Reset()
@@ -254,6 +276,9 @@ type Engine interface {
 	// Instrument attaches a metrics sink (nil is a no-op); call before
 	// the first Access, from the feeding goroutine.
 	Instrument(sink metrics.Sink)
+	// Trace attaches a timeline recorder (nil is a no-op); call before
+	// the first Access, from the feeding goroutine.
+	Trace(tz tracez.Recorder)
 	// PublishStats exports the engine's aggregate counters as gauges
 	// under prefix (nil sink is a no-op).
 	PublishStats(sink metrics.Sink, prefix string)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 // StructID identifies a registered data structure for per-structure
@@ -69,7 +70,17 @@ type Simulator struct {
 	perStruct  map[StructID]*Stats
 	total      Stats
 	structName map[StructID]string
+
+	// Tracing state, attached by Trace; nil until then and nil-safe
+	// everywhere, so the untraced hot path pays one nil check.
+	tk       *tracez.Track
+	progress *tracez.Counter
 }
+
+// progressMask throttles the traced progress counter: one sample every
+// 2^20 accesses keeps a multi-hundred-million-reference replay's trace
+// at a few hundred counter events.
+const progressMask = 1<<20 - 1
 
 // NewSimulator builds a simulator for the given geometry.
 func NewSimulator(cfg Config) (*Simulator, error) {
@@ -115,6 +126,9 @@ func (s *Simulator) accessBlock(blk uint64, write bool, owner StructID) {
 	st := s.stats(owner)
 	st.Accesses++
 	s.total.Accesses++
+	if s.progress != nil && s.total.Accesses&progressMask == 0 {
+		s.progress.Sample(s.total.Accesses)
+	}
 
 	setIdx := blk & s.setMask
 	tag := blk >> uint(bits.TrailingZeros(uint(s.cfg.Sets)))
@@ -166,6 +180,8 @@ func (s *Simulator) accessBlock(blk uint64, write bool, owner StructID) {
 // writebacks against their owners. Flushing at the end of a region of
 // interest makes the writeback count independent of what runs afterwards.
 func (s *Simulator) Flush() {
+	sp := s.tk.Begin("cache.flush")
+	defer sp.End()
 	for i := range s.sets {
 		for _, ln := range s.sets[i] {
 			if ln.valid && ln.dirty {
@@ -180,6 +196,8 @@ func (s *Simulator) Flush() {
 
 // Reset clears cache contents and all counters.
 func (s *Simulator) Reset() {
+	sp := s.tk.Begin("cache.reset")
+	defer sp.End()
 	for i := range s.sets {
 		s.sets[i] = s.sets[i][:0]
 	}
@@ -228,6 +246,25 @@ func (s *Simulator) Close() {}
 // Stats themselves, exported on demand by PublishStats. It exists so both
 // engines share the Engine interface.
 func (s *Simulator) Instrument(sink metrics.Sink) {}
+
+// Trace attaches a timeline to the simulator: a "cache.sim" track with
+// spans around Flush and Reset, and a "cache.sim.accesses" progress
+// counter sampled every 2^20 references. A nil recorder leaves the
+// simulator untraced; the hot path then pays one nil check per block
+// access. Call it before the first Access, from the feeding goroutine.
+func (s *Simulator) Trace(tz tracez.Recorder) {
+	s.traceNamed(tz, "cache.sim")
+}
+
+// traceNamed is Trace under a caller-chosen track name, so a Hierarchy
+// can keep its levels' tracks distinguishable.
+func (s *Simulator) traceNamed(tz tracez.Recorder, name string) {
+	if tz == nil {
+		return
+	}
+	s.tk = tz.Track(name)
+	s.progress = tz.Counter(name + ".accesses")
+}
 
 // PublishStats exports the simulator's aggregate counters as gauges under
 // prefix ("<prefix>.accesses", ".hits", ".misses", ".evictions",

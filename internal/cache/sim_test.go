@@ -360,3 +360,26 @@ func BenchmarkSimulatorRandom(b *testing.B) {
 		s.Access(addrs[i&(len(addrs)-1)], 8, false, 1)
 	}
 }
+
+// TestUntracedAccessZeroAlloc guards the tracing acceptance criterion:
+// with no tracer attached (the shipped default), the replay hot path —
+// Access including its throttled progress-sampling branch — must not
+// allocate. A regression here would slow every untraced replay.
+func TestUntracedAccessZeroAlloc(t *testing.T) {
+	s := mustSim(t, Large)
+	s.Trace(nil) // explicit nil recorder is the same as never tracing
+	// Warm every set the measured loop will touch: the one legitimate
+	// allocation in the engine is the lazy first fill of a set's ways.
+	const lines = 4096
+	for i := uint64(0); i < lines; i++ {
+		s.Access(i*64, 8, false, 1)
+	}
+	var i uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Access(i%lines*64, 8, i%3 == 0, 1)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("untraced Access allocates %.1f per call, want 0", allocs)
+	}
+}

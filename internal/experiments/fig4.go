@@ -12,6 +12,7 @@ import (
 	"github.com/resilience-models/dvf/internal/kernels"
 	"github.com/resilience-models/dvf/internal/metrics"
 	"github.com/resilience-models/dvf/internal/trace"
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 // Fig4Row is one bar pair of Figure 4: the analytically estimated and the
@@ -81,23 +82,41 @@ func VerifyKernelWorkers(k kernels.Kernel, cfg cache.Config, workers int) ([]Fig
 // observes the stream, never reorders it — which the metrics golden guard
 // test asserts for every figure.
 func VerifyKernelSink(k kernels.Kernel, cfg cache.Config, workers int, ms metrics.Sink) ([]Fig4Row, error) {
+	return VerifyKernelObs(k, cfg, workers, ms, nil)
+}
+
+// VerifyKernelObs is VerifyKernelSink with a timeline recorder: the cell
+// gets its own track ("fig4 CG/Verify256KB") carrying a "run" span
+// around the traced kernel execution and a "model" span around the
+// estimator evaluation, and the replay engine's own tracks (shard
+// workers, drain barrier) attach via Engine.Trace. The rows are
+// byte-identical with or without a recorder — the tracing guard test
+// asserts this for every figure.
+func VerifyKernelObs(k kernels.Kernel, cfg cache.Config, workers int, ms metrics.Sink, tz tracez.Recorder) ([]Fig4Row, error) {
 	sim, err := cache.NewEngine(cfg, workers)
 	if err != nil {
 		return nil, err
 	}
 	defer sim.Close()
 	sim.Instrument(ms)
+	sim.Trace(tz)
+	tk := tz.Track("fig4 " + k.Name() + "/" + cfg.Name)
 	var sink trace.Consumer = trace.ConsumerFunc(func(r trace.Ref, owner int32) {
 		sim.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
 	})
 	sink = trace.Instrumented(sink, ms, "experiments.trace")
 	sw := ms.Timer("experiments.kernel_run_ns").Start()
+	sp := tk.Begin("run")
 	info, err := k.Run(sink)
 	sw.Stop()
 	defer sim.PublishStats(ms, "cache."+k.Name()+"."+cfg.Name)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("experiments: running %s: %w", k.Name(), err)
 	}
+	sp.EndInt("refs", info.Refs)
+	sp = tk.Begin("model")
+	defer sp.End()
 	specs, err := k.Models(info)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: modeling %s: %w", k.Name(), err)
@@ -152,6 +171,13 @@ func RunFig4Workers(workers int) (*Fig4Result, error) {
 // A nil sink reproduces RunFig4Workers exactly; a live sink adds
 // per-task/per-cell observability without changing a single output byte.
 func RunFig4Sink(workers int, ms metrics.Sink) (*Fig4Result, error) {
+	return RunFig4Obs(workers, ms, nil)
+}
+
+// RunFig4Obs is RunFig4Sink with a timeline recorder threaded through the
+// fan-out (ParallelObs) and every verification cell (VerifyKernelObs).
+// The rows are byte-identical with or without a recorder.
+func RunFig4Obs(workers int, ms metrics.Sink, tz tracez.Recorder) (*Fig4Result, error) {
 	type cell struct {
 		cfg cache.Config
 		k   kernels.Kernel
@@ -167,9 +193,9 @@ func RunFig4Sink(workers int, ms metrics.Sink) (*Fig4Result, error) {
 		engineWorkers = 1 // concurrent cells already cover the cores
 	}
 	rows := make([][]Fig4Row, len(cells))
-	err := ParallelSink(len(cells), workers, ms, func(i int) error {
+	err := ParallelObs(len(cells), workers, ms, tz, func(i int) error {
 		var err error
-		rows[i], err = VerifyKernelSink(cells[i].k, cells[i].cfg, engineWorkers, ms)
+		rows[i], err = VerifyKernelObs(cells[i].k, cells[i].cfg, engineWorkers, ms, tz)
 		return err
 	})
 	if err != nil {

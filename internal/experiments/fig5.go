@@ -8,6 +8,7 @@ import (
 	"github.com/resilience-models/dvf/internal/dvf"
 	"github.com/resilience-models/dvf/internal/kernels"
 	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 // Fig5Cell is one bar of Figure 5: the DVF of one data structure of one
@@ -51,6 +52,13 @@ func ProfileKernel(k kernels.Kernel, cfg cache.Config, rate dvf.FIT, cost dvf.Co
 
 // profileFromInfo evaluates the models of a prior run against cfg.
 func profileFromInfo(k kernels.Kernel, info *kernels.RunInfo, cfg cache.Config, rate dvf.FIT, cost dvf.CostModel) (*dvf.Application, error) {
+	return profileFromInfoObs(k, info, cfg, rate, cost, nil)
+}
+
+// profileFromInfoObs is profileFromInfo with the final DVF aggregation
+// recorded as a span on tk (nil is a no-op) — the per-cell track of the
+// calling driver, so model evaluation and aggregation nest visibly.
+func profileFromInfoObs(k kernels.Kernel, info *kernels.RunInfo, cfg cache.Config, rate dvf.FIT, cost dvf.CostModel, tk *tracez.Track) (*dvf.Application, error) {
 	specs, err := k.Models(info)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: modeling %s: %w", k.Name(), err)
@@ -77,7 +85,7 @@ func profileFromInfo(k kernels.Kernel, info *kernels.RunInfo, cfg cache.Config, 
 		total += nha
 	}
 	hours := cost.ExecHours(info.Refs, total, float64(info.Flops))
-	return dvf.NewApplication(k.Name(), rate, hours, names, sizes, nhas)
+	return dvf.NewApplicationObs(k.Name(), rate, hours, names, sizes, nhas, tk)
 }
 
 // RunFig5 executes the full Figure 5 profiling: the six kernels at the
@@ -99,12 +107,20 @@ func RunFig5Workers(workers int) (*Fig5Result, error) {
 // "experiments.kernel_run_ns". The cells are identical with or without a
 // sink.
 func RunFig5Sink(workers int, ms metrics.Sink) (*Fig5Result, error) {
+	return RunFig5Obs(workers, ms, nil)
+}
+
+// RunFig5Obs is RunFig5Sink with a timeline recorder: each kernel's
+// profiling task gets its own track ("fig5 CG") with a span for the
+// untraced run and one per evaluated cache. The cells are byte-identical
+// with or without a recorder.
+func RunFig5Obs(workers int, ms metrics.Sink, tz tracez.Recorder) (*Fig5Result, error) {
 	res := &Fig5Result{Rate: dvf.FITNoECC}
 	suite := kernels.ProfilingSuite()
 	cells := make([][]Fig5Cell, len(suite))
-	err := ParallelSink(len(suite), workers, ms, func(i int) error {
+	err := ParallelObs(len(suite), workers, ms, tz, func(i int) error {
 		var err error
-		cells[i], err = profileAllCaches(suite[i], res.Rate, ms)
+		cells[i], err = profileAllCaches(suite[i], res.Rate, ms, tz)
 		return err
 	})
 	if err != nil {
@@ -118,16 +134,22 @@ func RunFig5Sink(workers int, ms metrics.Sink) (*Fig5Result, error) {
 
 // profileAllCaches runs one kernel once and evaluates its models against
 // every profiling cache.
-func profileAllCaches(k kernels.Kernel, rate dvf.FIT, ms metrics.Sink) ([]Fig5Cell, error) {
+func profileAllCaches(k kernels.Kernel, rate dvf.FIT, ms metrics.Sink, tz tracez.Recorder) ([]Fig5Cell, error) {
+	tk := tz.Track("fig5 " + k.Name())
 	sw := ms.Timer("experiments.kernel_run_ns").Start()
+	sp := tk.Begin("run")
 	info, err := k.Run(nil)
 	sw.Stop()
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.EndInt("refs", info.Refs)
 	var out []Fig5Cell
 	for _, cfg := range cache.ProfilingConfigs() {
-		app, err := profileFromInfo(k, info, cfg, rate, dvf.DefaultCostModel)
+		sp := tk.Begin("profile " + cfg.Name)
+		app, err := profileFromInfoObs(k, info, cfg, rate, dvf.DefaultCostModel, tk)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ import (
 	"github.com/resilience-models/dvf/internal/dvf"
 	"github.com/resilience-models/dvf/internal/kernels"
 	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 // Fig6Point is one problem size of the CG-vs-PCG comparison (Figure 6):
@@ -60,12 +61,20 @@ func RunFig6Workers(workers int) (*Fig6Result, error) {
 // wall times via ParallelSink. The points are identical with or without a
 // sink.
 func RunFig6Sink(workers int, ms metrics.Sink) (*Fig6Result, error) {
+	return RunFig6Obs(workers, ms, nil)
+}
+
+// RunFig6Obs is RunFig6Sink with a timeline recorder: each problem size
+// gets its own track ("fig6 n=400") with "cg" and "pcg" spans carrying
+// the iteration counts as args. The points are byte-identical with or
+// without a recorder.
+func RunFig6Obs(workers int, ms metrics.Sink, tz tracez.Recorder) (*Fig6Result, error) {
 	res := &Fig6Result{Cache: cache.Profile8MB, Rate: dvf.FITNoECC, Tol: 1e-8}
 	sizes := Fig6Sizes()
 	points := make([]*Fig6Point, len(sizes))
-	err := ParallelSink(len(sizes), workers, ms, func(i int) error {
+	err := ParallelObs(len(sizes), workers, ms, tz, func(i int) error {
 		var err error
-		points[i], err = runFig6Point(sizes[i], res.Tol, res.Cache, res.Rate)
+		points[i], err = runFig6Point(sizes[i], res.Tol, res.Cache, res.Rate, tz)
 		return err
 	})
 	if err != nil {
@@ -77,22 +86,29 @@ func RunFig6Sink(workers int, ms metrics.Sink) (*Fig6Result, error) {
 	return res, nil
 }
 
-func runFig6Point(n int, tol float64, cfg cache.Config, rate dvf.FIT) (*Fig6Point, error) {
+func runFig6Point(n int, tol float64, cfg cache.Config, rate dvf.FIT, tz tracez.Recorder) (*Fig6Point, error) {
+	tk := tz.Track(fmt.Sprintf("fig6 n=%d", n))
 	cg := kernels.NewCGToConvergence(n, tol)
+	sp := tk.Begin("cg")
 	cgInfo, err := cg.Run(nil)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("experiments: cg n=%d: %w", n, err)
 	}
-	cgApp, err := profileFromInfo(cg, cgInfo, cfg, rate, dvf.DefaultCostModel)
+	sp.EndInt("iters", int64(cgInfo.Measured["iters"]))
+	cgApp, err := profileFromInfoObs(cg, cgInfo, cfg, rate, dvf.DefaultCostModel, tk)
 	if err != nil {
 		return nil, err
 	}
 	pcg := kernels.NewPCGToConvergence(n, tol)
+	sp = tk.Begin("pcg")
 	pcgInfo, err := pcg.Run(nil)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("experiments: pcg n=%d: %w", n, err)
 	}
-	pcgApp, err := profileFromInfo(pcg, pcgInfo, cfg, rate, dvf.DefaultCostModel)
+	sp.EndInt("iters", int64(pcgInfo.Measured["iters"]))
+	pcgApp, err := profileFromInfoObs(pcg, pcgInfo, cfg, rate, dvf.DefaultCostModel, tk)
 	if err != nil {
 		return nil, err
 	}

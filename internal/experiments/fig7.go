@@ -8,6 +8,7 @@ import (
 	"github.com/resilience-models/dvf/internal/dvf"
 	"github.com/resilience-models/dvf/internal/kernels"
 	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 // Fig7Series is one ECC mechanism's DVF-vs-degradation curve of Figure 7.
@@ -47,15 +48,27 @@ func RunFig7() (*Fig7Result, error) { return RunFig7Sink(nil) }
 // kernel run ("experiments.kernel_run_ns") and the analytical sweep
 // ("experiments.task_ns"). The series are identical with or without a sink.
 func RunFig7Sink(ms metrics.Sink) (*Fig7Result, error) {
+	return RunFig7Obs(ms, nil)
+}
+
+// RunFig7Obs is RunFig7Sink with a timeline recorder: the single "fig7"
+// track carries spans for the untraced kernel run, the DVF aggregation
+// and one "dvf.sweep" span per ECC mechanism. The series are
+// byte-identical with or without a recorder.
+func RunFig7Obs(ms metrics.Sink, tz tracez.Recorder) (*Fig7Result, error) {
 	cfg := cache.Profile8MB
 	k := kernels.NewVM(100000)
+	tk := tz.Track("fig7")
 	sw := ms.Timer("experiments.kernel_run_ns").Start()
+	sp := tk.Begin("run")
 	info, err := k.Run(nil)
 	sw.Stop()
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	app, err := profileFromInfo(k, info, cfg, dvf.FITNoECC, dvf.DefaultCostModel)
+	sp.EndInt("refs", info.Refs)
+	app, err := profileFromInfoObs(k, info, cfg, dvf.FITNoECC, dvf.DefaultCostModel, tk)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +82,7 @@ func RunFig7Sink(ms metrics.Sink) (*Fig7Result, error) {
 	res := &Fig7Result{Kernel: k.Name(), Cache: cfg}
 	for _, mech := range []dvf.ECC{dvf.SECDED, dvf.Chipkill} {
 		sw := ms.Timer("experiments.task_ns").Start()
-		points, err := mech.Sweep(app.ExecHours, totalBytes, totalNHa, Fig7Degradations())
+		points, err := mech.SweepObs(app.ExecHours, totalBytes, totalNHa, Fig7Degradations(), tk)
 		sw.Stop()
 		if err != nil {
 			return nil, err

@@ -1,10 +1,15 @@
 package experiments
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 // Parallel runs fn(0) … fn(n-1), returning the first error in index order.
@@ -30,8 +35,33 @@ func Parallel(n, workers int, fn func(int) error) error {
 // scheduling (and therefore any timing-sensitive interleaving) is
 // untouched.
 func ParallelSink(n, workers int, sink metrics.Sink, fn func(int) error) error {
+	return ParallelObs(n, workers, sink, nil, fn)
+}
+
+// ParallelObs is ParallelSink with a timeline recorder: with a live
+// recorder each task samples the "experiments.inflight" counter on entry
+// and exit (the fan-out's concurrency over time, a stepped lane in
+// Perfetto) and runs under a pprof goroutine label
+// ("experiments.task" = index), so live CPU and goroutine profiles can
+// attribute samples to figure cells. A nil recorder is exactly
+// ParallelSink — the task closures are not wrapped at all.
+func ParallelObs(n, workers int, sink metrics.Sink, tz tracez.Recorder, fn func(int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if tz != nil {
+		inflight := tz.Counter("experiments.inflight")
+		var cur atomic.Int64
+		inner := fn
+		fn = func(i int) error {
+			inflight.Sample(cur.Add(1))
+			defer func() { inflight.Sample(cur.Add(-1)) }()
+			var err error
+			pprof.Do(context.Background(), pprof.Labels("experiments.task", strconv.Itoa(i)), func(context.Context) {
+				err = inner(i)
+			})
+			return err
+		}
 	}
 	if sink != nil {
 		taskNs := sink.Histogram("experiments.task_ns")

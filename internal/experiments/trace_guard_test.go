@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/tracez"
+)
+
+// These tests guard the zero-interference contract of the span recorder,
+// the tracing twin of metrics_guard_test.go: threading a live tracer
+// through every figure driver must never change its scientific output.
+// Each figure's CSV is rendered twice — once through the plain entry
+// point (nil recorder) and once with a live in-memory tracer — and the
+// two byte streams must be identical, while the trace the live run
+// produced must itself be non-trivial and schema-valid.
+
+// requireValidTrace dumps the tracer and runs the package's own schema
+// validator over the result: named events, balanced pairs, non-negative
+// timestamps, known metadata kinds.
+func requireValidTrace(t *testing.T, tz *tracez.Tracer) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tz.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := tracez.ValidateReader(&buf)
+	if err != nil {
+		t.Fatalf("live trace is schema-invalid: %v", err)
+	}
+	spans := 0
+	for _, ev := range events {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("live tracer recorded no spans; the sweep is not instrumented")
+	}
+}
+
+func TestFig7CSVUnchangedByTracing(t *testing.T) {
+	off := csvFig(t, func() (csvWriter, error) {
+		return RunFig7()
+	})
+	tz := tracez.New()
+	on := csvFig(t, func() (csvWriter, error) {
+		return RunFig7Obs(nil, tz)
+	})
+	if !bytes.Equal(off, on) {
+		t.Error("Fig7 CSV differs with tracing enabled")
+	}
+	requireValidTrace(t, tz)
+}
+
+func TestFig6CSVUnchangedByTracing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence sweep is slow")
+	}
+	off := csvFig(t, func() (csvWriter, error) {
+		return RunFig6Workers(1)
+	})
+	tz := tracez.New()
+	on := csvFig(t, func() (csvWriter, error) {
+		return RunFig6Obs(1, nil, tz)
+	})
+	if !bytes.Equal(off, on) {
+		t.Error("Fig6 CSV differs with tracing enabled")
+	}
+	requireValidTrace(t, tz)
+}
+
+func TestFig5CSVUnchangedByTracing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling sweep is slow")
+	}
+	if raceEnabled {
+		t.Skip("byte-identity is schedule-agnostic; race runs cover the recorder elsewhere")
+	}
+	off := csvFig(t, func() (csvWriter, error) {
+		return RunFig5Workers(1)
+	})
+	tz := tracez.New()
+	on := csvFig(t, func() (csvWriter, error) {
+		return RunFig5Obs(1, nil, tz)
+	})
+	if !bytes.Equal(off, on) {
+		t.Error("Fig5 CSV differs with tracing enabled")
+	}
+	requireValidTrace(t, tz)
+}
+
+func TestFig4CSVUnchangedByTracing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full verification sweep is slow")
+	}
+	if raceEnabled {
+		t.Skip("byte-identity is schedule-agnostic; race runs cover the recorder elsewhere")
+	}
+	off := csvFig(t, func() (csvWriter, error) {
+		return RunFig4Workers(1)
+	})
+	tz := tracez.New()
+	on := csvFig(t, func() (csvWriter, error) {
+		return RunFig4Obs(1, nil, tz)
+	})
+	if !bytes.Equal(off, on) {
+		t.Error("Fig4 CSV differs with tracing enabled")
+	}
+	requireValidTrace(t, tz)
+}

@@ -22,6 +22,7 @@ import (
 
 	"github.com/resilience-models/dvf/internal/patterns"
 	"github.com/resilience-models/dvf/internal/trace"
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 // Structure describes one major data structure of a kernel run.
@@ -81,6 +82,21 @@ type Kernel interface {
 	// Models returns the CGPMAC model for every major data structure, using
 	// the profiled inputs of a prior run (the paper's k, iter, etc.).
 	Models(info *RunInfo) ([]ModelSpec, error)
+}
+
+// RunTraced executes k like k.Run, with the whole execution recorded as
+// a "run" span on a per-kernel track ("kernel VM", "kernel CG", …); the
+// span carries the emitted reference and flop counts as args. A nil
+// recorder degrades to a plain Run.
+func RunTraced(k Kernel, sink trace.Consumer, tz tracez.Recorder) (*RunInfo, error) {
+	sp := tz.Track("kernel " + k.Name()).Begin("run")
+	info, err := k.Run(sink)
+	if err != nil || info == nil {
+		sp.End()
+		return info, err
+	}
+	sp.EndArgs(tracez.Arg{Key: "refs", Val: info.Refs}, tracez.Arg{Key: "flops", Val: info.Flops})
+	return info, nil
 }
 
 // elem8 is the byte width used for scalar float64 / int64 elements.

@@ -106,19 +106,41 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 			s.Buckets[i] = n
 		}
 	}
-	return s
+	return s.withQuantiles()
 }
 
 // HistogramSnapshot is the frozen, encodable form of a Histogram. Buckets
 // maps bucket index (see BucketLow) to observation count; empty buckets are
 // omitted. Min and Max are only meaningful when Count > 0, and after a Diff
 // they describe the newer snapshot's whole lifetime, not the interval.
+// P50/P90/P99 are the precomputed Quantile upper bounds — denormalized
+// into the encoding (additively, so schema-1 consumers and committed
+// baselines keep decoding) so dashboards and bench reports read tail
+// latency without reimplementing the bucket walk.
 type HistogramSnapshot struct {
 	Count   int64         `json:"count"`
 	Sum     int64         `json:"sum"`
 	Min     int64         `json:"min,omitempty"`
 	Max     int64         `json:"max,omitempty"`
+	P50     int64         `json:"p50,omitempty"`
+	P90     int64         `json:"p90,omitempty"`
+	P99     int64         `json:"p99,omitempty"`
 	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// withQuantiles fills the denormalized P50/P90/P99 fields from the bucket
+// counts; snapshot and diff both route through it so the fields always
+// describe the snapshot they travel with.
+func (s HistogramSnapshot) withQuantiles() HistogramSnapshot {
+	if s.Count > 0 {
+		s.P50, s.P90, s.P99 = s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99)
+	}
+	return s
+}
+
+// Quantiles returns the p50/p90/p99 upper bounds in one call.
+func (s HistogramSnapshot) Quantiles() (p50, p90, p99 int64) {
+	return s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99)
 }
 
 // Mean returns Sum/Count, or 0 when empty.
@@ -175,5 +197,5 @@ func (s HistogramSnapshot) diff(base HistogramSnapshot) HistogramSnapshot {
 			out.Buckets[i] = d
 		}
 	}
-	return out
+	return out.withQuantiles()
 }

@@ -149,6 +149,38 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestSnapshotQuantileFields checks that snapshot and diff denormalize
+// p50/p90/p99 into the encoded form, and that Quantiles agrees with them.
+func TestSnapshotQuantileFields(t *testing.T) {
+	h := newHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.snapshot()
+	p50, p90, p99 := s.Quantiles()
+	if s.P50 != p50 || s.P90 != p90 || s.P99 != p99 {
+		t.Errorf("snapshot fields (%d,%d,%d) disagree with Quantiles (%d,%d,%d)",
+			s.P50, s.P90, s.P99, p50, p90, p99)
+	}
+	if s.P50 != 511 || s.P90 != 1023 || s.P99 != 1023 {
+		t.Errorf("quantiles of 1..1000 = (%d,%d,%d), want (511,1023,1023)",
+			s.P50, s.P90, s.P99)
+	}
+	// Diffing against a prefix must recompute quantiles from the interval
+	// buckets, not carry over the lifetime values.
+	base := h.snapshot()
+	for i := int64(0); i < 5000; i++ {
+		h.Observe(1 << 20)
+	}
+	d := h.snapshot().diff(base)
+	if d.P50 != (1<<21)-1 {
+		t.Errorf("interval p50 = %d, want %d", d.P50, int64(1<<21)-1)
+	}
+	if (HistogramSnapshot{}).withQuantiles().P99 != 0 {
+		t.Error("empty snapshot grew a p99")
+	}
+}
+
 // TestTimerObserves checks that a stopwatch lands one observation in the
 // underlying nanosecond histogram.
 func TestTimerObserves(t *testing.T) {

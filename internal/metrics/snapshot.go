@@ -88,7 +88,7 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 }
 
 // WriteText renders the snapshot as sorted, aligned "name value" lines —
-// counters and gauges verbatim, histograms as a count/mean/p50/p99/max
+// counters and gauges verbatim, histograms as a count/mean/p50/p90/p99/max
 // digest. The output is deterministic for a given snapshot, so it is
 // golden-testable and diff-friendly.
 func (s Snapshot) WriteText(w io.Writer) error {
@@ -104,8 +104,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		if _, err := fmt.Fprintf(w, "%-40s count=%d mean=%.1f p50<=%d p99<=%d max=%d\n",
-			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max); err != nil {
+		if _, err := fmt.Fprintf(w, "%-40s count=%d mean=%.1f p50<=%d p90<=%d p99<=%d max=%d\n",
+			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max); err != nil {
 			return err
 		}
 	}

@@ -1,7 +1,8 @@
 // Package obs is the shared observability entry point for every cmd/
-// binary: it contributes the -metrics, -pprof and -pprof-http flags,
-// owns the lifecycle of the CPU/heap profiles and the live pprof server,
-// and dumps a metrics snapshot on exit. Binaries wire it in three lines:
+// binary: it contributes the -metrics, -pprof, -pprof-http and
+// -trace-out flags, owns the lifecycle of the CPU/heap profiles, the
+// live pprof server and the span tracer, and dumps a metrics snapshot
+// on exit. Binaries wire it in three lines:
 //
 //	o := obs.AddFlags(nil)          // before flag.Parse
 //	flag.Parse()
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 // Options carries the parsed flag values and the live instrumentation
@@ -33,12 +35,16 @@ type Options struct {
 	metricsPath string
 	pprofPrefix string
 	pprofHTTP   string
+	tracePath   string
 
-	sink     metrics.Sink
-	cpuFile  *os.File
-	listener net.Listener
-	server   *http.Server
-	served   chan struct{}
+	sink      metrics.Sink
+	tracer    *tracez.Tracer
+	traceFile *os.File
+	runSpan   tracez.Span
+	cpuFile   *os.File
+	listener  net.Listener
+	server    *http.Server
+	served    chan struct{}
 }
 
 // AddFlags registers -metrics, -pprof and -pprof-http on fs
@@ -55,6 +61,8 @@ func AddFlags(fs *flag.FlagSet) *Options {
 		"write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles of this run")
 	fs.StringVar(&o.pprofHTTP, "pprof-http", "",
 		"serve live net/http/pprof endpoints on this address (e.g. localhost:6060) for the duration of the run")
+	fs.StringVar(&o.tracePath, "trace-out", "",
+		"stream a Chrome trace-event JSON timeline of this run to the given file (open in https://ui.perfetto.dev); inspect with dvf-flame")
 	return o
 }
 
@@ -79,6 +87,18 @@ func (o *Options) Start() func() {
 	}
 	if o.pprofHTTP != "" {
 		o.startServer()
+	}
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: trace-out: %v\n", err)
+		} else {
+			o.traceFile = f
+			o.tracer = tracez.NewStreaming(f)
+			// The root span covers the whole run, so every other span has a
+			// parent when the trace is folded.
+			o.runSpan = o.tracer.Track("process").Begin("run " + os.Args[0])
+		}
 	}
 	return o.stop
 }
@@ -115,6 +135,11 @@ func (o *Options) startServer() {
 // overhead) unless -metrics was given. Valid after Start.
 func (o *Options) Sink() metrics.Sink { return o.sink }
 
+// Tracer returns the span recorder for threading into pipelines: nil
+// (free of overhead) unless -trace-out was given. Valid after Start; the
+// deferred stop closes the root span and completes the JSON file.
+func (o *Options) Tracer() tracez.Recorder { return o.tracer }
+
 // PprofAddr returns the live pprof server's listen address ("" when
 // -pprof-http is off or the listener failed). Valid after Start; useful
 // when the flag requested port 0.
@@ -126,6 +151,17 @@ func (o *Options) PprofAddr() string {
 }
 
 func (o *Options) stop() {
+	if o.tracer != nil {
+		o.runSpan.End()
+		if err := o.tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: trace-out: %v\n", err)
+		}
+		if err := o.traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: trace-out: %v\n", err)
+		}
+		o.tracer = nil
+		o.traceFile = nil
+	}
 	if o.server != nil {
 		if err := o.server.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "obs: pprof-http: %v\n", err)

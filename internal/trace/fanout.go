@@ -1,10 +1,12 @@
 package trace
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/tracez"
 )
 
 // FanOut partitions a reference stream across a fixed pool of worker
@@ -31,6 +33,14 @@ type FanOut struct {
 	pool  sync.Pool
 	wg    sync.WaitGroup
 	met   fanMetrics
+
+	// Tracing state, attached by Trace before the first Access. wtracks
+	// is allocated (full length, nil elements) in NewFanOut so its header
+	// never changes; workers index it only after a channel receive, which
+	// orders their reads after the producer's writes in Trace.
+	wtracks []*tracez.Track
+	queue   *tracez.Counter
+	prod    *tracez.Track
 
 	closed bool
 }
@@ -76,10 +86,11 @@ func NewFanOut(sinks []Consumer, route func(Ref, int32) int, batch int) *FanOut 
 		batch = DefaultBatch
 	}
 	f := &FanOut{
-		route: route,
-		chans: make([]chan fanMsg, len(sinks)),
-		bufs:  make([][]fanRec, len(sinks)),
-		batch: batch,
+		route:   route,
+		chans:   make([]chan fanMsg, len(sinks)),
+		bufs:    make([][]fanRec, len(sinks)),
+		batch:   batch,
+		wtracks: make([]*tracez.Track, len(sinks)),
 	}
 	f.pool.New = func() any {
 		s := make([]fanRec, 0, batch)
@@ -89,12 +100,14 @@ func NewFanOut(sinks []Consumer, route func(Ref, int32) int, batch int) *FanOut 
 		f.chans[i] = make(chan fanMsg, chanDepth)
 		f.bufs[i] = f.getBuf()
 		f.wg.Add(1)
-		go func(ch <-chan fanMsg, sink Consumer) {
+		go func(i int, ch <-chan fanMsg, sink Consumer) {
 			defer f.wg.Done()
 			for msg := range ch {
+				sp := f.wtracks[i].Begin("fanout.batch")
 				for _, rec := range msg.recs {
 					sink.Access(rec.ref, rec.owner)
 				}
+				sp.EndInt("recs", int64(len(msg.recs)))
 				if msg.recs != nil {
 					f.putBuf(msg.recs)
 				}
@@ -102,7 +115,7 @@ func NewFanOut(sinks []Consumer, route func(Ref, int32) int, batch int) *FanOut 
 					msg.ack <- struct{}{}
 				}
 			}
-		}(f.chans[i], sinks[i])
+		}(i, f.chans[i], sinks[i])
 	}
 	return f
 }
@@ -139,11 +152,40 @@ func (f *FanOut) Instrument(s metrics.Sink) *FanOut {
 	return f
 }
 
+// Trace attaches timeline tracks to the fan-out: one span track per
+// worker (named prefix0, prefix1, …) carrying a batch span per drained
+// batch, a producer-side track recording stall spans, and a queue-depth
+// counter sampled at every ship. A nil recorder leaves the fan-out
+// untraced. Call it from the producer goroutine before the first
+// Access; it returns f for chaining.
+func (f *FanOut) Trace(tz tracez.Recorder, prefix string) *FanOut {
+	if tz == nil {
+		return f
+	}
+	for i := range f.wtracks {
+		f.wtracks[i] = tz.Track(fmt.Sprintf("%s%d", prefix, i))
+	}
+	f.queue = tz.Counter("fanout.queue_depth")
+	f.prod = tz.Track("fanout.producer")
+	return f
+}
+
+// queuedBatches counts the batches currently buffered across all worker
+// channels — the value the queue-depth counter tracks.
+func (f *FanOut) queuedBatches() int64 {
+	var n int64
+	for i := range f.chans {
+		n += int64(len(f.chans[i]))
+	}
+	return n
+}
+
 // ship sends one message to worker i, tracking channel stalls when
-// instrumented. The non-blocking fast path costs one select only on the
-// instrumented path; the uninstrumented path is a plain channel send.
+// instrumented or traced. The non-blocking fast path costs one select
+// only on the observed path; the unobserved path is a plain channel
+// send.
 func (f *FanOut) ship(i int, msg fanMsg) {
-	if f.met.stalls == nil {
+	if f.met.stalls == nil && f.queue == nil {
 		f.chans[i] <- msg
 		return
 	}
@@ -151,10 +193,13 @@ func (f *FanOut) ship(i int, msg fanMsg) {
 	case f.chans[i] <- msg:
 	default:
 		f.met.stalls.Inc()
+		sp := f.prod.Begin("fanout.stall")
 		t0 := time.Now()
 		f.chans[i] <- msg
 		f.met.stallNs.Observe(time.Since(t0).Nanoseconds())
+		sp.EndInt("worker", int64(i))
 	}
+	f.queue.Sample(f.queuedBatches())
 }
 
 // Access routes one reference to its worker, flushing the worker's batch
@@ -184,6 +229,8 @@ func (f *FanOut) Drain() {
 	if f.closed {
 		return
 	}
+	sp := f.prod.Begin("fanout.drain")
+	defer sp.End()
 	ack := make(chan struct{}, len(f.chans))
 	for i := range f.chans {
 		msg := fanMsg{ack: ack}

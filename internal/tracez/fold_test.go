@@ -1,0 +1,115 @@
+package tracez
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFoldSelfTime(t *testing.T) {
+	// One track: replay [0,100ms] containing two batch children
+	// [10,30] and [40,80], so replay self = 100-20-40 = 40ms.
+	events := []JSONEvent{
+		{Name: "thread_name", Ph: "M", Tid: 1, Args: map[string]any{"name": "shard0"}},
+		{Name: "replay", Ph: "X", Tid: 1, Ts: 0, Dur: 100_000},
+		{Name: "batch", Ph: "X", Tid: 1, Ts: 10_000, Dur: 20_000},
+		{Name: "batch", Ph: "X", Tid: 1, Ts: 40_000, Dur: 40_000},
+		{Name: "queue_depth", Ph: "C", Ts: 5, Args: map[string]any{"value": float64(3)}},
+	}
+	rep := Fold(events)
+	get := func(name string) PhaseStat {
+		for _, p := range rep.Phases {
+			if p.Name == name {
+				return p
+			}
+		}
+		t.Fatalf("phase %q missing from %+v", name, rep.Phases)
+		return PhaseStat{}
+	}
+	replay := get("replay")
+	if replay.Track != "shard0" || replay.TotalUs != 100_000 || replay.SelfUs != 40_000 || replay.Count != 1 {
+		t.Errorf("replay = %+v, want track shard0, total 100000, self 40000, count 1", replay)
+	}
+	batch := get("batch")
+	if batch.Count != 2 || batch.TotalUs != 60_000 || batch.SelfUs != 60_000 || batch.MaxUs != 40_000 {
+		t.Errorf("batch = %+v, want count 2, total 60000, self 60000, max 40000", batch)
+	}
+	if len(rep.Counters) != 1 || rep.Counters[0] != "queue_depth" {
+		t.Errorf("counters = %v, want [queue_depth]", rep.Counters)
+	}
+	// Phases sort by self time descending: batch (60ms) before replay (40ms).
+	if rep.Phases[0].Name != "batch" {
+		t.Errorf("phase order = %v, want batch first", rep.Phases)
+	}
+	// Spans sort by duration descending.
+	if rep.Spans[0].Name != "replay" || rep.Spans[0].DurUs != 100_000 {
+		t.Errorf("top span = %+v, want replay 100000µs", rep.Spans[0])
+	}
+}
+
+func TestFoldSiblingsNotNested(t *testing.T) {
+	// Back-to-back spans (end == next start) are siblings, not parent/child.
+	events := []JSONEvent{
+		{Name: "a", Ph: "X", Tid: 1, Ts: 0, Dur: 50},
+		{Name: "b", Ph: "X", Tid: 1, Ts: 50, Dur: 50},
+	}
+	rep := Fold(events)
+	for _, p := range rep.Phases {
+		if p.SelfUs != 50 {
+			t.Errorf("phase %q self = %v, want 50 (siblings must not nest)", p.Name, p.SelfUs)
+		}
+	}
+	// Unnamed track falls back to its tid.
+	if rep.Spans[0].Track != "tid 1" {
+		t.Errorf("track = %q, want fallback \"tid 1\"", rep.Spans[0].Track)
+	}
+}
+
+func TestFoldDeepNesting(t *testing.T) {
+	// a ⊃ b ⊃ c: self(a)=40, self(b)=40, self(c)=20.
+	events := []JSONEvent{
+		{Name: "a", Ph: "X", Tid: 7, Ts: 0, Dur: 100},
+		{Name: "b", Ph: "X", Tid: 7, Ts: 20, Dur: 60},
+		{Name: "c", Ph: "X", Tid: 7, Ts: 40, Dur: 20},
+	}
+	rep := Fold(events)
+	want := map[string]float64{"a": 40, "b": 40, "c": 20}
+	for _, p := range rep.Phases {
+		if p.SelfUs != want[p.Name] {
+			t.Errorf("self(%s) = %v, want %v", p.Name, p.SelfUs, want[p.Name])
+		}
+	}
+}
+
+func TestRenderReport(t *testing.T) {
+	events := []JSONEvent{
+		{Name: "thread_name", Ph: "M", Tid: 1, Args: map[string]any{"name": "shard0"}},
+		{Name: "replay", Ph: "X", Tid: 1, Ts: 0, Dur: 2_500_000},
+		{Name: "batch", Ph: "X", Tid: 1, Ts: 100, Dur: 1_500},
+		{Name: "queue_depth", Ph: "C", Ts: 5, Args: map[string]any{"value": float64(1)}},
+	}
+	var buf bytes.Buffer
+	if err := Fold(events).Render(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"shard0", "replay", "2.50s", "1.50ms", "counter tracks: queue_depth", "top 1 spans"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "batch") != 1 {
+		t.Errorf("top-1 listing must cut the batch span, got:\n%s", out)
+	}
+}
+
+func TestRenderTopNZero(t *testing.T) {
+	events := []JSONEvent{{Name: "a", Ph: "X", Tid: 1, Ts: 0, Dur: 10}}
+	var buf bytes.Buffer
+	if err := Fold(events).Render(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "top") {
+		t.Errorf("topN=0 must suppress the span listing:\n%s", buf.String())
+	}
+}

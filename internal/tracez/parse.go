@@ -1,0 +1,123 @@
+package tracez
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONEvent is the decoded form of one trace-event object, the schema
+// this package emits and dvf-flame consumes. Field names follow the
+// trace-event format; unknown fields are ignored on decode so traces
+// from other producers still fold.
+type JSONEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds, X only
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Parse decodes a Chrome trace-event JSON array (the form this package
+// writes; the object wrapper {"traceEvents":[...]} some tools produce
+// is rejected with a pointed error).
+func Parse(r io.Reader) ([]JSONEvent, error) {
+	dec := json.NewDecoder(r)
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("tracez: not a JSON trace: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, fmt.Errorf("tracez: trace must be a JSON array of events, got %v", tok)
+	}
+	var events []JSONEvent
+	for dec.More() {
+		var ev JSONEvent
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("tracez: event %d: %w", len(events), err)
+		}
+		events = append(events, ev)
+	}
+	if _, err := dec.Token(); err != nil {
+		return nil, fmt.Errorf("tracez: unterminated trace array: %w", err)
+	}
+	return events, nil
+}
+
+// Validate checks that a parsed trace is well-formed against the schema
+// this package promises: known phases only, named events, non-negative
+// start-relative timestamps, non-negative span durations, balanced B/E
+// pairs per track, counter samples carrying a numeric "value", and
+// metadata events of a known kind. The first violation is returned.
+func Validate(events []JSONEvent) error {
+	depth := map[int64]int{} // open B spans per (tid); pid is constant
+	for i, ev := range events {
+		where := func(msg string, args ...any) error {
+			return fmt.Errorf("tracez: event %d (%q): %s", i, ev.Name, fmt.Sprintf(msg, args...))
+		}
+		if ev.Name == "" {
+			return where("missing name")
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Ts < 0 {
+				return where("negative ts %v", ev.Ts)
+			}
+			if ev.Dur < 0 {
+				return where("negative dur %v", ev.Dur)
+			}
+		case "B":
+			if ev.Ts < 0 {
+				return where("negative ts %v", ev.Ts)
+			}
+			depth[ev.Tid]++
+		case "E":
+			if depth[ev.Tid] == 0 {
+				return where("E without matching B on tid %d", ev.Tid)
+			}
+			depth[ev.Tid]--
+		case "i", "I":
+			if ev.Ts < 0 {
+				return where("negative ts %v", ev.Ts)
+			}
+		case "C":
+			v, ok := ev.Args["value"]
+			if !ok {
+				return where("counter sample without args.value")
+			}
+			if _, ok := v.(float64); !ok {
+				return where("counter value %v is not numeric", v)
+			}
+		case "M":
+			switch ev.Name {
+			case "process_name", "thread_name", "process_sort_index", "thread_sort_index":
+			default:
+				return where("unknown metadata kind")
+			}
+		default:
+			return where("unknown phase %q", ev.Ph)
+		}
+	}
+	for tid, n := range depth {
+		if n != 0 {
+			return fmt.Errorf("tracez: tid %d ends with %d unclosed B span(s)", tid, n)
+		}
+	}
+	return nil
+}
+
+// ValidateReader parses and validates in one step, returning the events
+// for further folding.
+func ValidateReader(r io.Reader) ([]JSONEvent, error) {
+	events, err := Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(events); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
