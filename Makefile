@@ -8,6 +8,10 @@
 #   make lint         run the repo's own static-analysis suite
 #                     (cmd/dvf-lint) over every package; LINTFLAGS
 #                     narrows it, e.g. LINTFLAGS='-only nilsink,determinism'
+#   make lint-sarif   same run, also writing dvf-lint.sarif for upload
+#   make lint-fix-check  gate on the -fix contract: apply fixes to a
+#                     dirty fixture copy, then require a clean re-run,
+#                     gofmt-clean files and a passing build
 #   make test         the tier-1 test run
 #   make race         full suite under the race detector (slow: the
 #                     experiments package replays every figure)
@@ -24,9 +28,9 @@ GO ?= go
 FUZZTIME ?= 10s
 LINTFLAGS ?=
 
-.PHONY: check fmt-check vet lint build test race bench-smoke bench fuzz-smoke trace-smoke
+.PHONY: check fmt-check vet lint lint-sarif lint-fix-check build test race bench-smoke bench fuzz-smoke trace-smoke
 
-check: fmt-check vet lint build test race bench-smoke fuzz-smoke trace-smoke
+check: fmt-check vet lint lint-fix-check build test race bench-smoke fuzz-smoke trace-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -37,6 +41,25 @@ vet:
 
 lint:
 	$(GO) run ./cmd/dvf-lint $(LINTFLAGS) ./...
+
+# SARIF variant for CI: the report is written before the exit status is
+# decided, so a failing run still produces an uploadable file.
+lint-sarif:
+	$(GO) run ./cmd/dvf-lint -sarif dvf-lint.sarif $(LINTFLAGS) ./...
+
+# The -fix contract, end to end on the checked-in dirty fixture: build
+# the linter, fix a scratch copy, and require the re-run to be clean,
+# the files gofmt-idempotent and the fixture module to still build.
+lint-fix-check:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	cp -r cmd/dvf-lint/testdata/fixture/. "$$tmp"/ && \
+	$(GO) build -o "$$tmp"/dvf-lint ./cmd/dvf-lint && \
+	(cd "$$tmp" && ./dvf-lint -fix ./...) && \
+	(cd "$$tmp" && ./dvf-lint ./...) && \
+	out=$$(gofmt -l "$$tmp"/internal) && \
+	if [ -n "$$out" ]; then echo "gofmt needed after -fix:"; echo "$$out"; exit 1; fi && \
+	(cd "$$tmp" && $(GO) build ./...) && \
+	echo "lint-fix-check: fix round-trip clean"
 
 build:
 	$(GO) build ./...

@@ -2,25 +2,42 @@
 // (internal/analysis) over the named packages and fails the build on any
 // finding. The checkers mechanically enforce the invariants the test
 // suite can only probe dynamically: the nil-sink observability contract,
-// determinism of the golden-output packages, atomic-access discipline,
-// error-result hygiene and goroutine join paths.
+// determinism of the golden-output packages (including clock taint
+// laundered through helpers in other packages), allocation-free
+// //dvf:hotpath call paths, mutex discipline, enum-switch exhaustiveness,
+// atomic-access discipline, error-result hygiene and goroutine join
+// paths.
 //
 // Usage:
 //
 //	dvf-lint ./...                      # whole module, all checkers
 //	dvf-lint -only nilsink,errdrop ./internal/... ./cmd/...
+//	dvf-lint -fix ./...                 # apply suggested fixes in place
+//	dvf-lint -sarif lint.sarif ./...    # also write SARIF 2.1.0
+//	dvf-lint -write-baseline ./...      # accept current findings
 //	dvf-lint -list                      # show the registered checkers
 //
-// Findings print one per line as "file:line: [checker] message" and the
-// exit status is 1 when anything was found, 2 on usage or load errors.
+// Findings print one per line as "file:line: [checker] message".
+//
+// Exit status separates outcome classes so CI can tell them apart:
+// 0 when the analysis ran everywhere and found nothing, 1 when the
+// analysis ran and found something, 2 on usage errors or when any
+// package failed to load or type-check — load errors name the package
+// on stderr and analysis continues over the packages that did load, but
+// a partial run never masquerades as a clean one.
+//
 // Suppressions are in-source and audited: //dvf:allow <checker> <reason>
-// on (or directly above) the flagged line.
+// on (or directly above) the flagged line. For adopting a new checker on
+// a codebase with pre-existing findings, -baseline FILE suppresses the
+// findings recorded in FILE (default .dvf-lint-baseline.json when
+// present) and -write-baseline snapshots the current findings into it;
+// the match is line-insensitive so the file only ratchets down.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -28,71 +45,212 @@ import (
 	"github.com/resilience-models/dvf/internal/analysis/checkers"
 )
 
+// defaultBaseline is consulted when -baseline is not set explicitly.
+const defaultBaseline = ".dvf-lint-baseline.json"
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("dvf-lint: ")
-	only := flag.String("only", "", "comma-separated subset of checkers to run (default: all)")
-	list := flag.Bool("list", false, "list registered checkers and exit")
-	flag.Parse()
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvf-lint: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(run(os.Args[1:], cwd, os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI, parameterized over its inputs and output streams
+// so main_test.go can drive it against fixture modules without spawning
+// processes.
+func run(args []string, cwd string, stdout, stderr io.Writer) int {
+	errorf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "dvf-lint: "+format+"\n", a...)
+	}
+
+	fs := flag.NewFlagSet("dvf-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated subset of checkers to run (default: all)")
+	list := fs.Bool("list", false, "list registered checkers and exit")
+	fix := fs.Bool("fix", false, "apply the first suggested fix of each finding and rewrite the files")
+	sarifOut := fs.String("sarif", "", "write a SARIF 2.1.0 report to this file ('-' for stdout)")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file (default: "+defaultBaseline+" when present)")
+	writeBaseline := fs.Bool("write-baseline", false, "snapshot current findings into the baseline file and exit clean")
+	jobs := fs.Int("jobs", 0, "number of packages analyzed concurrently (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range checkers.All() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers, err := checkers.Select(*only)
 	if err != nil {
-		log.Println(err)
-		os.Exit(2)
+		errorf("%v", err)
+		return 2
 	}
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	cwd, err := os.Getwd()
-	if err != nil {
-		log.Println(err)
-		os.Exit(2)
-	}
 	loader, err := analysis.NewLoader(cwd)
 	if err != nil {
-		log.Println(err)
-		os.Exit(2)
+		errorf("%v", err)
+		return 2
 	}
 	paths, err := loader.Expand(cwd, patterns)
 	if err != nil {
-		log.Println(err)
-		os.Exit(2)
+		errorf("%v", err)
+		return 2
 	}
 	if len(paths) == 0 {
-		log.Println("no packages matched")
-		os.Exit(2)
+		errorf("no packages matched")
+		return 2
 	}
 
+	// Load everything first; a package that fails to load is reported to
+	// stderr with its import path and the rest is still analyzed, so one
+	// broken package does not hide the findings of fifty good ones. The
+	// exit status still reports the failure.
 	var pkgs []*analysis.Package
+	loadFailed := false
 	for _, p := range paths {
 		pkg, err := loader.Load(p)
 		if err != nil {
-			log.Println(err)
-			os.Exit(2)
+			errorf("loading %s: %v", p, err)
+			loadFailed = true
+			continue
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags, err := analysis.Run(pkgs, analyzers, false)
-	if err != nil {
-		log.Println(err)
-		os.Exit(2)
+
+	var diags []analysis.Diagnostic
+	if len(pkgs) > 0 {
+		diags, err = analysis.RunParallel(loader.Program(), pkgs, analyzers, false, *jobs)
+		if err != nil {
+			errorf("%v", err)
+			return 2
+		}
 	}
+
+	// Resolve the baseline: an explicit -baseline must exist; the default
+	// file is optional. Relative paths are cwd-relative.
+	blPath := *baselinePath
+	if blPath == "" {
+		if _, err := os.Stat(filepath.Join(cwd, defaultBaseline)); err == nil {
+			blPath = defaultBaseline
+		}
+	}
+	if blPath != "" && !filepath.IsAbs(blPath) {
+		blPath = filepath.Join(cwd, blPath)
+	}
+
+	if *writeBaseline {
+		if blPath == "" {
+			blPath = filepath.Join(cwd, defaultBaseline)
+		}
+		bl := analysis.NewBaseline(diags, cwd)
+		if err := bl.Write(blPath); err != nil {
+			errorf("%v", err)
+			return 2
+		}
+		errorf("recorded %d finding(s) in %s", len(diags), blPath)
+		if loadFailed {
+			return 2
+		}
+		return 0
+	}
+
+	suppressedCount := 0
+	if blPath != "" {
+		bl, err := analysis.ReadBaseline(blPath)
+		if err != nil {
+			errorf("%v", err)
+			return 2
+		}
+		var suppressed []analysis.Diagnostic
+		diags, suppressed = bl.Filter(diags, cwd)
+		suppressedCount = len(suppressed)
+	}
+
+	if *sarifOut != "" {
+		if err := writeSarif(*sarifOut, stdout, diags, analyzers, cwd); err != nil {
+			errorf("%v", err)
+			return 2
+		}
+	}
+
+	if *fix {
+		diags = applyFixes(loader, diags, stderr)
+	}
+
 	for _, d := range diags {
-		fmt.Println(relDiag(cwd, d))
+		fmt.Fprintln(stdout, relDiag(cwd, d))
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "dvf-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+	if suppressedCount > 0 {
+		errorf("%d finding(s) suppressed by %s", suppressedCount, blPath)
 	}
+	switch {
+	case loadFailed:
+		return 2
+	case len(diags) > 0:
+		errorf("%d finding(s) in %d package(s)", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// applyFixes rewrites the files of every finding that carries a
+// suggested fix and returns the findings that remain (those without
+// one). Fixed files are listed on stderr.
+func applyFixes(loader *analysis.Loader, diags []analysis.Diagnostic, stderr io.Writer) []analysis.Diagnostic {
+	var fixable, remaining []analysis.Diagnostic
+	for _, d := range diags {
+		if len(d.Fixes) > 0 {
+			fixable = append(fixable, d)
+		} else {
+			remaining = append(remaining, d)
+		}
+	}
+	if len(fixable) == 0 {
+		return remaining
+	}
+	fixed, err := analysis.ApplyFixes(loader.Fset, fixable)
+	if err != nil {
+		fmt.Fprintf(stderr, "dvf-lint: applying fixes: %v\n", err)
+		return diags // leave everything reported; nothing was written
+	}
+	files, err := analysis.WriteFixes(fixed)
+	if err != nil {
+		fmt.Fprintf(stderr, "dvf-lint: writing fixes: %v\n", err)
+		return diags
+	}
+	for _, f := range files {
+		fmt.Fprintf(stderr, "dvf-lint: fixed %s\n", f)
+	}
+	return remaining
+}
+
+// writeSarif renders the report to path ("-" = stdout).
+func writeSarif(path string, stdout io.Writer, diags []analysis.Diagnostic, analyzers []*analysis.Analyzer, cwd string) error {
+	report := analysis.SarifReport(diags, analyzers, cwd)
+	if path == "-" {
+		return report.Write(stdout)
+	}
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(cwd, path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.Write(f); err != nil {
+		_ = f.Close() // the write error is the one worth returning
+		return err
+	}
+	return f.Close()
 }
 
 // relDiag renders one finding with a cwd-relative path for clickable,

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"go/format"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runLint drives the CLI in-process against a fixture directory.
+func runLint(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, dir, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// copyFixture clones a testdata module into a temp dir so -fix and
+// -write-baseline runs never mutate the checked-in fixture.
+func copyFixture(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// TestExitFindings: findings print to stdout as file:line: [checker]
+// message and the process exits 1.
+func TestExitFindings(t *testing.T) {
+	code, stdout, stderr := runLint(t, fixtureDir(t), "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "[exhaustive]") || !strings.Contains(stdout, "misses Green, Blue") {
+		t.Errorf("stdout misses the exhaustive finding:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "[directive]") {
+		t.Errorf("stdout misses the stale-directive finding:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr misses the summary line:\n%s", stderr)
+	}
+}
+
+// TestExitClean: a module with nothing to report exits 0.
+func TestExitClean(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "cleanfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runLint(t, dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if strings.TrimSpace(stdout) != "" {
+		t.Errorf("clean run printed findings:\n%s", stdout)
+	}
+}
+
+// TestExitLoadError: a package that fails to type-check is named on
+// stderr with its import path and the run exits 2.
+func TestExitLoadError(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "brokenfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runLint(t, dir, "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "loading") || !strings.Contains(stderr, "internal/broken") {
+		t.Errorf("stderr must name the failing package:\n%s", stderr)
+	}
+}
+
+// TestUsageErrors: unknown flags and unknown checkers exit 2.
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runLint(t, fixtureDir(t), "-no-such-flag"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _, stderr := runLint(t, fixtureDir(t), "-only", "nope", "./..."); code != 2 || !strings.Contains(stderr, "unknown checker") {
+		t.Errorf("unknown checker: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestList: -list prints the registry and exits 0.
+func TestList(t *testing.T) {
+	code, stdout, _ := runLint(t, fixtureDir(t), "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "exhaustive", "hotalloc", "locksafe", "nilsink"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list misses %s:\n%s", name, stdout)
+		}
+	}
+}
+
+// TestFixRoundTrip is the -fix contract end to end: applying fixes
+// leaves the module finding-free, buildable (the rewrite parses) and
+// gofmt-idempotent.
+func TestFixRoundTrip(t *testing.T) {
+	dir := copyFixture(t, fixtureDir(t))
+	code, _, stderr := runLint(t, dir, "-fix", "./...")
+	if code != 0 {
+		t.Fatalf("-fix exit = %d, want 0 (every fixture finding is fixable)\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "fixed ") {
+		t.Errorf("stderr must list rewritten files:\n%s", stderr)
+	}
+
+	fixed := filepath.Join(dir, "internal", "colors", "colors.go")
+	src, err := os.ReadFile(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"case Green:", "case Blue:"} {
+		if !strings.Contains(string(src), want) {
+			t.Errorf("fix did not insert %q:\n%s", want, src)
+		}
+	}
+	if strings.Contains(string(src), "dvf:allow exhaustive") {
+		t.Errorf("stale directive survived -fix:\n%s", src)
+	}
+	formatted, err := format.Source(src)
+	if err != nil {
+		t.Fatalf("fixed file does not parse: %v", err)
+	}
+	if !bytes.Equal(formatted, src) {
+		t.Errorf("fixed file is not gofmt-idempotent")
+	}
+
+	// The ratchet: a second run over the fixed tree is clean.
+	if code, stdout, stderr := runLint(t, dir, "./..."); code != 0 {
+		t.Errorf("re-run after -fix: exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}
+
+// TestBaselineWorkflow: -write-baseline snapshots the findings, after
+// which a plain run auto-detects the file and exits clean.
+func TestBaselineWorkflow(t *testing.T) {
+	dir := copyFixture(t, fixtureDir(t))
+	code, _, stderr := runLint(t, dir, "-write-baseline", "./...")
+	if code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	if _, err := os.Stat(filepath.Join(dir, defaultBaseline)); err != nil {
+		t.Fatalf("baseline file not written: %v", err)
+	}
+
+	code, stdout, stderr := runLint(t, dir, "./...")
+	if code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "suppressed by") {
+		t.Errorf("stderr must report the suppression count:\n%s", stderr)
+	}
+
+	// An explicit, missing baseline is an error, not a silent no-op.
+	if code, _, _ := runLint(t, dir, "-baseline", "no-such-file.json", "./..."); code != 2 {
+		t.Errorf("missing explicit baseline: exit %d, want 2", code)
+	}
+}
+
+// TestSarifOutput: -sarif writes a structurally valid report even when
+// the run has findings (exit 1), which is what lets CI upload it from a
+// failing job.
+func TestSarifOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "lint.sarif")
+	code, _, stderr := runLint(t, fixtureDir(t), "-sarif", out, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("SARIF file not written: %v", err)
+	}
+	for _, want := range []string{`"version": "2.1.0"`, `"ruleId": "exhaustive"`, "%SRCROOT%", "dvfLintFingerprint/v1"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("SARIF output misses %q", want)
+		}
+	}
+}
+
+// TestSarifStdout: '-' streams the report to stdout instead of a file.
+func TestSarifStdout(t *testing.T) {
+	code, stdout, _ := runLint(t, fixtureDir(t), "-sarif", "-", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, `"$schema"`) || !strings.Contains(stdout, "2.1.0") {
+		t.Errorf("stdout misses the SARIF document:\n%s", stdout)
+	}
+}

@@ -1,0 +1,7 @@
+// Package broken fails to type-check: the CLI must report the load
+// error on stderr with the package path and exit 2.
+package broken
+
+func Oops() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,11 @@
+// Package quiet violates nothing: the CLI must exit 0 over it.
+package quiet
+
+// Sum is plain, deterministic arithmetic.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -10,9 +10,14 @@
 // The model mirrors golang.org/x/tools/go/analysis in miniature: an
 // Analyzer bundles a name, a doc string and a Run function; Run receives
 // a Pass holding one type-checked package and reports findings through
-// Pass.Reportf. The driver (cmd/dvf-lint) loads packages with Loader,
-// runs every registered checker and renders findings as
-// "file:line: [checker] message".
+// Pass.Reportf (optionally carrying SuggestedFixes, applied by
+// dvf-lint -fix). Beyond the per-package view, a Pass exposes the whole
+// Program: the call graph, //dvf:hotpath annotations and the
+// interprocedural clock-taint summaries, so checkers can follow flows
+// across function and package boundaries. The driver (cmd/dvf-lint)
+// loads packages with Loader, analyzes them concurrently in dependency
+// order and renders findings as "file:line: [checker] message" (or as a
+// SARIF 2.1.0 log).
 //
 // Suppression is explicit and audited: a comment
 //
@@ -21,6 +26,9 @@
 // on the flagged line (or the line above it) silences that checker for
 // that line. The reason is mandatory — a bare directive is itself
 // reported — so every exception in the tree documents why it is safe.
+// The second annotation, //dvf:hotpath, is a claim rather than a
+// suppression: it marks a function as a replay hot path, and the
+// hotalloc checker then proves every call path from it allocation-free.
 package analysis
 
 import (
@@ -52,6 +60,10 @@ type Pass struct {
 	// Path is the package's import path (testdata packages get their bare
 	// directory name).
 	Path string
+	// Prog is the whole-program view: every package loaded for this run,
+	// plus the interprocedural facts (call graph, hotpath annotations,
+	// clock-taint summaries) computed over them.
+	Prog *Program
 	// Force disables the checker's own import-path scoping; the
 	// expect-comment test harness sets it so testdata packages are
 	// analyzed regardless of where they live.
@@ -65,6 +77,9 @@ type Diagnostic struct {
 	Pos     token.Position
 	Checker string
 	Message string
+	// Fixes holds zero or more suggested remediations; dvf-lint -fix
+	// applies the first fix of each surviving diagnostic.
+	Fixes []SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -73,10 +88,16 @@ func (d Diagnostic) String() string {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// Report records a finding at pos with optional suggested fixes.
+func (p *Pass) Report(pos token.Pos, message string, fixes ...SuggestedFix) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:     p.Fset.Position(pos),
 		Checker: p.Analyzer.Name,
-		Message: fmt.Sprintf(format, args...),
+		Message: message,
+		Fixes:   fixes,
 	})
 }
 
@@ -125,6 +146,8 @@ type allowDirective struct {
 	line    int
 	checker string
 	reason  string
+	pos     token.Pos // comment start, for the delete-me suggested fix
+	end     token.Pos // comment end
 	used    bool
 }
 
@@ -158,6 +181,8 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) ([]*allowDirective,
 					line:    pos.Line,
 					checker: fields[0],
 					reason:  strings.Join(fields[1:], " "),
+					pos:     c.Pos(),
+					end:     c.End(),
 				})
 			}
 		}
@@ -165,45 +190,69 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) ([]*allowDirective,
 	return dirs, bad
 }
 
-// Run executes the analyzers over the loaded packages and returns the
-// surviving diagnostics sorted by position. force is threaded into each
-// pass (used only by the test harness).
-func Run(pkgs []*Package, analyzers []*Analyzer, force bool) ([]Diagnostic, error) {
-	var all []Diagnostic
-	for _, pkg := range pkgs {
-		dirs, bad := parseDirectives(pkg.Fset, pkg.Files)
-		all = append(all, bad...)
-		var diags []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				Path:      pkg.Path,
-				Force:     force,
-				diags:     &diags,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-			}
+// RunPackage executes the analyzers over one package of the program and
+// returns its surviving diagnostics (unsorted).
+func RunPackage(prog *Program, pkg *Package, analyzers []*Analyzer, force bool) ([]Diagnostic, error) {
+	dirs, bad := parseDirectives(pkg.Fset, pkg.Files)
+	all := bad
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Path:      pkg.Path,
+			Prog:      prog,
+			Force:     force,
+			diags:     &diags,
 		}
-		for _, d := range diags {
-			if !suppressed(dirs, d) {
-				all = append(all, d)
-			}
-		}
-		for _, dir := range dirs {
-			if !dir.used {
-				all = append(all, Diagnostic{
-					Pos:     token.Position{Filename: dir.file, Line: dir.line},
-					Checker: "directive",
-					Message: fmt.Sprintf("dvf:allow %s suppresses nothing here; delete it", dir.checker),
-				})
-			}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
+	for _, d := range diags {
+		if !suppressed(dirs, d) {
+			all = append(all, d)
+		}
+	}
+	for _, dir := range dirs {
+		if !dir.used {
+			all = append(all, Diagnostic{
+				Pos:     token.Position{Filename: dir.file, Line: dir.line},
+				Checker: "directive",
+				Message: fmt.Sprintf("dvf:allow %s suppresses nothing here; delete it", dir.checker),
+				Fixes: []SuggestedFix{{
+					Message: "delete the stale directive",
+					Edits:   []TextEdit{{Pos: dir.pos, End: dir.end}},
+				}},
+			})
+		}
+	}
+	return all, nil
+}
+
+// Run executes the analyzers over the loaded packages sequentially and
+// returns the surviving diagnostics sorted by position. force is
+// threaded into each pass (used only by the test harness). The parallel
+// equivalent is RunParallel.
+func Run(prog *Program, pkgs []*Package, analyzers []*Analyzer, force bool) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(prog, pkg, analyzers, force)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	SortDiagnostics(all)
+	return all, nil
+}
+
+// SortDiagnostics orders findings by file, line, then checker name —
+// the driver's stable output order regardless of scheduling.
+func SortDiagnostics(all []Diagnostic) {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -212,9 +261,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer, force bool) ([]Diagnostic, erro
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Checker < b.Checker
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Message < b.Message
 	})
-	return all, nil
 }
 
 // suppressed reports whether a directive on the diagnostic's line (or the

@@ -11,6 +11,14 @@
 // Patterns are regular expressions matched against the diagnostic
 // message. Lines without a want comment must produce no diagnostic; both
 // missed and unexpected findings fail the test.
+//
+// Packages may span any number of files; expectations are collected from
+// every file the build actually selects, and diagnostics are matched per
+// file. Files excluded by build constraints contribute neither
+// diagnostics nor expectations, so a testdata package can pair e.g. a
+// _linux.go file with its darwin sibling and each platform checks only
+// its own half — or pin the platform for full determinism with
+// RunWithConfig and an explicit GOOS/GOARCH.
 package analysistest
 
 import (
@@ -22,6 +30,14 @@ import (
 
 	"github.com/resilience-models/dvf/internal/analysis"
 )
+
+// Config pins the build-constraint environment testdata packages are
+// selected under. Zero values keep the host platform.
+type Config struct {
+	GOOS      string
+	GOARCH    string
+	BuildTags []string
+}
 
 // expectation is one want pattern awaiting a matching diagnostic.
 type expectation struct {
@@ -38,31 +54,46 @@ var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 // checks the analyzer's findings against the want comments.
 func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	RunWithConfig(t, Config{}, a, pkgs...)
+}
+
+// RunWithConfig is Run under an explicit build-constraint environment,
+// for testdata packages that rely on build-tag-filtered files.
+func RunWithConfig(t *testing.T, cfg Config, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
+	loader.SetBuildContext(cfg.GOOS, cfg.GOARCH, cfg.BuildTags)
 	if err := loader.SetTestdataRoot("testdata/src"); err != nil {
 		t.Fatalf("testdata root: %v", err)
 	}
+	loaded := make([]*analysis.Package, 0, len(pkgs))
 	for _, pkgPath := range pkgs {
 		pkg, err := loader.Load(pkgPath)
 		if err != nil {
 			t.Fatalf("loading %s: %v", pkgPath, err)
 		}
-		diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a}, true)
+		loaded = append(loaded, pkg)
+	}
+	prog := loader.Program()
+	for i, pkg := range loaded {
+		diags, err := analysis.Run(prog, []*analysis.Package{pkg}, []*analysis.Analyzer{a}, true)
 		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+			t.Fatalf("running %s on %s: %v", a.Name, pkgs[i], err)
 		}
 		expects, err := parseWants(pkg)
 		if err != nil {
-			t.Fatalf("%s: %v", pkgPath, err)
+			t.Fatalf("%s: %v", pkgs[i], err)
 		}
-		checkExpectations(t, pkgPath, diags, expects)
+		checkExpectations(t, pkgs[i], diags, expects)
 	}
 }
 
-// parseWants extracts the expectations from every file of the package.
+// parseWants extracts the expectations from every file of the package —
+// only files the build selected are present, so expectations in
+// build-tag-excluded files are naturally inert.
 func parseWants(pkg *analysis.Package) ([]*expectation, error) {
 	var out []*expectation
 	for _, f := range pkg.Files {

@@ -1,0 +1,52 @@
+package analysistest_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+	"github.com/resilience-models/dvf/internal/analysis/analysistest"
+)
+
+// badFunc flags every function whose name starts with "Bad" — the
+// minimal analyzer the harness regression tests drive.
+var badFunc = &analysis.Analyzer{
+	Name: "badfunc",
+	Doc:  "flags functions named Bad*",
+	Run: func(pass *analysis.Pass) error {
+		for _, d := range pass.FuncDecls() {
+			if strings.HasPrefix(d.Decl.Name.Name, "Bad") {
+				pass.Reportf(d.Decl.Name.Pos(), "function %s is flagged", d.Decl.Name.Name)
+			}
+		}
+		return nil
+	},
+}
+
+// TestMultiFilePackage: want comments are collected from every file of
+// the package, and diagnostics match per file.
+func TestMultiFilePackage(t *testing.T) {
+	analysistest.Run(t, badFunc, "multifile")
+}
+
+// TestBuildTagsExcludedByDefault: without the tag, special.go is not
+// built — its BadSpecial finding and its want comment are both inert.
+// The GOOS-suffixed file is likewise excluded under the pinned linux
+// build context.
+func TestBuildTagsExcludedByDefault(t *testing.T) {
+	analysistest.RunWithConfig(t, analysistest.Config{GOOS: "linux", GOARCH: "amd64"}, badFunc, "tagged")
+}
+
+// TestBuildTagsIncluded: the same package under -tags special must now
+// produce (and expect) the gated file's finding.
+func TestBuildTagsIncluded(t *testing.T) {
+	cfg := analysistest.Config{GOOS: "linux", GOARCH: "amd64", BuildTags: []string{"special"}}
+	analysistest.RunWithConfig(t, cfg, badFunc, "tagged")
+}
+
+// TestGOOSSelection: pinning GOOS selects the suffixed file, while the
+// tag-gated file stays excluded.
+func TestGOOSSelection(t *testing.T) {
+	cfg := analysistest.Config{GOOS: "windows", GOARCH: "amd64"}
+	analysistest.RunWithConfig(t, cfg, badFunc, "tagged")
+}

@@ -1,0 +1,8 @@
+// Package multifile spreads expectations across two files: the harness
+// must collect wants from every file of the package and match
+// diagnostics per file.
+package multifile
+
+func BadOne() {} // want `function BadOne is flagged`
+
+func goodOne() {}

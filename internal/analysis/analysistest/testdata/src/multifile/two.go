@@ -1,0 +1,7 @@
+package multifile
+
+func BadTwo() {} // want `function BadTwo is flagged`
+
+func goodTwo() {
+	goodOne()
+}

@@ -1,0 +1,5 @@
+// Package tagged pairs an always-built file with a build-tag-gated one
+// and a GOOS-suffixed one: expectations in excluded files must be inert.
+package tagged
+
+func BadBase() {} // want `function BadBase is flagged`

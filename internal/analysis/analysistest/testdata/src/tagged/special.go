@@ -1,0 +1,5 @@
+//go:build special
+
+package tagged
+
+func BadSpecial() {} // want `function BadSpecial is flagged`

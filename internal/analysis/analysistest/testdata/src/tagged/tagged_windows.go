@@ -1,0 +1,3 @@
+package tagged
+
+func BadWindows() {} // want `function BadWindows is flagged`

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the ratcheting suppression file (.dvf-lint-baseline.json):
+// a snapshot of accepted findings, identified by the same line-
+// insensitive fingerprint SARIF output carries, each with an occurrence
+// count. Filtering a run against the baseline suppresses up to Count
+// findings per fingerprint, so new instances of an old problem still
+// fail the build, and fixing an instance can only shrink the file —
+// dvf-lint -write-baseline refuses nothing but records less. This is
+// how a new checker lands on a codebase with pre-existing findings
+// without either mass-//dvf:allow noise or a permanently red gate.
+type Baseline struct {
+	// Version guards the file format.
+	Version int `json:"version"`
+	// Findings holds one entry per distinct finding, sorted by file,
+	// checker, then message for stable diffs.
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one accepted finding.
+type BaselineEntry struct {
+	Checker string `json:"checker"`
+	// File is repo-relative with forward slashes.
+	File    string `json:"file"`
+	Message string `json:"message"`
+	// Count is how many identical findings (same checker/file/message,
+	// any line) are accepted.
+	Count int `json:"count"`
+}
+
+// baselineVersion is the current file format version.
+const baselineVersion = 1
+
+// NewBaseline snapshots the diagnostics into a baseline, with files
+// rendered relative to baseDir.
+func NewBaseline(diags []Diagnostic, baseDir string) *Baseline {
+	counts := make(map[BaselineEntry]int)
+	for _, d := range diags {
+		key := BaselineEntry{Checker: d.Checker, File: relURI(baseDir, d.Pos.Filename), Message: d.Message}
+		counts[key]++
+	}
+	b := &Baseline{Version: baselineVersion}
+	for key, n := range counts {
+		key.Count = n
+		b.Findings = append(b.Findings, key)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Checker != c.Checker {
+			return a.Checker < c.Checker
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("analysis: %s: unsupported baseline version %d (want %d)", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Write stores the baseline as indented JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diagnostics into kept (new) and suppressed (baselined)
+// findings. Matching ignores line numbers: up to Count diagnostics per
+// (checker, file, message) triple are suppressed, in position order, so
+// a finding moving within its file does not resurface while an added
+// instance does.
+func (b *Baseline) Filter(diags []Diagnostic, baseDir string) (kept, suppressed []Diagnostic) {
+	budget := make(map[BaselineEntry]int, len(b.Findings))
+	for _, e := range b.Findings {
+		key := e
+		key.Count = 0
+		key.File = filepath.ToSlash(key.File)
+		budget[key] += e.Count
+	}
+	for _, d := range diags {
+		key := BaselineEntry{Checker: d.Checker, File: relURI(baseDir, d.Pos.Filename), Message: d.Message}
+		if budget[key] > 0 {
+			budget[key]--
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,106 @@
+package analysis_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+func baselineDiag(file string, line int, checker, msg string) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Pos:     token.Position{Filename: file, Line: line},
+		Checker: checker,
+		Message: msg,
+	}
+}
+
+// TestBaselineSnapshot: identical findings aggregate into one counted
+// entry, files render repo-relative, and entries sort stably.
+func TestBaselineSnapshot(t *testing.T) {
+	base := filepath.FromSlash("/repo")
+	diags := []analysis.Diagnostic{
+		baselineDiag(filepath.Join(base, "b.go"), 10, "hotalloc", "alloc"),
+		baselineDiag(filepath.Join(base, "a.go"), 3, "errdrop", "dropped"),
+		baselineDiag(filepath.Join(base, "b.go"), 99, "hotalloc", "alloc"),
+	}
+	b := analysis.NewBaseline(diags, base)
+	want := []analysis.BaselineEntry{
+		{Checker: "errdrop", File: "a.go", Message: "dropped", Count: 1},
+		{Checker: "hotalloc", File: "b.go", Message: "alloc", Count: 2},
+	}
+	if !reflect.DeepEqual(b.Findings, want) {
+		t.Errorf("baseline entries:\n  got  %+v\n  want %+v", b.Findings, want)
+	}
+}
+
+// TestBaselineRoundTrip: Write then ReadBaseline preserves the snapshot.
+func TestBaselineRoundTrip(t *testing.T) {
+	base := t.TempDir()
+	diags := []analysis.Diagnostic{
+		baselineDiag(filepath.Join(base, "x.go"), 1, "locksafe", "copied"),
+	}
+	b := analysis.NewBaseline(diags, base)
+	path := filepath.Join(base, ".dvf-lint-baseline.json")
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := analysis.ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Errorf("round trip:\n  got  %+v\n  want %+v", got, b)
+	}
+}
+
+// TestBaselineVersionMismatch: an unknown format version is an error,
+// not a silently-ignored suppression file.
+func TestBaselineVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.ReadBaseline(path); err == nil {
+		t.Fatal("version 99 baseline must be rejected")
+	}
+}
+
+// TestBaselineFilter drives the ratchet: line moves stay suppressed, the
+// per-triple budget caps suppression, and new findings always surface.
+func TestBaselineFilter(t *testing.T) {
+	base := filepath.FromSlash("/repo")
+	file := filepath.Join(base, "pkg", "f.go")
+
+	b := analysis.NewBaseline([]analysis.Diagnostic{
+		baselineDiag(file, 10, "hotalloc", "alloc"),
+	}, base)
+
+	// Same finding on a different line: suppressed (line-insensitive).
+	kept, suppressed := b.Filter([]analysis.Diagnostic{
+		baselineDiag(file, 77, "hotalloc", "alloc"),
+	}, base)
+	if len(kept) != 0 || len(suppressed) != 1 {
+		t.Errorf("moved finding: kept %d suppressed %d, want 0/1", len(kept), len(suppressed))
+	}
+
+	// A second identical instance exceeds the count budget and surfaces.
+	kept, suppressed = b.Filter([]analysis.Diagnostic{
+		baselineDiag(file, 77, "hotalloc", "alloc"),
+		baselineDiag(file, 90, "hotalloc", "alloc"),
+	}, base)
+	if len(kept) != 1 || len(suppressed) != 1 {
+		t.Errorf("budget overflow: kept %d suppressed %d, want 1/1", len(kept), len(suppressed))
+	}
+
+	// A different message is a new finding regardless of the baseline.
+	kept, _ = b.Filter([]analysis.Diagnostic{
+		baselineDiag(file, 10, "hotalloc", "a different allocation"),
+	}, base)
+	if len(kept) != 1 {
+		t.Errorf("new finding was baselined away")
+	}
+}

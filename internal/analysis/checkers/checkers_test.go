@@ -1,9 +1,13 @@
 package checkers
 
 import (
+	"go/format"
+	"go/parser"
+	"go/token"
 	"strings"
 	"testing"
 
+	"github.com/resilience-models/dvf/internal/analysis"
 	"github.com/resilience-models/dvf/internal/analysis/analysistest"
 )
 
@@ -12,11 +16,14 @@ func TestDeterminism(t *testing.T)   { analysistest.Run(t, Determinism, "determi
 func TestAtomicMix(t *testing.T)     { analysistest.Run(t, AtomicMix, "atomicmix") }
 func TestErrDrop(t *testing.T)       { analysistest.Run(t, ErrDrop, "errdrop") }
 func TestGoroutineLeak(t *testing.T) { analysistest.Run(t, GoroutineLeak, "goroutineleak") }
+func TestHotAlloc(t *testing.T)      { analysistest.Run(t, HotAlloc, "hotalloc") }
+func TestLockSafe(t *testing.T)      { analysistest.Run(t, LockSafe, "locksafe") }
+func TestExhaustive(t *testing.T)    { analysistest.Run(t, Exhaustive, "exhaustive") }
 
 func TestRegistryAllSorted(t *testing.T) {
 	all := All()
-	if len(all) != 5 {
-		t.Fatalf("expected 5 registered checkers, got %d", len(all))
+	if len(all) != 8 {
+		t.Fatalf("expected 8 registered checkers, got %d", len(all))
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].Name >= all[i].Name {
@@ -42,10 +49,64 @@ func TestRegistrySelect(t *testing.T) {
 		}
 		t.Errorf("Select kept neither order nor content: %v", got)
 	}
-	if sel, err := Select("  "); err != nil || len(sel) != 5 {
+	if sel, err := Select("  "); err != nil || len(sel) != 8 {
 		t.Errorf("blank selection should return all checkers, got %d, %v", len(sel), err)
 	}
 	if _, err := Select("nope"); err == nil || !strings.Contains(err.Error(), "unknown checker") {
 		t.Errorf("unknown checker should error with the known set, got %v", err)
+	}
+}
+
+// TestExhaustiveFixRoundTrip applies the exhaustive checker's suggested
+// fix to the fixture and proves the -fix contract: the rewrite contains
+// the inserted case stubs, parses, and is gofmt-idempotent.
+func TestExhaustiveFixRoundTrip(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.SetTestdataRoot("testdata/src"); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("exhaustive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(loader.Program(), []*analysis.Package{pkg}, []*analysis.Analyzer{Exhaustive}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixable []analysis.Diagnostic
+	for _, d := range diags {
+		if len(d.Fixes) > 0 {
+			fixable = append(fixable, d)
+		}
+	}
+	if len(fixable) == 0 {
+		t.Fatal("exhaustive fixture produced no suggested fixes")
+	}
+	fixed, err := analysis.ApplyFixes(loader.Fset, fixable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) == 0 {
+		t.Fatal("ApplyFixes produced no rewrites")
+	}
+	for file, out := range fixed {
+		for _, stub := range []string{"case KindB:", "case KindC:"} {
+			if !strings.Contains(string(out), stub) {
+				t.Errorf("%s: fix output misses %q", file, stub)
+			}
+		}
+		if _, err := parser.ParseFile(token.NewFileSet(), file, out, 0); err != nil {
+			t.Errorf("%s: fixed source does not parse: %v", file, err)
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if string(formatted) != string(out) {
+			t.Errorf("%s: fix output is not gofmt-idempotent", file)
+		}
 	}
 }

@@ -48,6 +48,7 @@ func runDeterminism(pass *analysis.Pass) error {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				checkClockRead(pass, parents, n)
+				checkLaunderedClock(pass, parents, n)
 			case *ast.RangeStmt:
 				checkMapRange(pass, f, parents, n)
 			}
@@ -84,6 +85,38 @@ func checkClockRead(pass *analysis.Pass, parents map[ast.Node]ast.Node, call *as
 	if !metricsConsumed(pass, parents, call, 4) {
 		pass.Reportf(call.Pos(), "wall-clock read (time.%s) escapes the metrics sink: non-metric uses of the clock make output depend on timing", analysis.CalleeFunc(pass.TypesInfo, call).Name())
 	}
+}
+
+// checkLaunderedClock flags calls to module-local functions in *other*
+// packages whose return value is clock-tainted according to the
+// interprocedural taint summaries — the laundering case checkClockRead
+// cannot see: a helper in a package outside the determinism scope wraps
+// time.Now, and the golden-output package consumes the helper. The
+// helper's own package is never checked (out of scope), so the taint
+// must be caught here, at the call site. Same-package helpers need no
+// treatment: their time.Now escapes at the source and is flagged there.
+//
+// The same metrics-sink escape hatch applies: a laundered timestamp
+// that demonstrably flows only into metrics instruments is
+// observation-only.
+func checkLaunderedClock(pass *analysis.Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr) {
+	if pass.Prog == nil {
+		return
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+		return
+	}
+	if pass.Prog.Package(fn.Pkg().Path()) == nil || analysis.ObservabilityPkg(fn.Pkg()) {
+		return
+	}
+	if !pass.Prog.ClockSummary(fn).ConstTainted() {
+		return
+	}
+	if metricsConsumed(pass, parents, call, 4) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s.%s returns a wall-clock-derived value (laundered time.Now) that escapes the metrics sink", fn.Pkg().Name(), fn.Name())
 }
 
 // metricsConsumed reports whether every consumption path of expr ends in

@@ -19,7 +19,8 @@ import (
 //   - fmt.Print/Printf/Println (CLI progress output to stdout);
 //   - fmt.Fprint* to os.Stdout, os.Stderr, a *strings.Builder or a
 //     *bytes.Buffer (the first two are terminal diagnostics, the last
-//     two cannot fail);
+//     two cannot fail), or to a variable itself named stdout/stderr —
+//     the injected terminal streams of a testable main;
 //   - methods on *strings.Builder and *bytes.Buffer (errors always nil);
 //   - deferred calls (`defer f.Close()` on read paths; write paths
 //     should close explicitly and check).
@@ -95,6 +96,17 @@ func bestEffortWriter(pass *analysis.Pass, w ast.Expr) bool {
 		if id, ok := sel.X.(*ast.Ident); ok {
 			if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "os" {
 				return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+			}
+		}
+	}
+	// The testable-main convention: a stream injected as a parameter or
+	// variable named stdout/stderr is a terminal, bound to os.Stdout/
+	// os.Stderr in main.
+	if id, ok := ast.Unparen(w).(*ast.Ident); ok {
+		if _, isVar := pass.TypesInfo.Uses[id].(*types.Var); isVar {
+			switch id.Name {
+			case "stdout", "stderr":
+				return true
 			}
 		}
 	}

@@ -1,0 +1,183 @@
+package checkers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+// Exhaustive enforces full coverage in switches over the repo's
+// enum-like types — module-local named integer types with a block of
+// declared constants (access-pattern placements, trace-record kinds,
+// injection outcomes, token kinds). Adding a constant to such a type
+// must break the build gate at every switch that silently ignores it:
+// a dispatch that drops the new trace-record kind corrupts a replay in
+// a way no runtime guard catches.
+//
+// A switch is exempt if it has a default clause — that is the explicit
+// "everything else" statement — so only default-less switches must
+// enumerate every constant. Coverage is by constant *value*: two names
+// aliasing the same value count as one member, and covering either
+// covers both.
+//
+// Each finding carries a suggested fix inserting stub case clauses for
+// the missing constants, so `dvf-lint -fix` turns the finding into a
+// compile-visible TODO instead of a silent gap.
+var Exhaustive = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over module-local enum types must cover every declared constant or carry a default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *analysis.Pass) error {
+	if !pass.InScope("internal/", "cmd/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+// enumMember is one declared constant of the enum type.
+type enumMember struct {
+	name string
+	val  constant.Value
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := tagType.(*types.Named)
+	if !ok {
+		return
+	}
+	members := enumMembers(pass, named)
+	if len(members) < 2 {
+		return // one constant is a sentinel, not an enum
+	}
+
+	covered := make(map[string]bool) // keyed by exact constant value
+	var lastCase *ast.CaseClause
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		lastCase = cc
+		if cc.List == nil {
+			return // default clause: explicitly non-exhaustive
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil {
+				// A non-constant case expression makes coverage
+				// undecidable; leave the switch alone.
+				covered = nil
+				break
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+		if covered == nil {
+			return
+		}
+	}
+
+	var missing []enumMember
+	for _, m := range members {
+		if !covered[m.val.ExactString()] {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+
+	qual := enumQualifier(pass, named)
+	names := make([]string, len(missing))
+	var stub strings.Builder
+	for i, m := range missing {
+		names[i] = qual + m.name
+		fmt.Fprintf(&stub, "\ncase %s:\n\t// TODO: handle %s\n", qual+m.name, qual+m.name)
+	}
+	insertAt := sw.Body.Rbrace
+	if lastCase != nil {
+		insertAt = sw.Body.Rbrace // append after the last case, before '}'
+	}
+	fix := analysis.SuggestedFix{
+		Message: "add stub cases for the missing constants",
+		Edits: []analysis.TextEdit{{
+			Pos:     insertAt,
+			End:     insertAt,
+			NewText: stub.String(),
+		}},
+	}
+	pass.Report(sw.Switch,
+		fmt.Sprintf("switch over %s misses %s; cover every constant or add a default",
+			named.Obj().Name(), strings.Join(names, ", ")),
+		fix)
+}
+
+// enumMembers collects the constants of the named type, in declaration
+// value order, deduplicated by value (the first name wins). Only
+// module-local types participate — stdlib named integers (reflect.Kind,
+// token.Token, ...) are not this repo's enums.
+func enumMembers(pass *analysis.Pass, named *types.Named) []enumMember {
+	obj := named.Obj()
+	if obj.Pkg() == nil || pass.Prog == nil || pass.Prog.Package(obj.Pkg().Path()) == nil {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	seen := make(map[string]bool)
+	var out []enumMember
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, enumMember{name: name, val: c.Val()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, okA := constant.Int64Val(out[i].val)
+		b, okB := constant.Int64Val(out[j].val)
+		if okA && okB {
+			return a < b
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// enumQualifier renders the package prefix a case stub needs: empty for
+// same-package enums, "pkgname." otherwise (the file necessarily
+// imports the package, since the switch tag has its type).
+func enumQualifier(pass *analysis.Pass, named *types.Named) string {
+	p := named.Obj().Pkg()
+	if p == nil || pass.Pkg == nil || p.Path() == pass.Pkg.Path() {
+		return ""
+	}
+	return p.Name() + "."
+}

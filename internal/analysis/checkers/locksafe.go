@@ -1,0 +1,545 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+// LockSafe guards the mutex discipline of the pipeline's shared state
+// (the metrics registry, the tracez event buffer, the fan-out batch
+// accounting) with three rules:
+//
+//  1. no mutex copied by value: a method with a value receiver, a
+//     parameter, a plain assignment or a range clause that copies a
+//     struct containing a sync.Mutex/RWMutex duplicates the lock word,
+//     so the copy guards nothing;
+//  2. balanced lock state across branches: within a function, every
+//     path from a Lock must reach the matching Unlock (or a deferred
+//     one) — a return while holding the lock, a branch that unlocks on
+//     one arm only, a second Lock while already holding it, and a loop
+//     body that exits with different lock state than it entered are all
+//     flagged;
+//  3. no defer-in-loop unlocks: `defer mu.Unlock()` inside a loop runs
+//     at function exit, not per iteration, so the second iteration
+//     deadlocks.
+//
+// The branch analysis is a small abstract interpretation over the
+// statement tree: lock state forks at if/switch/select, joins after,
+// and paths that exit (return, panic, break/continue) drop out of the
+// join. Unlocking a mutex the function never locked is deliberately not
+// flagged — lock-handoff helpers are legitimate — the rules only bind
+// acquisitions made in the same function body.
+var LockSafe = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "no mutex copies, no lock/unlock imbalance across branches, no defer-in-loop unlocks",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(pass *analysis.Pass) error {
+	if !pass.InScope("internal/", "cmd/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkLockCopies(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkLockFlow(pass, n.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				// Visited through the enclosing declaration's Inspect; the
+				// flow walk analyzes literal bodies itself.
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// --- rule 1: mutex copies -------------------------------------------------
+
+func checkLockCopies(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil && len(n.Recv.List) > 0 {
+				if t := pass.TypesInfo.TypeOf(n.Recv.List[0].Type); t != nil && lockCopied(t) {
+					pass.Reportf(n.Recv.List[0].Type.Pos(),
+						"method %s has a value receiver containing a mutex; the receiver copy's lock guards nothing — use a pointer receiver", n.Name.Name)
+				}
+			}
+			if n.Type.Params != nil {
+				for _, field := range n.Type.Params.List {
+					if t := pass.TypesInfo.TypeOf(field.Type); t != nil && lockCopied(t) {
+						pass.Reportf(field.Type.Pos(),
+							"parameter of %s passes a mutex-containing value by copy; pass a pointer", n.Name.Name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isLvalueExpr(rhs) {
+					continue
+				}
+				if t := pass.TypesInfo.TypeOf(rhs); t != nil && lockCopied(t) {
+					_ = i
+					pass.Reportf(n.Pos(), "assignment copies a mutex-containing value; both copies think they hold the lock — copy a pointer instead")
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value == nil {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(n.Value); t != nil && lockCopied(t) {
+				pass.Reportf(n.Value.Pos(), "range value copies a mutex-containing element; range over indices or pointers instead")
+			}
+		}
+		return true
+	})
+}
+
+// isLvalueExpr matches expressions that denote existing storage — the
+// copies worth flagging. Composite literals and call results are fresh
+// values; copying those is how constructors legitimately move a
+// never-locked mutex.
+func isLvalueExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// lockCopied reports whether t is (or a non-pointer struct containing,
+// recursively) a sync.Mutex or sync.RWMutex.
+func lockCopied(t types.Type) bool {
+	return lockCopiedRec(t, make(map[types.Type]bool))
+}
+
+func lockCopiedRec(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isSyncLock(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockCopiedRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockCopiedRec(u.Elem(), seen)
+	}
+	return false
+}
+
+func isSyncLock(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return true
+	}
+	return false
+}
+
+// --- rules 2 and 3: lock-state flow ---------------------------------------
+
+// lockOp classifies one mutex call site.
+type lockOp struct {
+	key     string // canonical receiver path, e.g. "t.mu"; "#r " prefix for RLock
+	lock    bool   // Lock/RLock vs Unlock/RUnlock
+	pos     token.Pos
+	recvStr string // for messages
+}
+
+// lockState is the abstract state: which keys are held, where they were
+// acquired, and which have a deferred release.
+type lockState struct {
+	held     map[string]token.Pos
+	deferred map[string]bool
+	exited   bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	c.exited = s.exited
+	return c
+}
+
+// checkLockFlow analyzes one function (or closure) body.
+func checkLockFlow(pass *analysis.Pass, body *ast.BlockStmt) {
+	w := &lockWalker{pass: pass}
+	end := w.walkBlock(body.List, newLockState(), 0)
+	// Falling off the end of the body is an implicit return.
+	w.checkExit(end, body.End())
+}
+
+type lockWalker struct {
+	pass *analysis.Pass
+}
+
+// checkExit reports locks still held (without a deferred release) when
+// control leaves the function.
+func (w *lockWalker) checkExit(s *lockState, at token.Pos) {
+	if s.exited {
+		return
+	}
+	keys := make([]string, 0, len(s.held))
+	for k := range s.held {
+		if !s.deferred[k] {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		w.pass.Reportf(at, "control leaves the function while %s is still locked (acquired at %s); unlock on every path or defer the unlock",
+			displayLockKey(k), w.pass.Fset.Position(s.held[k]))
+	}
+	// Report once; downstream merges should not re-report.
+	s.held = map[string]token.Pos{}
+}
+
+// walkBlock interprets a statement list, mutating and returning the state.
+func (w *lockWalker) walkBlock(stmts []ast.Stmt, s *lockState, loopDepth int) *lockState {
+	for _, stmt := range stmts {
+		s = w.walkStmt(stmt, s, loopDepth)
+		if s.exited {
+			break
+		}
+	}
+	return s
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt, s *lockState, loopDepth int) *lockState {
+	switch stmt := stmt.(type) {
+	case *ast.ExprStmt:
+		w.applyCalls(stmt.X, s)
+		if isTerminalCall(w.pass, stmt.X) {
+			s.exited = true
+		}
+	case *ast.DeferStmt:
+		if op, ok := w.lockOpOf(stmt.Call); ok && !op.lock {
+			if loopDepth > 0 {
+				w.pass.Reportf(stmt.Pos(), "defer %s.Unlock inside a loop releases at function exit, not per iteration; the next iteration's Lock deadlocks", op.recvStr)
+			}
+			s.deferred[op.key] = true
+		}
+		if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
+			checkLockFlow(w.pass, lit.Body)
+		}
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
+			checkLockFlow(w.pass, lit.Body)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range stmt.Results {
+			w.applyCalls(e, s)
+		}
+		w.checkExit(s, stmt.Pos())
+		s.exited = true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing construct; treat as an
+		// exit from this path for merging purposes (the loop-body check
+		// below still catches locks leaked across iterations).
+		s.exited = true
+	case *ast.AssignStmt:
+		for _, e := range stmt.Rhs {
+			w.applyCalls(e, s)
+		}
+	case *ast.DeclStmt:
+		w.applyCalls(stmt, s)
+	case *ast.SendStmt:
+		w.applyCalls(stmt.Value, s)
+	case *ast.IncDecStmt:
+	case *ast.LabeledStmt:
+		return w.walkStmt(stmt.Stmt, s, loopDepth)
+	case *ast.BlockStmt:
+		return w.walkBlock(stmt.List, s, loopDepth)
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			s = w.walkStmt(stmt.Init, s, loopDepth)
+		}
+		w.applyCalls(stmt.Cond, s)
+		thenS := w.walkBlock(stmt.Body.List, s.clone(), loopDepth)
+		elseS := s.clone()
+		if stmt.Else != nil {
+			elseS = w.walkStmt(stmt.Else, elseS, loopDepth)
+		}
+		return w.merge(stmt.End(), thenS, elseS)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkCases(stmt, s, loopDepth)
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			s = w.walkStmt(stmt.Init, s, loopDepth)
+		}
+		if stmt.Cond != nil {
+			w.applyCalls(stmt.Cond, s)
+		}
+		bodyEnd := w.walkBlock(stmt.Body.List, s.clone(), loopDepth+1)
+		w.checkLoopBalance(stmt.Pos(), s, bodyEnd)
+		return s
+	case *ast.RangeStmt:
+		w.applyCalls(stmt.X, s)
+		bodyEnd := w.walkBlock(stmt.Body.List, s.clone(), loopDepth+1)
+		w.checkLoopBalance(stmt.Pos(), s, bodyEnd)
+		return s
+	}
+	return s
+}
+
+// walkCases handles switch/type-switch/select uniformly: every case body
+// forks from the pre-switch state and the survivors join.
+func (w *lockWalker) walkCases(stmt ast.Stmt, s *lockState, loopDepth int) *lockState {
+	var body *ast.BlockStmt
+	switch st := stmt.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s = w.walkStmt(st.Init, s, loopDepth)
+		}
+		if st.Tag != nil {
+			w.applyCalls(st.Tag, s)
+		}
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		body = st.Body
+	case *ast.SelectStmt:
+		body = st.Body
+	}
+	branches := []*lockState{}
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			hasDefault = hasDefault || c.List == nil
+		case *ast.CommClause:
+			stmts = c.Body
+			hasDefault = hasDefault || c.Comm == nil
+		}
+		branches = append(branches, w.walkBlock(stmts, s.clone(), loopDepth))
+	}
+	if _, isSelect := stmt.(*ast.SelectStmt); !hasDefault && !isSelect {
+		// Without a default the switch may fall through untouched.
+		branches = append(branches, s.clone())
+	}
+	if len(branches) == 0 {
+		return s
+	}
+	out := branches[0]
+	for _, b := range branches[1:] {
+		out = w.merge(stmt.End(), out, b)
+	}
+	return out
+}
+
+// merge joins two branch states. Paths that exited drop out; surviving
+// paths disagreeing on a key is the cross-branch imbalance rule 2 exists
+// for.
+func (w *lockWalker) merge(at token.Pos, a, b *lockState) *lockState {
+	switch {
+	case a.exited && b.exited:
+		out := newLockState()
+		out.exited = true
+		return out
+	case a.exited:
+		return b
+	case b.exited:
+		return a
+	}
+	out := newLockState()
+	for k, pos := range a.held {
+		if _, ok := b.held[k]; ok {
+			out.held[k] = pos
+		} else if !a.deferred[k] {
+			w.pass.Reportf(at, "%s is locked on one branch but not the other at this join; unlock on every path or restructure",
+				displayLockKey(k))
+		}
+	}
+	for k, pos := range b.held {
+		if _, ok := a.held[k]; !ok && !b.deferred[k] {
+			w.pass.Reportf(at, "%s is locked on one branch but not the other at this join; unlock on every path or restructure",
+				displayLockKey(k))
+			_ = pos
+		}
+	}
+	for k := range a.deferred {
+		if b.deferred[k] {
+			out.deferred[k] = true
+		}
+	}
+	return out
+}
+
+// checkLoopBalance compares loop-entry state with body-end state: a lock
+// acquired inside the body and still held at its end leaks one level per
+// iteration.
+func (w *lockWalker) checkLoopBalance(at token.Pos, entry, bodyEnd *lockState) {
+	if bodyEnd.exited {
+		return
+	}
+	for k, pos := range bodyEnd.held {
+		if _, before := entry.held[k]; !before && !bodyEnd.deferred[k] {
+			w.pass.Reportf(pos, "%s is still held at the end of the loop body; the next iteration's Lock deadlocks", displayLockKey(k))
+		}
+	}
+}
+
+// applyCalls scans an expression (or declaration) for direct mutex
+// operations and applies them to the state in source order.
+func (w *lockWalker) applyCalls(n ast.Node, s *lockState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok {
+			checkLockFlow(w.pass, lit.Body)
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := w.lockOpOf(call)
+		if !ok {
+			return true
+		}
+		if op.lock {
+			if acq, held := s.held[op.key]; held {
+				w.pass.Reportf(op.pos, "%s locked again while already held (first acquired at %s); this deadlocks",
+					displayLockKey(op.key), w.pass.Fset.Position(acq))
+			}
+			s.held[op.key] = op.pos
+		} else {
+			delete(s.held, op.key)
+		}
+		return true
+	})
+}
+
+// lockOpOf classifies a call as a mutex operation on a canonical
+// receiver path. Calls through map/slice elements or function results
+// have no stable path and are skipped.
+func (w *lockWalker) lockOpOf(call *ast.CallExpr) (lockOp, bool) {
+	fn := analysis.CalleeFunc(w.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	var lock, read bool
+	switch fn.Name() {
+	case "Lock":
+		lock = true
+	case "Unlock":
+	case "RLock":
+		lock, read = true, true
+	case "RUnlock":
+		read = true
+	default:
+		return lockOp{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	key := exprPathKey(sel.X)
+	if key == "" {
+		return lockOp{}, false
+	}
+	recvStr := key
+	if read {
+		key = "#r " + key
+	}
+	return lockOp{key: key, lock: lock, pos: call.Pos(), recvStr: recvStr}, true
+}
+
+// exprPathKey renders a stable textual path for ident/selector/star
+// chains ("t.mu", "reg.mu"); anything else yields "".
+func exprPathKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprPathKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprPathKey(e.X)
+	}
+	return ""
+}
+
+// displayLockKey strips the read-lock marker for messages.
+func displayLockKey(k string) string {
+	if rest, ok := strings.CutPrefix(k, "#r "); ok {
+		return rest + " (read lock)"
+	}
+	return k
+}
+
+// isTerminalCall recognizes calls that never return: panic and the
+// os.Exit/log.Fatal family.
+func isTerminalCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+		return true
+	}
+	return false
+}
+
+// sortStrings is a tiny local sort to avoid importing sort for one call.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

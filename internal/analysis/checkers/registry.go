@@ -14,7 +14,10 @@ func All() []*analysis.Analyzer {
 		AtomicMix,
 		Determinism,
 		ErrDrop,
+		Exhaustive,
 		GoroutineLeak,
+		HotAlloc,
+		LockSafe,
 		NilSink,
 	}
 	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })

@@ -1,0 +1,27 @@
+// Package clockhelper launders the wall clock through a package
+// boundary: the determinism fixtures call it to prove the
+// interprocedural taint summaries catch what per-file matching cannot.
+package clockhelper
+
+import "time"
+
+// Stamp returns a wall-clock-derived value.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// TwiceRemoved launders Stamp through one more frame; the summary must
+// still carry the taint.
+func TwiceRemoved() int64 {
+	return Stamp() / 2
+}
+
+// Pure is clock-free; calling it is always fine.
+func Pure(n int64) int64 {
+	return n + 1
+}
+
+// Echo returns its argument: tainted only when the argument is.
+func Echo(n int64) int64 {
+	return n
+}

@@ -1,0 +1,36 @@
+// Cross-package clock laundering: a helper in another package wraps
+// time.Now, and only the interprocedural taint summary can see it.
+package determinism
+
+import (
+	"clockhelper"
+
+	"metrics"
+)
+
+// launderedEscape lets a laundered timestamp reach the return value.
+func launderedEscape() int64 {
+	return clockhelper.Stamp() // want `call to clockhelper.Stamp returns a wall-clock-derived value \(laundered time.Now\) that escapes the metrics sink`
+}
+
+// launderedDeep catches the taint through two helper frames.
+func launderedDeep() int64 {
+	return clockhelper.TwiceRemoved() // want `call to clockhelper.TwiceRemoved returns a wall-clock-derived value`
+}
+
+// launderedToMetrics feeds the laundered value only to a metrics
+// instrument: the sanctioned observation-only pattern.
+func launderedToMetrics(sink *metrics.Registry) {
+	sink.Histogram("ts").Observe(clockhelper.Stamp())
+}
+
+// launderedClean calls a clock-free helper: no finding.
+func launderedClean() int64 {
+	return clockhelper.Pure(41)
+}
+
+// echoClean passes a constant through a parameter-propagating helper:
+// the summary is parameter-conditional, and the argument is clean.
+func echoClean() int64 {
+	return clockhelper.Echo(7)
+}

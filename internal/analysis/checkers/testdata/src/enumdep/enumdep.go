@@ -1,0 +1,14 @@
+// Package enumdep declares an enum consumed by the exhaustive fixture
+// across a package boundary, so missing-case messages and fix stubs
+// must qualify the constant names.
+package enumdep
+
+// Mode is a two-member enum.
+type Mode int
+
+const (
+	// ModeX is the first mode.
+	ModeX Mode = iota
+	// ModeY is the second mode.
+	ModeY
+)

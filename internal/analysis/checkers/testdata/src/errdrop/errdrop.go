@@ -44,3 +44,11 @@ func output(w io.Writer, f *os.File) {
 	f.Close()       // want `result 0 of Close is an error that is silently discarded`
 	defer f.Close() // deferred closes are the read-path idiom
 }
+
+// The testable-main convention: writers named stdout/stderr are the
+// injected terminal streams; any other name stays a finding.
+func cli(stdout, stderr, logw io.Writer) {
+	fmt.Fprintf(stdout, "progress\n")
+	fmt.Fprintln(stderr, "diagnostic")
+	fmt.Fprintf(logw, "entry") // want `silently discarded`
+}

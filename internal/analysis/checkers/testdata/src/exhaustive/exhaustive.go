@@ -1,0 +1,101 @@
+// Package exhaustive exercises the exhaustive checker: default-less
+// switches over module-local enums must cover every declared constant.
+package exhaustive
+
+import "enumdep"
+
+// Kind is a three-member enum.
+type Kind int
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+	// KindFirst aliases KindA; covering either covers both.
+	KindFirst = KindA
+)
+
+// full covers every constant: clean.
+func full(k Kind) int {
+	switch k {
+	case KindA:
+		return 0
+	case KindB:
+		return 1
+	case KindC:
+		return 2
+	}
+	return -1
+}
+
+// viaAlias covers KindA through its alias: still clean.
+func viaAlias(k Kind) int {
+	switch k {
+	case KindFirst:
+		return 0
+	case KindB:
+		return 1
+	case KindC:
+		return 2
+	}
+	return -1
+}
+
+// withDefault opts out explicitly: clean.
+func withDefault(k Kind) int {
+	switch k {
+	case KindA:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// missing drops two constants.
+func missing(k Kind) int {
+	switch k { // want `switch over Kind misses KindB, KindC; cover every constant or add a default`
+	case KindA:
+		return 0
+	}
+	return -1
+}
+
+// crossPkg switches over a foreign enum: missing names are qualified.
+func crossPkg(m enumdep.Mode) int {
+	switch m { // want `switch over Mode misses enumdep.ModeY`
+	case enumdep.ModeX:
+		return 0
+	}
+	return 1
+}
+
+// nonConstCase makes coverage undecidable: skipped.
+func nonConstCase(k, other Kind) int {
+	switch k {
+	case other:
+		return 0
+	}
+	return 1
+}
+
+// tagless switches carry no enum tag: skipped.
+func tagless(k Kind) int {
+	switch {
+	case k == KindA:
+		return 0
+	}
+	return 1
+}
+
+// single is a one-constant type, a sentinel rather than an enum: skipped.
+type single int
+
+const onlyOne single = 0
+
+func sentinel(s single) int {
+	switch s {
+	case onlyOne:
+		return 0
+	}
+	return 1
+}

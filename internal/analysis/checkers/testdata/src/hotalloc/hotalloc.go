@@ -1,0 +1,137 @@
+// Package hotalloc exercises the hotalloc checker: allocating
+// constructs reachable from //dvf:hotpath roots, cross-package
+// reporting at the departure call site, recorder-method pruning and
+// audited-boundary composition.
+package hotalloc
+
+import (
+	"fmt"
+
+	"hotallochelper"
+	"metrics"
+)
+
+// Replay is a hot root with a local allocation, a pruned recorder call
+// and a cross-package seeded allocation.
+//
+//dvf:hotpath
+func Replay(sink *metrics.Registry, n int) int {
+	buf := make([]int, n) // want `make allocation on a //dvf:hotpath path from hotalloc.Replay`
+	sink.Counter("replay").Add(1)
+	return len(buf) + hotallochelper.Seeded(n) // want `call reaches make allocation in hotallochelper.Seeded`
+}
+
+// Transitive reaches the seeded allocation through a second frame in
+// the helper package; the finding still lands here, where the path
+// leaves this package.
+//
+//dvf:hotpath
+func Transitive(n int) int {
+	return hotallochelper.Nested(n) // want `call reaches make allocation in hotallochelper.Seeded`
+}
+
+// CleanCross calls an allocation-free helper: no finding.
+//
+//dvf:hotpath
+func CleanCross(n int) int {
+	return hotallochelper.Pure(n)
+}
+
+// localHelper is not annotated, so the walk descends into it and the
+// finding reports at the allocation site.
+func localHelper(n int) []int {
+	return []int{n} // want `slice-literal allocation`
+}
+
+// Deep reaches localHelper's allocation transitively.
+//
+//dvf:hotpath
+func Deep(n int) int {
+	return len(localHelper(n))
+}
+
+// Inner is itself a hot root: its findings report from its own walk.
+//
+//dvf:hotpath
+func Inner(n int) *int {
+	return new(int) // want `new allocation`
+}
+
+// Outer calls Inner across an audited boundary: Inner is verified on
+// its own, so Outer gets no duplicate finding for it.
+//
+//dvf:hotpath
+func Outer(n int) *int {
+	return Inner(n)
+}
+
+// Dispatch cannot prove a function value allocation-free.
+//
+//dvf:hotpath
+func Dispatch(fn func() int) int {
+	return fn() // want `call through a function value on a //dvf:hotpath path from hotalloc.Dispatch cannot be proven allocation-free`
+}
+
+type runner interface {
+	Run() int
+}
+
+// DispatchIface cannot prove interface dispatch allocation-free.
+//
+//dvf:hotpath
+func DispatchIface(r runner) int {
+	return r.Run() // want `interface method call on a //dvf:hotpath path from hotalloc.DispatchIface cannot be proven allocation-free`
+}
+
+// Spawn launches a goroutine: a stack allocation per call.
+//
+//dvf:hotpath
+func Spawn(done chan struct{}) {
+	go func() { // want `goroutine launch \(stack allocation\)` `function literal \(closure allocation\)`
+		done <- struct{}{}
+	}()
+}
+
+// Label concatenates strings.
+//
+//dvf:hotpath
+func Label(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+// Bytes converts string to slice, which copies.
+//
+//dvf:hotpath
+func Bytes(s string) []byte {
+	return []byte(s) // want `string-to-slice conversion \(copies\)`
+}
+
+// Describe calls into the curated allocating-stdlib list.
+//
+//dvf:hotpath
+func Describe(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `call to fmt.Sprintf allocates`
+}
+
+// FailFast allocates only on the panic path, which is exempt.
+//
+//dvf:hotpath
+func FailFast(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative n=%d", n))
+	}
+	return n
+}
+
+// Warm documents its one-time allocation with an audited directive.
+//
+//dvf:hotpath
+func Warm(n int) []int {
+	//dvf:allow hotalloc warm-up allocation amortized across the replay
+	return make([]int, n)
+}
+
+// Cold is not annotated: it may allocate freely.
+func Cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,23 @@
+// Package hotallochelper seeds allocations behind a package boundary so
+// the hotalloc fixtures can prove the call-graph walk crosses packages:
+// the findings must surface in the importing package, at the call site
+// where the hot path leaves it.
+package hotallochelper
+
+// Seeded allocates; reached from hotalloc fixtures across the package
+// boundary.
+func Seeded(n int) int {
+	xs := make([]int, n)
+	return len(xs)
+}
+
+// Pure is allocation-free, so calling it from a hot path is fine.
+func Pure(n int) int {
+	return n * 2
+}
+
+// Nested launders the seeded allocation through one more frame within
+// this package; the report must still land at the importer's call site.
+func Nested(n int) int {
+	return Seeded(n) + 1
+}

@@ -1,0 +1,151 @@
+// Package locksafe exercises the locksafe checker: mutex copies, lock
+// state imbalance across branches, and defer-in-loop unlocks — plus the
+// repo's sanctioned patterns, which must stay clean.
+package locksafe
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// --- sanctioned patterns: no findings ------------------------------------
+
+func (g *guarded) deferred() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+func (g *guarded) straightLine() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// condBody mirrors tracez.Close: a conditional body between Lock and
+// Unlock, but no exit while locked.
+func (g *guarded) condBody(c bool) {
+	g.mu.Lock()
+	if c {
+		g.n--
+	}
+	g.mu.Unlock()
+}
+
+// bothReturn exits on every branch under a deferred unlock.
+func (g *guarded) bothReturn(c bool) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c {
+		return 1
+	}
+	return 2
+}
+
+// panics never returns normally, so holding the lock into panic is not
+// a leak the checker judges.
+func (g *guarded) panics() {
+	g.mu.Lock()
+	panic("invariant broken")
+}
+
+// handoff unlocks a mutex its caller locked: deliberately not flagged.
+func (g *guarded) handoff() {
+	g.mu.Unlock()
+}
+
+// --- rule 1: copies -------------------------------------------------------
+
+func byValueParam(g guarded) int { // want `parameter of byValueParam passes a mutex-containing value by copy`
+	return g.n
+}
+
+func (g guarded) valueReceiver() int { // want `method valueReceiver has a value receiver containing a mutex`
+	return g.n
+}
+
+func copyAssign(g *guarded) int {
+	c := *g // want `assignment copies a mutex-containing value`
+	return c.n
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range value copies a mutex-containing element`
+		total += g.n
+	}
+	return total
+}
+
+// constructor-style moves of never-locked values are fine.
+func fresh() guarded {
+	return guarded{}
+}
+
+// --- rule 2: lock-state imbalance ----------------------------------------
+
+func (g *guarded) returnWhileLocked(c bool) {
+	g.mu.Lock()
+	if c {
+		return // want `control leaves the function while g.mu is still locked`
+	}
+	g.mu.Unlock()
+}
+
+func (g *guarded) fallOffLocked() {
+	g.mu.Lock()
+	g.n++
+} // want `control leaves the function while g.mu is still locked`
+
+func (g *guarded) branchImbalance(c bool) {
+	g.mu.Lock()
+	if c {
+		g.mu.Unlock()
+	} // want `g.mu is locked on one branch but not the other at this join`
+	g.n++
+}
+
+func (g *guarded) doubleLock() {
+	g.mu.Lock()
+	g.mu.Lock() // want `g.mu locked again while already held`
+	g.n++
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func (g *guarded) lockLeakInLoop(n int) {
+	for i := 0; i < n; i++ {
+		g.mu.Lock() // want `g.mu is still held at the end of the loop body`
+		g.n++
+	}
+}
+
+// --- rule 3: defer in loop ------------------------------------------------
+
+func (g *guarded) deferInLoop(n int) {
+	for i := 0; i < n; i++ {
+		g.mu.Lock()
+		defer g.mu.Unlock() // want `defer g.mu.Unlock inside a loop releases at function exit`
+		g.n++
+	}
+}
+
+// --- read locks -----------------------------------------------------------
+
+type table struct {
+	mu sync.RWMutex
+	m  map[int]int
+}
+
+func (t *table) read(k int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) badRead(k int) int {
+	t.mu.RLock()
+	return t.m[k] // want `control leaves the function while t.mu \(read lock\) is still locked`
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunParallel executes the analyzers over the packages concurrently in
+// dependency order: a package is scheduled as soon as every program-
+// local package it imports (restricted to the target set) has finished,
+// so independent subtrees of the import graph analyze in parallel while
+// interprocedural facts — computed bottom-up from summaries — are always
+// available by the time a dependent package needs them. jobs bounds the
+// worker count (<=0 means GOMAXPROCS). Output is identical to Run:
+// diagnostics sorted by position, independent of scheduling.
+func RunParallel(prog *Program, pkgs []*Package, analyzers []*Analyzer, force bool, jobs int) ([]Diagnostic, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	ordered := prog.DepOrder(pkgs)
+	if jobs == 1 || len(ordered) <= 1 {
+		return Run(prog, ordered, analyzers, force)
+	}
+
+	inTargets := make(map[*Package]int, len(ordered))
+	for i, pkg := range ordered {
+		inTargets[pkg] = i
+	}
+	// blocks[p] lists the target packages waiting on p; pending[q] counts
+	// the unfinished target dependencies of q.
+	blocks := make(map[*Package][]*Package)
+	pending := make(map[*Package]int)
+	for _, pkg := range ordered {
+		for _, dep := range prog.LocalImports(pkg) {
+			if _, ok := inTargets[dep]; ok {
+				blocks[dep] = append(blocks[dep], pkg)
+				pending[pkg]++
+			}
+		}
+	}
+
+	ready := make(chan *Package, len(ordered))
+	for _, pkg := range ordered {
+		if pending[pkg] == 0 {
+			ready <- pkg
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		results  = make([][]Diagnostic, len(ordered))
+		done     int
+	)
+	wg.Add(len(ordered))
+	if jobs > len(ordered) {
+		jobs = len(ordered)
+	}
+	for i := 0; i < jobs; i++ {
+		go func() {
+			for pkg := range ready {
+				diags, err := RunPackage(prog, pkg, analyzers, force)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				results[inTargets[pkg]] = diags
+				for _, dependent := range blocks[pkg] {
+					pending[dependent]--
+					if pending[dependent] == 0 {
+						ready <- dependent
+					}
+				}
+				done++
+				if done == len(ordered) {
+					close(ready)
+				}
+				mu.Unlock()
+				wg.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var all []Diagnostic
+	for _, diags := range results {
+		all = append(all, diags...)
+	}
+	SortDiagnostics(all)
+	return all, nil
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// TextEdit replaces the source range [Pos, End) with NewText. A zero-
+// length range inserts; empty NewText deletes.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// SuggestedFix is one self-contained remediation for a diagnostic: a set
+// of non-overlapping edits that leave the file compiling and gofmt-clean
+// once ApplyFixes has run them through go/format.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// ApplyFixes materializes the first suggested fix of every diagnostic
+// into per-file rewritten contents, gofmt-formatted. Edits are applied
+// right-to-left per file; overlapping edits (two fixes touching the same
+// range) are rejected with an error naming the position, so -fix never
+// silently produces garbage. Files without any fix are absent from the
+// result map.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, error) {
+	type edit struct {
+		start, end int // byte offsets
+		newText    string
+	}
+	perFile := make(map[string][]edit)
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		for _, e := range d.Fixes[0].Edits {
+			if !e.Pos.IsValid() || !e.End.IsValid() || e.End < e.Pos {
+				return nil, fmt.Errorf("analysis: [%s] %s: invalid edit range", d.Checker, d.Message)
+			}
+			pos := fset.Position(e.Pos)
+			end := fset.Position(e.End)
+			if end.Filename != pos.Filename {
+				return nil, fmt.Errorf("analysis: [%s] edit spans files %s and %s", d.Checker, pos.Filename, end.Filename)
+			}
+			perFile[pos.Filename] = append(perFile[pos.Filename], edit{pos.Offset, end.Offset, e.NewText})
+		}
+	}
+	out := make(map[string][]byte, len(perFile))
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start > edits[j].start // right-to-left
+			}
+			return edits[i].end > edits[j].end
+		})
+		prevStart := len(src) + 1
+		for _, e := range edits {
+			if e.end > len(src) || e.end > prevStart {
+				return nil, fmt.Errorf("analysis: overlapping fixes in %s at offset %d; re-run after applying the first", file, e.start)
+			}
+			src = append(src[:e.start], append([]byte(e.newText), src[e.end:]...)...)
+			prevStart = e.start
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fixes in %s do not format: %w", file, err)
+		}
+		out[file] = formatted
+	}
+	return out, nil
+}
+
+// WriteFixes applies the fixed contents to disk, preserving each file's
+// permissions, and returns the rewritten file names in sorted order.
+func WriteFixes(fixed map[string][]byte) ([]string, error) {
+	files := make([]string, 0, len(fixed))
+	for f := range fixed {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		mode := os.FileMode(0o644)
+		if st, err := os.Stat(f); err == nil {
+			mode = st.Mode().Perm()
+		}
+		if err := os.WriteFile(f, fixed[f], mode); err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}

@@ -1,0 +1,179 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+const fixSrc = `package p
+
+func a() int { return 1 }
+
+func b() int { return 2 }
+`
+
+// parseFixFixture writes the fixture to disk and parses it, so edit
+// positions resolve back to the real file ApplyFixes will read.
+func parseFixFixture(t *testing.T) (string, *token.FileSet, *ast.File) {
+	t.Helper()
+	file := filepath.Join(t.TempDir(), "p.go")
+	if err := os.WriteFile(file, []byte(fixSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, file, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return file, fset, f
+}
+
+// findLit returns the basic literal with the given text.
+func findLit(t *testing.T, f *ast.File, text string) *ast.BasicLit {
+	t.Helper()
+	var lit *ast.BasicLit
+	ast.Inspect(f, func(n ast.Node) bool {
+		if bl, ok := n.(*ast.BasicLit); ok && bl.Value == text {
+			lit = bl
+		}
+		return true
+	})
+	if lit == nil {
+		t.Fatalf("no literal %q in fixture", text)
+	}
+	return lit
+}
+
+func fixDiag(checker string, edits ...analysis.TextEdit) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Checker: checker,
+		Message: "test finding",
+		Fixes:   []analysis.SuggestedFix{{Message: "test fix", Edits: edits}},
+	}
+}
+
+// TestApplyFixesReplaceAndInsert: a replacement and a sloppily-indented
+// insertion both land, and the result is gofmt-idempotent.
+func TestApplyFixesReplaceAndInsert(t *testing.T) {
+	file, fset, f := parseFixFixture(t)
+	lit := findLit(t, f, "1")
+	var ret *ast.ReturnStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r // keeps the last return, the one in b
+		}
+		return true
+	})
+
+	fixed, err := analysis.ApplyFixes(fset, []analysis.Diagnostic{
+		fixDiag("testfix", analysis.TextEdit{Pos: lit.Pos(), End: lit.End(), NewText: "42"}),
+		fixDiag("testfix", analysis.TextEdit{Pos: ret.Pos(), End: ret.Pos(), NewText: "x := 3\n_ = x\n"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := fixed[file]
+	if !ok {
+		t.Fatalf("no rewritten content for %s", file)
+	}
+	if !strings.Contains(string(out), "return 42") {
+		t.Errorf("replacement missing:\n%s", out)
+	}
+	if !strings.Contains(string(out), "x := 3") {
+		t.Errorf("insertion missing:\n%s", out)
+	}
+	formatted, err := format.Source(out)
+	if err != nil {
+		t.Fatalf("rewritten file does not parse: %v", err)
+	}
+	if string(formatted) != string(out) {
+		t.Errorf("output is not gofmt-idempotent:\n%s", out)
+	}
+}
+
+// TestApplyFixesOverlapRejected: two fixes touching the same range must
+// fail loudly instead of producing garbage.
+func TestApplyFixesOverlapRejected(t *testing.T) {
+	_, fset, f := parseFixFixture(t)
+	lit := findLit(t, f, "1")
+	_, err := analysis.ApplyFixes(fset, []analysis.Diagnostic{
+		fixDiag("one", analysis.TextEdit{Pos: lit.Pos(), End: lit.End(), NewText: "10"}),
+		fixDiag("two", analysis.TextEdit{Pos: lit.Pos(), End: lit.End(), NewText: "20"}),
+	})
+	if err == nil || !strings.Contains(err.Error(), "overlapping") {
+		t.Fatalf("overlapping fixes: got err %v, want overlap rejection", err)
+	}
+}
+
+// TestApplyFixesRejectsUnparseableResult: a fix whose output does not
+// format is an error, never written.
+func TestApplyFixesRejectsUnparseableResult(t *testing.T) {
+	_, fset, f := parseFixFixture(t)
+	lit := findLit(t, f, "1")
+	_, err := analysis.ApplyFixes(fset, []analysis.Diagnostic{
+		fixDiag("bad", analysis.TextEdit{Pos: lit.Pos(), End: lit.End(), NewText: "]["}),
+	})
+	if err == nil || !strings.Contains(err.Error(), "format") {
+		t.Fatalf("unparseable fix: got err %v, want format error", err)
+	}
+}
+
+// TestApplyFixesSkipsDiagnosticsWithoutFixes: fixless findings leave the
+// file untouched and absent from the result.
+func TestApplyFixesSkipsDiagnosticsWithoutFixes(t *testing.T) {
+	_, fset, _ := parseFixFixture(t)
+	fixed, err := analysis.ApplyFixes(fset, []analysis.Diagnostic{
+		{Checker: "plain", Message: "no fix attached"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 0 {
+		t.Errorf("fixless diagnostics produced rewrites: %v", fixed)
+	}
+}
+
+// TestWriteFixes: contents land on disk with permissions preserved and
+// file names returned in sorted order.
+func TestWriteFixes(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.go")
+	b := filepath.Join(dir, "b.go")
+	for _, f := range []string{a, b} {
+		if err := os.WriteFile(f, []byte("package p\n"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := analysis.WriteFixes(map[string][]byte{
+		b: []byte("package q\n"),
+		a: []byte("package q\n"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 || files[0] != a || files[1] != b {
+		t.Errorf("WriteFixes returned %v, want sorted [a.go b.go]", files)
+	}
+	got, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "package q\n" {
+		t.Errorf("a.go = %q after WriteFixes", got)
+	}
+	st, err := os.Stat(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o600 {
+		t.Errorf("permissions = %v, want 0600 preserved", st.Mode().Perm())
+	}
+}

@@ -105,6 +105,33 @@ func (l *Loader) SetTestdataRoot(dir string) error {
 	return nil
 }
 
+// SetBuildContext pins the build-constraint environment used to select
+// files (GOOS/GOARCH and -tags), overriding the host defaults. The test
+// harness uses it to make build-tag-filtered testdata packages behave
+// identically on every platform. Empty strings keep the host value.
+func (l *Loader) SetBuildContext(goos, goarch string, tags []string) {
+	if goos != "" {
+		l.ctxt.GOOS = goos
+	}
+	if goarch != "" {
+		l.ctxt.GOARCH = goarch
+	}
+	if tags != nil {
+		l.ctxt.BuildTags = tags
+	}
+}
+
+// Program returns the whole-program view over every package this loader
+// has materialized so far (the requested packages plus their module-
+// local and testdata dependency closure). Call it after loading.
+func (l *Loader) Program() *Program {
+	pkgs := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		pkgs = append(pkgs, p)
+	}
+	return NewProgram(l.Fset, pkgs)
+}
+
 // ModulePath returns the module path from go.mod.
 func (l *Loader) ModulePath() string { return l.modulePath }
 

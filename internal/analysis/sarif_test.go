@@ -1,0 +1,171 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+var hexFingerprint = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+// TestSarifReportStructure validates the emitted log against a
+// structural encoding of the SARIF 2.1.0 schema's required properties:
+// the document skeleton, rule-table consistency, location shape and
+// fingerprints GitHub code scanning keys on.
+func TestSarifReportStructure(t *testing.T) {
+	base := filepath.FromSlash("/repo")
+	diags := []analysis.Diagnostic{
+		{
+			Pos:     token.Position{Filename: filepath.Join(base, "internal", "cache", "sim.go"), Line: 42},
+			Checker: "hotalloc",
+			Message: "allocation on a hot path",
+		},
+		{
+			// Line 0 (unknown position) must clamp to the schema's 1-based
+			// minimum; a checker absent from the analyzer list must still
+			// land in the rule table.
+			Pos:     token.Position{Filename: filepath.FromSlash("/elsewhere/x.go"), Line: 0},
+			Checker: "mystery",
+			Message: "finding from an unregistered rule",
+		},
+	}
+	log := analysis.SarifReport(diags, []*analysis.Analyzer{flagFunc}, base)
+
+	var buf bytes.Buffer
+	if err := log.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := validateSarif(t, buf.Bytes())
+
+	// Spot-checks beyond the schema: repo-relative URI for the in-repo
+	// file and the shared fingerprint key.
+	results := doc["runs"].([]any)[0].(map[string]any)["results"].([]any)
+	first := results[0].(map[string]any)
+	loc := first["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	if uri := loc["artifactLocation"].(map[string]any)["uri"].(string); uri != "internal/cache/sim.go" {
+		t.Errorf("in-repo uri = %q, want repo-relative forward-slash path", uri)
+	}
+	second := results[1].(map[string]any)
+	region := second["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)["region"].(map[string]any)
+	if line := region["startLine"].(float64); line != 1 {
+		t.Errorf("unknown line rendered as %v, want clamp to 1", line)
+	}
+}
+
+// validateSarif checks the required properties of a SARIF 2.1.0 log and
+// returns the decoded document.
+func validateSarif(t *testing.T, data []byte) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if v, _ := doc["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", v)
+	}
+	if s, _ := doc["$schema"].(string); !strings.Contains(s, "sarif-schema-2.1.0.json") {
+		t.Errorf("$schema = %q, want the 2.1.0 schema URI", s)
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) == 0 {
+		t.Fatal("runs must be a non-empty array")
+	}
+	for _, r := range runs {
+		run := r.(map[string]any)
+		driver, ok := run["tool"].(map[string]any)["driver"].(map[string]any)
+		if !ok {
+			t.Fatal("run.tool.driver is required")
+		}
+		if name, _ := driver["name"].(string); name == "" {
+			t.Error("tool.driver.name is required")
+		}
+		rules, _ := driver["rules"].([]any)
+		ruleIDs := make(map[string]int)
+		for i, rl := range rules {
+			rule := rl.(map[string]any)
+			id, _ := rule["id"].(string)
+			if id == "" {
+				t.Errorf("rules[%d].id is required", i)
+			}
+			if _, dup := ruleIDs[id]; dup {
+				t.Errorf("duplicate rule id %q", id)
+			}
+			ruleIDs[id] = i
+		}
+		resultsAny, ok := run["results"]
+		if !ok {
+			t.Fatal("run.results is required (may be empty, not absent)")
+		}
+		for i, res := range resultsAny.([]any) {
+			result := res.(map[string]any)
+			if msg, _ := result["message"].(map[string]any)["text"].(string); msg == "" {
+				t.Errorf("results[%d].message.text is required", i)
+			}
+			ruleID, _ := result["ruleId"].(string)
+			idx, known := ruleIDs[ruleID]
+			if !known {
+				t.Errorf("results[%d].ruleId %q is not in the rule table", i, ruleID)
+			}
+			if ri, _ := result["ruleIndex"].(float64); int(ri) != idx {
+				t.Errorf("results[%d].ruleIndex = %v, want %d for rule %q", i, ri, idx, ruleID)
+			}
+			switch result["level"] {
+			case "error", "warning", "note", "none":
+			default:
+				t.Errorf("results[%d].level = %v, not a SARIF level", i, result["level"])
+			}
+			locs, _ := result["locations"].([]any)
+			if len(locs) == 0 {
+				t.Errorf("results[%d] has no location", i)
+				continue
+			}
+			phys, ok := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+			if !ok {
+				t.Errorf("results[%d] location has no physicalLocation", i)
+				continue
+			}
+			art, _ := phys["artifactLocation"].(map[string]any)
+			uri, _ := art["uri"].(string)
+			if uri == "" {
+				t.Errorf("results[%d] artifactLocation.uri is required", i)
+			}
+			if baseID, _ := art["uriBaseId"].(string); baseID != "%SRCROOT%" {
+				t.Errorf("results[%d].uriBaseId = %q, want %%SRCROOT%%", i, baseID)
+			}
+			if line, _ := phys["region"].(map[string]any)["startLine"].(float64); line < 1 {
+				t.Errorf("results[%d].region.startLine = %v, must be >= 1", i, line)
+			}
+			fps, _ := result["partialFingerprints"].(map[string]any)
+			fp, _ := fps["dvfLintFingerprint/v1"].(string)
+			if !hexFingerprint.MatchString(fp) {
+				t.Errorf("results[%d] fingerprint = %q, want 32 hex chars", i, fp)
+			}
+		}
+	}
+	return doc
+}
+
+// TestFingerprintStability: the fingerprint is deterministic, line-
+// insensitive by construction (no line input) and sensitive to each of
+// its three components.
+func TestFingerprintStability(t *testing.T) {
+	a := analysis.Fingerprint("hotalloc", "internal/cache/sim.go", "msg")
+	if a != analysis.Fingerprint("hotalloc", "internal/cache/sim.go", "msg") {
+		t.Error("fingerprint is not deterministic")
+	}
+	if a == analysis.Fingerprint("locksafe", "internal/cache/sim.go", "msg") ||
+		a == analysis.Fingerprint("hotalloc", "internal/cache/other.go", "msg") ||
+		a == analysis.Fingerprint("hotalloc", "internal/cache/sim.go", "other") {
+		t.Error("fingerprint must depend on checker, file and message")
+	}
+	// Windows-style separators normalize.
+	if a != analysis.Fingerprint("hotalloc", `internal\cache\sim.go`, "msg") && filepath.Separator == '\\' {
+		t.Error("fingerprint must normalize path separators")
+	}
+}

@@ -1,0 +1,57 @@
+// Package cg exercises call-graph construction: resolved edges,
+// cross-package edges, reference edges for function and method values,
+// indirect sites, closure attribution and hotpath annotation.
+package cg
+
+import "cgdep"
+
+// Root is a hotpath root with a local and a cross-package edge.
+//
+//dvf:hotpath
+func Root() int {
+	return helper() + cgdep.Leaf()
+}
+
+func helper() int {
+	return 2
+}
+
+// UseValue takes helper as a value: a reference edge, not a call.
+func UseValue() func() int {
+	f := helper
+	return f
+}
+
+// Indirect calls through a function value: an indirect site.
+func Indirect(f func() int) int {
+	return f()
+}
+
+// I is dispatched through an interface: an indirect interface site.
+type I interface {
+	M() int
+}
+
+func Iface(i I) int {
+	return i.M()
+}
+
+// Closure's literal body is attributed to Closure itself.
+func Closure() int {
+	g := func() int {
+		return helper()
+	}
+	return g()
+}
+
+// T carries a concrete method taken as a method value.
+type T struct{}
+
+func (T) M() int {
+	return 3
+}
+
+// MethodValue references T.M without calling it.
+func MethodValue(t T) func() int {
+	return t.M
+}

@@ -1,0 +1,7 @@
+// Package cgdep is the cross-package callee of the call-graph tests.
+package cgdep
+
+// Leaf is called from the cg fixture across the package boundary.
+func Leaf() int {
+	return 1
+}

@@ -1,0 +1,8 @@
+// Package a is the shared dependency of the parallel-driver fixture.
+package a
+
+// BadA is flagged by the test analyzer.
+func BadA() {}
+
+// Good is not.
+func Good() {}

@@ -1,0 +1,9 @@
+// Package b depends on a, forcing the scheduler to order them.
+package b
+
+import "multi/a"
+
+// BadB is flagged by the test analyzer.
+func BadB() {
+	a.Good()
+}

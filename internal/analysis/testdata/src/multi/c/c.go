@@ -1,0 +1,9 @@
+// Package c depends on a but not b: it can analyze concurrently with b.
+package c
+
+import "multi/a"
+
+// BadC is flagged by the test analyzer.
+func BadC() {
+	a.Good()
+}

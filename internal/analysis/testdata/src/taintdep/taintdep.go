@@ -1,0 +1,20 @@
+// Package taintdep seeds clock taint behind a package boundary for the
+// taint-lattice tests.
+package taintdep
+
+import "time"
+
+// Now64 reads the wall clock: unconditionally tainted.
+func Now64() int64 {
+	return time.Now().UnixNano()
+}
+
+// Echo returns its argument: tainted exactly when the argument is.
+func Echo(n int64) int64 {
+	return n
+}
+
+// Pure is clock-free.
+func Pure() int64 {
+	return 42
+}

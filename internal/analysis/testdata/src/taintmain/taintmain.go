@@ -1,0 +1,89 @@
+// Package taintmain exercises the clock-taint summaries: cross-package
+// composition, recursion, receiver and parameter propagation, named
+// results.
+package taintmain
+
+import (
+	"time"
+
+	"taintdep"
+)
+
+// FromDep launders the dependency's clock read: const-tainted.
+func FromDep() int64 {
+	return taintdep.Now64()
+}
+
+// LaunderParam passes a tainted value through a parameter-propagating
+// helper: const-tainted by substitution.
+func LaunderParam() int64 {
+	return taintdep.Echo(taintdep.Now64())
+}
+
+// EchoLocal propagates its own parameter through the helper: tainted
+// when the argument is (param bit 0).
+func EchoLocal(n int64) int64 {
+	return taintdep.Echo(n)
+}
+
+// FromPure is clean.
+func FromPure() int64 {
+	return taintdep.Pure()
+}
+
+// Rec converges through self-recursion to const taint.
+func Rec(n int) int64 {
+	if n == 0 {
+		return taintdep.Now64()
+	}
+	return Rec(n - 1)
+}
+
+// MutualA and MutualB converge through mutual recursion: B reads the
+// clock, so both summarize const-tainted.
+func MutualA(n int) int64 {
+	if n == 0 {
+		return 0
+	}
+	return MutualB(n - 1)
+}
+
+func MutualB(n int) int64 {
+	if n == 0 {
+		return time.Now().UnixNano()
+	}
+	return MutualA(n - 1)
+}
+
+// Clock carries a timestamp; Value's result is tainted when the
+// receiver is.
+type Clock struct {
+	t time.Time
+}
+
+func (c Clock) Value() int64 {
+	return c.t.UnixNano()
+}
+
+// Stamp propagates its parameter through the time package.
+func Stamp(t time.Time) int64 {
+	return t.UnixNano()
+}
+
+// NamedResult taints through an assignment to a named result.
+func NamedResult() (out int64) {
+	out = taintdep.Now64()
+	return
+}
+
+// ViaLocal launders through a local variable chain.
+func ViaLocal() int64 {
+	t0 := taintdep.Now64()
+	d := t0 / 2
+	return d
+}
+
+// Clean never touches the clock.
+func Clean() int64 {
+	return 7
+}

@@ -60,8 +60,9 @@ func evalExpr(e Expr, vars env) (float64, error) {
 			return math.Mod(l, r), nil
 		case TokCaret:
 			return math.Pow(l, r), nil
+		default:
+			return 0, errAt(n.Pos, "unknown operator")
 		}
-		return 0, errAt(n.Pos, "unknown operator")
 	case *Call:
 		args := make([]float64, len(n.Args))
 		for i, a := range n.Args {

@@ -117,8 +117,9 @@ func precedence(op TokenKind) int {
 		return 2
 	case TokCaret:
 		return 3
+	default:
+		return 0
 	}
-	return 0
 }
 
 // FormatExpr renders an expression with the minimal parentheses needed to
@@ -188,6 +189,7 @@ func opText(op TokenKind) string {
 		return "%"
 	case TokCaret:
 		return "^"
+	default:
+		return "?"
 	}
-	return "?"
 }

@@ -584,6 +584,7 @@ func (p *Parser) parseAtom() (Expr, error) {
 			return nil, err
 		}
 		return e, nil
+	default:
+		return nil, errAt(p.tok.Pos, "expected expression, found %s %q", p.tok.Kind, p.tok.Text)
 	}
-	return nil, errAt(p.tok.Pos, "expected expression, found %s %q", p.tok.Kind, p.tok.Text)
 }

@@ -60,6 +60,8 @@ func (h *Hierarchy) LastLevel() *Simulator { return h.levels[len(h.levels)-1] }
 // the access; a hit at level i stops the walk (lower levels are not
 // disturbed), and a miss continues downward. This models an inclusive
 // hierarchy where every resident upper-level line is also resident below.
+//
+//dvf:hotpath
 func (h *Hierarchy) Access(addr uint64, size uint32, write bool, owner StructID) {
 	for _, lvl := range h.levels {
 		before := lvl.TotalStats().Misses

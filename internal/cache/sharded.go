@@ -102,6 +102,8 @@ func (s *ShardedSim) Label(id StructID, name string) { s.names[id] = name }
 // References spanning multiple cache lines are split here — not in the
 // shards — because consecutive blocks belong to different sets and so, in
 // general, to different shards.
+//
+//dvf:hotpath
 func (s *ShardedSim) Access(addr uint64, size uint32, write bool, owner StructID) {
 	if size == 0 {
 		size = 1

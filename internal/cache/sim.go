@@ -111,6 +111,8 @@ func (s *Simulator) Label(id StructID, name string) { s.structName[id] = name }
 // Access presents a single memory reference of the given byte size starting
 // at addr, attributed to owner. References spanning multiple cache lines are
 // split, as real hardware would.
+//
+//dvf:hotpath
 func (s *Simulator) Access(addr uint64, size uint32, write bool, owner StructID) {
 	if size == 0 {
 		size = 1
@@ -155,8 +157,11 @@ func (s *Simulator) accessBlock(blk uint64, write bool, owner StructID) {
 	newLine := line{tag: tag, owner: owner, valid: true, dirty: write}
 	if len(set) < s.cfg.Associativity {
 		if cap(set) == 0 {
+			// First touch of this set: reserve the full associativity once.
+			//dvf:allow hotalloc one-time lazy backing per cache set, amortized to zero and held to it by the AllocsPerRun guard in sim_test.go
 			set = make([]line, 0, s.cfg.Associativity)
 		}
+		//dvf:allow hotalloc append stays within the associativity capacity reserved above, so it never grows the backing array
 		set = append(set, line{})
 		copy(set[1:], set[:len(set)-1])
 		set[0] = newLine
@@ -208,6 +213,7 @@ func (s *Simulator) Reset() {
 func (s *Simulator) stats(id StructID) *Stats {
 	st, ok := s.perStruct[id]
 	if !ok {
+		//dvf:allow hotalloc one allocation per structure ID on first sight, not per access; steady-state replay never takes this branch
 		st = &Stats{}
 		s.perStruct[id] = st
 	}

@@ -69,6 +69,8 @@ func NewWriter(w io.Writer, reg *Registry) (*Writer, error) {
 
 // Access appends one reference record. Errors are sticky and surfaced by
 // Flush, so instrumented kernels do not need error plumbing per reference.
+//
+//dvf:hotpath
 func (tw *Writer) Access(r Ref, owner int32) {
 	if tw.err != nil {
 		return

@@ -204,12 +204,16 @@ func (f *FanOut) ship(i int, msg fanMsg) {
 
 // Access routes one reference to its worker, flushing the worker's batch
 // when full. It implements Consumer.
+//
+//dvf:hotpath
 func (f *FanOut) Access(r Ref, owner int32) {
 	if f.closed {
 		panic("trace: FanOut.Access after Close")
 	}
 	f.met.refs.Add(1)
+	//dvf:allow hotalloc route is the caller-supplied shard-index function; NewFanOut documents it as pure arithmetic, and every in-repo route is
 	i := f.route(r, owner)
+	//dvf:allow hotalloc batch buffers come from the fan-out's pool with full batch capacity, so append never grows the backing array
 	buf := append(f.bufs[i], fanRec{ref: r, owner: owner})
 	if len(buf) >= f.batch {
 		f.met.batches.Inc()
