@@ -19,8 +19,11 @@
 #                     benchmarks, as a compile-and-run sanity check
 #   make bench        full benchmark suite (regenerates every figure)
 #   make fuzz-smoke   bounded fuzz of the sharded-vs-sequential cache
-#                     differential and the trace codec round-trip;
+#                     differential and the v1 trace codec round-trip;
 #                     FUZZTIME bounds each target (default 10s)
+#   make fuzz-smoke-v2  bounded fuzz of the v2 (columnar) trace codec:
+#                     encode/decode round-trip incl. misalignment and
+#                     truncation, and v1-vs-v2 record equivalence
 #   make trace-smoke  record a fig4 timeline with -trace-out and
 #                     schema-validate it with dvf-flame -check
 
@@ -28,9 +31,9 @@ GO ?= go
 FUZZTIME ?= 10s
 LINTFLAGS ?=
 
-.PHONY: check fmt-check vet lint lint-sarif lint-fix-check build test race bench-smoke bench fuzz-smoke trace-smoke
+.PHONY: check fmt-check vet lint lint-sarif lint-fix-check build test race bench-smoke bench fuzz-smoke fuzz-smoke-v2 trace-smoke
 
-check: fmt-check vet lint lint-fix-check build test race bench-smoke fuzz-smoke trace-smoke
+check: fmt-check vet lint lint-fix-check build test race bench-smoke fuzz-smoke fuzz-smoke-v2 trace-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -79,6 +82,10 @@ bench:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzShardedVsSequential$$' -fuzztime $(FUZZTIME) ./internal/cache
 	$(GO) test -run '^$$' -fuzz '^FuzzEncodeDecode$$' -fuzztime $(FUZZTIME) ./internal/trace
+
+fuzz-smoke-v2:
+	$(GO) test -run '^$$' -fuzz '^FuzzEncodeDecodeV2$$' -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzV1V2RoundTrip$$' -fuzztime $(FUZZTIME) ./internal/trace
 
 TRACEOUT ?= trace-out
 trace-smoke:

@@ -1,10 +1,13 @@
 // Command dvf-bench benchmarks the trace→cache→DVF pipeline and writes a
 // schema-versioned run manifest, the machine-readable perf trajectory CI
-// gates on. Each selected kernel's trace is recorded once, then replayed
-// through the sequential and the set-sharded engine on every selected
-// cache; per cell the manifest records refs, wall time, ns/ref and the
-// simulation counters (the engines must agree bit for bit — every bench
-// run doubles as a differential test).
+// gates on. Each selected kernel's trace is recorded once (struct-of-
+// arrays), then replayed in RefBatch blocks through the sequential, the
+// set-sharded and the auto-selected engine on every selected cache; per
+// cell the manifest records refs, wall time, ns/ref and the simulation
+// counters (the engines must agree bit for bit — every bench run doubles
+// as a differential test). The "auto" cells measure what
+// cache.NewAutoEngine actually picks for the trace, so a baseline compare
+// proves the adaptive choice is at parity-or-better at every trace size.
 //
 // Benchmark and record:
 //

@@ -6,16 +6,21 @@
 //
 // Capture:
 //
-//	dvf-trace -record -kernel FT -out ft.trace
+//	dvf-trace -record -kernel FT -out ft.trace            (v2 columnar)
+//	dvf-trace -record -kernel FT -format v1 -out ft.trace (v1 records)
 //
 // Replay:
 //
 //	dvf-trace -replay ft.trace -cache small
 //	dvf-trace -replay ft.trace -all
 //
-// Replay defaults to the set-sharded parallel engine with one worker per
-// CPU; -workers=1 falls back to the sequential simulator. Both produce
-// bit-identical reports — the cache decomposes exactly by set index — so
+// Replay reads either container version (sniffed from the magic), memory-
+// maps the file, and feeds the engine RefBatch blocks — zero-copy for v2
+// traces on little-endian machines. The engine is chosen adaptively from
+// the trace's record count (-workers=-1, the default): sequential below
+// the sharding crossover, set-sharded above it. -workers=1 forces the
+// sequential simulator, 0 one shard worker per CPU. Every choice produces
+// a bit-identical report — the cache decomposes exactly by set index — so
 // the flag only trades wall-clock time.
 package main
 
@@ -49,10 +54,11 @@ func main() {
 	record := flag.Bool("record", false, "record a kernel trace")
 	kernel := flag.String("kernel", "VM", "kernel to record (Table II code)")
 	out := flag.String("out", "", "output trace file (record mode)")
+	format := flag.String("format", "v2", "trace container to record: v2 (columnar, zero-copy replay) or v1")
 	replay := flag.String("replay", "", "trace file to replay")
 	cacheName := flag.String("cache", "small", "cache to replay against")
 	all := flag.Bool("all", false, "replay against every Table IV cache")
-	workers := flag.Int("workers", 0, "replay workers (0 = one per CPU, 1 = sequential)")
+	workers := flag.Int("workers", -1, "replay workers (-1 = auto from trace size, 0 = one per CPU, 1 = sequential)")
 	o := obs.AddFlags(nil)
 	flag.Parse()
 	defer o.Start()()
@@ -62,7 +68,7 @@ func main() {
 		if *out == "" {
 			log.Fatal("-record requires -out")
 		}
-		if err := doRecord(*kernel, *out, o.Sink(), o.Tracer()); err != nil {
+		if err := doRecord(*kernel, *out, *format, o.Sink(), o.Tracer()); err != nil {
 			log.Fatal(err)
 		}
 	case *replay != "":
@@ -87,7 +93,10 @@ func main() {
 	}
 }
 
-func doRecord(code, out string, sink metrics.Sink, tz tracez.Recorder) error {
+func doRecord(code, out, format string, sink metrics.Sink, tz tracez.Recorder) error {
+	if format != "v1" && format != "v2" {
+		return fmt.Errorf("unknown trace format %q (want v1 or v2)", format)
+	}
 	k, err := kernels.ByName(code)
 	if err != nil {
 		return err
@@ -110,21 +119,28 @@ func doRecord(code, out string, sink metrics.Sink, tz tracez.Recorder) error {
 		return err
 	}
 	sp := tz.Track("trace.encode").Begin("encode " + out)
-	w, err := trace.NewWriter(f, kernelRegistry(info, rec))
-	if err != nil {
-		sp.End()
-		return err
+	reg := kernelRegistry(info, rec)
+	if format == "v2" {
+		w := trace.NewWriterV2(f, reg)
+		for i, r := range rec.Refs {
+			w.Access(r, rec.Owners[i])
+		}
+		err = w.Flush()
+	} else {
+		var w *trace.Writer
+		if w, err = trace.NewWriter(f, reg); err == nil {
+			for i, r := range rec.Refs {
+				w.Access(r, rec.Owners[i])
+			}
+			err = w.Flush()
+		}
 	}
-	for i, r := range rec.Refs {
-		w.Access(r, rec.Owners[i])
-	}
-	err = w.Flush()
 	sp.EndInt("refs", int64(len(rec.Refs)))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("recorded %s: %d references, %d structures -> %s\n",
-		info.Kernel, len(rec.Refs), len(info.Structures), out)
+	fmt.Printf("recorded %s: %d references, %d structures -> %s (%s)\n",
+		info.Kernel, len(rec.Refs), len(info.Structures), out, format)
 	return nil
 }
 
@@ -176,33 +192,34 @@ func kernelRegistry(info *kernels.RunInfo, rec *trace.Recorder) *trace.Registry 
 }
 
 func doReplay(path string, cfg cache.Config, workers int, sink metrics.Sink, tz tracez.Recorder) error {
-	f, err := os.Open(path)
+	tf, err := trace.OpenTraceFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	sim, err := cache.NewEngine(cfg, workers)
+	defer tf.Close()
+	var sim cache.Engine
+	if workers < 0 {
+		sim, err = cache.NewAutoEngine(cfg, cache.AutoHint{Refs: tf.NumRefs()})
+	} else {
+		sim, err = cache.NewEngine(cfg, workers)
+	}
 	if err != nil {
 		return err
 	}
 	defer sim.Close()
 	sim.Instrument(sink)
 	sim.Trace(tz)
-	consume := trace.Instrumented(trace.ConsumerFunc(func(r trace.Ref, owner int32) {
-		sim.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
-	}), sink, "trace.replay")
+	consume := trace.InstrumentedBatch(trace.BatchConsumerFunc(sim.AccessBatch), sink, "trace.replay")
 	sw := sink.Timer("trace.replay_ns").Start()
 	sp := tz.Track("trace.replay").Begin("replay " + cfg.Name)
-	regions, err := trace.ReadTrace(f, func(r trace.Ref, owner int32) {
-		consume.Access(r, owner)
-	})
+	err = tf.Replay(trace.DefaultBatch, consume.AccessBatch)
 	sim.Drain()
 	sp.End()
 	sw.Stop()
 	if err != nil {
 		return err
 	}
-	for _, r := range regions {
+	for _, r := range tf.Regions {
 		sim.Label(cache.StructID(r.ID), r.Name)
 	}
 	sim.PublishStats(sink, "cache.replay")

@@ -7,7 +7,9 @@
 //	            (kernel, cache) cells out concurrently, 1 falls back to
 //	            the strictly sequential path, N>1 bounds the fan-out to N
 //	            cells and replays each on the set-sharded engine with N
-//	            workers. The output is identical for every setting.
+//	            workers, -1 fans the cells out and lets each pick its
+//	            engine adaptively (cache.NewAutoEngine). The output is
+//	            identical for every setting.
 //	-metrics X  dump a pipeline metrics snapshot on exit (internal/obs)
 //	-pprof P    write P.cpu.pprof and P.heap.pprof profiles
 package main
@@ -24,7 +26,7 @@ import (
 
 func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the table")
-	workers := flag.Int("workers", 0, "simulation workers (0 = parallel default, 1 = sequential)")
+	workers := flag.Int("workers", 0, "simulation workers (0 = parallel default, 1 = sequential, -1 = auto engine)")
 	o := obs.AddFlags(nil)
 	flag.Parse()
 	defer o.Start()()

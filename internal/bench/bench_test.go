@@ -22,8 +22,9 @@ func smallOptions(sink metrics.Sink) Options {
 
 // TestRunProducesManifest runs the real pipeline end to end and checks the
 // manifest invariants the CI artifact relies on: schema tag, environment
-// stamps, one sequential plus one sharded cell per (kernel, cache) with
-// identical simulation counters, and a populated metrics snapshot.
+// stamps, one sequential plus one sharded plus one auto cell per
+// (kernel, cache) with identical simulation counters, and a populated
+// metrics snapshot.
 func TestRunProducesManifest(t *testing.T) {
 	sink := metrics.New()
 	m, err := Run(smallOptions(sink))
@@ -36,8 +37,8 @@ func TestRunProducesManifest(t *testing.T) {
 	if m.GoVersion == "" || m.GOMAXPROCS <= 0 || m.NumCPU <= 0 {
 		t.Errorf("environment stamps missing: %+v", m)
 	}
-	if len(m.Cells) != 2 {
-		t.Fatalf("cells = %d, want 2 (sequential + sharded)", len(m.Cells))
+	if len(m.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3 (auto + sequential + sharded)", len(m.Cells))
 	}
 	for i := 1; i < len(m.Cells); i++ {
 		if m.Cells[i-1].Key() >= m.Cells[i].Key() {
@@ -45,15 +46,24 @@ func TestRunProducesManifest(t *testing.T) {
 				m.Cells[i-1].Key(), m.Cells[i].Key())
 		}
 	}
-	seq, shard := m.Cells[0], m.Cells[1]
-	if seq.Engine != "sequential" {
-		t.Errorf("first cell engine = %q, want sequential", seq.Engine)
+	byEngine := map[string]Cell{}
+	for _, c := range m.Cells {
+		byEngine[c.Engine] = c
+	}
+	auto, seq, shard := byEngine["auto"], byEngine["sequential"], byEngine["sharded"]
+	if auto.Kernel == "" || seq.Kernel == "" || shard.Kernel == "" {
+		t.Fatalf("missing engine cells, got %+v", m.Cells)
 	}
 	if seq.Refs <= 0 || seq.WallNs <= 0 || seq.NsPerRef <= 0 {
 		t.Errorf("sequential cell not measured: %+v", seq)
 	}
-	if seq.Stats != shard.Stats {
-		t.Errorf("engines diverged: %+v vs %+v", seq.Stats, shard.Stats)
+	if seq.Stats != shard.Stats || seq.Stats != auto.Stats {
+		t.Errorf("engines diverged: seq %+v, sharded %+v, auto %+v", seq.Stats, shard.Stats, auto.Stats)
+	}
+	// VM's trace sits far below the sharding crossover, so the auto cell
+	// must have been replayed on the sequential engine (1 worker).
+	if auto.Workers != 1 {
+		t.Errorf("auto cell ran %d workers on a Small-tier trace, want 1 (sequential)", auto.Workers)
 	}
 	if seq.Stats.Accesses == 0 || seq.Stats.Misses == 0 {
 		t.Errorf("replay simulated nothing: %+v", seq.Stats)

@@ -22,12 +22,14 @@ type Options struct {
 	Logf    func(format string, args ...any) // progress output; nil discards
 }
 
-// Run records each selected kernel's trace once, then replays the
-// identical reference stream through the sequential and the set-sharded
-// engine on every selected cache, timing each replay. Per (kernel, cache)
-// it verifies the two engines produced bit-identical aggregate counters —
-// a live differential check riding along with every benchmark run — and
-// derives the sharded speedup.
+// Run records each selected kernel's trace once (in struct-of-arrays
+// form), then replays the identical reference stream through the
+// sequential, set-sharded and auto-selected engines on every selected
+// cache, timing each replay. Replay is batched — DefaultBatch-sized
+// RefBatch views into the recording, the same hot path dvf-trace -replay
+// uses. Per (kernel, cache) it verifies all engines produced bit-identical
+// aggregate counters — a live differential check riding along with every
+// benchmark run — and derives the sharded speedup.
 func Run(o Options) (*Manifest, error) {
 	codes := o.Kernels
 	if len(codes) == 0 {
@@ -58,7 +60,7 @@ func Run(o Options) (*Manifest, error) {
 		if err != nil {
 			return nil, err
 		}
-		rec := &trace.Recorder{}
+		rec := &trace.BatchRecorder{}
 		sw := o.Sink.Timer("bench.record_ns").Start()
 		if _, err := k.Run(trace.Instrumented(rec, o.Sink, "bench.record")); err != nil {
 			return nil, fmt.Errorf("bench: recording %s: %w", code, err)
@@ -76,11 +78,15 @@ func Run(o Options) (*Manifest, error) {
 			if err != nil {
 				return nil, err
 			}
-			if seq.Stats != shard.Stats {
-				return nil, fmt.Errorf("bench: %s on %s: sequential and sharded stats diverge: %+v vs %+v",
-					code, cfg.Name, seq.Stats, shard.Stats)
+			auto, err := replayCell(k.Name(), cfg, rec, autoWorkers, iters, o.Sink)
+			if err != nil {
+				return nil, err
 			}
-			m.Cells = append(m.Cells, seq, shard)
+			if seq.Stats != shard.Stats || seq.Stats != auto.Stats {
+				return nil, fmt.Errorf("bench: %s on %s: engine stats diverge: seq %+v, sharded %+v, auto %+v",
+					code, cfg.Name, seq.Stats, shard.Stats, auto.Stats)
+			}
+			m.Cells = append(m.Cells, seq, shard, auto)
 			factor := 0.0
 			if shard.WallNs > 0 {
 				factor = float64(seq.WallNs) / float64(shard.WallNs)
@@ -88,8 +94,8 @@ func Run(o Options) (*Manifest, error) {
 			m.Speedups = append(m.Speedups, Speedup{
 				Kernel: code, Cache: cfg.Name, Workers: shard.Workers, Factor: factor,
 			})
-			logf("%s on %-22s seq %8.2f ns/ref   sharded(%d) %8.2f ns/ref   speedup %.2fx",
-				code, cfg.Name, seq.NsPerRef, shard.Workers, shard.NsPerRef, factor)
+			logf("%s on %-22s seq %8.2f ns/ref   sharded(%d) %8.2f ns/ref   auto %8.2f ns/ref   speedup %.2fx",
+				code, cfg.Name, seq.NsPerRef, shard.Workers, shard.NsPerRef, auto.NsPerRef, factor)
 		}
 	}
 	o.Sink.SampleMem()
@@ -108,26 +114,48 @@ func Run(o Options) (*Manifest, error) {
 	return m, nil
 }
 
+// autoWorkers is replayCell's sentinel for "let cache.NewAutoEngine pick
+// from the recording's length" — the choice dvf-trace -replay makes by
+// default. Auto cells keep the stable engine label "auto" in the manifest
+// regardless of which engine the heuristic built, so baselines compare
+// like against like across machines.
+const autoWorkers = -1
+
 // replayCell replays one recorded stream through one engine configuration
 // iters times and keeps the best wall time. workers==1 selects the
-// sequential engine; anything else the sharded one.
-func replayCell(kernel string, cfg cache.Config, rec *trace.Recorder, workers, iters int, sink metrics.Sink) (Cell, error) {
+// sequential engine, workers==autoWorkers the adaptive choice; anything
+// else the sharded one. The stream is fed in DefaultBatch-sized RefBatch
+// views — the batched hot path.
+func replayCell(kernel string, cfg cache.Config, rec *trace.BatchRecorder, workers, iters int, sink metrics.Sink) (Cell, error) {
 	cell := Cell{
 		Kernel: kernel,
 		Cache:  cfg.Name,
 		Iters:  iters,
 		Refs:   int64(rec.Len()),
 	}
+	whole := rec.Batch
 	var last cache.Engine
 	for it := 0; it < iters; it++ {
-		eng, err := cache.NewEngine(cfg, workers)
+		var eng cache.Engine
+		var err error
+		if workers == autoWorkers {
+			eng, err = cache.NewAutoEngine(cfg, cache.AutoHint{Refs: int64(rec.Len())})
+		} else {
+			eng, err = cache.NewEngine(cfg, workers)
+		}
 		if err != nil {
 			return Cell{}, err
 		}
 		eng.Instrument(sink)
 		t0 := time.Now()
-		for i, r := range rec.Refs {
-			eng.Access(r.Addr, r.Size, r.Write, cache.StructID(rec.Owners[i]))
+		var view trace.RefBatch
+		for lo := 0; lo < whole.Len(); lo += trace.DefaultBatch {
+			hi := lo + trace.DefaultBatch
+			if hi > whole.Len() {
+				hi = whole.Len()
+			}
+			view = whole.Slice(lo, hi)
+			eng.AccessBatch(&view)
 		}
 		eng.Drain()
 		wall := time.Since(t0).Nanoseconds()
@@ -146,6 +174,9 @@ func replayCell(kernel string, cfg cache.Config, rec *trace.Recorder, workers, i
 	cell.Engine = "sequential"
 	if cell.Workers > 1 {
 		cell.Engine = "sharded"
+	}
+	if workers == autoWorkers {
+		cell.Engine = "auto"
 	}
 	last.Close()
 	if cell.Refs > 0 {

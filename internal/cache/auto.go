@@ -1,0 +1,68 @@
+package cache
+
+import "runtime"
+
+// Adaptive engine selection. The sharded engine wins only when the trace
+// is long enough to amortize its pipeline (channel ships, batch recycling,
+// worker wake-ups) and the machine has cores to spare; on short traces the
+// pipeline overhead dominates and the sequential simulator is strictly
+// faster (the VM/Small tier regressed ~1.9x under sharding — see
+// testdata/bench_baseline.json). NewAutoEngine encodes that crossover so
+// callers stop choosing engines by hand.
+
+const (
+	// AutoShardMinRefs is the trace length below which sharding cannot
+	// amortize its pipeline overhead. The value is deliberately
+	// conservative — around 8.4M references, above every bundled kernel's
+	// Table IV run — because picking sequential costs at most the sharded
+	// speedup on a borderline trace, while picking sharded on a short
+	// trace costs up to 2x (the regression this heuristic exists to fix).
+	AutoShardMinRefs = 8 << 20
+
+	// AutoShardMinCPUs is the minimum core count for sharding to be
+	// considered at all: with fewer cores the shard workers time-slice
+	// against the producer and the pipeline only adds overhead.
+	AutoShardMinCPUs = 4
+)
+
+// AutoHint carries what the caller knows about the upcoming replay.
+// The zero value is a valid hint meaning "nothing known".
+type AutoHint struct {
+	// Refs is the expected number of references in the trace, or 0 when
+	// unknown (live instrumentation). Unknown lengths choose the
+	// sequential engine: it is never the bad choice, while sharding a
+	// short stream is.
+	Refs int64
+	// Workers caps the shard workers if sharding is chosen; <= 0 selects
+	// runtime.NumCPU().
+	Workers int
+}
+
+// AutoChoice is the pure decision function behind NewAutoEngine: it
+// returns the worker count to build (1 = sequential), given the hint and
+// the machine's core count. Split out so tests can pin the crossover
+// without depending on the host.
+func AutoChoice(cfg Config, hint AutoHint, numCPU int) int {
+	workers := hint.Workers
+	if workers <= 0 {
+		workers = numCPU
+	}
+	if workers > numCPU {
+		workers = numCPU
+	}
+	if numCPU < AutoShardMinCPUs || workers < 2 {
+		return 1
+	}
+	if hint.Refs <= 0 || hint.Refs < AutoShardMinRefs {
+		return 1
+	}
+	return workers
+}
+
+// NewAutoEngine picks the replay engine from the trace-size hint and the
+// host: sequential below the sharding crossover (short traces, few cores,
+// unknown length), sharded above it. Either way the resulting Stats are
+// bit-identical — the choice is purely a performance one.
+func NewAutoEngine(cfg Config, hint AutoHint) (Engine, error) {
+	return NewEngine(cfg, AutoChoice(cfg, hint, runtime.NumCPU()))
+}

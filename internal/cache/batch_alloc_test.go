@@ -1,0 +1,64 @@
+// Zero-alloc guards for the batched replay hot path, the runtime
+// counterpart of the static hotalloc proof (`make lint`): once an engine
+// is warm — lazy set storage and per-structure stat entries allocated —
+// AccessBatch must not allocate per reference on either engine.
+package cache_test
+
+import (
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// measureBatchAllocs replays the stream through e once to warm it, then
+// measures allocations across runs batches of DefaultBatch references.
+func measureBatchAllocs(t *testing.T, e cache.Engine, runs int) float64 {
+	t.Helper()
+	whole := crossoverStream(1 << 18).Batch
+	warm := whole.Slice(0, whole.Len())
+	e.AccessBatch(&warm)
+	e.Drain()
+
+	off := 0
+	var view trace.RefBatch
+	allocs := testing.AllocsPerRun(runs, func() {
+		hi := off + trace.DefaultBatch
+		if hi > whole.Len() {
+			off, hi = 0, trace.DefaultBatch
+		}
+		view = whole.Slice(off, hi)
+		e.AccessBatch(&view)
+		off = hi
+	})
+	e.Drain()
+	return allocs
+}
+
+func TestBatchReplayZeroAllocSequential(t *testing.T) {
+	e, err := cache.NewSimulator(cache.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := measureBatchAllocs(t, e, 63); allocs != 0 {
+		t.Fatalf("warm sequential AccessBatch allocated %.3f times per %d-ref batch, want 0",
+			allocs, trace.DefaultBatch)
+	}
+}
+
+func TestBatchReplayZeroAllocSharded(t *testing.T) {
+	e, err := cache.NewShardedSim(cache.Small, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// The sharded pipeline recycles its batch arenas through a sync.Pool,
+	// which the runtime may clear under GC pressure mid-measurement, so the
+	// guard is an epsilon per reference rather than an exact zero: even one
+	// repooled arena per measured batch would trip it.
+	allocs := measureBatchAllocs(t, e, 255)
+	if perRef := allocs / float64(trace.DefaultBatch); perRef > 0.001 {
+		t.Fatalf("warm sharded AccessBatch allocated %.4f times per ref (%.1f per %d-ref batch), want < 0.001",
+			perRef, allocs, trace.DefaultBatch)
+	}
+}

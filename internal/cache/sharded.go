@@ -77,9 +77,7 @@ func NewShardedSim(cfg Config, workers int) (*ShardedSim, error) {
 			return nil, err
 		}
 		s.shards[i] = sim
-		sinks[i] = trace.ConsumerFunc(func(r trace.Ref, owner int32) {
-			sim.Access(r.Addr, r.Size, r.Write, StructID(owner))
-		})
+		sinks[i] = shardSink{sim: sim}
 	}
 	s.lineShift = s.shards[0].lineShift
 	s.setMask = s.shards[0].setMask
@@ -257,6 +255,9 @@ func (s *ShardedSim) Close() { s.fan.Close() }
 type Engine interface {
 	// Access presents one memory reference (split across lines as needed).
 	Access(addr uint64, size uint32, write bool, owner StructID)
+	// AccessBatch presents a whole trace.RefBatch of references — the
+	// batched hot path. The engine must not retain the batch.
+	AccessBatch(b *trace.RefBatch)
 	// Drain waits until every submitted reference has been simulated.
 	Drain()
 	// Flush writes back all dirty lines and invalidates the cache.

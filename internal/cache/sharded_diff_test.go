@@ -9,6 +9,8 @@
 package cache_test
 
 import (
+	"bytes"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -121,6 +123,43 @@ func replay(e cache.Engine, rec *trace.Recorder) {
 	e.Flush()
 }
 
+// batchOf converts a cached recording to struct-of-arrays form, memoized
+// per kernel alongside the Recorder cache.
+var batchMap = map[string]*trace.BatchRecorder{}
+
+func batchKernel(t *testing.T, k kernels.Kernel) (*trace.BatchRecorder, []cache.StructID) {
+	t.Helper()
+	rec, ids := recordKernel(t, k)
+	recMu.Lock()
+	defer recMu.Unlock()
+	if br, ok := batchMap[k.Name()]; ok {
+		return br, ids
+	}
+	br := &trace.BatchRecorder{}
+	for i, r := range rec.Refs {
+		br.Access(r, rec.Owners[i])
+	}
+	batchMap[k.Name()] = br
+	return br, ids
+}
+
+// replayBatched feeds the stream through AccessBatch in DefaultBatch-sized
+// views — the exact shape the batched drivers (TraceFile.Replay, dvf-bench)
+// produce.
+func replayBatched(e cache.Engine, br *trace.BatchRecorder) {
+	whole := br.Batch
+	var view trace.RefBatch
+	for lo := 0; lo < whole.Len(); lo += trace.DefaultBatch {
+		hi := lo + trace.DefaultBatch
+		if hi > whole.Len() {
+			hi = whole.Len()
+		}
+		view = whole.Slice(lo, hi)
+		e.AccessBatch(&view)
+	}
+	e.Flush()
+}
+
 // TestShardedDifferentialAllKernels is the satellite's full matrix: every
 // registered kernel × three cache geometries × shard counts {1, 2, 4, 7,
 // NumCPU}, asserting exact per-structure Stats equality (all five
@@ -207,5 +246,99 @@ func TestShardedDifferentialViaConsumer(t *testing.T) {
 		if a.MemoryAccesses() != b.MemoryAccesses() {
 			t.Errorf("struct %s: N_ha %d != %d", st.Name, a.MemoryAccesses(), b.MemoryAccesses())
 		}
+	}
+}
+
+// TestBatchReplayDifferentialAllKernels is the batched arm of the test
+// wall: for every registered kernel × geometry, replaying the stream
+// through AccessBatch — on the sequential engine, on every shard count,
+// on the auto engine, and through a v2 encode/decode round trip — must
+// reproduce the per-reference sequential replay's Stats and report
+// byte-for-byte.
+func TestBatchReplayDifferentialAllKernels(t *testing.T) {
+	for _, k := range diffKernels() {
+		k := k
+		t.Run(k.Name(), func(t *testing.T) {
+			rec, ids := recordKernel(t, k)
+			br, _ := batchKernel(t, k)
+
+			// The v2 container round trip shared by all geometries.
+			var v2buf bytes.Buffer
+			w := trace.NewWriterV2(&v2buf, trace.NewRegistry())
+			w.AccessBatch(&br.Batch)
+			if err := w.Flush(); err != nil {
+				t.Fatalf("encoding %s as v2: %v", k.Name(), err)
+			}
+			v2tr, err := trace.DecodeV2(v2buf.Bytes())
+			if err != nil {
+				t.Fatalf("decoding %s v2 container: %v", k.Name(), err)
+			}
+
+			for _, cfg := range diffConfigs() {
+				seq, err := cache.NewSimulator(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				replay(seq, rec)
+				seqReport := seq.Report()
+
+				check := func(label string, e cache.Engine) {
+					t.Helper()
+					for _, id := range ids {
+						if got, want := e.StructStats(id), seq.StructStats(id); got != want {
+							t.Errorf("%s on %s, %s, struct %d: %+v != sequential %+v",
+								k.Name(), cfg.Name, label, id, got, want)
+						}
+					}
+					if got, want := e.TotalStats(), seq.TotalStats(); got != want {
+						t.Errorf("%s on %s, %s: totals %+v != %+v", k.Name(), cfg.Name, label, got, want)
+					}
+					if got := e.Report(); got != seqReport {
+						t.Errorf("%s on %s, %s: reports differ", k.Name(), cfg.Name, label)
+					}
+				}
+
+				seqBatch, err := cache.NewSimulator(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				replayBatched(seqBatch, br)
+				check("sequential batched", seqBatch)
+
+				v2seq, err := cache.NewSimulator(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				v2tr.Batches(trace.DefaultBatch, v2seq.AccessBatch)
+				v2seq.Flush()
+				check("v2 round-trip", v2seq)
+
+				for _, workers := range diffShardCounts() {
+					if workers < 2 {
+						continue
+					}
+					shard, err := cache.NewShardedSim(cfg, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					replayBatched(shard, br)
+					check(fmt.Sprintf("sharded batched x%d", workers), shard)
+					shard.Close()
+				}
+
+				for _, hint := range []cache.AutoHint{
+					{Refs: int64(br.Len())},
+					{Refs: 1 << 30}, // force the crossover's sharded arm where cores allow
+				} {
+					auto, err := cache.NewAutoEngine(cfg, hint)
+					if err != nil {
+						t.Fatal(err)
+					}
+					replayBatched(auto, br)
+					check(fmt.Sprintf("auto refs=%d", hint.Refs), auto)
+					auto.Close()
+				}
+			}
+		})
 	}
 }

@@ -57,6 +57,16 @@ func (res *Fig4Result) MaxAbsErrorPct() float64 {
 	return max
 }
 
+// AutoWorkers is the sentinel worker count that delegates engine choice
+// to cache.NewAutoEngine: each cell's replay engine is picked from the
+// crossover heuristic instead of a hand-chosen worker count, and the cell
+// fan-out itself runs unbounded (ParallelObs treats negative counts like
+// 0). Live kernel streams have unknown length up front, so the auto
+// choice is the sequential simulator — the engine that is never the
+// wrong pick — while batched trace replays (dvf-trace, dvf-bench) hint
+// the auto engine with the trace's actual record count.
+const AutoWorkers = -1
+
 // VerifyKernel runs one kernel traced through the sequential cache
 // simulator on cfg and compares the per-structure CGPMAC estimates against
 // the simulated miss counts — the Figure 4 procedure for a single
@@ -67,9 +77,10 @@ func VerifyKernel(k kernels.Kernel, cfg cache.Config) ([]Fig4Row, error) {
 
 // VerifyKernelWorkers is VerifyKernel with an explicit simulation-engine
 // worker count: 1 selects the sequential Simulator, anything else the
-// set-sharded parallel engine (0 = one worker per CPU). The row values are
-// identical either way — the sharded engine is bit-identical by set
-// decomposition — only the wall-clock time changes.
+// set-sharded parallel engine (0 = one worker per CPU, AutoWorkers = the
+// adaptive crossover choice). The row values are identical either way —
+// the sharded engine is bit-identical by set decomposition — only the
+// wall-clock time changes.
 func VerifyKernelWorkers(k kernels.Kernel, cfg cache.Config, workers int) ([]Fig4Row, error) {
 	return VerifyKernelSink(k, cfg, workers, nil)
 }
@@ -93,7 +104,13 @@ func VerifyKernelSink(k kernels.Kernel, cfg cache.Config, workers int, ms metric
 // byte-identical with or without a recorder — the tracing guard test
 // asserts this for every figure.
 func VerifyKernelObs(k kernels.Kernel, cfg cache.Config, workers int, ms metrics.Sink, tz tracez.Recorder) ([]Fig4Row, error) {
-	sim, err := cache.NewEngine(cfg, workers)
+	var sim cache.Engine
+	var err error
+	if workers == AutoWorkers {
+		sim, err = cache.NewAutoEngine(cfg, cache.AutoHint{})
+	} else {
+		sim, err = cache.NewEngine(cfg, workers)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +177,9 @@ func RunFig4() (*Fig4Result, error) { return RunFig4Workers(0) }
 //	workers  > 1  at most `workers` cells in flight, each replaying on a
 //	              set-sharded engine with `workers` shard workers — the
 //	              setting that exercises ShardedSim end to end.
+//	AutoWorkers   cells fan out unbounded, each replaying on whatever
+//	              engine cache.NewAutoEngine picks (sequential for live
+//	              kernel streams, whose length is unknown up front).
 //
 // The rows are identical for every setting; only wall-clock time changes.
 func RunFig4Workers(workers int) (*Fig4Result, error) {

@@ -1,0 +1,199 @@
+package trace
+
+import "sync"
+
+// RefBatch is a struct-of-arrays block of memory references, the unit the
+// batched replay hot path moves around instead of one Ref at a time. Two
+// parallel uint64 columns hold the stream: Addrs carries the simulated
+// virtual addresses, Metas packs each reference's size, owner and
+// read/write flag into a single word (see PackMeta). The layout is chosen
+// to be exactly the column layout of the v2 on-disk trace container, so a
+// decoded v2 trace can hand out RefBatch views that alias the mapped file
+// with zero copying, and a batch produced by instrumentation can be
+// written to disk with two bulk column writes.
+//
+// A RefBatch is a pair of slice headers: slicing (Slice) and passing by
+// value are cheap and share the backing arrays. Batches used on the replay
+// hot path come from a BatchPool so the backing arenas are recycled
+// instead of reallocated.
+type RefBatch struct {
+	Addrs []uint64 // simulated virtual addresses
+	Metas []uint64 // packed size/owner/write words, same length as Addrs
+}
+
+// Meta-word layout: bit 0 is the write flag, bits 1..31 hold the reference
+// size (31 bits), bits 32..63 hold the owner as a uint32 bit pattern. The
+// size domain is capped at 2^31-1 bytes per reference — every producer in
+// this repository emits element-sized references of at most a few dozen
+// bytes, and a single reference touching 2 GiB would be a bug upstream —
+// so PackMeta panics rather than silently truncating.
+const (
+	metaWriteBit  = 1
+	metaSizeShift = 1
+	metaSizeBits  = 31
+	// MaxBatchRefSize is the largest reference size a meta word (and hence
+	// the v2 trace encoding) can represent.
+	MaxBatchRefSize = 1<<metaSizeBits - 1
+	metaOwnerShift  = 32
+)
+
+// PackMeta packs one reference's size, write flag and owner into a meta
+// word. Sizes above MaxBatchRefSize panic: the batch layout (and the v2
+// trace format built on it) reserves 31 bits for the size.
+//
+//dvf:hotpath
+func PackMeta(size uint32, write bool, owner int32) uint64 {
+	if size > MaxBatchRefSize {
+		panic("trace: reference size exceeds the RefBatch meta-word size domain")
+	}
+	m := uint64(uint32(owner))<<metaOwnerShift | uint64(size)<<metaSizeShift
+	if write {
+		m |= metaWriteBit
+	}
+	return m
+}
+
+// UnpackMeta is the inverse of PackMeta.
+//
+//dvf:hotpath
+func UnpackMeta(m uint64) (size uint32, write bool, owner int32) {
+	return uint32(m>>metaSizeShift) & MaxBatchRefSize, m&metaWriteBit != 0, int32(uint32(m >> metaOwnerShift))
+}
+
+// Len returns the number of references in the batch.
+func (b *RefBatch) Len() int { return len(b.Addrs) }
+
+// Reset empties the batch, keeping the backing arrays.
+func (b *RefBatch) Reset() {
+	b.Addrs = b.Addrs[:0]
+	b.Metas = b.Metas[:0]
+}
+
+// Append adds one reference to the batch. On pooled batches fed in
+// DefaultBatch-sized blocks the append stays within the arena capacity;
+// free-standing batches (e.g. a BatchRecorder) grow amortized like any
+// slice.
+//
+//dvf:hotpath
+func (b *RefBatch) Append(r Ref, owner int32) {
+	//dvf:allow hotalloc pooled batches carry full arena capacity so append never grows; growth only happens on free-standing recorder batches off the hot path
+	b.Addrs = append(b.Addrs, r.Addr)
+	//dvf:allow hotalloc same arena-capacity argument as the address column
+	b.Metas = append(b.Metas, PackMeta(r.Size, r.Write, owner))
+}
+
+// At returns the i-th reference and its owner.
+//
+//dvf:hotpath
+func (b *RefBatch) At(i int) (Ref, int32) {
+	size, write, owner := UnpackMeta(b.Metas[i])
+	return Ref{Addr: b.Addrs[i], Size: size, Write: write}, owner
+}
+
+// Slice returns the [lo, hi) sub-batch as a view sharing the backing
+// arrays. The view's capacity is clamped to hi so an Append on the view
+// cannot clobber the parent's tail.
+func (b *RefBatch) Slice(lo, hi int) RefBatch {
+	return RefBatch{Addrs: b.Addrs[lo:hi:hi], Metas: b.Metas[lo:hi:hi]}
+}
+
+// Each invokes fn for every reference in order — the bridge from a batch
+// back to per-reference consumers.
+func (b *RefBatch) Each(fn func(Ref, int32)) {
+	for i := range b.Addrs {
+		size, write, owner := UnpackMeta(b.Metas[i])
+		fn(Ref{Addr: b.Addrs[i], Size: size, Write: write}, owner)
+	}
+}
+
+// BatchConsumer is the block-granular sibling of Consumer: implementations
+// receive whole reference batches. Consumers that also implement
+// BatchConsumer are fed batches directly by the batched replay paths
+// (FanOut workers, engine AccessBatch), skipping the per-reference
+// interface call.
+type BatchConsumer interface {
+	AccessBatch(b *RefBatch)
+}
+
+// BatchConsumerFunc adapts a plain function to the BatchConsumer
+// interface, mirroring ConsumerFunc.
+type BatchConsumerFunc func(*RefBatch)
+
+// AccessBatch invokes the function.
+func (f BatchConsumerFunc) AccessBatch(b *RefBatch) { f(b) }
+
+// BatchRecorder is a Consumer that stores the full stream in
+// struct-of-arrays form, ready for batched replay or v2 encoding. The
+// zero value is ready to use.
+type BatchRecorder struct {
+	Batch RefBatch
+}
+
+// Access appends the reference to the in-memory columns.
+func (br *BatchRecorder) Access(r Ref, owner int32) {
+	br.Batch.Append(r, owner)
+}
+
+// AccessBatch bulk-appends a whole batch.
+func (br *BatchRecorder) AccessBatch(b *RefBatch) {
+	br.Batch.Addrs = append(br.Batch.Addrs, b.Addrs...)
+	br.Batch.Metas = append(br.Batch.Metas, b.Metas...)
+}
+
+// Len returns the number of recorded references.
+func (br *BatchRecorder) Len() int { return br.Batch.Len() }
+
+// BatchPool recycles fixed-capacity RefBatches across producers and
+// consumers — the arena/freelist behind the batched fan-out. Each pooled
+// batch owns a single contiguous uint64 slab split into its two columns,
+// so one Get costs at most one allocation (and, in steady state, none:
+// batches drained by shard workers come back through Put).
+type BatchPool struct {
+	capacity int
+	pool     sync.Pool
+}
+
+// NewBatchPool returns a pool of batches with the given per-batch
+// capacity. capacity <= 0 selects DefaultBatch.
+func NewBatchPool(capacity int) *BatchPool {
+	if capacity <= 0 {
+		capacity = DefaultBatch
+	}
+	p := &BatchPool{capacity: capacity}
+	p.pool.New = func() any {
+		// One arena slab per batch: the address column is the first half,
+		// the meta column the second. Full capacity up front means Append
+		// never regrows either column.
+		slab := make([]uint64, 2*capacity)
+		return &RefBatch{
+			Addrs: slab[0:0:capacity],
+			Metas: slab[capacity : capacity : 2*capacity],
+		}
+	}
+	return p
+}
+
+// Capacity returns the per-batch reference capacity.
+func (p *BatchPool) Capacity() int { return p.capacity }
+
+// Get returns an empty batch with the pool's capacity.
+//
+//dvf:hotpath
+func (p *BatchPool) Get() *RefBatch {
+	b := p.pool.Get().(*RefBatch)
+	b.Reset()
+	return b
+}
+
+// Put returns a batch to the pool. Batches whose columns do not carry the
+// pool's arena capacity — views over a mapped v2 trace, recorder batches —
+// are dropped rather than recycled, so the pool never hands out an
+// aliased or undersized arena.
+//
+//dvf:hotpath
+func (p *BatchPool) Put(b *RefBatch) {
+	if b == nil || cap(b.Addrs) != p.capacity || cap(b.Metas) != p.capacity {
+		return
+	}
+	p.pool.Put(b)
+}

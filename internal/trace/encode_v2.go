@@ -1,0 +1,416 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// The v2 trace container is the batched, fixed-width sibling of the v1
+// record stream. Instead of interleaved 17-byte records it stores the
+// reference stream as two contiguous little-endian uint64 columns — the
+// exact in-memory layout of a RefBatch — so a reader can hand out batch
+// views that alias a memory-mapped file without decoding or copying:
+//
+//	header:  magic "DVF2" | uint16 version=2 | uint16 reserved |
+//	         uint32 region count | uint32 reserved | uint64 record count
+//	regions: per region -> uint32 id | uint64 base | uint64 size |
+//	         uint16 name length | name bytes       (identical to v1)
+//	padding: zero bytes to the next 8-byte boundary
+//	addrs:   record count * uint64   (simulated virtual addresses)
+//	metas:   record count * uint64   (packed size/owner/write, see PackMeta)
+//
+// All integers are little-endian. The meta word reserves 31 bits for the
+// reference size (MaxBatchRefSize); WriterV2 surfaces larger sizes as a
+// sticky error instead of truncating. At 16 bytes per record v2 is also
+// ~6% smaller than v1's 17-byte records.
+
+const (
+	traceMagicV2   = "DVF2"
+	traceVersionV2 = 2
+	v2HeaderSize   = 24
+)
+
+// WriterV2 accumulates a reference stream and writes it as one v2
+// container on Flush. The column layout needs the record count up front,
+// so records are buffered in memory (two uint64 columns — 16 bytes per
+// reference, less than the Recorder most producers already hold).
+type WriterV2 struct {
+	w     io.Writer
+	reg   *Registry
+	batch RefBatch
+	err   error
+}
+
+// NewWriterV2 returns a writer that snapshots reg's region table into the
+// container header at Flush time.
+func NewWriterV2(w io.Writer, reg *Registry) *WriterV2 {
+	return &WriterV2{w: w, reg: reg}
+}
+
+// Access appends one reference record. Errors (a size outside the meta
+// word's 31-bit domain) are sticky and surfaced by Flush, mirroring the
+// v1 Writer contract.
+func (tw *WriterV2) Access(r Ref, owner int32) {
+	if tw.err != nil {
+		return
+	}
+	if r.Size > MaxBatchRefSize {
+		tw.err = fmt.Errorf("trace: v2 encoding: reference size %d exceeds %d", r.Size, uint32(MaxBatchRefSize))
+		return
+	}
+	tw.batch.Append(r, owner)
+}
+
+// AccessBatch bulk-appends a whole batch (its metas are already in the
+// on-disk word format).
+func (tw *WriterV2) AccessBatch(b *RefBatch) {
+	if tw.err != nil {
+		return
+	}
+	tw.batch.Addrs = append(tw.batch.Addrs, b.Addrs...)
+	tw.batch.Metas = append(tw.batch.Metas, b.Metas...)
+}
+
+// Flush writes the container and returns the first sticky error.
+func (tw *WriterV2) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	bw := bufio.NewWriter(tw.w)
+	regions := tw.reg.Regions()
+	var hdr [v2HeaderSize]byte
+	copy(hdr[0:4], traceMagicV2)
+	binary.LittleEndian.PutUint16(hdr[4:6], traceVersionV2)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(regions)))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(tw.batch.Len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	off := v2HeaderSize
+	for _, r := range regions {
+		var rec [20]byte
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(r.ID))
+		binary.LittleEndian.PutUint64(rec[4:12], r.Base)
+		binary.LittleEndian.PutUint64(rec[12:20], r.Size)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+		var nl [2]byte
+		binary.LittleEndian.PutUint16(nl[:], uint16(len(r.Name)))
+		if _, err := bw.Write(nl[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(r.Name); err != nil {
+			return err
+		}
+		off += 22 + len(r.Name)
+	}
+	var pad [8]byte
+	if rem := off % 8; rem != 0 {
+		if _, err := bw.Write(pad[:8-rem]); err != nil {
+			return err
+		}
+	}
+	if err := writeColumn(bw, tw.batch.Addrs); err != nil {
+		return err
+	}
+	if err := writeColumn(bw, tw.batch.Metas); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeColumn streams one uint64 column little-endian through a fixed
+// scratch buffer.
+func writeColumn(w io.Writer, col []uint64) error {
+	var buf [512]byte
+	for len(col) > 0 {
+		n := len(buf) / 8
+		if n > len(col) {
+			n = len(col)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], col[i])
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return err
+		}
+		col = col[n:]
+	}
+	return nil
+}
+
+// TraceV2 is a decoded v2 container: the region table plus the two
+// reference columns. When the underlying bytes are 8-byte aligned and the
+// host is little-endian the columns alias the input directly (zero-copy);
+// otherwise they are decoded once into fresh slices.
+type TraceV2 struct {
+	Regions []Region
+	addrs   []uint64
+	metas   []uint64
+	aliased bool
+}
+
+// NumRefs returns the number of reference records.
+func (t *TraceV2) NumRefs() int64 { return int64(len(t.addrs)) }
+
+// ZeroCopy reports whether the columns alias the decoded byte slice
+// (true on aligned little-endian inputs) instead of holding a copy.
+func (t *TraceV2) ZeroCopy() bool { return t.aliased }
+
+// Batch returns the whole trace as one RefBatch view. The view shares the
+// columns; callers must not mutate it.
+func (t *TraceV2) Batch() RefBatch {
+	n := len(t.addrs)
+	return RefBatch{Addrs: t.addrs[:n:n], Metas: t.metas[:n:n]}
+}
+
+// Batches invokes fn with consecutive views of at most batchSize
+// references each (batchSize <= 0 selects DefaultBatch). The views alias
+// the trace columns — no references are copied.
+func (t *TraceV2) Batches(batchSize int, fn func(*RefBatch)) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatch
+	}
+	whole := t.Batch()
+	for lo := 0; lo < whole.Len(); lo += batchSize {
+		hi := lo + batchSize
+		if hi > whole.Len() {
+			hi = whole.Len()
+		}
+		view := whole.Slice(lo, hi)
+		fn(&view)
+	}
+}
+
+// nativeIsLittle reports whether the host stores integers little-endian,
+// the precondition for aliasing the on-disk columns directly.
+func nativeIsLittle() bool {
+	var buf [2]byte
+	binary.NativeEndian.PutUint16(buf[:], 0x0102)
+	return buf[0] == 0x02
+}
+
+// DecodeV2 parses a v2 container from data. The returned trace keeps
+// (and, on aligned little-endian hosts, aliases) data; the caller must
+// keep the backing memory valid — and unmodified — for the trace's
+// lifetime.
+func DecodeV2(data []byte) (*TraceV2, error) {
+	if len(data) < v2HeaderSize {
+		return nil, fmt.Errorf("%w: truncated v2 header", ErrBadTrace)
+	}
+	if string(data[0:4]) != traceMagicV2 {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != traceVersionV2 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	nRegions := binary.LittleEndian.Uint32(data[8:12])
+	nRecords := binary.LittleEndian.Uint64(data[16:24])
+	off := v2HeaderSize
+	regions := make([]Region, 0, nRegions)
+	for i := uint32(0); i < nRegions; i++ {
+		if off+22 > len(data) {
+			return nil, fmt.Errorf("%w: truncated region table", ErrBadTrace)
+		}
+		id := int32(binary.LittleEndian.Uint32(data[off : off+4]))
+		base := binary.LittleEndian.Uint64(data[off+4 : off+12])
+		size := binary.LittleEndian.Uint64(data[off+12 : off+20])
+		nameLen := int(binary.LittleEndian.Uint16(data[off+20 : off+22]))
+		off += 22
+		if off+nameLen > len(data) {
+			return nil, fmt.Errorf("%w: truncated region name", ErrBadTrace)
+		}
+		regions = append(regions, Region{
+			ID: id, Base: base, Size: size, Name: string(data[off : off+nameLen]),
+		})
+		off += nameLen
+	}
+	if rem := off % 8; rem != 0 {
+		off += 8 - rem
+	}
+	if nRecords > uint64((len(data))/16) { // cheap overflow guard before the exact check
+		return nil, fmt.Errorf("%w: record count %d exceeds payload", ErrBadTrace, nRecords)
+	}
+	need := off + int(nRecords)*16
+	if need > len(data) {
+		return nil, fmt.Errorf("%w: truncated columns (need %d bytes, have %d)", ErrBadTrace, need, len(data))
+	}
+	t := &TraceV2{Regions: regions}
+	n := int(nRecords)
+	addrBytes := data[off : off+n*8]
+	metaBytes := data[off+n*8 : off+n*16]
+	if n == 0 {
+		return t, nil
+	}
+	if nativeIsLittle() && uintptr(unsafe.Pointer(&addrBytes[0]))%8 == 0 {
+		// Zero-copy: reinterpret the column bytes as []uint64 in place.
+		t.addrs = unsafe.Slice((*uint64)(unsafe.Pointer(&addrBytes[0])), n)
+		t.metas = unsafe.Slice((*uint64)(unsafe.Pointer(&metaBytes[0])), n)
+		t.aliased = true
+		return t, nil
+	}
+	// Misaligned or big-endian input: decode once into fresh columns.
+	t.addrs = make([]uint64, n)
+	t.metas = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		t.addrs[i] = binary.LittleEndian.Uint64(addrBytes[i*8:])
+		t.metas[i] = binary.LittleEndian.Uint64(metaBytes[i*8:])
+	}
+	return t, nil
+}
+
+// TraceFile is an opened on-disk trace of either container version,
+// presenting a uniform batched replay surface. v2 files are memory-mapped
+// and replayed zero-copy; v1 files are decoded block-wise into a reused
+// arena batch. Close releases the mapping.
+type TraceFile struct {
+	Regions []Region
+	Version int
+	path    string
+	data    []byte // raw file bytes (mapped or read)
+	v2      *TraceV2
+	v1off   int // v1: offset of the first record
+	closer  func() error
+}
+
+// OpenTraceFile maps path and sniffs the container version. The returned
+// TraceFile must be Closed when done.
+func OpenTraceFile(path string) (*TraceFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, closer, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, err
+	}
+	tf := &TraceFile{path: path, data: data, closer: closer}
+	if len(data) >= 4 && string(data[0:4]) == traceMagicV2 {
+		v2, err := DecodeV2(data)
+		if err != nil {
+			_ = tf.Close()
+			return nil, err
+		}
+		tf.Version, tf.v2, tf.Regions = traceVersionV2, v2, v2.Regions
+		return tf, nil
+	}
+	regions, off, err := parseV1Header(data)
+	if err != nil {
+		_ = tf.Close()
+		return nil, err
+	}
+	tf.Version, tf.Regions, tf.v1off = traceVersion, regions, off
+	return tf, nil
+}
+
+// NumRefs returns the number of reference records in the file.
+func (tf *TraceFile) NumRefs() int64 {
+	if tf.v2 != nil {
+		return tf.v2.NumRefs()
+	}
+	return int64(len(tf.data)-tf.v1off) / 17
+}
+
+// ZeroCopy reports whether replay batches alias the file mapping.
+func (tf *TraceFile) ZeroCopy() bool { return tf.v2 != nil && tf.v2.ZeroCopy() }
+
+// Replay invokes fn with consecutive batches of at most batchSize
+// references (batchSize <= 0 selects DefaultBatch). For v2 files the
+// batches alias the mapping; for v1 files records are decoded into one
+// arena batch that is reused — and therefore invalid to retain — across
+// calls.
+func (tf *TraceFile) Replay(batchSize int, fn func(*RefBatch)) error {
+	if batchSize <= 0 {
+		batchSize = DefaultBatch
+	}
+	if tf.v2 != nil {
+		tf.v2.Batches(batchSize, fn)
+		return nil
+	}
+	recs := tf.data[tf.v1off:]
+	if len(recs)%17 != 0 {
+		return fmt.Errorf("%w: truncated record", ErrBadTrace)
+	}
+	slab := make([]uint64, 2*batchSize)
+	batch := RefBatch{Addrs: slab[0:0:batchSize], Metas: slab[batchSize : batchSize : 2*batchSize]}
+	for len(recs) > 0 {
+		batch.Reset()
+		n := batchSize
+		if n > len(recs)/17 {
+			n = len(recs) / 17
+		}
+		for i := 0; i < n; i++ {
+			rec := recs[i*17:]
+			size := binary.LittleEndian.Uint32(rec[8:12])
+			if size > MaxBatchRefSize {
+				return fmt.Errorf("%w: record size %d exceeds the batch size domain", ErrBadTrace, size)
+			}
+			batch.Addrs = append(batch.Addrs, binary.LittleEndian.Uint64(rec[0:8]))
+			batch.Metas = append(batch.Metas, PackMeta(
+				size,
+				rec[12]&1 == 1,
+				int32(binary.LittleEndian.Uint32(rec[13:17])),
+			))
+		}
+		recs = recs[n*17:]
+		fn(&batch)
+	}
+	return nil
+}
+
+// Close releases the file mapping. The TraceFile (and every batch view it
+// handed out) is invalid afterwards.
+func (tf *TraceFile) Close() error {
+	if tf.closer == nil {
+		return nil
+	}
+	c := tf.closer
+	tf.closer = nil
+	tf.data, tf.v2 = nil, nil
+	return c()
+}
+
+// parseV1Header parses a v1 container's header and region table from raw
+// bytes, returning the offset of the first record.
+func parseV1Header(data []byte) ([]Region, int, error) {
+	if len(data) < 10 {
+		return nil, 0, fmt.Errorf("%w: missing magic", ErrBadTrace)
+	}
+	if string(data[0:4]) != traceMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrBadTrace, data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != traceVersion {
+		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	nRegions := binary.LittleEndian.Uint32(data[6:10])
+	off := 10
+	regions := make([]Region, 0, nRegions)
+	for i := uint32(0); i < nRegions; i++ {
+		if off+22 > len(data) {
+			return nil, 0, fmt.Errorf("%w: truncated region table", ErrBadTrace)
+		}
+		id := int32(binary.LittleEndian.Uint32(data[off : off+4]))
+		base := binary.LittleEndian.Uint64(data[off+4 : off+12])
+		size := binary.LittleEndian.Uint64(data[off+12 : off+20])
+		nameLen := int(binary.LittleEndian.Uint16(data[off+20 : off+22]))
+		off += 22
+		if off+nameLen > len(data) {
+			return nil, 0, fmt.Errorf("%w: truncated region name", ErrBadTrace)
+		}
+		regions = append(regions, Region{
+			ID: id, Base: base, Size: size, Name: string(data[off : off+nameLen]),
+		})
+		off += nameLen
+	}
+	return regions, off, nil
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// fuzzStream derives a registry and reference stream from fuzz inputs,
+// shared by both v2 fuzz targets. Sizes stay inside the meta word's
+// 31-bit domain — the only part of the Ref domain v2 restricts.
+func fuzzStream(seed int64, nRegions uint8, nRefs uint16) (*Registry, []Ref, []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	reg := NewRegistry()
+	names := []string{"A", "B", "C", "T", "G", "", "structure-with-a-long-name", "α/β"}
+	for i := 0; i < int(nRegions%24); i++ {
+		reg.Alloc(names[rng.Intn(len(names))], uint64(rng.Intn(1<<14)))
+	}
+	var refs []Ref
+	var owners []int32
+	for i := 0; i < int(nRefs); i++ {
+		size := uint32(rng.Uint64()) & MaxBatchRefSize
+		if rng.Intn(4) != 0 {
+			size = uint32(rng.Intn(256)) // mostly realistic element sizes
+		}
+		refs = append(refs, Ref{Addr: rng.Uint64(), Size: size, Write: rng.Intn(2) == 0})
+		owners = append(owners, int32(rng.Intn(int(nRegions%24)+2))-1)
+	}
+	return reg, refs, owners
+}
+
+// FuzzEncodeDecodeV2 round-trips the v2 columnar container: a registry and
+// reference stream generated from the fuzzed inputs are written through
+// WriterV2 and decoded with DecodeV2, and every region and record must
+// survive bit-for-bit — through both the zero-copy aliasing path and the
+// forced-misalignment copy path. The tail of each case decodes a truncated
+// prefix, which must fail with ErrBadTrace rather than panic. Seed corpus
+// lives under testdata/fuzz.
+func FuzzEncodeDecodeV2(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint16(100), uint16(7))
+	f.Add(int64(99), uint8(0), uint16(0), uint16(0))
+	f.Add(int64(5), uint8(16), uint16(2048), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64, nRegions uint8, nRefs uint16, cut uint16) {
+		reg, refs, owners := fuzzStream(seed, nRegions, nRefs)
+
+		var buf bytes.Buffer
+		w := NewWriterV2(&buf, reg)
+		for i := range refs {
+			w.Access(refs[i], owners[i])
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		encoded := buf.Bytes()
+
+		check := func(tr *TraceV2, path string) {
+			want := reg.Regions()
+			if len(tr.Regions) != len(want) {
+				t.Fatalf("%s: regions got %d, want %d", path, len(tr.Regions), len(want))
+			}
+			for i := range want {
+				if tr.Regions[i] != want[i] {
+					t.Errorf("%s: region %d got %+v, want %+v", path, i, tr.Regions[i], want[i])
+				}
+			}
+			if tr.NumRefs() != int64(len(refs)) {
+				t.Fatalf("%s: records got %d, want %d", path, tr.NumRefs(), len(refs))
+			}
+			b := tr.Batch()
+			for i := range refs {
+				r, o := b.At(i)
+				if r != refs[i] || o != owners[i] {
+					t.Fatalf("%s: record %d got %+v/%d, want %+v/%d", path, i, r, o, refs[i], owners[i])
+				}
+			}
+		}
+
+		tr, err := DecodeV2(encoded)
+		if err != nil {
+			t.Fatalf("DecodeV2: %v", err)
+		}
+		check(tr, "aligned")
+
+		// Force the copy-decode path by breaking 8-byte alignment.
+		shifted := make([]byte, len(encoded)+1)
+		copy(shifted[1:], encoded)
+		trOdd, err := DecodeV2(shifted[1:])
+		if err != nil {
+			t.Fatalf("DecodeV2(misaligned): %v", err)
+		}
+		if trOdd.ZeroCopy() {
+			t.Fatal("misaligned decode claims zero-copy")
+		}
+		check(trOdd, "misaligned")
+
+		// A truncated container must never panic the decoder.
+		if len(encoded) > 0 {
+			_, _ = DecodeV2(encoded[:int(cut)%len(encoded)])
+		}
+	})
+}
+
+// FuzzV1V2RoundTrip pins cross-format equivalence: the same reference
+// stream written as a v1 record stream and as a v2 columnar container must
+// decode to identical region tables and bit-identical replay streams, so
+// replacing v1 traces with v2 can never change a simulation result. Seed
+// corpus lives under testdata/fuzz.
+func FuzzV1V2RoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint16(100))
+	f.Add(int64(42), uint8(0), uint16(0))
+	f.Add(int64(7), uint8(20), uint16(1500))
+	f.Fuzz(func(t *testing.T, seed int64, nRegions uint8, nRefs uint16) {
+		reg, refs, owners := fuzzStream(seed, nRegions, nRefs)
+
+		var v1buf bytes.Buffer
+		w1, err := NewWriter(&v1buf, reg)
+		if err != nil {
+			t.Fatalf("NewWriter: %v", err)
+		}
+		for i := range refs {
+			w1.Access(refs[i], owners[i])
+		}
+		if err := w1.Flush(); err != nil {
+			t.Fatalf("v1 Flush: %v", err)
+		}
+
+		var v2buf bytes.Buffer
+		w2 := NewWriterV2(&v2buf, reg)
+		for i := range refs {
+			w2.Access(refs[i], owners[i])
+		}
+		if err := w2.Flush(); err != nil {
+			t.Fatalf("v2 Flush: %v", err)
+		}
+
+		var v1Refs []Ref
+		var v1Owners []int32
+		v1Regions, err := ReadTrace(bytes.NewReader(v1buf.Bytes()), func(r Ref, o int32) {
+			v1Refs = append(v1Refs, r)
+			v1Owners = append(v1Owners, o)
+		})
+		if err != nil {
+			t.Fatalf("ReadTrace: %v", err)
+		}
+
+		tr, err := DecodeV2(v2buf.Bytes())
+		if err != nil {
+			t.Fatalf("DecodeV2: %v", err)
+		}
+
+		if len(tr.Regions) != len(v1Regions) {
+			t.Fatalf("regions: v2 %d, v1 %d", len(tr.Regions), len(v1Regions))
+		}
+		for i := range v1Regions {
+			if tr.Regions[i] != v1Regions[i] {
+				t.Errorf("region %d: v2 %+v, v1 %+v", i, tr.Regions[i], v1Regions[i])
+			}
+		}
+		if tr.NumRefs() != int64(len(v1Refs)) {
+			t.Fatalf("records: v2 %d, v1 %d", tr.NumRefs(), len(v1Refs))
+		}
+		i := 0
+		tr.Batches(64, func(b *RefBatch) {
+			b.Each(func(r Ref, o int32) {
+				if r != v1Refs[i] || o != v1Owners[i] {
+					t.Fatalf("record %d: v2 %+v/%d, v1 %+v/%d", i, r, o, v1Refs[i], v1Owners[i])
+				}
+				i++
+			})
+		})
+		if i != len(v1Refs) {
+			t.Fatalf("v2 replayed %d records, v1 %d", i, len(v1Refs))
+		}
+	})
+}

@@ -16,21 +16,27 @@ import (
 // cache engine relies on (all references to one cache set must stay
 // ordered, references to different sets may interleave freely).
 //
-// References are shipped in batches to amortize channel overhead: a single
-// channel operation moves DefaultBatch references, so the per-reference
-// synchronization cost is a few nanoseconds even for streams of hundreds of
-// millions of references. Drained batches are recycled through a sync.Pool.
+// References move in RefBatch blocks to amortize channel overhead: a single
+// channel operation ships DefaultBatch references packed in two uint64
+// columns, so the per-reference synchronization cost is a few nanoseconds
+// even for streams of hundreds of millions of references. Batch arenas are
+// recycled through a BatchPool — drained batches come back to the producer,
+// so the steady-state fan-out allocates nothing. Sinks that implement
+// BatchConsumer receive whole batches (no per-reference interface calls);
+// plain Consumers are fed reference-by-reference from the batch.
 //
-// The producer side (Access, Drain, Close) must be driven from a single
-// goroutine, mirroring the contract of trace.Memory. The sinks run
+// The producer side (Access, AccessBatch, Drain, Close) must be driven from
+// a single goroutine, mirroring the contract of trace.Memory. The sinks run
 // concurrently, one goroutine each; a sink is only ever invoked from its
-// own worker goroutine, so sinks need no internal locking.
+// own worker goroutine, so sinks need no internal locking. Batches handed
+// to a BatchConsumer are pool-owned: the sink must not retain the batch (or
+// views of it) past the AccessBatch call.
 type FanOut struct {
 	route func(Ref, int32) int
 	chans []chan fanMsg
-	bufs  [][]fanRec
+	bufs  []*RefBatch
 	batch int
-	pool  sync.Pool
+	bpool *BatchPool
 	wg    sync.WaitGroup
 	met   fanMetrics
 
@@ -58,23 +64,18 @@ type fanMetrics struct {
 
 // DefaultBatch is the fan-out batch size: large enough that channel
 // synchronization vanishes from profiles, small enough that partial batches
-// flushed by Drain stay cheap (~96 KB of records per in-flight batch).
+// flushed by Drain stay cheap (~64 KB of columns per in-flight batch).
 const DefaultBatch = 4096
 
 // chanDepth bounds the batches buffered per worker so a fast producer can
 // run ahead of slow workers without unbounded memory growth.
 const chanDepth = 4
 
-type fanRec struct {
-	ref   Ref
-	owner int32
-}
-
 // fanMsg is either a batch of records, a barrier acknowledgement request,
 // or both (Drain piggybacks the final partial batch on the barrier).
 type fanMsg struct {
-	recs []fanRec
-	ack  chan<- struct{}
+	b   *RefBatch
+	ack chan<- struct{}
 }
 
 // NewFanOut starts one worker goroutine per sink. route maps a reference to
@@ -88,29 +89,31 @@ func NewFanOut(sinks []Consumer, route func(Ref, int32) int, batch int) *FanOut 
 	f := &FanOut{
 		route:   route,
 		chans:   make([]chan fanMsg, len(sinks)),
-		bufs:    make([][]fanRec, len(sinks)),
+		bufs:    make([]*RefBatch, len(sinks)),
 		batch:   batch,
+		bpool:   NewBatchPool(batch),
 		wtracks: make([]*tracez.Track, len(sinks)),
-	}
-	f.pool.New = func() any {
-		s := make([]fanRec, 0, batch)
-		return &s
 	}
 	for i := range sinks {
 		f.chans[i] = make(chan fanMsg, chanDepth)
-		f.bufs[i] = f.getBuf()
+		f.bufs[i] = f.bpool.Get()
 		f.wg.Add(1)
 		go func(i int, ch <-chan fanMsg, sink Consumer) {
 			defer f.wg.Done()
+			bsink, batched := sink.(BatchConsumer)
 			for msg := range ch {
 				sp := f.wtracks[i].Begin("fanout.batch")
-				for _, rec := range msg.recs {
-					sink.Access(rec.ref, rec.owner)
+				var n int64
+				if msg.b != nil {
+					n = int64(msg.b.Len())
+					if batched {
+						bsink.AccessBatch(msg.b)
+					} else {
+						msg.b.Each(sink.Access)
+					}
+					f.bpool.Put(msg.b)
 				}
-				sp.EndInt("recs", int64(len(msg.recs)))
-				if msg.recs != nil {
-					f.putBuf(msg.recs)
-				}
+				sp.EndInt("recs", n)
 				if msg.ack != nil {
 					msg.ack <- struct{}{}
 				}
@@ -118,15 +121,6 @@ func NewFanOut(sinks []Consumer, route func(Ref, int32) int, batch int) *FanOut 
 		}(i, f.chans[i], sinks[i])
 	}
 	return f
-}
-
-func (f *FanOut) getBuf() []fanRec {
-	return (*f.pool.Get().(*[]fanRec))[:0]
-}
-
-func (f *FanOut) putBuf(b []fanRec) {
-	b = b[:0]
-	f.pool.Put(&b)
 }
 
 // Workers returns the number of worker goroutines.
@@ -202,6 +196,17 @@ func (f *FanOut) ship(i int, msg fanMsg) {
 	f.queue.Sample(f.queuedBatches())
 }
 
+// flush ships worker i's buffered batch and replaces it with a fresh
+// arena from the pool (in steady state, one drained earlier by a worker).
+//
+//dvf:hotpath
+func (f *FanOut) flush(i int) {
+	f.met.batches.Inc()
+	f.met.occupancy.Observe(int64(f.bufs[i].Len()))
+	f.ship(i, fanMsg{b: f.bufs[i]})
+	f.bufs[i] = f.bpool.Get()
+}
+
 // Access routes one reference to its worker, flushing the worker's batch
 // when full. It implements Consumer.
 //
@@ -213,15 +218,37 @@ func (f *FanOut) Access(r Ref, owner int32) {
 	f.met.refs.Add(1)
 	//dvf:allow hotalloc route is the caller-supplied shard-index function; NewFanOut documents it as pure arithmetic, and every in-repo route is
 	i := f.route(r, owner)
-	//dvf:allow hotalloc batch buffers come from the fan-out's pool with full batch capacity, so append never grows the backing array
-	buf := append(f.bufs[i], fanRec{ref: r, owner: owner})
-	if len(buf) >= f.batch {
-		f.met.batches.Inc()
-		f.met.occupancy.Observe(int64(len(buf)))
-		f.ship(i, fanMsg{recs: buf})
-		buf = f.getBuf()
+	b := f.bufs[i]
+	b.Append(r, owner)
+	if b.Len() >= f.batch {
+		f.flush(i)
 	}
-	f.bufs[i] = buf
+}
+
+// AccessBatch routes a whole batch, reference by reference (routing is
+// per-reference by construction), into the per-worker buffers. The meta
+// words are moved verbatim — no unpack/repack. It implements
+// BatchConsumer; the input batch is not retained.
+//
+//dvf:hotpath
+func (f *FanOut) AccessBatch(in *RefBatch) {
+	if f.closed {
+		panic("trace: FanOut.AccessBatch after Close")
+	}
+	f.met.refs.Add(int64(in.Len()))
+	for i := range in.Addrs {
+		size, write, owner := UnpackMeta(in.Metas[i])
+		//dvf:allow hotalloc route is the caller-supplied shard-index function; NewFanOut documents it as pure arithmetic, and every in-repo route is
+		w := f.route(Ref{Addr: in.Addrs[i], Size: size, Write: write}, owner)
+		b := f.bufs[w]
+		//dvf:allow hotalloc worker buffers carry full arena capacity from the fan-out's pool, so append never grows
+		b.Addrs = append(b.Addrs, in.Addrs[i])
+		//dvf:allow hotalloc same arena-capacity argument as the address column
+		b.Metas = append(b.Metas, in.Metas[i])
+		if b.Len() >= f.batch {
+			f.flush(w)
+		}
+	}
 }
 
 // Drain flushes all partial batches and blocks until every worker has
@@ -238,11 +265,11 @@ func (f *FanOut) Drain() {
 	ack := make(chan struct{}, len(f.chans))
 	for i := range f.chans {
 		msg := fanMsg{ack: ack}
-		if len(f.bufs[i]) > 0 {
-			msg.recs = f.bufs[i]
-			f.bufs[i] = f.getBuf()
+		if f.bufs[i].Len() > 0 {
+			msg.b = f.bufs[i]
+			f.bufs[i] = f.bpool.Get()
 			f.met.batches.Inc()
-			f.met.occupancy.Observe(int64(len(msg.recs)))
+			f.met.occupancy.Observe(int64(msg.b.Len()))
 		}
 		f.ship(i, msg)
 	}
@@ -260,10 +287,10 @@ func (f *FanOut) Close() {
 	}
 	f.closed = true
 	for i := range f.chans {
-		if len(f.bufs[i]) > 0 {
+		if f.bufs[i].Len() > 0 {
 			f.met.batches.Inc()
-			f.met.occupancy.Observe(int64(len(f.bufs[i])))
-			f.ship(i, fanMsg{recs: f.bufs[i]})
+			f.met.occupancy.Observe(int64(f.bufs[i].Len()))
+			f.ship(i, fanMsg{b: f.bufs[i]})
 			f.bufs[i] = nil
 		}
 		close(f.chans[i])

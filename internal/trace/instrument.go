@@ -26,3 +26,32 @@ func Instrumented(next Consumer, sink metrics.Sink, prefix string) Consumer {
 		}
 	})
 }
+
+// InstrumentedBatch is Instrumented for the batched replay path: the same
+// <prefix>.refs/.bytes/.writes counters, tallied once per batch from the
+// packed meta words instead of once per reference. A nil sink returns next
+// unchanged; a nil next with a live sink yields a pure counting consumer.
+func InstrumentedBatch(next BatchConsumer, sink metrics.Sink, prefix string) BatchConsumer {
+	if sink == nil {
+		return next
+	}
+	refs := sink.Counter(prefix + ".refs")
+	bytes := sink.Counter(prefix + ".bytes")
+	writes := sink.Counter(prefix + ".writes")
+	return BatchConsumerFunc(func(b *RefBatch) {
+		var nbytes, nwrites int64
+		for _, m := range b.Metas {
+			size, write, _ := UnpackMeta(m)
+			nbytes += int64(size)
+			if write {
+				nwrites++
+			}
+		}
+		refs.Add(int64(b.Len()))
+		bytes.Add(nbytes)
+		writes.Add(nwrites)
+		if next != nil {
+			next.AccessBatch(b)
+		}
+	})
+}

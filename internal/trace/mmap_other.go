@@ -1,0 +1,25 @@
+//go:build !unix
+
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads the whole file on platforms without a usable mmap; the
+// returned release func is a no-op. The zero-copy v2 decode path still
+// applies — batches alias the read buffer instead of a mapping.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package trace
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and returns the mapping plus a
+// release func. Empty files (and mmap failures, e.g. on filesystems that
+// refuse mappings) fall back to reading the file into memory.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readFileFallback(f)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+// readFileFallback slurps the whole file when mapping is unavailable.
+func readFileFallback(f *os.File) ([]byte, func() error, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}
