@@ -26,14 +26,19 @@
 #                     truncation, and v1-vs-v2 record equivalence
 #   make trace-smoke  record a fig4 timeline with -trace-out and
 #                     schema-validate it with dvf-flame -check
+#   make analytic-smoke  the analytic engine's red/green signal: the live
+#                     analytic-vs-simulator differential (hard-fails on
+#                     any tolerance breach), a trace-free CLI pass over
+#                     every bundled cache, and a bounded fuzz of the
+#                     solver against the sequential simulator
 
 GO ?= go
 FUZZTIME ?= 10s
 LINTFLAGS ?=
 
-.PHONY: check fmt-check vet lint lint-sarif lint-fix-check build test race bench-smoke bench fuzz-smoke fuzz-smoke-v2 trace-smoke
+.PHONY: check fmt-check vet lint lint-sarif lint-fix-check build test race bench-smoke bench fuzz-smoke fuzz-smoke-v2 trace-smoke analytic-smoke
 
-check: fmt-check vet lint lint-fix-check build test race bench-smoke fuzz-smoke fuzz-smoke-v2 trace-smoke
+check: fmt-check vet lint lint-fix-check build test race bench-smoke fuzz-smoke fuzz-smoke-v2 trace-smoke analytic-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -67,8 +72,12 @@ lint-fix-check:
 build:
 	$(GO) build ./...
 
+# TESTFLAGS threads extra `go test` flags through, e.g.
+# `make test TESTFLAGS=-shuffle=on` (what CI runs, to keep the suite
+# order-independent).
+TESTFLAGS ?=
 test:
-	$(GO) test ./...
+	$(GO) test $(TESTFLAGS) ./...
 
 race:
 	$(GO) test -race ./...
@@ -92,3 +101,8 @@ trace-smoke:
 	mkdir -p $(TRACEOUT)
 	$(GO) run ./cmd/dvf-verify -workers 2 -csv -trace-out $(TRACEOUT)/fig4.json > /dev/null
 	$(GO) run ./cmd/dvf-flame -check $(TRACEOUT)/fig4.json
+
+analytic-smoke:
+	$(GO) run ./cmd/dvf-verify -engine analytic
+	$(GO) run ./cmd/dvf-trace -engine analytic -kernel CG -all > /dev/null
+	$(GO) test -run '^$$' -fuzz '^FuzzAnalyticVsSimulator$$' -fuzztime $(FUZZTIME) ./internal/analytic

@@ -22,6 +22,17 @@
 // sequential simulator, 0 one shard worker per CPU. Every choice produces
 // a bit-identical report — the cache decomposes exactly by set index — so
 // the flag only trades wall-clock time.
+//
+// Trace-free analysis:
+//
+//	dvf-trace -engine analytic -kernel CG -cache large
+//	dvf-trace -engine analytic -kernel FT -all
+//
+// The analytic engine skips the trace entirely: it solves the kernel's
+// affine access pattern symbolically and prints the same per-structure
+// main-memory access table a replay would, in microseconds. It applies to
+// the affine Table II kernels (VM, CG, MG, FT); the data-dependent ones
+// (NB, MC) need a real trace.
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/resilience-models/dvf/internal/analytic"
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/kernels"
 	"github.com/resilience-models/dvf/internal/metrics"
@@ -59,11 +71,30 @@ func main() {
 	cacheName := flag.String("cache", "small", "cache to replay against")
 	all := flag.Bool("all", false, "replay against every Table IV cache")
 	workers := flag.Int("workers", -1, "replay workers (-1 = auto from trace size, 0 = one per CPU, 1 = sequential)")
+	engine := flag.String("engine", "replay", "analysis engine: replay (trace-driven) or analytic (trace-free, affine kernels)")
 	o := obs.AddFlags(nil)
 	flag.Parse()
 	defer o.Start()()
 
 	switch {
+	case *engine == "analytic":
+		configs := []cache.Config{}
+		if *all {
+			configs = append(cache.VerificationConfigs(), cache.ProfilingConfigs()...)
+		} else {
+			cfg, ok := tableIV[strings.ToLower(*cacheName)]
+			if !ok {
+				log.Fatalf("unknown cache %q", *cacheName)
+			}
+			configs = append(configs, cfg)
+		}
+		for _, cfg := range configs {
+			if err := doAnalytic(*kernel, cfg); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case *engine != "replay":
+		log.Fatalf("unknown -engine %q (want replay or analytic)", *engine)
 	case *record:
 		if *out == "" {
 			log.Fatal("-record requires -out")
@@ -91,6 +122,32 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// doAnalytic solves a kernel's affine access pattern for one cache and
+// prints the predicted per-structure main-memory access counts — the
+// trace-free counterpart of recording and replaying it.
+func doAnalytic(code string, cfg cache.Config) error {
+	k, err := kernels.ByName(code)
+	if err != nil {
+		return err
+	}
+	d, ok := kernels.Affine(k)
+	if !ok {
+		return fmt.Errorf("%s has no affine access pattern; record a trace and use -replay", k.Name())
+	}
+	prof, err := analytic.Solve(d, cfg)
+	if err != nil {
+		return err
+	}
+	tol := analytic.Tolerance(k.Name(), cfg)
+	fmt.Printf("%s on %s (engine=analytic, tolerance %g)\n", prof.Kernel, prof.Cache, tol)
+	fmt.Printf("%-8s %12s %16s\n", "struct", "lines", "mem accesses")
+	for _, s := range prof.Structures {
+		fmt.Printf("%-8s %12d %16.1f\n", s.Name, s.Lines, s.Misses)
+	}
+	fmt.Printf("%-8s %12s %16.1f\n", "total", "", prof.TotalMisses())
+	return nil
 }
 
 func doRecord(code, out, format string, sink metrics.Sink, tz tracez.Recorder) error {

@@ -2,6 +2,11 @@
 // verification kernels through the cache simulator and compares the CGPMAC
 // analytical estimates against the simulated main-memory access counts.
 //
+//	-engine E   replay (default) reproduces Figure 4 through the trace
+//	            replay pipeline; analytic runs the trace-free analytic
+//	            engine's live differential instead — every affine kernel
+//	            solved symbolically and checked against the sequential
+//	            simulator, exiting nonzero on any tolerance breach
 //	-csv        emit machine-readable CSV instead of the table
 //	-workers N  simulation parallelism: 0 (default) fans the twelve
 //	            (kernel, cache) cells out concurrently, 1 falls back to
@@ -25,20 +30,43 @@ import (
 )
 
 func main() {
+	engine := flag.String("engine", "replay", "verification engine: replay or analytic")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the table")
 	workers := flag.Int("workers", 0, "simulation workers (0 = parallel default, 1 = sequential, -1 = auto engine)")
 	o := obs.AddFlags(nil)
 	flag.Parse()
 	defer o.Start()()
-	res, err := experiments.RunFig4Obs(*workers, o.Sink(), o.Tracer())
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *csvOut {
-		if err := res.WriteCSV(os.Stdout); err != nil {
+	switch *engine {
+	case "replay":
+		res, err := experiments.RunFig4Obs(*workers, o.Sink(), o.Tracer())
+		if err != nil {
 			log.Fatal(err)
 		}
-		return
+		if *csvOut {
+			if err := res.WriteCSV(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Print(res.Render())
+	case "analytic":
+		res, err := experiments.RunAnalyticDiff(nil, *workers, o.Sink(), o.Tracer())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csvOut {
+			if err := res.WriteCSV(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			fmt.Print(res.Render())
+		}
+		// The live differential is a gate, not just a report: any structure
+		// outside the documented tolerance is a hard failure.
+		if err := res.Check(); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("dvf-verify: unknown -engine %q (want replay or analytic)", *engine)
 	}
-	fmt.Print(res.Render())
 }

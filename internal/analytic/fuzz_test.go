@@ -1,0 +1,110 @@
+package analytic_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/analytic"
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// FuzzAnalyticVsSimulator cross-checks the analytic engine against the
+// sequential simulator over fuzzed kernel parameters and cache
+// geometries. The bundled Table IV geometries are covered exhaustively by
+// TestDifferentialWall under the documented tolerances; the fuzz target
+// explores arbitrary geometries, where it asserts the engine's structural
+// invariants instead of a fixed error bound:
+//
+//   - the solve succeeds, is finite, non-negative and deterministic;
+//   - every structure's prediction is at most the simulator's access
+//     count for that structure (a miss per line-event is the most any
+//     model can charge; the compulsory floor is NOT the region footprint —
+//     a strided stream on a small line size touches only some lines);
+//   - in the guaranteed-fit regime — when even the worst-case set skew
+//     cannot overflow associativity — both engines must agree exactly:
+//     every reuse hits and only compulsory misses remain.
+func FuzzAnalyticVsSimulator(f *testing.F) {
+	f.Add(uint8(0), uint16(300), uint8(1), uint8(3), uint8(5), uint8(2)) // VM
+	f.Add(uint8(1), uint16(40), uint8(2), uint8(2), uint8(6), uint8(1))  // CG
+	f.Add(uint8(2), uint16(1), uint8(1), uint8(0), uint8(7), uint8(3))   // MG, direct-mapped
+	f.Add(uint8(3), uint16(4), uint8(1), uint8(7), uint8(4), uint8(0))   // FT
+	f.Fuzz(func(t *testing.T, kind uint8, sizeSel uint16, iterSel, assocSel, setSel, lineSel uint8) {
+		var k kernels.Kernel
+		switch kind % 4 {
+		case 0:
+			k = kernels.NewVM(16 + int(sizeSel%512))
+		case 1:
+			k = kernels.NewCG(8+int(sizeSel%57), 1+int(iterSel%3))
+		case 2:
+			k = kernels.NewMG(8<<(sizeSel%3), 1+int(iterSel%2))
+		case 3:
+			k = kernels.NewFT(4 << (sizeSel % 7))
+		}
+		cfg := cache.Config{
+			Name:          "fuzz",
+			Associativity: int(assocSel%8) + 1,
+			Sets:          1 << (setSel % 8),
+			LineSize:      1 << (3 + lineSel%4),
+		}
+		d, ok := kernels.Affine(k)
+		if !ok {
+			t.Fatalf("%s lost its affine pattern", k.Name())
+		}
+		prof, err := analytic.Solve(d, cfg)
+		if err != nil {
+			t.Fatalf("solve %s on %+v: %v", k.Name(), cfg, err)
+		}
+		again, err := analytic.Solve(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range prof.Structures {
+			if again.Structures[i] != s {
+				t.Fatalf("solve is not deterministic: %+v vs %+v", s, again.Structures[i])
+			}
+		}
+
+		sim, err := cache.NewSimulator(cfg)
+		if err != nil {
+			t.Fatalf("geometry %+v rejected: %v", cfg, err)
+		}
+		info, err := k.Run(trace.ConsumerFunc(func(r trace.Ref, owner int32) {
+			sim.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Worst-case per-set occupancy across all regions: every region can
+		// put at most floor(lines/Sets)+1 lines in any one set, whatever its
+		// base alignment. Below associativity, eviction is impossible.
+		worstPerSet := int64(0)
+		for _, s := range prof.Structures {
+			worstPerSet += s.Lines/int64(cfg.Sets) + 1
+		}
+		guaranteedFit := worstPerSet <= int64(cfg.Associativity)
+
+		for _, st := range info.Structures {
+			model, err := prof.Misses(st.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats := sim.StructStats(cache.StructID(st.ID))
+			if math.IsNaN(model) || math.IsInf(model, 0) || model < 0 {
+				t.Fatalf("%s/%s: bad prediction %v", k.Name(), st.Name, model)
+			}
+			if accesses := float64(stats.Hits + stats.Misses); model > accesses+0.5 {
+				t.Errorf("%s/%s on %+v: predicted %.2f misses above the %g line-events observed",
+					k.Name(), st.Name, cfg, model, accesses)
+			}
+			if guaranteedFit {
+				if simulated := float64(stats.Misses); model != simulated {
+					t.Errorf("%s/%s on %+v: guaranteed-fit geometry (worst per-set %d <= assoc %d) but analytic %.2f != simulated %g",
+						k.Name(), st.Name, cfg, worstPerSet, cfg.Associativity, model, simulated)
+				}
+			}
+		}
+	})
+}

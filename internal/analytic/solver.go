@@ -1,0 +1,336 @@
+package analytic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/resilience-models/dvf/internal/cache"
+)
+
+// StructMisses is the solved result for one region: the number of
+// main-memory accesses (cache miss line fills) the analytic model
+// predicts the region induces on the solved geometry.
+type StructMisses struct {
+	Name   string
+	Lines  int64   // compulsory line footprint on this geometry
+	Misses float64 // predicted misses (fractional: set-mapping averages)
+}
+
+// Profile is the trace-free analog of replaying a kernel's trace through
+// the cache simulator: per-structure main-memory access counts for one
+// cache geometry. Misses here play the role of Stats.Misses — the N_ha
+// the DVF aggregation consumes.
+type Profile struct {
+	Kernel     string
+	Cache      string
+	Structures []StructMisses
+}
+
+// Misses returns the predicted miss count for the named structure.
+func (p *Profile) Misses(name string) (float64, error) {
+	for _, s := range p.Structures {
+		if s.Name == name {
+			return s.Misses, nil
+		}
+	}
+	return 0, fmt.Errorf("analytic: %s profile has no structure %q", p.Kernel, name)
+}
+
+// TotalMisses returns the sum over all structures.
+func (p *Profile) TotalMisses() float64 {
+	var t float64
+	for _, s := range p.Structures {
+		t += s.Misses
+	}
+	return t
+}
+
+// Solve runs the descriptor's phase program against one cache geometry
+// and returns the predicted per-structure miss counts. It never touches a
+// trace: cost is proportional to the number of loop nests (plus grid rows
+// and permutation lines for the interval-counted phases), not to the
+// number of memory references.
+func Solve(d *Descriptor, cfg cache.Config) (*Profile, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &solver{
+		d:    d,
+		cfg:  cfg,
+		tl:   newTimeline(),
+		ridx: make(map[string]int, len(d.Regions)),
+		miss: make([]float64, len(d.Regions)),
+	}
+	// Conflict-free geometries are exact by construction: when nothing can
+	// ever be evicted, every reuse hits and only compulsory misses remain —
+	// whereas the window model would leak a small spurious fraction. Two
+	// sufficient conditions, both independent of the regions' (unknown)
+	// base alignment:
+	//
+	//   - a single contiguous region of at most Sets lines puts every line
+	//     in its own set;
+	//   - whatever the alignment, a region of L lines can place at most
+	//     floor(L/Sets)+1 lines in any one set, so when those worst cases
+	//     summed over all regions still fit within the associativity,
+	//     eviction is impossible.
+	if len(d.Regions) == 1 && regionLines(d.Regions[0], cfg.LineSize) <= int64(cfg.Sets) {
+		s.conflictFree = true
+	}
+	worstPerSet := int64(0)
+	for _, r := range d.Regions {
+		worstPerSet += regionLines(r, cfg.LineSize)/int64(cfg.Sets) + 1
+	}
+	if worstPerSet <= int64(cfg.Associativity) {
+		s.conflictFree = true
+	}
+	for i, r := range d.Regions {
+		s.ridx[r.Name] = i
+	}
+	s.phases(d.Phases)
+	prof := &Profile{Kernel: d.Kernel, Cache: cfg.Name}
+	for i, r := range d.Regions {
+		prof.Structures = append(prof.Structures, StructMisses{
+			Name:   r.Name,
+			Lines:  regionLines(r, cfg.LineSize),
+			Misses: s.miss[i],
+		})
+	}
+	return prof, nil
+}
+
+type solver struct {
+	d            *Descriptor
+	cfg          cache.Config
+	tl           *timeline
+	ridx         map[string]int
+	miss         []float64
+	conflictFree bool
+}
+
+// fracGap and fracParts wrap the miss model with the conflict-free
+// short-circuit (see Solve).
+func (s *solver) fracGap(lines, events, ownLines int64) float64 {
+	if s.conflictFree {
+		return 0
+	}
+	return missFracGap(lines, events, ownLines, s.cfg)
+}
+
+func (s *solver) fracParts(parts []segPart, ownLines int64) float64 {
+	if s.conflictFree {
+		return 0
+	}
+	return missFracParts(parts, ownLines, s.cfg)
+}
+
+// key packs (region, sub-segment) into one timeline key. Sub 0 is the
+// whole-region segment used by phase-granular solvers; interval-counted
+// phases use 1+elemStart (grid rows) or 1+lineIndex (FFT lines), which
+// stay well under the 2^40 sub-key space.
+func (s *solver) key(ri int, sub int64) int64 { return int64(ri)<<40 | sub }
+
+func (s *solver) phases(ps []Phase) {
+	for _, p := range ps {
+		switch p := p.(type) {
+		case Stream:
+			s.stream(p)
+		case MatVec:
+			s.matVec(p)
+		case Smooth:
+			s.smooth(p)
+		case Restrict:
+			s.restrict(p)
+		case Prolong:
+			s.prolong(p)
+		case BitReverse:
+			s.bitReverse(p)
+		case Butterflies:
+			s.butterflies(p)
+		case Repeat:
+			for i := 0; i < p.Count; i++ {
+				s.phases(p.Body)
+			}
+		}
+	}
+}
+
+// touch records a segment traversal and charges its misses: every line of
+// the segment on the first-ever touch (compulsory), otherwise the
+// set-pressure fraction of the gap the timeline reports — its distinct
+// lines split over its segment events, with the segment's own footprint
+// as the self-interference term (a line's true gap also spans the other
+// lines of its own segment: the tail of the previous traversal plus the
+// head of the current one).
+func (s *solver) touch(ri int, sub, lines int64) {
+	if lines <= 0 {
+		return
+	}
+	d, e, first := s.tl.Touch(s.key(ri, sub), lines)
+	if first {
+		s.miss[ri] += float64(lines)
+		return
+	}
+	s.miss[ri] += float64(lines) * s.fracGap(d, e, lines)
+}
+
+func (s *solver) region(name string) (int, Region) {
+	ri := s.ridx[name]
+	return ri, s.d.Regions[ri]
+}
+
+func (s *solver) stream(p Stream) {
+	// Lockstep traversals: one whole-segment touch per distinct region, in
+	// the body's first-access order. A second traversal of the same region
+	// inside the phase (a load/store pair) rides on the first for free.
+	seen := make(map[int]bool, len(p.Streams))
+	for _, t := range p.Streams {
+		ri, r := s.region(t.Region)
+		if seen[ri] {
+			continue
+		}
+		seen[ri] = true
+		s.touch(ri, 0, distinctLines(t.Count, t.StrideElems, r.ElemSize, s.cfg.LineSize))
+	}
+}
+
+func (s *solver) matVec(p MatVec) {
+	vi, vr := s.region(p.Vec)
+	mi, mr := s.region(p.Matrix)
+	oi, or := s.region(p.Out)
+	ls := s.cfg.LineSize
+	vecLines := distinctLines(p.N, 1, vr.ElemSize, ls)
+	rowLines := distinctLines(p.N, 1, mr.ElemSize, ls)
+	outLines := distinctLines(p.N, 1, or.ElemSize, ls)
+	// The vector's first inner traversal reuses whatever the previous
+	// phase left (it interleaves with only the first matrix row), so it is
+	// charged before the matrix event lands on the timeline.
+	s.touch(vi, 0, vecLines)
+	s.touch(mi, 0, regionLines(mr, ls))
+	s.touch(oi, 0, outLines)
+	// Remaining N-1 inner traversals, all at the same uniform gap: one
+	// streamed matrix row plus one output line, against the vector's own
+	// footprint as self-interference.
+	inner := s.fracParts([]segPart{{lines: rowLines, count: 1}, {lines: 1, count: 1}}, vecLines)
+	s.miss[vi] += float64(p.N-1) * float64(vecLines) * inner
+	// The phase's true trailing accesses are the last matrix row, the
+	// vector's last traversal, and the output's last store — not the
+	// whole matrix. Reposition the vector and output events (already
+	// charged above) so the next phase's gaps see that recency order.
+	s.tl.Touch(s.key(vi, 0), vecLines)
+	s.tl.Touch(s.key(oi, 0), outLines)
+}
+
+// touchRow is the grid-phase primitive: one (i, j) row of Dim contiguous
+// k-elements, keyed by its element offset within the region.
+func (s *solver) touchRow(ri int, r Region, startElem, dim int) {
+	lines := distinctLines(dim, 1, r.ElemSize, s.cfg.LineSize)
+	s.touch(ri, 1+int64(startElem), lines)
+}
+
+func (s *solver) smooth(p Smooth) {
+	ri, r := s.region(p.Region)
+	n := p.Dim
+	row := func(i, j int) int { return p.OffsetElems + (i*n+j)*n }
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			s.touchRow(ri, r, row(i, j-1), n)
+			s.touchRow(ri, r, row(i, j+1), n)
+			s.touchRow(ri, r, row(i-1, j), n)
+			s.touchRow(ri, r, row(i+1, j), n)
+			s.touchRow(ri, r, row(i, j), n)
+		}
+	}
+}
+
+func (s *solver) restrict(p Restrict) {
+	ri, r := s.region(p.Region)
+	nf, nc := p.FineDim, p.CoarseDim
+	rowF := func(i, j int) int { return p.FineOffset + (i*nf+j)*nf }
+	rowC := func(i, j int) int { return p.CoarseOffs + (i*nc+j)*nc }
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			for di := 0; di < 2; di++ {
+				for dj := 0; dj < 2; dj++ {
+					s.touchRow(ri, r, rowF(2*i+di, 2*j+dj), nf)
+				}
+			}
+			s.touchRow(ri, r, rowC(i, j), nc)
+		}
+	}
+}
+
+func (s *solver) prolong(p Prolong) {
+	ri, r := s.region(p.Region)
+	nf, nc := p.FineDim, p.CoarseDim
+	rowF := func(i, j int) int { return p.FineOffset + (i*nf+j)*nf }
+	rowC := func(i, j int) int { return p.CoarseOffs + (i*nc+j)*nc }
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			s.touchRow(ri, r, rowC(i, j), nc)
+			for di := 0; di < 2; di++ {
+				for dj := 0; dj < 2; dj++ {
+					s.touchRow(ri, r, rowF(2*i+di, 2*j+dj), nf)
+				}
+			}
+		}
+	}
+}
+
+// touchLine is the permutation-phase primitive: one cache line, keyed by
+// its line index within the region.
+func (s *solver) touchLine(ri int, line int64) {
+	d, e, first := s.tl.Touch(s.key(ri, 1+line), 1)
+	if first {
+		s.miss[ri]++
+		return
+	}
+	s.miss[ri] += s.fracGap(d, e, 1)
+}
+
+func (s *solver) bitReverse(p BitReverse) {
+	ri, r := s.region(p.Region)
+	es, ls := int64(r.ElemSize), int64(s.cfg.LineSize)
+	logN := bits.TrailingZeros(uint(p.N))
+	visit := func(e int64) {
+		for b := e * es / ls; b <= (e*es+es-1)/ls; b++ {
+			s.touchLine(ri, b)
+		}
+	}
+	// The swap's load/store pairs re-touch the same lines back to back;
+	// one visit per element carries the whole swap's miss behaviour.
+	for i := 0; i < p.N; i++ {
+		j := int(bits.Reverse32(uint32(i)) >> (32 - logN))
+		if i < j {
+			visit(int64(i))
+			visit(int64(j))
+		}
+	}
+}
+
+func (s *solver) butterflies(p Butterflies) {
+	ri, r := s.region(p.Region)
+	lines := distinctLines(p.N, 1, r.ElemSize, s.cfg.LineSize)
+	passes := bits.TrailingZeros(uint(p.N)) // log2(N) passes, N >= 4 so >= 2
+	emitPass := func() {
+		for b := int64(0); b < lines; b++ {
+			s.touchLine(ri, b)
+		}
+	}
+	// First and last pass run through the interval counter so the
+	// boundaries against neighboring phases (bit-reversal before, the next
+	// round's bit-reversal after) carry real distances; the middle passes
+	// are uniform — every line's touches in consecutive passes are
+	// separated by exactly the rest of the array.
+	emitPass()
+	if mid := passes - 2; mid > 0 {
+		// Consecutive-pass reuse: a line's gap is exactly one traversal of
+		// its own array — pure self-interference.
+		s.miss[ri] += float64(mid) * float64(lines) * s.fracParts(nil, lines)
+	}
+	if passes >= 2 {
+		emitPass()
+	}
+}

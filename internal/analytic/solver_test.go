@@ -1,0 +1,110 @@
+package analytic_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/analytic"
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// allConfigs is every bundled Table IV geometry.
+func allConfigs() []cache.Config {
+	return append(cache.VerificationConfigs(), cache.ProfilingConfigs()...)
+}
+
+// affineSuite returns the verification-size affine kernels.
+func affineSuite(t *testing.T) []kernels.Kernel {
+	t.Helper()
+	var out []kernels.Kernel
+	for _, k := range kernels.VerificationSuite() {
+		if _, ok := kernels.Affine(k); ok {
+			out = append(out, k)
+		}
+	}
+	if len(out) != 4 {
+		t.Fatalf("expected 4 affine kernels (VM, CG, MG, FT), got %d", len(out))
+	}
+	return out
+}
+
+// simulate runs the kernel traced through the sequential simulator and
+// returns the run info and per-structure misses.
+func simulate(t *testing.T, k kernels.Kernel, cfg cache.Config) (*kernels.RunInfo, map[string]float64) {
+	t.Helper()
+	sim, err := cache.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := k.Run(trace.ConsumerFunc(func(r trace.Ref, owner int32) {
+		sim.Access(r.Addr, r.Size, r.Write, cache.StructID(owner))
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := make(map[string]float64, len(info.Structures))
+	for _, st := range info.Structures {
+		misses[st.Name] = float64(sim.StructStats(cache.StructID(st.ID)).Misses)
+	}
+	return info, misses
+}
+
+// TestDifferentialWall is the analytic engine's validation wall: for
+// every affine kernel x bundled cache geometry, every structure's
+// analytic miss count must match the sequential simulator within the
+// documented Tolerance (exactly, where the tolerance is zero).
+func TestDifferentialWall(t *testing.T) {
+	for _, k := range affineSuite(t) {
+		k := k
+		for _, cfg := range allConfigs() {
+			cfg := cfg
+			t.Run(fmt.Sprintf("%s/%s", k.Name(), cfg.Name), func(t *testing.T) {
+				t.Parallel()
+				d, ok := kernels.Affine(k)
+				if !ok {
+					t.Fatalf("%s lost its descriptor", k.Name())
+				}
+				prof, err := analytic.Solve(d, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				info, sim := simulate(t, k, cfg)
+				tol := analytic.Tolerance(k.Name(), cfg)
+				for _, st := range info.Structures {
+					model, err := prof.Misses(st.Name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					simulated := sim[st.Name]
+					lines := float64((st.Bytes + int64(cfg.LineSize) - 1) / int64(cfg.LineSize))
+					bound := tol * simulated
+					if b := tol * lines; b > bound {
+						bound = b
+					}
+					diff := model - simulated
+					if diff < 0 {
+						diff = -diff
+					}
+					t.Logf("%-2s %-22s %-2s analytic %12.1f simulated %12.0f err %+7.3f%% (tol %g)",
+						k.Name(), cfg.Name, st.Name, model, simulated, relPct(model, simulated), tol)
+					if diff > bound {
+						t.Errorf("%s/%s/%s: analytic %f vs simulated %f exceeds tolerance %g",
+							k.Name(), cfg.Name, st.Name, model, simulated, tol)
+					}
+				}
+			})
+		}
+	}
+}
+
+func relPct(model, sim float64) float64 {
+	if sim == 0 {
+		if model == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (model - sim) / sim * 100
+}

@@ -1,0 +1,87 @@
+package analytic
+
+// timeline is a weighted distinct-interval counter over segment-touch
+// events: each event says "all W lines of segment K were just touched",
+// and Touch returns how many distinct lines of *other* segments were
+// touched since K's previous event — the phase-granular stack distance —
+// together with how many segment events contributed them, which the miss
+// model needs to reconstruct the gap's composition.
+//
+// It is the classic Bennett–Kruskal reuse-distance structure: events get
+// increasing positions, a Fenwick tree holds each segment's weight at its
+// most recent position only, and the distance is the weight sum over the
+// open interval since the segment's last event. A parallel tree counts
+// live events the same way. Touch is O(log events).
+type timeline struct {
+	tree    []int64       // Fenwick tree of live weights, 1-based positions
+	etree   []int64       // Fenwick tree of live event markers (1 each)
+	weights []int64       // raw weight per position (for regrowth)
+	last    map[int64]int // segment key -> most recent event position
+	n       int           // events so far
+}
+
+func newTimeline() *timeline {
+	return &timeline{
+		tree:    make([]int64, 1024+1),
+		etree:   make([]int64, 1024+1),
+		weights: make([]int64, 0, 1024),
+		last:    make(map[int64]int, 256),
+	}
+}
+
+// Touch records that segment key was touched with weight lines and
+// returns the distinct-line distance since its previous touch and the
+// number of distinct segments it is made of. first is true when the
+// segment was never touched before (compulsory territory — dist is the
+// full footprint touched so far and should be ignored).
+func (t *timeline) Touch(key int64, weight int64) (dist, events int64, first bool) {
+	prev, seen := t.last[key]
+	if seen {
+		// Sums of live entries in (prev, n]: every segment touched since,
+		// counted once at its latest position; key itself sits at prev.
+		dist = t.sum(t.tree, t.n) - t.sum(t.tree, prev)
+		events = t.sum(t.etree, t.n) - t.sum(t.etree, prev)
+		t.add(t.tree, prev, -t.weights[prev-1])
+		t.add(t.etree, prev, -1)
+		t.weights[prev-1] = 0
+	} else {
+		dist = t.sum(t.tree, t.n)
+		events = t.sum(t.etree, t.n)
+	}
+	t.n++
+	t.weights = append(t.weights, weight)
+	if t.n >= len(t.tree) {
+		t.grow()
+	}
+	t.add(t.tree, t.n, weight)
+	t.add(t.etree, t.n, 1)
+	t.last[key] = t.n
+	return dist, events, !seen
+}
+
+// grow doubles the trees and re-inserts the live entries.
+func (t *timeline) grow() {
+	t.tree = make([]int64, 2*len(t.tree))
+	t.etree = make([]int64, len(t.tree))
+	for pos, w := range t.weights {
+		if w != 0 {
+			t.add(t.tree, pos+1, w)
+			t.add(t.etree, pos+1, 1)
+		}
+	}
+}
+
+func (t *timeline) add(tree []int64, pos int, delta int64) {
+	for ; pos < len(tree); pos += pos & -pos {
+		tree[pos] += delta
+	}
+}
+
+// sum returns the tree's total over positions [1, pos].
+func (t *timeline) sum(tree []int64, pos int) int64 {
+	var s int64
+	for ; pos > 0; pos -= pos & -pos {
+		s += tree[pos]
+	}
+	return s
+}

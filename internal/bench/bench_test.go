@@ -37,8 +37,8 @@ func TestRunProducesManifest(t *testing.T) {
 	if m.GoVersion == "" || m.GOMAXPROCS <= 0 || m.NumCPU <= 0 {
 		t.Errorf("environment stamps missing: %+v", m)
 	}
-	if len(m.Cells) != 3 {
-		t.Fatalf("cells = %d, want 3 (auto + sequential + sharded)", len(m.Cells))
+	if len(m.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4 (analytic + auto + sequential + sharded; VM is affine)", len(m.Cells))
 	}
 	for i := 1; i < len(m.Cells); i++ {
 		if m.Cells[i-1].Key() >= m.Cells[i].Key() {
@@ -53,6 +53,19 @@ func TestRunProducesManifest(t *testing.T) {
 	auto, seq, shard := byEngine["auto"], byEngine["sequential"], byEngine["sharded"]
 	if auto.Kernel == "" || seq.Kernel == "" || shard.Kernel == "" {
 		t.Fatalf("missing engine cells, got %+v", m.Cells)
+	}
+	an := byEngine["analytic"]
+	if an.Kernel == "" {
+		t.Fatalf("missing analytic cell for affine VM, got %+v", m.Cells)
+	}
+	if an.Refs != seq.Refs {
+		t.Errorf("analytic cell refs %d != recorded %d; NsPerRef would not be comparable", an.Refs, seq.Refs)
+	}
+	if an.Stats != (cache.Stats{}) {
+		t.Errorf("analytic cell carries replay counters %+v; predictions must not pose as simulated stats", an.Stats)
+	}
+	if an.WallNs <= 0 {
+		t.Errorf("analytic cell not timed: %+v", an)
 	}
 	if seq.Refs <= 0 || seq.WallNs <= 0 || seq.NsPerRef <= 0 {
 		t.Errorf("sequential cell not measured: %+v", seq)

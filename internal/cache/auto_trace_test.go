@@ -1,0 +1,65 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/trace"
+)
+
+// TestAutoHintFromV1TraceFile pins the dvf-trace -workers=-1 plumbing end
+// to end for the v1 (row-record) container: the hint the replay path
+// builds is TraceFile.NumRefs(), and for a trace under the sharding
+// crossover the auto engine must come back as the sequential simulator no
+// matter how many cores the machine has. A regression that dropped or
+// garbled the hint (say, by passing the byte length) would shard here.
+func TestAutoHintFromV1TraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "small.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := trace.NewRegistry()
+	reg.Alloc("A", 1<<16)
+	w, err := trace.NewWriter(f, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const refs = 10_000
+	for i := 0; i < refs; i++ {
+		w.Access(trace.Ref{Addr: uint64(i * 8), Size: 8}, 1)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tf, err := trace.OpenTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if tf.Version != 1 {
+		t.Fatalf("wrote a v1 container, opened version %d", tf.Version)
+	}
+	if got := tf.NumRefs(); got != refs {
+		t.Fatalf("NumRefs = %d, want %d", got, refs)
+	}
+	hint := AutoHint{Refs: tf.NumRefs()}
+	for _, cpus := range []int{1, 4, 64} {
+		if got := AutoChoice(Small, hint, cpus); got != 1 {
+			t.Errorf("AutoChoice(%d refs, %d cpus) = %d workers, want sequential", refs, cpus, got)
+		}
+	}
+	e, err := NewAutoEngine(Small, hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, ok := e.(*Simulator); !ok {
+		t.Fatalf("NewAutoEngine picked %T for a %d-ref v1 trace, want *Simulator", e, refs)
+	}
+}

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/resilience-models/dvf/internal/analytic"
 	"github.com/resilience-models/dvf/internal/aspen"
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/dvf"
@@ -40,6 +41,11 @@ type (
 	Kernel = kernels.Kernel
 	// VerificationRow is one model-vs-simulator comparison (Figure 4).
 	VerificationRow = experiments.Fig4Row
+	// AnalyticProfile is a trace-free per-structure miss profile solved
+	// from a kernel's affine access pattern (engine=analytic).
+	AnalyticProfile = analytic.Profile
+	// AnalyticRow is one analytic-vs-simulated differential comparison.
+	AnalyticRow = experiments.AnalyticRow
 )
 
 // The Table IV cache configurations.
@@ -97,6 +103,43 @@ const AutoWorkers = experiments.AutoWorkers
 // for every setting.
 func VerifyKernelWorkers(k Kernel, cfg CacheConfig, workers int) ([]VerificationRow, error) {
 	return experiments.VerifyKernelWorkers(k, cfg, workers)
+}
+
+// Affine reports whether the kernel has a static affine access pattern,
+// i.e. whether the trace-free analytic engine applies to it (VM, CG, MG
+// and FT of the Table II suite; NB and MC are data- or RNG-dependent).
+func Affine(k Kernel) bool {
+	_, ok := kernels.Affine(k)
+	return ok
+}
+
+// SolveAnalytic runs the trace-free analytic engine: it derives the
+// kernel's per-structure main-memory access counts symbolically from its
+// affine loop structure, in microseconds instead of a full trace replay.
+// The result matches the sequential simulator within the documented
+// per-kernel tolerances (analytic.Tolerance, enforced by the differential
+// wall and by dvf-verify -engine analytic).
+func SolveAnalytic(k Kernel, cfg CacheConfig) (*AnalyticProfile, error) {
+	d, ok := kernels.Affine(k)
+	if !ok {
+		return nil, fmt.Errorf("core: %s has no affine access pattern (engine=analytic needs one)", k.Name())
+	}
+	return analytic.Solve(d, cfg)
+}
+
+// AnalyzeKernelAnalytic is AnalyzeKernel with the per-structure memory
+// access counts produced by the analytic engine instead of the CGPMAC
+// estimators — the engine=analytic path to a DVF report.
+func AnalyzeKernelAnalytic(k Kernel, cfg CacheConfig, rate FIT) (*Report, error) {
+	return experiments.ProfileKernelAnalytic(k, cfg, rate, dvf.DefaultCostModel)
+}
+
+// VerifyKernelAnalytic compares the analytic engine against the sequential
+// cache simulator for one kernel and cache — the engine's live
+// differential (dvf-verify -engine analytic).
+func VerifyKernelAnalytic(k Kernel, cfg CacheConfig) ([]AnalyticRow, error) {
+	rows, _, err := experiments.VerifyKernelAnalytic(k, cfg)
+	return rows, err
 }
 
 // AnalyzeSource parses, checks and evaluates an extended-Aspen model from

@@ -71,6 +71,34 @@ func (r *Fig6Result) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// WriteCSV emits kernel,cache,structure,analytic,simulated,lines,tolerance,
+// error_pct rows — the engine=analytic live differential. The timing cells
+// are deliberately excluded: the CSV is deterministic and golden-testable.
+// The analytic column is rounded to 10 significant digits, far below the
+// tolerance contract but above the last-ulp drift FMA fusion introduces
+// between architectures.
+func (res *AnalyticResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kernel", "cache", "structure", "analytic", "simulated", "lines", "tolerance", "error_pct"}); err != nil {
+		return err
+	}
+	for _, r := range res.Rows {
+		rec := []string{
+			r.Kernel, r.Cache, r.Structure,
+			strconv.FormatFloat(r.Analytic, 'g', 10, 64),
+			strconv.FormatFloat(r.Simulated, 'f', -1, 64),
+			strconv.FormatInt(r.Lines, 10),
+			strconv.FormatFloat(r.Tolerance, 'g', -1, 64),
+			strconv.FormatFloat(r.ErrorPct(), 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteCSV emits degradation_pct followed by one DVF column per mechanism.
 func (r *Fig7Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/resilience-models/dvf/internal/analytic"
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/mathx"
 	"github.com/resilience-models/dvf/internal/patterns"
@@ -385,4 +386,48 @@ func cgVectorModel(p cgVectorParams) patterns.Estimator {
 			return total, nil
 		},
 	}
+}
+
+// AccessPattern implements PatternSource: the Algorithm 4 phase sequence
+// at a fixed iteration count — initial rho, then per iteration the dense
+// mat-vec, p.q dot product, the two axpy updates, the residual norm and
+// the direction update, each listing its regions in the body's
+// first-access order. A convergence-bounded configuration (Tol > 0) has
+// a data-dependent trip count and cannot export a static descriptor.
+func (c *CG) AccessPattern() (*analytic.Descriptor, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Tol > 0 {
+		return nil, fmt.Errorf("cg: convergence-bounded run has no static access pattern")
+	}
+	iters := c.MaxIters
+	if iters == 0 {
+		iters = 2 * c.N
+	}
+	n := c.N
+	vec := func(name string) analytic.Region {
+		return analytic.Region{Name: name, Bytes: int64(n) * elem8, ElemSize: elem8}
+	}
+	walk := func(name string) analytic.Traversal {
+		return analytic.Traversal{Region: name, StrideElems: 1, Count: n}
+	}
+	return &analytic.Descriptor{
+		Kernel: c.Name(),
+		Regions: []analytic.Region{
+			{Name: "A", Bytes: int64(n) * int64(n) * elem8, ElemSize: elem8},
+			vec("x"), vec("p"), vec("r"), vec("q"),
+		},
+		Phases: []analytic.Phase{
+			analytic.Stream{Streams: []analytic.Traversal{walk("r")}}, // rho = r.r
+			analytic.Repeat{Count: iters, Body: []analytic.Phase{
+				analytic.MatVec{Matrix: "A", Vec: "p", Out: "q", N: n},
+				analytic.Stream{Streams: []analytic.Traversal{walk("p"), walk("q")}}, // p.q
+				analytic.Stream{Streams: []analytic.Traversal{walk("x"), walk("p")}}, // x += alpha p
+				analytic.Stream{Streams: []analytic.Traversal{walk("r"), walk("q")}}, // r -= alpha q
+				analytic.Stream{Streams: []analytic.Traversal{walk("r")}},            // rho' = r.r
+				analytic.Stream{Streams: []analytic.Traversal{walk("r"), walk("p")}}, // p = r + beta p
+			}},
+		},
+	}, nil
 }

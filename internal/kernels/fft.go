@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 
+	"github.com/resilience-models/dvf/internal/analytic"
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/patterns"
 	"github.com/resilience-models/dvf/internal/trace"
@@ -205,4 +206,26 @@ func (f *FT) Models(info *RunInfo) ([]ModelSpec, error) {
 		},
 	}
 	return []ModelSpec{{Structure: "X", Estimator: est}}, nil
+}
+
+// AccessPattern implements PatternSource: per round, the bit-reversal
+// permutation followed by the log2(n) butterfly passes over X.
+func (f *FT) AccessPattern() (*analytic.Descriptor, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	rounds := f.Rounds
+	if rounds == 0 {
+		rounds = 1
+	}
+	return &analytic.Descriptor{
+		Kernel: f.Name(),
+		Regions: []analytic.Region{
+			{Name: "X", Bytes: int64(f.N) * ftElemSize, ElemSize: ftElemSize},
+		},
+		Phases: []analytic.Phase{analytic.Repeat{Count: rounds, Body: []analytic.Phase{
+			analytic.BitReverse{Region: "X", N: f.N},
+			analytic.Butterflies{Region: "X", N: f.N},
+		}}},
+	}, nil
 }

@@ -20,6 +20,7 @@ package kernels
 import (
 	"fmt"
 
+	"github.com/resilience-models/dvf/internal/analytic"
 	"github.com/resilience-models/dvf/internal/patterns"
 	"github.com/resilience-models/dvf/internal/trace"
 	"github.com/resilience-models/dvf/internal/tracez"
@@ -82,6 +83,33 @@ type Kernel interface {
 	// Models returns the CGPMAC model for every major data structure, using
 	// the profiled inputs of a prior run (the paper's k, iter, etc.).
 	Models(info *RunInfo) ([]ModelSpec, error)
+}
+
+// PatternSource is implemented by kernels whose reference stream is
+// affine — fully determined by static loop bounds, with no data-dependent
+// control flow — and can therefore be modeled by the trace-free analytic
+// engine. VM, CG (at a fixed iteration count), MG and FT qualify; the
+// random-access kernels (NB, MC) and to-convergence solvers do not.
+type PatternSource interface {
+	// AccessPattern exports the kernel's affine access descriptor: the
+	// same loop structure its Run method traces, lifted to the analytic
+	// IR. It returns an error when the kernel's current configuration is
+	// not statically bounded (e.g. CG with a convergence tolerance).
+	AccessPattern() (*analytic.Descriptor, error)
+}
+
+// Affine returns the kernel's analytic descriptor when it exports one
+// and its configuration is statically bounded.
+func Affine(k Kernel) (*analytic.Descriptor, bool) {
+	src, ok := k.(PatternSource)
+	if !ok {
+		return nil, false
+	}
+	d, err := src.AccessPattern()
+	if err != nil {
+		return nil, false
+	}
+	return d, true
 }
 
 // RunTraced executes k like k.Run, with the whole execution recorded as

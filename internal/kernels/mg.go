@@ -3,6 +3,7 @@ package kernels
 import (
 	"fmt"
 
+	"github.com/resilience-models/dvf/internal/analytic"
 	"github.com/resilience-models/dvf/internal/cache"
 	"github.com/resilience-models/dvf/internal/patterns"
 	"github.com/resilience-models/dvf/internal/trace"
@@ -372,4 +373,54 @@ func (mg *MG) Models(info *RunInfo) ([]ModelSpec, error) {
 		},
 	}
 	return []ModelSpec{{Structure: "R", Estimator: est}}, nil
+}
+
+// AccessPattern implements PatternSource: the V-cycle phase sequence over
+// the level offsets of the single grid array R — per cycle the downward
+// smooth/restrict leg, the doubled coarsest-level smoothing, and the
+// upward prolong/smooth leg, exactly the order Run traces.
+func (mg *MG) AccessPattern() (*analytic.Descriptor, error) {
+	if err := mg.Validate(); err != nil {
+		return nil, err
+	}
+	cycles := mg.Cycles
+	if cycles == 0 {
+		cycles = 1
+	}
+	sweeps := mg.Smooth
+	if sweeps == 0 {
+		sweeps = 1
+	}
+	dims := mgLevels(mg.N)
+	offsets, total := mgOffsets(dims)
+	var body []analytic.Phase
+	smooth := func(l, times int) {
+		for s := 0; s < times; s++ {
+			body = append(body, analytic.Smooth{Region: "R", Dim: dims[l], OffsetElems: offsets[l]})
+		}
+	}
+	for l := 0; l < len(dims)-1; l++ {
+		smooth(l, sweeps)
+		body = append(body, analytic.Restrict{
+			Region:  "R",
+			FineDim: dims[l], CoarseDim: dims[l+1],
+			FineOffset: offsets[l], CoarseOffs: offsets[l+1],
+		})
+	}
+	smooth(len(dims)-1, 2*sweeps)
+	for l := len(dims) - 2; l >= 0; l-- {
+		body = append(body, analytic.Prolong{
+			Region:  "R",
+			FineDim: dims[l], CoarseDim: dims[l+1],
+			FineOffset: offsets[l], CoarseOffs: offsets[l+1],
+		})
+		smooth(l, sweeps)
+	}
+	return &analytic.Descriptor{
+		Kernel: mg.Name(),
+		Regions: []analytic.Region{
+			{Name: "R", Bytes: int64(total) * elem8, ElemSize: elem8},
+		},
+		Phases: []analytic.Phase{analytic.Repeat{Count: cycles, Body: body}},
+	}, nil
 }

@@ -3,6 +3,7 @@ package kernels
 import (
 	"fmt"
 
+	"github.com/resilience-models/dvf/internal/analytic"
 	"github.com/resilience-models/dvf/internal/patterns"
 	"github.com/resilience-models/dvf/internal/trace"
 )
@@ -143,5 +144,26 @@ func (v *VM) Models(info *RunInfo) ([]ModelSpec, error) {
 			ElemSize: elem8, Count: v.N * v.StrideB, StrideElems: v.StrideB, Aligned: true}},
 		{Structure: "C", Estimator: patterns.Streaming{
 			ElemSize: elem8, Count: v.N, StrideElems: 1, Aligned: true}},
+	}, nil
+}
+
+// AccessPattern implements PatternSource: the single lockstep loop over
+// the three strided streams.
+func (v *VM) AccessPattern() (*analytic.Descriptor, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return &analytic.Descriptor{
+		Kernel: v.Name(),
+		Regions: []analytic.Region{
+			{Name: "A", Bytes: int64(v.N*v.StrideA) * elem8, ElemSize: elem8},
+			{Name: "B", Bytes: int64(v.N*v.StrideB) * elem8, ElemSize: elem8},
+			{Name: "C", Bytes: int64(v.N) * elem8, ElemSize: elem8},
+		},
+		Phases: []analytic.Phase{analytic.Stream{Streams: []analytic.Traversal{
+			{Region: "A", StrideElems: v.StrideA, Count: v.N},
+			{Region: "B", StrideElems: v.StrideB, Count: v.N},
+			{Region: "C", StrideElems: 1, Count: v.N},
+		}}},
 	}, nil
 }

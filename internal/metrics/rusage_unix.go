@@ -26,9 +26,11 @@ func ProcessPeakRSS() (int64, bool) {
 	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
 		return 0, false
 	}
-	// Linux reports ru_maxrss in kilobytes, Darwin in bytes.
+	// Linux reports ru_maxrss in kilobytes, Darwin in bytes. The field is
+	// C `long`, so it is int32 on 32-bit platforms — convert before
+	// scaling, not after, or a >2GB peak would wrap.
 	if maxrssBytes {
-		return ru.Maxrss, true
+		return int64(ru.Maxrss), true
 	}
-	return ru.Maxrss * 1024, true
+	return int64(ru.Maxrss) * 1024, true
 }
