@@ -31,14 +31,17 @@
 #                     any tolerance breach), a trace-free CLI pass over
 #                     every bundled cache, and a bounded fuzz of the
 #                     solver against the sequential simulator
+#   make extract-smoke  dvf-extract -diff over all four kernels in both
+#                     geometries: the static extractor must reproduce
+#                     every hand-written descriptor exactly
 
 GO ?= go
 FUZZTIME ?= 10s
 LINTFLAGS ?=
 
-.PHONY: check fmt-check vet lint lint-sarif lint-fix-check build test race bench-smoke bench fuzz-smoke fuzz-smoke-v2 trace-smoke analytic-smoke
+.PHONY: check fmt-check vet lint lint-sarif lint-fix-check build test race bench-smoke bench fuzz-smoke fuzz-smoke-v2 trace-smoke analytic-smoke extract-smoke
 
-check: fmt-check vet lint lint-fix-check build test race bench-smoke fuzz-smoke fuzz-smoke-v2 trace-smoke analytic-smoke
+check: fmt-check vet lint lint-fix-check build test race bench-smoke fuzz-smoke fuzz-smoke-v2 trace-smoke analytic-smoke extract-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -106,3 +109,10 @@ analytic-smoke:
 	$(GO) run ./cmd/dvf-verify -engine analytic
 	$(GO) run ./cmd/dvf-trace -engine analytic -kernel CG -all > /dev/null
 	$(GO) test -run '^$$' -fuzz '^FuzzAnalyticVsSimulator$$' -fuzztime $(FUZZTIME) ./internal/analytic
+
+# The extraction wall: static extraction of every kernel must agree with
+# the hand-written descriptors in both geometries, or the build is red —
+# same signal the patterndrift checker raises, but runnable standalone.
+extract-smoke:
+	$(GO) run ./cmd/dvf-extract -diff -suite verification
+	$(GO) run ./cmd/dvf-extract -diff -suite profiling

@@ -1,0 +1,152 @@
+// Command dvf-extract statically extracts the analytic access-pattern
+// descriptor of a traced kernel from its Go source (internal/extract)
+// and prints it, or diffs it against the kernel's hand-written
+// AccessPattern.
+//
+// Usage:
+//
+//	dvf-extract -kernel vm                   # JSON descriptor to stdout
+//	dvf-extract -kernel all -format go       # generated Go source
+//	dvf-extract -kernel all -diff            # compare vs hand-written
+//	dvf-extract -kernel cg -suite profiling  # profiling-suite geometry
+//
+// Exit status: 0 when every requested extraction succeeds (and, with
+// -diff, matches), 1 when a kernel is inextractable or drifts from its
+// hand-written descriptor, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+	"github.com/resilience-models/dvf/internal/extract"
+	"github.com/resilience-models/dvf/internal/kernels"
+)
+
+func main() {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvf-extract: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(run(os.Args[1:], cwd, os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI, parameterized over its inputs and output streams
+// so main_test.go can drive it against the live repository without
+// spawning processes.
+func run(args []string, cwd string, stdout, stderr io.Writer) int {
+	errorf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "dvf-extract: "+format+"\n", a...)
+	}
+
+	fs := flag.NewFlagSet("dvf-extract", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kernel := fs.String("kernel", "all", "kernel to extract: vm, cg, mg, ft or all")
+	suite := fs.String("suite", "verification", "kernel geometry: verification or profiling")
+	format := fs.String("format", "json", "output format: json or go")
+	diff := fs.Bool("diff", false, "compare the extraction against the hand-written AccessPattern instead of printing it")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+		return 2
+	}
+	if *format != "json" && *format != "go" {
+		errorf("unknown format %q (want json or go)", *format)
+		return 2
+	}
+
+	var suiteKernels []kernels.Kernel
+	switch *suite {
+	case "verification":
+		suiteKernels = kernels.VerificationSuite()
+	case "profiling":
+		suiteKernels = kernels.ProfilingSuite()
+	default:
+		errorf("unknown suite %q (want verification or profiling)", *suite)
+		return 2
+	}
+
+	var selected []kernels.Kernel
+	for _, k := range suiteKernels {
+		if _, ok := kernels.Provenance(k); !ok {
+			continue
+		}
+		if *kernel == "all" || strings.EqualFold(*kernel, k.Name()) {
+			selected = append(selected, k)
+		}
+	}
+	if len(selected) == 0 {
+		errorf("no extractable kernel matches %q (want vm, cg, mg, ft or all)", *kernel)
+		return 2
+	}
+
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		errorf("%v", err)
+		return 2
+	}
+
+	status := 0
+	for _, k := range selected {
+		prov, _ := kernels.Provenance(k)
+		if _, err := loader.Load(prov.ImportPath); err != nil {
+			errorf("loading %s: %v", prov.ImportPath, err)
+			return 2
+		}
+		d, err := extract.Extract(loader.Program(), extract.Target{
+			Kernel:   k.Name(),
+			Path:     prov.ImportPath,
+			TypeName: prov.TypeName,
+			Method:   prov.Method,
+			Ints:     prov.Ints,
+			Floats:   prov.Floats,
+			Bools:    prov.Bools,
+		})
+		if err != nil {
+			errorf("%s: %v", k.Name(), err)
+			if extract.Inextractable(err) {
+				status = 1
+				continue
+			}
+			return 2
+		}
+		if *diff {
+			want, err := k.(kernels.PatternSource).AccessPattern()
+			if err != nil {
+				errorf("%s: hand-written AccessPattern: %v", k.Name(), err)
+				return 2
+			}
+			if dd := extract.Diff(d, want); dd != "" {
+				fmt.Fprintf(stdout, "%s: DRIFT: %s\n", k.Name(), dd)
+				status = 1
+			} else {
+				fmt.Fprintf(stdout, "%s: extraction matches hand-written descriptor\n", k.Name())
+			}
+			continue
+		}
+		var out []byte
+		switch *format {
+		case "json":
+			out, err = extract.MarshalDescriptor(d)
+			out = append(out, '\n')
+		case "go":
+			out, err = extract.RenderGo(d, "kernels", "extracted"+k.Name())
+		}
+		if err != nil {
+			errorf("%s: rendering: %v", k.Name(), err)
+			return 2
+		}
+		if _, err := stdout.Write(out); err != nil {
+			errorf("writing output: %v", err)
+			return 2
+		}
+	}
+	return status
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/extract"
+)
+
+// The tests drive run() in-process against the live repository: the
+// loader walks up from the package directory to the module root, so "."
+// is a valid working directory.
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, ".", &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestDiffAllKernelsClean(t *testing.T) {
+	code, out, errOut := runCLI(t, "-kernel", "all", "-diff")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"VM:", "CG:", "MG:", "FT:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DRIFT") {
+		t.Errorf("unexpected drift:\n%s", out)
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	code, out, errOut := runCLI(t, "-kernel", "vm", "-format", "json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	d, err := extract.UnmarshalDescriptor([]byte(out))
+	if err != nil {
+		t.Fatalf("output does not round-trip: %v\n%s", err, out)
+	}
+	if d.Kernel != "VM" || len(d.Regions) != 3 {
+		t.Fatalf("unexpected descriptor: kernel %q, %d regions", d.Kernel, len(d.Regions))
+	}
+}
+
+func TestGoFormat(t *testing.T) {
+	code, out, errOut := runCLI(t, "-kernel", "ft", "-format", "go", "-suite", "profiling")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"func extractedFT()", "analytic.BitReverse", "analytic.Butterflies", "DO NOT EDIT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("go output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kernel", "nb"},          // no pattern source
+		{"-format", "yaml"},        // unknown format
+		{"-suite", "tiny"},         // unknown suite
+		{"-kernel", "vm", "extra"}, // stray positional arg
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("args %v: want exit 2, got %d", args, code)
+		}
+	}
+}

@@ -152,6 +152,21 @@ func run(args []string, cwd string, stdout, stderr io.Writer) int {
 			blPath = filepath.Join(cwd, defaultBaseline)
 		}
 		bl := analysis.NewBaseline(diags, cwd)
+		// The baseline is a shrink-only ratchet: re-recording may drop or
+		// reduce entries but never add them. New findings are fixed, not
+		// accepted; adopting from scratch means deleting the file first.
+		if old, err := analysis.ReadBaseline(blPath); err == nil {
+			if grown := bl.Growth(old); len(grown) > 0 {
+				for _, e := range grown {
+					errorf("baseline would grow: %s: [%s] %s (x%d)", e.File, e.Checker, e.Message, e.Count)
+				}
+				errorf("refusing to grow %s; fix the new findings or delete the baseline to re-adopt", blPath)
+				return 1
+			}
+		} else if !os.IsNotExist(err) {
+			errorf("%v", err)
+			return 2
+		}
 		if err := bl.Write(blPath); err != nil {
 			errorf("%v", err)
 			return 2
@@ -167,6 +182,10 @@ func run(args []string, cwd string, stdout, stderr io.Writer) int {
 	if blPath != "" {
 		bl, err := analysis.ReadBaseline(blPath)
 		if err != nil {
+			errorf("%v", err)
+			return 2
+		}
+		if err := validateBaselineCheckers(bl, blPath); err != nil {
 			errorf("%v", err)
 			return 2
 		}
@@ -200,6 +219,22 @@ func run(args []string, cwd string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// validateBaselineCheckers rejects baseline entries naming checkers the
+// registry does not know: a typo there would silently suppress nothing
+// forever, and a removed checker's entries are stale weight.
+func validateBaselineCheckers(bl *analysis.Baseline, path string) error {
+	known := map[string]bool{"directive": true}
+	for _, a := range checkers.All() {
+		known[a.Name] = true
+	}
+	for _, e := range bl.Findings {
+		if !known[e.Checker] {
+			return fmt.Errorf("%s names unknown checker %q (entry %s: %s)", path, e.Checker, e.File, e.Message)
+		}
+	}
+	return nil
 }
 
 // applyFixes rewrites the files of every finding that carries a

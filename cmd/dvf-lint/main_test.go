@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"go/format"
 	"io/fs"
 	"os"
@@ -222,5 +223,83 @@ func TestSarifStdout(t *testing.T) {
 	}
 	if !strings.Contains(stdout, `"$schema"`) || !strings.Contains(stdout, "2.1.0") {
 		t.Errorf("stdout misses the SARIF document:\n%s", stdout)
+	}
+}
+
+// TestOnlyEmptySelection: a -only list that names nothing (just commas
+// or blanks) must exit 2, not silently run zero checkers and pass.
+func TestOnlyEmptySelection(t *testing.T) {
+	for _, sel := range []string{",", " , ", ",,"} {
+		code, _, stderr := runLint(t, fixtureDir(t), "-only", sel, "./...")
+		if code != 2 || !strings.Contains(stderr, "selects no checkers") {
+			t.Errorf("-only %q: exit %d, stderr %q; want exit 2 naming the empty selection", sel, code, stderr)
+		}
+	}
+}
+
+// TestBaselineUnknownChecker: a baseline entry naming a checker the
+// registry does not know is a configuration error (it would suppress
+// nothing forever), reported with exit 2.
+func TestBaselineUnknownChecker(t *testing.T) {
+	dir := copyFixture(t, fixtureDir(t))
+	bl := `{"version":1,"findings":[{"checker":"exhuastive","file":"internal/enums/enums.go","message":"x","count":1}]}`
+	if err := os.WriteFile(filepath.Join(dir, ".dvf-lint-baseline.json"), []byte(bl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runLint(t, dir, "./...")
+	if code != 2 || !strings.Contains(stderr, `unknown checker "exhuastive"`) {
+		t.Errorf("exit %d, stderr %q; want exit 2 naming the bogus checker", code, stderr)
+	}
+}
+
+// TestBaselineShrinkOnly: re-recording an equal baseline is fine;
+// recording one that grows a hand-shrunk baseline is refused with exit 1
+// and the file is left untouched.
+func TestBaselineShrinkOnly(t *testing.T) {
+	dir := copyFixture(t, fixtureDir(t))
+	blPath := filepath.Join(dir, ".dvf-lint-baseline.json")
+
+	if code, _, stderr := runLint(t, dir, "-write-baseline", "./..."); code != 0 {
+		t.Fatalf("initial -write-baseline: exit %d, stderr %s", code, stderr)
+	}
+	if code, _, stderr := runLint(t, dir, "-write-baseline", "./..."); code != 0 {
+		t.Fatalf("idempotent -write-baseline: exit %d, stderr %s", code, stderr)
+	}
+
+	// Shrink the baseline by hand (as fixing a finding would), then try
+	// to re-record the full set: that is growth and must be refused.
+	data, err := os.ReadFile(blPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bl struct {
+		Version  int               `json:"version"`
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &bl); err != nil {
+		t.Fatal(err)
+	}
+	if len(bl.Findings) < 1 {
+		t.Fatal("fixture baseline is empty; cannot exercise the ratchet")
+	}
+	bl.Findings = bl.Findings[:len(bl.Findings)-1]
+	shrunk, err := json.Marshal(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(blPath, shrunk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, stderr := runLint(t, dir, "-write-baseline", "./...")
+	if code != 1 || !strings.Contains(stderr, "refusing to grow") {
+		t.Fatalf("growing -write-baseline: exit %d, stderr %q; want exit 1 refusing growth", code, stderr)
+	}
+	after, err := os.ReadFile(blPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, shrunk) {
+		t.Error("refused -write-baseline still rewrote the baseline file")
 	}
 }

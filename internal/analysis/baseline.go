@@ -14,9 +14,10 @@ import (
 // count. Filtering a run against the baseline suppresses up to Count
 // findings per fingerprint, so new instances of an old problem still
 // fail the build, and fixing an instance can only shrink the file —
-// dvf-lint -write-baseline refuses nothing but records less. This is
-// how a new checker lands on a codebase with pre-existing findings
-// without either mass-//dvf:allow noise or a permanently red gate.
+// dvf-lint -write-baseline refuses to record a baseline that grows an
+// existing one (see Growth). This is how a new checker lands on a
+// codebase with pre-existing findings without either mass-//dvf:allow
+// noise or a permanently red gate.
 type Baseline struct {
 	// Version guards the file format.
 	Version int `json:"version"`
@@ -88,6 +89,31 @@ func (b *Baseline) Write(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Growth returns the entries of b that exceed old — findings (or extra
+// occurrences of findings) old did not accept. An empty result means
+// writing b over old only shrinks the ratchet. Each returned entry's
+// Count is the number of *added* occurrences.
+func (b *Baseline) Growth(old *Baseline) []BaselineEntry {
+	budget := make(map[BaselineEntry]int, len(old.Findings))
+	for _, e := range old.Findings {
+		key := e
+		key.Count = 0
+		key.File = filepath.ToSlash(key.File)
+		budget[key] += e.Count
+	}
+	var grown []BaselineEntry
+	for _, e := range b.Findings {
+		key := e
+		key.Count = 0
+		key.File = filepath.ToSlash(key.File)
+		if extra := e.Count - budget[key]; extra > 0 {
+			key.Count = extra
+			grown = append(grown, key)
+		}
+	}
+	return grown
 }
 
 // Filter splits diagnostics into kept (new) and suppressed (baselined)

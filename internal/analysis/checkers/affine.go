@@ -1,0 +1,232 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+// Affine is the advisory companion of the dvf-extract static extractor:
+// it flags //dvf:hotpath loops that are exactly one construct away from
+// the canonical affine form the extractor can model — a single
+// non-affine subscript, a single non-canonical header clause, or a
+// mutation of the loop's own induction variable. Loops that are already
+// affine stay silent (nothing to do), and loops several constructs away
+// stay silent too (rewriting them is a design decision, not a cleanup).
+//
+// The judgment is deliberately local and syntactic. Loops that call
+// anything but len or cap are not candidates: whether such a loop is
+// extractable depends on the callee's body, and that interprocedural
+// question belongs to dvf-extract itself, not to a lint advisory.
+// Likewise only loops that actually subscript a slice or array are
+// considered — a loop without indexed accesses has no access pattern to
+// extract.
+var Affine = &analysis.Analyzer{
+	Name: "affine",
+	Doc:  "//dvf:hotpath loops one construct away from static affine extraction",
+	Run:  runAffine,
+}
+
+func runAffine(pass *analysis.Pass) error {
+	cg := pass.Prog.CallGraph()
+	reported := make(map[token.Pos]bool)
+	for _, root := range cg.HotpathRoots() {
+		if root.Pkg.Path != pass.Path || root.Decl == nil || root.Decl.Body == nil {
+			continue
+		}
+		info := root.Pkg.Info
+		ast.Inspect(root.Decl.Body, func(n ast.Node) bool {
+			if fs, ok := n.(*ast.ForStmt); ok {
+				checkNearlyAffine(pass, info, fs, reported)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// blocker is one construct standing between a loop and affine form.
+type blocker struct {
+	pos  token.Pos
+	what string
+}
+
+// checkNearlyAffine reports fs when it is a candidate (subscripts, no
+// disqualifying calls) with exactly one blocking construct.
+func checkNearlyAffine(pass *analysis.Pass, info *types.Info, fs *ast.ForStmt, reported map[token.Pos]bool) {
+	var blockers []blocker
+	add := func(pos token.Pos, what string) {
+		for _, b := range blockers {
+			if b.pos == pos {
+				return
+			}
+		}
+		blockers = append(blockers, blocker{pos, what})
+	}
+
+	vars := inductionVars(info, fs)
+	header, canonical := analysis.Induction(info, fs)
+	switch {
+	case !canonical:
+		add(fs.Pos(), "loop header is not in canonical counted form (init; var cmp bound; var±=step)")
+	case header.Step != nil && exprUsesVar(info, header.Step, header.Var):
+		add(fs.Pos(), "loop step depends on its own induction variable")
+	case analysis.AssignsObj(info, fs.Body, header.Var):
+		add(fs.Pos(), "loop body writes its own induction variable")
+	}
+
+	candidate := false
+	disqualified := false
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := builtinName(info, n); name == "len" || name == "cap" {
+				return true
+			}
+			disqualified = true
+			return false
+		case *ast.RangeStmt:
+			// A range loop has no affine header to extract.
+			add(n.Pos(), "range loop instead of a counted loop")
+		case *ast.ForStmt:
+			if n == fs {
+				return true
+			}
+			if _, ok := analysis.Induction(info, n); !ok {
+				add(n.Pos(), "nested loop header is not in canonical counted form")
+			}
+		case *ast.IndexExpr:
+			if !indexedSequence(info, n.X) {
+				return true
+			}
+			candidate = true
+			if !affineIndex(info, n.Index, vars) {
+				add(n.Index.Pos(), "subscript is not affine in the loop indices")
+			}
+		}
+		return true
+	})
+
+	if !candidate || disqualified || len(blockers) != 1 || reported[blockers[0].pos] {
+		return
+	}
+	reported[blockers[0].pos] = true
+	pass.Reportf(blockers[0].pos, "hotpath loop is one construct away from affine extraction: %s", blockers[0].what)
+}
+
+// inductionVars collects the induction variables of fs and every
+// canonical loop nested inside it; those are the symbols a subscript may
+// be affine in.
+func inductionVars(info *types.Info, fs *ast.ForStmt) map[*types.Var]bool {
+	vars := make(map[*types.Var]bool)
+	ast.Inspect(fs, func(n ast.Node) bool {
+		if loop, ok := n.(*ast.ForStmt); ok {
+			if h, ok := analysis.Induction(info, loop); ok {
+				vars[h.Var] = true
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// indexedSequence reports whether e has slice or array type, i.e. the
+// subscript addresses memory rather than a map key or type parameter.
+func indexedSequence(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// builtinName returns the builtin a call invokes, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// affineIndex reports whether e is a sum of products of loop variables,
+// integer constants and loop-invariant integer scalars — the form the
+// extractor's affine domain represents exactly. Multiplying two
+// loop-dependent factors is non-affine; everything structural (calls,
+// nested subscripts, conversions) is out.
+func affineIndex(info *types.Info, e ast.Expr, vars map[*types.Var]bool) bool {
+	var affine func(e ast.Expr) (ok, loopDep bool)
+	affine = func(e ast.Expr) (bool, bool) {
+		if tv, ok := info.Types[e]; ok && tv.Value != nil {
+			return true, false // any typed constant, however it is spelled
+		}
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			return affine(e.X)
+		case *ast.Ident:
+			v, ok := info.Uses[e].(*types.Var)
+			if !ok {
+				return false, false
+			}
+			if !isIntegerVar(v) {
+				return false, false
+			}
+			return true, vars[v]
+		case *ast.SelectorExpr:
+			// A field read like g.n: loop-invariant scalar configuration.
+			v, ok := info.Uses[e.Sel].(*types.Var)
+			return ok && isIntegerVar(v), false
+		case *ast.UnaryExpr:
+			if e.Op != token.ADD && e.Op != token.SUB {
+				return false, false
+			}
+			return affine(e.X)
+		case *ast.BinaryExpr:
+			okX, depX := affine(e.X)
+			okY, depY := affine(e.Y)
+			if !okX || !okY {
+				return false, false
+			}
+			switch e.Op {
+			case token.ADD, token.SUB:
+				return true, depX || depY
+			case token.MUL:
+				// i*j is quadratic; i*stride and stride*dim are fine.
+				if depX && depY {
+					return false, false
+				}
+				return true, depX || depY
+			}
+			return false, false
+		}
+		return false, false
+	}
+	ok, _ := affine(e)
+	return ok
+}
+
+// exprUsesVar reports whether e mentions v.
+func exprUsesVar(info *types.Info, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isIntegerVar(v *types.Var) bool {
+	b, ok := v.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -22,8 +22,8 @@ func TestExhaustive(t *testing.T)    { analysistest.Run(t, Exhaustive, "exhausti
 
 func TestRegistryAllSorted(t *testing.T) {
 	all := All()
-	if len(all) != 8 {
-		t.Fatalf("expected 8 registered checkers, got %d", len(all))
+	if len(all) != 10 {
+		t.Fatalf("expected 10 registered checkers, got %d", len(all))
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].Name >= all[i].Name {
@@ -49,7 +49,7 @@ func TestRegistrySelect(t *testing.T) {
 		}
 		t.Errorf("Select kept neither order nor content: %v", got)
 	}
-	if sel, err := Select("  "); err != nil || len(sel) != 8 {
+	if sel, err := Select("  "); err != nil || len(sel) != 10 {
 		t.Errorf("blank selection should return all checkers, got %d, %v", len(sel), err)
 	}
 	if _, err := Select("nope"); err == nil || !strings.Contains(err.Error(), "unknown checker") {
@@ -110,3 +110,5 @@ func TestExhaustiveFixRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestAffine(t *testing.T) { analysistest.Run(t, Affine, "affine") }

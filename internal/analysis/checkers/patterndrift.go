@@ -1,0 +1,118 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+	"github.com/resilience-models/dvf/internal/analytic"
+	"github.com/resilience-models/dvf/internal/extract"
+	"github.com/resilience-models/dvf/internal/kernels"
+)
+
+// PatternDrift re-derives each built-in kernel's access-pattern
+// descriptor from its Run method with the static extractor
+// (internal/extract) and compares it against the hand-written
+// AccessPattern, on both the verification and profiling geometries. A
+// mismatch means the kernel code and its published analytic descriptor
+// have drifted apart — the exact failure mode the analytic engine
+// cannot detect itself, since it never executes the kernel.
+//
+// This is a lint, not a test, on purpose: drift is a property of the
+// source (the descriptor no longer describes the code), it should block
+// a commit the same way a type error does, and its findings need the
+// suppression/baseline machinery when a kernel is deliberately
+// re-modeled in stages. The live differential test in internal/extract
+// guards the extractor; this checker guards the kernels.
+var PatternDrift = &analysis.Analyzer{
+	Name: "patterndrift",
+	Doc:  "hand-written kernel access patterns match static extraction from their Run methods",
+	Run:  runPatternDrift,
+}
+
+// patternDriftPerturb, when non-nil, mutates the hand-written descriptor
+// before comparison. It exists so the tests can force a drift without
+// editing a kernel.
+var patternDriftPerturb func(kernel string, d *analytic.Descriptor)
+
+func runPatternDrift(pass *analysis.Pass) error {
+	suites := []struct {
+		name    string
+		kernels []kernels.Kernel
+	}{
+		{"verification", kernels.VerificationSuite()},
+		{"profiling", kernels.ProfilingSuite()},
+	}
+	for _, suite := range suites {
+		for _, k := range suite.kernels {
+			prov, ok := kernels.Provenance(k)
+			if !ok || prov.ImportPath != pass.Path {
+				// The kernel's code lives in another package (or it has no
+				// hand-written pattern); nothing to check here.
+				continue
+			}
+			checkKernelDrift(pass, suite.name, k, prov)
+		}
+	}
+	return nil
+}
+
+func checkKernelDrift(pass *analysis.Pass, suite string, k kernels.Kernel, prov *kernels.PatternProvenance) {
+	at := patternDeclPos(pass, prov.TypeName)
+	want, err := k.(kernels.PatternSource).AccessPattern()
+	if err != nil {
+		pass.Reportf(at, "%s (%s geometry): hand-written AccessPattern fails: %v", k.Name(), suite, err)
+		return
+	}
+	if patternDriftPerturb != nil {
+		patternDriftPerturb(k.Name(), want)
+	}
+	got, err := extract.Extract(pass.Prog, extract.Target{
+		Kernel:   k.Name(),
+		Path:     prov.ImportPath,
+		TypeName: prov.TypeName,
+		Method:   prov.Method,
+		Ints:     prov.Ints,
+		Floats:   prov.Floats,
+		Bools:    prov.Bools,
+	})
+	if err != nil {
+		pass.Reportf(at, "%s (%s geometry): %s.%s is no longer statically extractable: %v",
+			k.Name(), suite, prov.TypeName, prov.Method, err)
+		return
+	}
+	if d := extract.Diff(got, want); d != "" {
+		pass.Reportf(at, "%s (%s geometry): hand-written descriptor drifted from the code: %s", k.Name(), suite, d)
+	}
+}
+
+// patternDeclPos locates the kernel type's AccessPattern declaration in
+// the analyzed package — the place a drift finding should anchor, since
+// that is the descriptor a developer must update.
+func patternDeclPos(pass *analysis.Pass, typeName string) token.Pos {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "AccessPattern" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if recvTypeName(fd.Recv.List[0].Type) == typeName {
+				return fd.Pos()
+			}
+		}
+	}
+	if len(pass.Files) > 0 {
+		return pass.Files[0].Pos()
+	}
+	return token.NoPos
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	}
+	return ""
+}

@@ -1,0 +1,65 @@
+package checkers
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+	"github.com/resilience-models/dvf/internal/analytic"
+)
+
+// loadKernelsPkg loads the repository's live kernels package — the
+// patterndrift checker only fires there, so its tests run against the
+// real code rather than fixtures.
+func loadKernelsPkg(t *testing.T) (*analysis.Program, *analysis.Package) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("github.com/resilience-models/dvf/internal/kernels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader.Program(), pkg
+}
+
+func TestPatternDriftCleanOnLiveKernels(t *testing.T) {
+	prog, pkg := loadKernelsPkg(t)
+	diags, err := analysis.Run(prog, []*analysis.Package{pkg}, []*analysis.Analyzer{PatternDrift}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected drift finding: %s", d)
+	}
+}
+
+func TestPatternDriftDetectsPerturbation(t *testing.T) {
+	prog, pkg := loadKernelsPkg(t)
+	patternDriftPerturb = func(kernel string, d *analytic.Descriptor) {
+		if kernel != "VM" {
+			return
+		}
+		// Skew one stride: the descriptor no longer matches the code.
+		s := d.Phases[0].(analytic.Stream)
+		s.Streams[0].StrideElems++
+	}
+	defer func() { patternDriftPerturb = nil }()
+	diags, err := analysis.Run(prog, []*analysis.Package{pkg}, []*analysis.Analyzer{PatternDrift}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vmDrifts int
+	for _, d := range diags {
+		if strings.Contains(d.Message, "VM") && strings.Contains(d.Message, "drifted") {
+			vmDrifts++
+		} else {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	// One finding per geometry: the perturbation skews both suites.
+	if vmDrifts != 2 {
+		t.Errorf("want 2 VM drift findings (one per geometry), got %d", vmDrifts)
+	}
+}

@@ -11,6 +11,7 @@ import (
 // All returns every registered checker, in stable name order.
 func All() []*analysis.Analyzer {
 	list := []*analysis.Analyzer{
+		Affine,
 		AtomicMix,
 		Determinism,
 		ErrDrop,
@@ -19,6 +20,7 @@ func All() []*analysis.Analyzer {
 		HotAlloc,
 		LockSafe,
 		NilSink,
+		PatternDrift,
 	}
 	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
 	return list
@@ -50,6 +52,11 @@ func Select(only string) ([]*analysis.Analyzer, error) {
 			return nil, fmt.Errorf("unknown checker %q (have: %s)", name, strings.Join(known, ", "))
 		}
 		out = append(out, a)
+	}
+	if len(out) == 0 {
+		// "-only ," and friends: a selection that names nothing must not
+		// silently run nothing and report a clean pass.
+		return nil, fmt.Errorf("-only %q selects no checkers", only)
 	}
 	return out, nil
 }

@@ -1,0 +1,71 @@
+package checkers
+
+import (
+	"bytes"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+var updateSarif = flag.Bool("update", false, "rewrite the golden SARIF report under testdata/")
+
+// TestNewCheckersSarifGolden pins the SARIF rendering of the two
+// extraction checkers byte-for-byte: rule-table entries for affine and
+// patterndrift, the affine fixture's real findings with stable
+// repo-relative URIs, and a representative patterndrift drift result.
+// Everything in the report is deterministic (sorted rules, sha256
+// fingerprints over checker+uri+message), so a golden file is exact.
+func TestNewCheckersSarifGolden(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.SetTestdataRoot("testdata/src"); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("affine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(loader.Program(), []*analysis.Package{pkg}, []*analysis.Analyzer{Affine}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("affine fixture produced no findings; golden would be empty")
+	}
+	base, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A representative drift finding, as runPatternDrift would report it.
+	diags = append(diags, analysis.Diagnostic{
+		Pos:     token.Position{Filename: filepath.Join(base, "kernels", "vm.go"), Line: 152},
+		Checker: "patterndrift",
+		Message: "VM (verification geometry): hand-written descriptor drifted from the code: flattened phase 0 differs",
+	})
+
+	var buf bytes.Buffer
+	log := analysis.SarifReport(diags, []*analysis.Analyzer{Affine, PatternDrift}, base)
+	if err := log.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "extract_checkers.sarif.golden")
+	if *updateSarif {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF report drifted from golden (run with -update to regenerate):\n%s", buf.String())
+	}
+}

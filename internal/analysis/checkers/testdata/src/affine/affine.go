@@ -1,0 +1,107 @@
+// Package affine exercises the affine advisory checker: hotpath loops
+// exactly one construct away from extractable affine form are flagged,
+// loops already affine or several constructs away stay silent, and
+// loops with calls are not candidates.
+package affine
+
+// Clean is fully affine: canonical header, affine subscripts. No
+// finding — there is nothing to advise.
+//
+//dvf:hotpath
+func Clean(dst, src []float64, n, stride int) {
+	for i := 0; i < n; i++ {
+		dst[i] = src[i*stride+1]
+	}
+}
+
+// OneDataDependent is one construct away: everything is canonical
+// except the single data-dependent subscript.
+//
+//dvf:hotpath
+func OneDataDependent(dst, src []float64, idx []int, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = src[idx[i]] // want `one construct away from affine extraction: subscript is not affine in the loop indices`
+	}
+}
+
+// NonCanonicalHeader is one construct away: affine body, but the
+// termination test is not a canonical ordered comparison.
+//
+//dvf:hotpath
+func NonCanonicalHeader(dst []float64, n int) {
+	for i := 0; i != n; i++ { // want `one construct away from affine extraction: loop header is not in canonical counted form`
+		dst[i] = 0
+	}
+}
+
+// SelfScalingStep is one construct away: the header is shape-canonical
+// but the step doubles through its own induction variable.
+//
+//dvf:hotpath
+func SelfScalingStep(dst []float64, n int) {
+	for i := 1; i < n; i += i { // want `one construct away from affine extraction: loop step depends on its own induction variable`
+		dst[i] = 0
+	}
+}
+
+// SelfMutation is one construct away: the body writes the induction
+// variable.
+//
+//dvf:hotpath
+func SelfMutation(dst []float64, n int) {
+	for i := 0; i < n; i++ { // want `one construct away from affine extraction: loop body writes its own induction variable`
+		dst[i] = 0
+		if dst[i] == 0 {
+			i++
+		}
+	}
+}
+
+// TwoBlockers is two constructs away (non-canonical header and a
+// data-dependent subscript): no finding, a rewrite is a design call.
+//
+//dvf:hotpath
+func TwoBlockers(dst, src []float64, idx []int, n int) {
+	for i := 1; i < n; i += i {
+		dst[i] = src[idx[i]]
+	}
+}
+
+// WithCall is not a candidate: the loop calls a function, so whether it
+// is extractable depends on the callee and belongs to dvf-extract.
+//
+//dvf:hotpath
+func WithCall(dst, src []float64, idx []int, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = helper(src, idx[i])
+	}
+}
+
+// LenCapOnly keeps its candidacy: len and cap are affine-transparent.
+//
+//dvf:hotpath
+func LenCapOnly(dst []float64, idx []int) {
+	for i := 0; i < len(idx); i++ {
+		dst[idx[i]] = 0 // want `one construct away from affine extraction: subscript is not affine in the loop indices`
+	}
+}
+
+// NoSubscripts has no indexed accesses: nothing to extract, no finding.
+//
+//dvf:hotpath
+func NoSubscripts(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// Cold is not annotated; even a one-blocker loop stays silent.
+func Cold(dst, src []float64, idx []int, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = src[idx[i]]
+	}
+}
+
+func helper(src []float64, i int) float64 { return src[i] }

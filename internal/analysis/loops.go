@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Loop/induction analysis shared by the affine extractor
+// (internal/extract) and the `affine` advisory checker: both need to
+// recognize the canonical counted for-loop headers that make a loop nest
+// statically analyzable, and both must agree on what "canonical" means.
+
+// LoopHeader is the decomposed form of a canonical counted for-loop
+//
+//	for i := LO; i CMP HI; i++ | i-- | i += S | i -= S | i *= S
+//
+// with a single induction variable declared in the init, compared on the
+// left of the condition, and updated by exactly one additive or
+// multiplicative step in the post statement.
+type LoopHeader struct {
+	Var   *types.Var  // the induction variable
+	Ident *ast.Ident  // its declaring ident in the init
+	Init  ast.Expr    // LO: the initial value
+	Bound ast.Expr    // HI: the comparison bound
+	Cmp   token.Token // LSS, LEQ, GTR or GEQ
+	// Step is S, nil for the implicit 1 of ++/--. StepOp is ADD for
+	// i++/i+=S, SUB for i--/i-=S, MUL for i*=S (geometric loops such as
+	// the FFT's butterfly pass sizes).
+	Step   ast.Expr
+	StepOp token.Token
+}
+
+// Induction decomposes fs into a canonical counted header, or reports
+// ok=false when any of the three clauses deviates from the form above
+// (missing init or post, a multi-variable init, a condition that does
+// not compare the induction variable, a non-constant-shape update).
+// It performs no reachability or bound analysis: callers decide whether
+// LO/HI/S are acceptable (constant, loop-invariant, affine, ...).
+func Induction(info *types.Info, fs *ast.ForStmt) (*LoopHeader, bool) {
+	if fs.Init == nil || fs.Cond == nil || fs.Post == nil {
+		return nil, false
+	}
+	init, ok := fs.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return nil, false
+	}
+	ident, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := info.Defs[ident].(*types.Var)
+	if !ok {
+		return nil, false
+	}
+
+	cond, ok := ast.Unparen(fs.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil, false
+	}
+	switch cond.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return nil, false
+	}
+	condVar, ok := ast.Unparen(cond.X).(*ast.Ident)
+	if !ok || info.Uses[condVar] != v {
+		return nil, false
+	}
+
+	h := &LoopHeader{Var: v, Ident: ident, Init: init.Rhs[0], Bound: cond.Y, Cmp: cond.Op}
+	switch post := fs.Post.(type) {
+	case *ast.IncDecStmt:
+		target, ok := ast.Unparen(post.X).(*ast.Ident)
+		if !ok || info.Uses[target] != v {
+			return nil, false
+		}
+		if post.Tok == token.INC {
+			h.StepOp = token.ADD
+		} else {
+			h.StepOp = token.SUB
+		}
+	case *ast.AssignStmt:
+		if len(post.Lhs) != 1 || len(post.Rhs) != 1 {
+			return nil, false
+		}
+		target, ok := ast.Unparen(post.Lhs[0]).(*ast.Ident)
+		if !ok || info.Uses[target] != v {
+			return nil, false
+		}
+		switch post.Tok {
+		case token.ADD_ASSIGN:
+			h.StepOp = token.ADD
+		case token.SUB_ASSIGN:
+			h.StepOp = token.SUB
+		case token.MUL_ASSIGN:
+			h.StepOp = token.MUL
+		default:
+			return nil, false
+		}
+		h.Step = post.Rhs[0]
+	default:
+		return nil, false
+	}
+	return h, true
+}
+
+// AssignsObj reports whether any statement under root writes to obj: an
+// assignment or ++/-- targeting it, or taking its address (after which
+// any callee may write through the pointer). Range clauses that bind obj
+// as a key/value variable count as writes. Callers use it to verify an
+// induction variable is owned by its header alone.
+func AssignsObj(info *types.Info, root ast.Node, obj types.Object) bool {
+	found := false
+	targets := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				found = true
+			}
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				targets(lhs)
+			}
+		case *ast.IncDecStmt:
+			targets(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				targets(n.X)
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				targets(n.Key)
+			}
+			if n.Value != nil {
+				targets(n.Value)
+			}
+		}
+		return true
+	})
+	return found
+}

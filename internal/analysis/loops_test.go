@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseFuncBody type-checks one function and returns its decl with the
+// package's types.Info.
+func parseFuncBody(t *testing.T, src string) (*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "loops.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fd, info
+		}
+	}
+	t.Fatal("no func f")
+	return nil, nil
+}
+
+// loopsIn collects every for statement under fd in source order.
+func loopsIn(fd *ast.FuncDecl) []*ast.ForStmt {
+	var out []*ast.ForStmt
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok {
+			out = append(out, fs)
+		}
+		return true
+	})
+	return out
+}
+
+func TestInductionCanonicalForms(t *testing.T) {
+	fd, info := parseFuncBody(t, `package p
+func f(n int, a []int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += a[i]
+	}
+	for j := 1; j <= n; j += 2 {
+		s += j
+	}
+	for size := 2; size <= n; size *= 2 {
+		s += size
+	}
+	for k := n; k >= 0; k-- {
+		s += k
+	}
+	for l := n; l > 0; l -= 3 {
+		s += l
+	}
+	return s
+}`)
+	loops := loopsIn(fd)
+	if len(loops) != 5 {
+		t.Fatalf("got %d loops, want 5", len(loops))
+	}
+	want := []struct {
+		name    string
+		cmp     token.Token
+		stepOp  token.Token
+		hasStep bool
+	}{
+		{"i", token.LSS, token.ADD, false},
+		{"j", token.LEQ, token.ADD, true},
+		{"size", token.LEQ, token.MUL, true},
+		{"k", token.GEQ, token.SUB, false},
+		{"l", token.GTR, token.SUB, true},
+	}
+	for n, fs := range loops {
+		h, ok := Induction(info, fs)
+		if !ok {
+			t.Errorf("loop %d (%s): not recognized", n, want[n].name)
+			continue
+		}
+		if h.Var.Name() != want[n].name {
+			t.Errorf("loop %d: var %q, want %q", n, h.Var.Name(), want[n].name)
+		}
+		if h.Cmp != want[n].cmp {
+			t.Errorf("loop %d: cmp %v, want %v", n, h.Cmp, want[n].cmp)
+		}
+		if h.StepOp != want[n].stepOp {
+			t.Errorf("loop %d: step op %v, want %v", n, h.StepOp, want[n].stepOp)
+		}
+		if (h.Step != nil) != want[n].hasStep {
+			t.Errorf("loop %d: explicit step %v, want %v", n, h.Step != nil, want[n].hasStep)
+		}
+	}
+}
+
+func TestInductionRejectsNonCanonical(t *testing.T) {
+	fd, info := parseFuncBody(t, `package p
+func f(n int, a []int) int {
+	s := 0
+	for s < n { // while-style: no init/post
+		s++
+	}
+	for i := 0; i < n; {
+		i++
+	}
+	for i, j := 0, 0; i < n; i++ { // multi-variable init
+		s += j
+	}
+	for i := 0; n > i; i++ { // variable on the right
+		s++
+	}
+	for i := 0; i != n; i++ { // NEQ condition
+		s++
+	}
+	for i := 0; i < n; i, s = i+1, s+1 { // tuple post
+		_ = i
+	}
+	for i := 0; i < n; i /= 2 { // division step
+		s++
+	}
+	return s
+}`)
+	for n, fs := range loopsIn(fd) {
+		if _, ok := Induction(info, fs); ok {
+			t.Errorf("loop %d: recognized, want rejection", n)
+		}
+	}
+}
+
+func TestAssignsObj(t *testing.T) {
+	fd, info := parseFuncBody(t, `package p
+func g(p *int) {}
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	for j := 0; j < n; j++ {
+		j++ // body writes the induction variable
+	}
+	for k := 0; k < n; k++ {
+		g(&k) // address taken: callee may write
+	}
+	for range [2]int{} {
+		for m := 0; m < n; m++ {
+			s, _ = m, m // tuple assign hits m? no: writes s only
+		}
+	}
+	return s
+}`)
+	loops := loopsIn(fd) // the range loop is a RangeStmt, not counted
+	if len(loops) != 4 {
+		t.Fatalf("got %d loops, want 4", len(loops))
+	}
+	check := func(fs *ast.ForStmt, wantWritten bool) {
+		t.Helper()
+		h, ok := Induction(info, fs)
+		if !ok {
+			t.Fatal("canonical loop not recognized")
+		}
+		if got := AssignsObj(info, fs.Body, h.Var); got != wantWritten {
+			t.Errorf("AssignsObj(%s) = %v, want %v", h.Var.Name(), got, wantWritten)
+		}
+	}
+	check(loops[0], false)
+	check(loops[1], true)
+	check(loops[2], true)
+	check(loops[3], false)
+}

@@ -49,6 +49,7 @@ type shardSink struct {
 	sim *Simulator
 }
 
+//dvf:hotpath
 func (ss shardSink) Access(r trace.Ref, owner int32) {
 	ss.sim.Access(r.Addr, r.Size, r.Write, StructID(owner))
 }

@@ -1,0 +1,273 @@
+package extract
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+
+	"github.com/resilience-models/dvf/internal/analytic"
+)
+
+// maxFlatten bounds Repeat expansion during comparison.
+const maxFlatten = 1 << 20
+
+// Flatten expands every Repeat into its unrolled phase sequence so that
+// descriptors that factor repetition differently (an extracted
+// Repeat{2, [Smooth]} vs a hand-written pair of Smooths) compare equal
+// when they describe the same access sequence.
+func Flatten(phases []analytic.Phase) ([]analytic.Phase, error) {
+	var out []analytic.Phase
+	var walk func(ps []analytic.Phase) error
+	walk = func(ps []analytic.Phase) error {
+		for _, p := range ps {
+			if r, ok := p.(analytic.Repeat); ok {
+				for k := 0; k < r.Count; k++ {
+					if err := walk(r.Body); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if len(out) >= maxFlatten {
+				return fmt.Errorf("extract: flattened phase program exceeds %d phases", maxFlatten)
+			}
+			out = append(out, p)
+		}
+		return nil
+	}
+	if err := walk(phases); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Equal reports whether two descriptors describe the same kernel: same
+// name, same region table, and the same flattened phase sequence.
+func Equal(a, b *analytic.Descriptor) bool {
+	return Diff(a, b) == ""
+}
+
+// Diff returns a human-readable description of the first difference
+// between two descriptors, or "" when they are equivalent.
+func Diff(a, b *analytic.Descriptor) string {
+	if a == nil || b == nil {
+		if a == b {
+			return ""
+		}
+		return "one descriptor is nil"
+	}
+	if a.Kernel != b.Kernel {
+		return fmt.Sprintf("kernel name %q vs %q", a.Kernel, b.Kernel)
+	}
+	if len(a.Regions) != len(b.Regions) {
+		return fmt.Sprintf("%d regions vs %d", len(a.Regions), len(b.Regions))
+	}
+	for k := range a.Regions {
+		if a.Regions[k] != b.Regions[k] {
+			return fmt.Sprintf("region %d: %+v vs %+v", k, a.Regions[k], b.Regions[k])
+		}
+	}
+	fa, errA := Flatten(a.Phases)
+	fb, errB := Flatten(b.Phases)
+	if errA != nil || errB != nil {
+		if reflect.DeepEqual(a.Phases, b.Phases) {
+			return ""
+		}
+		return "phase programs too large to flatten and not structurally identical"
+	}
+	if len(fa) != len(fb) {
+		return fmt.Sprintf("%d flattened phases vs %d", len(fa), len(fb))
+	}
+	for k := range fa {
+		if !reflect.DeepEqual(fa[k], fb[k]) {
+			return fmt.Sprintf("flattened phase %d: %+v vs %+v", k, fa[k], fb[k])
+		}
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding. Phases serialize as a flat tagged union: one "kind"
+// field plus the union of all phase fields, omitempty everywhere.
+
+type phaseJSON struct {
+	Kind string `json:"kind"`
+
+	Streams []analytic.Traversal `json:"streams,omitempty"`
+
+	Matrix string `json:"matrix,omitempty"`
+	Vec    string `json:"vec,omitempty"`
+	Out    string `json:"out,omitempty"`
+	N      int    `json:"n,omitempty"`
+
+	Region      string `json:"region,omitempty"`
+	Dim         int    `json:"dim,omitempty"`
+	OffsetElems int    `json:"offsetElems,omitempty"`
+
+	FineDim    int `json:"fineDim,omitempty"`
+	CoarseDim  int `json:"coarseDim,omitempty"`
+	FineOffset int `json:"fineOffset,omitempty"`
+	CoarseOffs int `json:"coarseOffs,omitempty"`
+
+	Count int         `json:"count,omitempty"`
+	Body  []phaseJSON `json:"body,omitempty"`
+}
+
+type descriptorJSON struct {
+	Kernel  string            `json:"kernel"`
+	Regions []analytic.Region `json:"regions"`
+	Phases  []phaseJSON       `json:"phases"`
+}
+
+func phasesToJSON(ps []analytic.Phase) ([]phaseJSON, error) {
+	out := make([]phaseJSON, 0, len(ps))
+	for _, p := range ps {
+		switch p := p.(type) {
+		case analytic.Stream:
+			out = append(out, phaseJSON{Kind: "stream", Streams: p.Streams})
+		case analytic.MatVec:
+			out = append(out, phaseJSON{Kind: "matvec", Matrix: p.Matrix, Vec: p.Vec, Out: p.Out, N: p.N})
+		case analytic.Smooth:
+			out = append(out, phaseJSON{Kind: "smooth", Region: p.Region, Dim: p.Dim, OffsetElems: p.OffsetElems})
+		case analytic.Restrict:
+			out = append(out, phaseJSON{Kind: "restrict", Region: p.Region, FineDim: p.FineDim, CoarseDim: p.CoarseDim, FineOffset: p.FineOffset, CoarseOffs: p.CoarseOffs})
+		case analytic.Prolong:
+			out = append(out, phaseJSON{Kind: "prolong", Region: p.Region, FineDim: p.FineDim, CoarseDim: p.CoarseDim, FineOffset: p.FineOffset, CoarseOffs: p.CoarseOffs})
+		case analytic.BitReverse:
+			out = append(out, phaseJSON{Kind: "bitreverse", Region: p.Region, N: p.N})
+		case analytic.Butterflies:
+			out = append(out, phaseJSON{Kind: "butterflies", Region: p.Region, N: p.N})
+		case analytic.Repeat:
+			body, err := phasesToJSON(p.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, phaseJSON{Kind: "repeat", Count: p.Count, Body: body})
+		default:
+			return nil, fmt.Errorf("extract: unencodable phase %T", p)
+		}
+	}
+	return out, nil
+}
+
+func phasesFromJSON(ps []phaseJSON) ([]analytic.Phase, error) {
+	out := make([]analytic.Phase, 0, len(ps))
+	for _, p := range ps {
+		switch p.Kind {
+		case "stream":
+			out = append(out, analytic.Stream{Streams: p.Streams})
+		case "matvec":
+			out = append(out, analytic.MatVec{Matrix: p.Matrix, Vec: p.Vec, Out: p.Out, N: p.N})
+		case "smooth":
+			out = append(out, analytic.Smooth{Region: p.Region, Dim: p.Dim, OffsetElems: p.OffsetElems})
+		case "restrict":
+			out = append(out, analytic.Restrict{Region: p.Region, FineDim: p.FineDim, CoarseDim: p.CoarseDim, FineOffset: p.FineOffset, CoarseOffs: p.CoarseOffs})
+		case "prolong":
+			out = append(out, analytic.Prolong{Region: p.Region, FineDim: p.FineDim, CoarseDim: p.CoarseDim, FineOffset: p.FineOffset, CoarseOffs: p.CoarseOffs})
+		case "bitreverse":
+			out = append(out, analytic.BitReverse{Region: p.Region, N: p.N})
+		case "butterflies":
+			out = append(out, analytic.Butterflies{Region: p.Region, N: p.N})
+		case "repeat":
+			body, err := phasesFromJSON(p.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, analytic.Repeat{Count: p.Count, Body: body})
+		default:
+			return nil, fmt.Errorf("extract: unknown phase kind %q", p.Kind)
+		}
+	}
+	return out, nil
+}
+
+// MarshalDescriptor renders a descriptor as indented, kind-tagged JSON.
+func MarshalDescriptor(d *analytic.Descriptor) ([]byte, error) {
+	phases, err := phasesToJSON(d.Phases)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(descriptorJSON{Kernel: d.Kernel, Regions: d.Regions, Phases: phases}, "", "  ")
+}
+
+// UnmarshalDescriptor parses MarshalDescriptor output and validates it.
+func UnmarshalDescriptor(data []byte) (*analytic.Descriptor, error) {
+	var dj descriptorJSON
+	if err := json.Unmarshal(data, &dj); err != nil {
+		return nil, fmt.Errorf("extract: %w", err)
+	}
+	phases, err := phasesFromJSON(dj.Phases)
+	if err != nil {
+		return nil, err
+	}
+	d := &analytic.Descriptor{Kernel: dj.Kernel, Regions: dj.Regions, Phases: phases}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------------
+// Go source rendering (dvf-extract -format go).
+
+// RenderGo renders a descriptor as a compilable Go function returning it.
+func RenderGo(d *analytic.Descriptor, pkg, funcName string) ([]byte, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Code generated by dvf-extract; kernel %s. DO NOT EDIT.\n\n", d.Kernel)
+	fmt.Fprintf(&b, "package %s\n\n", pkg)
+	b.WriteString("import \"github.com/resilience-models/dvf/internal/analytic\"\n\n")
+	fmt.Fprintf(&b, "// %s is the statically extracted access pattern of %s.\n", funcName, d.Kernel)
+	fmt.Fprintf(&b, "func %s() *analytic.Descriptor {\n", funcName)
+	b.WriteString("\treturn &analytic.Descriptor{\n")
+	fmt.Fprintf(&b, "\t\tKernel: %q,\n", d.Kernel)
+	b.WriteString("\t\tRegions: []analytic.Region{\n")
+	for _, r := range d.Regions {
+		fmt.Fprintf(&b, "\t\t\t{Name: %q, Bytes: %d, ElemSize: %d},\n", r.Name, r.Bytes, r.ElemSize)
+	}
+	b.WriteString("\t\t},\n")
+	b.WriteString("\t\tPhases: []analytic.Phase{\n")
+	if err := renderPhases(&b, d.Phases, 3); err != nil {
+		return nil, err
+	}
+	b.WriteString("\t\t},\n\t}\n}\n")
+	return []byte(b.String()), nil
+}
+
+func renderPhases(b *strings.Builder, ps []analytic.Phase, depth int) error {
+	ind := strings.Repeat("\t", depth)
+	for _, p := range ps {
+		switch p := p.(type) {
+		case analytic.Stream:
+			fmt.Fprintf(b, "%sanalytic.Stream{Streams: []analytic.Traversal{\n", ind)
+			for _, t := range p.Streams {
+				fmt.Fprintf(b, "%s\t{Region: %q, StartElem: %d, StrideElems: %d, Count: %d},\n",
+					ind, t.Region, t.StartElem, t.StrideElems, t.Count)
+			}
+			fmt.Fprintf(b, "%s}},\n", ind)
+		case analytic.MatVec:
+			fmt.Fprintf(b, "%sanalytic.MatVec{Matrix: %q, Vec: %q, Out: %q, N: %d},\n", ind, p.Matrix, p.Vec, p.Out, p.N)
+		case analytic.Smooth:
+			fmt.Fprintf(b, "%sanalytic.Smooth{Region: %q, Dim: %d, OffsetElems: %d},\n", ind, p.Region, p.Dim, p.OffsetElems)
+		case analytic.Restrict:
+			fmt.Fprintf(b, "%sanalytic.Restrict{Region: %q, FineDim: %d, CoarseDim: %d, FineOffset: %d, CoarseOffs: %d},\n",
+				ind, p.Region, p.FineDim, p.CoarseDim, p.FineOffset, p.CoarseOffs)
+		case analytic.Prolong:
+			fmt.Fprintf(b, "%sanalytic.Prolong{Region: %q, FineDim: %d, CoarseDim: %d, FineOffset: %d, CoarseOffs: %d},\n",
+				ind, p.Region, p.FineDim, p.CoarseDim, p.FineOffset, p.CoarseOffs)
+		case analytic.BitReverse:
+			fmt.Fprintf(b, "%sanalytic.BitReverse{Region: %q, N: %d},\n", ind, p.Region, p.N)
+		case analytic.Butterflies:
+			fmt.Fprintf(b, "%sanalytic.Butterflies{Region: %q, N: %d},\n", ind, p.Region, p.N)
+		case analytic.Repeat:
+			fmt.Fprintf(b, "%sanalytic.Repeat{Count: %d, Body: []analytic.Phase{\n", ind, p.Count)
+			if err := renderPhases(b, p.Body, depth+1); err != nil {
+				return err
+			}
+			fmt.Fprintf(b, "%s}},\n", ind)
+		default:
+			return fmt.Errorf("extract: unrenderable phase %T", p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,1207 @@
+package extract
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+	"github.com/resilience-models/dvf/internal/analytic"
+)
+
+func (i *interp) evalExpr(e ast.Expr) (value, error) {
+	if err := i.step(e.Pos()); err != nil {
+		return nil, err
+	}
+	info := i.info()
+	// Constants first: go/types has already folded every constant
+	// expression (named constants, untyped literals in context, math.Pi).
+	if tv, ok := info.Types[e]; ok {
+		if tv.Value != nil {
+			return constValue(e.Pos(), tv)
+		}
+		if tv.IsNil() {
+			return nilVal{}, nil
+		}
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return i.evalExpr(e.X)
+	case *ast.Ident:
+		return i.evalIdent(e)
+	case *ast.SelectorExpr:
+		return i.evalSelector(e)
+	case *ast.StarExpr:
+		v, err := i.evalExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if p, ok := v.(ptrVal); ok {
+			return p.to, nil
+		}
+		return nil, evalFail(e.Pos(), "dereference of non-pointer value")
+	case *ast.UnaryExpr:
+		return i.evalUnary(e)
+	case *ast.BinaryExpr:
+		return i.evalBinary(e)
+	case *ast.CallExpr:
+		return i.evalCall(e)
+	case *ast.CompositeLit:
+		return i.evalComposite(e)
+	case *ast.IndexExpr:
+		return i.evalIndex(e)
+	case *ast.SliceExpr:
+		return i.evalSlice(e)
+	case *ast.BasicLit:
+		return nil, evalFail(e.Pos(), "literal outside constant context")
+	case *ast.FuncLit:
+		return nil, evalFail(e.Pos(), "function literal")
+	case *ast.TypeAssertExpr:
+		return nil, evalFail(e.Pos(), "type assertion")
+	}
+	return nil, evalFail(e.Pos(), "unsupported expression %T", e)
+}
+
+func constValue(pos token.Pos, tv types.TypeAndValue) (value, error) {
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return nil, evalFail(pos, "constant of non-basic type")
+	}
+	switch {
+	case b.Info()&types.IsBoolean != 0:
+		return boolVal(constant.BoolVal(tv.Value)), nil
+	case b.Info()&types.IsString != 0:
+		return stringVal(constant.StringVal(tv.Value)), nil
+	case b.Info()&types.IsInteger != 0:
+		n, exact := constant.Int64Val(constant.ToInt(tv.Value))
+		if !exact {
+			return nil, evalFail(pos, "integer constant out of int64 range")
+		}
+		return intVal(n), nil
+	case b.Info()&types.IsFloat != 0:
+		f, _ := constant.Float64Val(tv.Value)
+		return floatVal(f), nil
+	case b.Info()&types.IsComplex != 0:
+		return opaque{}, nil
+	}
+	return nil, evalFail(pos, "unsupported constant kind")
+}
+
+func (i *interp) evalIdent(id *ast.Ident) (value, error) {
+	if id.Name == "_" {
+		return opaque{}, nil
+	}
+	obj := i.info().Uses[id]
+	if obj == nil {
+		obj = i.info().Defs[id]
+	}
+	switch obj.(type) {
+	case *types.Var:
+		if c, _ := i.fr.lookup(obj); c != nil {
+			return c.v, nil
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return nil, evalFail(id.Pos(), "read of package-level variable %s", id.Name)
+		}
+		return nil, evalFail(id.Pos(), "unbound variable %s", id.Name)
+	case *types.Func:
+		return nil, evalFail(id.Pos(), "function used as a value")
+	case *types.Nil:
+		return nilVal{}, nil
+	}
+	return nil, evalFail(id.Pos(), "unsupported identifier %s", id.Name)
+}
+
+func (i *interp) evalSelector(sel *ast.SelectorExpr) (value, error) {
+	info := i.info()
+	if s, ok := info.Selections[sel]; ok && s.Kind() != types.FieldVal {
+		return nil, evalFail(sel.Pos(), "method value %s", sel.Sel.Name)
+	}
+	if _, ok := info.Selections[sel]; !ok {
+		// Qualified identifier from another package: non-constant package
+		// state is outside the static model (constants were handled above).
+		return nil, evalFail(sel.Pos(), "cross-package variable %s", sel.Sel.Name)
+	}
+	base, err := i.evalExpr(sel.X)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := base.(ptrVal); ok {
+		base = p.to
+	}
+	switch b := base.(type) {
+	case *structVal:
+		if c, ok := b.fields[sel.Sel.Name]; ok {
+			return c.v, nil
+		}
+		return opaque{}, nil
+	case regionVal, opaque:
+		return opaque{}, nil // Region.ID / Region.Base: bookkeeping only
+	}
+	return nil, evalFail(sel.Pos(), "field access on unsupported value")
+}
+
+func (i *interp) evalUnary(e *ast.UnaryExpr) (value, error) {
+	if e.Op == token.AND {
+		if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+			v, err := i.evalComposite(lit)
+			if err != nil {
+				return nil, err
+			}
+			if s, ok := v.(*structVal); ok {
+				return ptrVal{to: s}, nil
+			}
+			return nil, evalFail(e.Pos(), "address of non-struct literal")
+		}
+		return nil, evalFail(e.Pos(), "address-of expression")
+	}
+	v, err := i.evalExpr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case token.SUB:
+		switch x := v.(type) {
+		case intVal:
+			return intVal(-int64(x)), nil
+		case floatVal:
+			return floatVal(-float64(x)), nil
+		case aff:
+			return x.neg(), nil
+		case opaque:
+			return opaque{}, nil
+		}
+	case token.ADD:
+		return v, nil
+	case token.NOT:
+		if b, ok := v.(boolVal); ok {
+			return boolVal(!bool(b)), nil
+		}
+		if _, ok := v.(opaque); ok {
+			return opaque{}, nil
+		}
+	case token.XOR:
+		if x, ok := v.(intVal); ok {
+			return intVal(^int64(x)), nil
+		}
+	}
+	return nil, evalFail(e.Pos(), "unsupported unary %s", e.Op)
+}
+
+func (i *interp) evalBinary(e *ast.BinaryExpr) (value, error) {
+	if e.Op == token.LAND || e.Op == token.LOR {
+		l, err := i.evalExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if b, ok := truthy(l); ok {
+			if (e.Op == token.LAND && !b) || (e.Op == token.LOR && b) {
+				return boolVal(b), nil
+			}
+			return i.evalExpr(e.Y)
+		}
+		return opaque{}, nil
+	}
+	l, err := i.evalExpr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	r, err := i.evalExpr(e.Y)
+	if err != nil {
+		return nil, err
+	}
+	return i.binop(e.Pos(), e.Op, l, r)
+}
+
+func (i *interp) binop(pos token.Pos, op token.Token, l, r value) (value, error) {
+	// Comparisons.
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return compare(op, l, r)
+	}
+	// Affine arithmetic (symbolic mode only).
+	la, lIsAff := l.(aff)
+	ra, rIsAff := r.(aff)
+	if lIsAff || rIsAff {
+		if li, ok := l.(intVal); ok {
+			la, lIsAff = affConst(int64(li)), true
+		}
+		if ri, ok := r.(intVal); ok {
+			ra, rIsAff = affConst(int64(ri)), true
+		}
+		if !lIsAff || !rIsAff {
+			if _, ok := l.(floatVal); ok {
+				return opaque{}, nil
+			}
+			if _, ok := r.(floatVal); ok {
+				return opaque{}, nil
+			}
+			if isOpaque(l) || isOpaque(r) {
+				return opaque{}, nil
+			}
+			return nil, evalFail(pos, "mixed affine/non-integer arithmetic")
+		}
+		switch op {
+		case token.ADD:
+			return normAff(la.add(ra)), nil
+		case token.SUB:
+			return normAff(la.add(ra.neg())), nil
+		case token.MUL:
+			if la.isConst() {
+				return normAff(ra.scale(la.c)), nil
+			}
+			if ra.isConst() {
+				return normAff(la.scale(ra.c)), nil
+			}
+			return nil, evalFail(pos, "product of two loop-dependent values is not affine")
+		case token.QUO:
+			if ra.isConst() && ra.c != 0 {
+				if q, ok := la.div(ra.c); ok {
+					return normAff(q), nil
+				}
+			}
+			return nil, evalFail(pos, "loop-dependent division is not affine")
+		}
+		return nil, evalFail(pos, "operator %s on loop-dependent values is not affine", op)
+	}
+	// Concrete integer arithmetic.
+	if li, ok := l.(intVal); ok {
+		if ri, ok := r.(intVal); ok {
+			return intArith(pos, op, int64(li), int64(ri))
+		}
+	}
+	// Concrete float arithmetic.
+	if lf, ok := toFloat(l); ok {
+		if rf, ok := toFloat(r); ok {
+			switch op {
+			case token.ADD:
+				return floatVal(lf + rf), nil
+			case token.SUB:
+				return floatVal(lf - rf), nil
+			case token.MUL:
+				return floatVal(lf * rf), nil
+			case token.QUO:
+				if rf == 0 {
+					return nil, evalFail(pos, "float division by zero")
+				}
+				return floatVal(lf / rf), nil
+			}
+		}
+	}
+	if isOpaque(l) || isOpaque(r) {
+		return opaque{}, nil
+	}
+	if lb, ok := l.(boolVal); ok {
+		if rb, ok := r.(boolVal); ok && op == token.LAND {
+			return boolVal(bool(lb) && bool(rb)), nil
+		}
+		if rb, ok := r.(boolVal); ok && op == token.LOR {
+			return boolVal(bool(lb) || bool(rb)), nil
+		}
+	}
+	if ls, ok := l.(stringVal); ok {
+		if rs, ok := r.(stringVal); ok && op == token.ADD {
+			return stringVal(string(ls) + string(rs)), nil
+		}
+	}
+	return nil, evalFail(pos, "unsupported operands for %s", op)
+}
+
+func isOpaque(v value) bool { _, ok := v.(opaque); return ok }
+
+// normAff collapses a constant affine form back to a plain integer.
+func normAff(a aff) value {
+	if a.isConst() {
+		return intVal(a.c)
+	}
+	return a
+}
+
+func toFloat(v value) (float64, bool) {
+	switch x := v.(type) {
+	case floatVal:
+		return float64(x), true
+	case intVal:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+func intArith(pos token.Pos, op token.Token, a, b int64) (value, error) {
+	switch op {
+	case token.ADD:
+		return intVal(a + b), nil
+	case token.SUB:
+		return intVal(a - b), nil
+	case token.MUL:
+		return intVal(a * b), nil
+	case token.QUO:
+		if b == 0 {
+			return nil, evalFail(pos, "integer division by zero")
+		}
+		return intVal(a / b), nil
+	case token.REM:
+		if b == 0 {
+			return nil, evalFail(pos, "integer modulo by zero")
+		}
+		return intVal(a % b), nil
+	case token.AND:
+		return intVal(a & b), nil
+	case token.OR:
+		return intVal(a | b), nil
+	case token.XOR:
+		return intVal(a ^ b), nil
+	case token.AND_NOT:
+		return intVal(a &^ b), nil
+	case token.SHL:
+		if b < 0 || b > 62 {
+			return nil, evalFail(pos, "shift count out of range")
+		}
+		return intVal(a << uint(b)), nil
+	case token.SHR:
+		if b < 0 || b > 62 {
+			return nil, evalFail(pos, "shift count out of range")
+		}
+		return intVal(a >> uint(b)), nil
+	}
+	return nil, evalFail(pos, "unsupported integer operator %s", op)
+}
+
+func compare(op token.Token, l, r value) (value, error) {
+	if _, ok := l.(aff); ok {
+		return opaque{}, nil // symIf inspects the AST for affine guards
+	}
+	if _, ok := r.(aff); ok {
+		return opaque{}, nil
+	}
+	if isOpaque(l) || isOpaque(r) {
+		return opaque{}, nil
+	}
+	_, lNil := l.(nilVal)
+	_, rNil := r.(nilVal)
+	if lNil || rNil {
+		eq := lNil && rNil
+		// Comparing a non-nil handle (pointer, slice, handle values) with
+		// nil: our domain only stores non-nil handles for those kinds.
+		switch op {
+		case token.EQL:
+			return boolVal(eq), nil
+		case token.NEQ:
+			return boolVal(!eq), nil
+		}
+		return nil, evalFail(token.NoPos, "ordered comparison with nil")
+	}
+	if li, ok := l.(intVal); ok {
+		if ri, ok := r.(intVal); ok {
+			return boolVal(cmpOrd(op, int64(li)-int64(ri))), nil
+		}
+	}
+	if lf, ok := toFloat(l); ok {
+		if rf, ok := toFloat(r); ok {
+			switch {
+			case lf < rf:
+				return boolVal(cmpOrd(op, -1)), nil
+			case lf > rf:
+				return boolVal(cmpOrd(op, 1)), nil
+			default:
+				return boolVal(cmpOrd(op, 0)), nil
+			}
+		}
+	}
+	if ls, ok := l.(stringVal); ok {
+		if rs, ok := r.(stringVal); ok {
+			switch {
+			case ls == rs:
+				return boolVal(cmpOrd(op, 0)), nil
+			case ls < rs:
+				return boolVal(cmpOrd(op, -1)), nil
+			default:
+				return boolVal(cmpOrd(op, 1)), nil
+			}
+		}
+	}
+	if lb, ok := l.(boolVal); ok {
+		if rb, ok := r.(boolVal); ok {
+			switch op {
+			case token.EQL:
+				return boolVal(lb == rb), nil
+			case token.NEQ:
+				return boolVal(lb != rb), nil
+			}
+		}
+	}
+	return nil, evalFail(token.NoPos, "incomparable values")
+}
+
+func cmpOrd(op token.Token, sign int64) bool {
+	switch op {
+	case token.EQL:
+		return sign == 0
+	case token.NEQ:
+		return sign != 0
+	case token.LSS:
+		return sign < 0
+	case token.LEQ:
+		return sign <= 0
+	case token.GTR:
+		return sign > 0
+	case token.GEQ:
+		return sign >= 0
+	}
+	return false
+}
+
+func (i *interp) evalComposite(lit *ast.CompositeLit) (value, error) {
+	tv, ok := i.info().Types[lit]
+	if !ok {
+		return nil, evalFail(lit.Pos(), "untyped composite literal")
+	}
+	switch ut := tv.Type.Underlying().(type) {
+	case *types.Struct:
+		sv := &structVal{fields: make(map[string]*cell)}
+		for f := 0; f < ut.NumFields(); f++ {
+			sv.fields[ut.Field(f).Name()] = &cell{v: zeroValue(ut.Field(f).Type())}
+		}
+		for k, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				name, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					return nil, evalFail(kv.Pos(), "non-identifier struct key")
+				}
+				v, err := i.evalExpr(kv.Value)
+				if err != nil {
+					return nil, err
+				}
+				sv.fields[name.Name] = &cell{v: v}
+			} else {
+				if k >= ut.NumFields() {
+					return nil, evalFail(el.Pos(), "too many struct literal values")
+				}
+				v, err := i.evalExpr(el)
+				if err != nil {
+					return nil, err
+				}
+				sv.fields[ut.Field(k).Name()] = &cell{v: v}
+			}
+		}
+		return sv, nil
+	case *types.Slice:
+		if isBulkElem(ut.Elem()) {
+			return dataSlice{n: int64(len(lit.Elts))}, nil
+		}
+		sv := sliceVal{}
+		for _, el := range lit.Elts {
+			if _, ok := el.(*ast.KeyValueExpr); ok {
+				return nil, evalFail(el.Pos(), "keyed slice literal")
+			}
+			v, err := i.evalExpr(el)
+			if err != nil {
+				return nil, err
+			}
+			sv.elems = append(sv.elems, &cell{v: v})
+		}
+		return sv, nil
+	case *types.Map, *types.Array:
+		return opaque{}, nil
+	}
+	return nil, evalFail(lit.Pos(), "unsupported composite literal")
+}
+
+// isBulkElem reports whether a slice of this element type is modeled as
+// opaque bulk data (runtime numeric payload) rather than tracked storage.
+func isBulkElem(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Float64 || b.Kind() == types.Complex128)
+}
+
+func (i *interp) evalIndex(e *ast.IndexExpr) (value, error) {
+	base, err := i.evalExpr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := i.evalExpr(e.Index)
+	if err != nil {
+		return nil, err
+	}
+	switch b := base.(type) {
+	case dataSlice:
+		return opaque{}, nil // bulk payload: reads are always opaque
+	case sliceVal:
+		k, ok := isConcreteInt(idx)
+		if !ok {
+			if _, isAff := idx.(aff); isAff {
+				return nil, evalFail(e.Pos(), "loop-dependent index into tracked slice")
+			}
+			return opaque{}, nil
+		}
+		if k < 0 || k >= int64(len(b.elems)) {
+			return nil, evalFail(e.Pos(), "index %d out of range", k)
+		}
+		return b.elems[k].v, nil
+	case stringVal:
+		return opaque{}, nil
+	case opaque:
+		return opaque{}, nil
+	}
+	return nil, evalFail(e.Pos(), "index into unsupported value")
+}
+
+func (i *interp) evalSlice(e *ast.SliceExpr) (value, error) {
+	base, err := i.evalExpr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	bound := func(ex ast.Expr, def int64) (int64, error) {
+		if ex == nil {
+			return def, nil
+		}
+		v, err := i.evalExpr(ex)
+		if err != nil {
+			return 0, err
+		}
+		n, ok := isConcreteInt(v)
+		if !ok {
+			return 0, evalFail(ex.Pos(), "slice bound is not statically known")
+		}
+		return n, nil
+	}
+	switch b := base.(type) {
+	case dataSlice:
+		lo, err := bound(e.Low, 0)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bound(e.High, b.n)
+		if err != nil {
+			return nil, err
+		}
+		if lo < 0 || hi < lo || hi > b.n {
+			return nil, evalFail(e.Pos(), "slice bounds out of range")
+		}
+		return dataSlice{n: hi - lo}, nil
+	case sliceVal:
+		lo, err := bound(e.Low, 0)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bound(e.High, int64(len(b.elems)))
+		if err != nil {
+			return nil, err
+		}
+		if lo < 0 || hi < lo || hi > int64(len(b.elems)) {
+			return nil, evalFail(e.Pos(), "slice bounds out of range")
+		}
+		return sliceVal{elems: b.elems[lo:hi]}, nil
+	}
+	return nil, evalFail(e.Pos(), "slice of unsupported value")
+}
+
+// assignTo writes v into the storage named by lhs. In symbolic mode the
+// write is shadowed (see symShadowWrite) so an abandoned nest attempt
+// leaves concrete state untouched.
+func (i *interp) assignTo(lhs ast.Expr, v value) error {
+	lhs = ast.Unparen(lhs)
+	switch t := lhs.(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return nil
+		}
+		obj := i.info().Uses[t]
+		if obj == nil {
+			obj = i.info().Defs[t]
+		}
+		if obj == nil {
+			return i.inext(t.Pos(), "cannot resolve assignment target %s", t.Name)
+		}
+		c, owner := i.fr.lookup(obj)
+		if c == nil {
+			return i.inext(t.Pos(), "assignment to unbound variable %s", t.Name)
+		}
+		if i.sym != nil && !owner.sym {
+			i.symShadowWrite(obj, v)
+			return nil
+		}
+		c.v = v
+		return nil
+	case *ast.IndexExpr:
+		base, err := i.evalExpr(t.X)
+		if err != nil {
+			return err
+		}
+		idx, err := i.evalExpr(t.Index)
+		if err != nil {
+			return err
+		}
+		switch b := base.(type) {
+		case dataSlice:
+			return nil // bulk payload writes never feed back into the model
+		case sliceVal:
+			if i.sym != nil {
+				return i.symBlockedErr(t.Pos(), "write to tracked slice inside an affine nest")
+			}
+			k, ok := isConcreteInt(idx)
+			if !ok {
+				// Unknown position: every element may have been written.
+				for _, c := range b.elems {
+					c.v = opaque{}
+				}
+				return nil
+			}
+			if k < 0 || k >= int64(len(b.elems)) {
+				return i.inext(t.Pos(), "index %d out of range in assignment", k)
+			}
+			b.elems[k].v = v
+			return nil
+		}
+		return i.inext(t.Pos(), "write through value of unknown origin")
+	case *ast.SelectorExpr:
+		base, err := i.evalExpr(t.X)
+		if err != nil {
+			return err
+		}
+		if p, ok := base.(ptrVal); ok {
+			base = p.to
+		}
+		if s, ok := base.(*structVal); ok {
+			if i.sym != nil {
+				return i.symBlockedErr(t.Pos(), "struct field write inside an affine nest")
+			}
+			c, ok := s.fields[t.Sel.Name]
+			if !ok {
+				c = &cell{}
+				s.fields[t.Sel.Name] = c
+			}
+			c.v = v
+			return nil
+		}
+		return i.inext(t.Pos(), "field write on unsupported value")
+	}
+	return i.inext(lhs.Pos(), "unsupported assignment target %T", lhs)
+}
+
+func zeroValue(t types.Type) value {
+	switch ut := t.Underlying().(type) {
+	case *types.Basic:
+		switch {
+		case ut.Info()&types.IsBoolean != 0:
+			return boolVal(false)
+		case ut.Info()&types.IsString != 0:
+			return stringVal("")
+		case ut.Info()&types.IsInteger != 0:
+			return intVal(0)
+		case ut.Info()&types.IsFloat != 0:
+			return floatVal(0)
+		default:
+			return opaque{}
+		}
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return nilVal{}
+	case *types.Struct:
+		sv := &structVal{fields: make(map[string]*cell)}
+		for f := 0; f < ut.NumFields(); f++ {
+			sv.fields[ut.Field(f).Name()] = &cell{v: zeroValue(ut.Field(f).Type())}
+		}
+		return sv
+	}
+	return opaque{}
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func builtinOf(info *types.Info, call *ast.CallExpr) *types.Builtin {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			return b
+		}
+	}
+	return nil
+}
+
+func (i *interp) evalCall(call *ast.CallExpr) (value, error) {
+	info := i.info()
+	if isConversion(info, call) {
+		return i.evalConversion(call)
+	}
+	if b := builtinOf(info, call); b != nil {
+		return i.evalBuiltin(call, b)
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return nil, i.inext(call.Pos(), "indirect call (function value or interface dispatch) cannot be extracted")
+	}
+	if tracePkgFunc(fn) {
+		return i.evalTracePrimitive(call, fn)
+	}
+	if node := i.cg.Node(fn); node != nil {
+		return i.evalLocalCall(call, fn, node)
+	}
+	return i.evalStdlibCall(call, fn)
+}
+
+func (i *interp) evalConversion(call *ast.CallExpr) (value, error) {
+	if len(call.Args) != 1 {
+		return nil, evalFail(call.Pos(), "malformed conversion")
+	}
+	v, err := i.evalExpr(call.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	tv := i.info().Types[call]
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return v, nil // interface/pointer conversions: identity in our domain
+	}
+	switch {
+	case b.Info()&types.IsInteger != 0:
+		switch x := v.(type) {
+		case intVal, aff:
+			return x, nil
+		case floatVal:
+			return intVal(int64(float64(x))), nil
+		case opaque:
+			return opaque{}, nil
+		}
+	case b.Info()&types.IsFloat != 0:
+		switch x := v.(type) {
+		case floatVal:
+			return x, nil
+		case intVal:
+			return floatVal(float64(x)), nil
+		case aff, opaque:
+			return opaque{}, nil
+		}
+	case b.Info()&types.IsComplex != 0:
+		return opaque{}, nil
+	case b.Info()&types.IsString != 0:
+		if s, ok := v.(stringVal); ok {
+			return s, nil
+		}
+		return opaque{}, nil
+	}
+	return nil, evalFail(call.Pos(), "unsupported conversion")
+}
+
+func (i *interp) evalBuiltin(call *ast.CallExpr, b *types.Builtin) (value, error) {
+	args := make([]value, len(call.Args))
+	switch b.Name() {
+	case "make", "new":
+		// Type argument first; evaluate only the size arguments below.
+	default:
+		for k, a := range call.Args {
+			v, err := i.evalExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[k] = v
+		}
+	}
+	switch b.Name() {
+	case "len":
+		switch x := args[0].(type) {
+		case dataSlice:
+			return intVal(x.n), nil
+		case sliceVal:
+			return intVal(int64(len(x.elems))), nil
+		case stringVal:
+			return intVal(int64(len(string(x)))), nil
+		case nilVal:
+			return intVal(0), nil
+		case opaque:
+			return opaque{}, nil
+		}
+		return nil, evalFail(call.Pos(), "len of unsupported value")
+	case "cap":
+		return i.evalBuiltinLenLike(args[0], call.Pos())
+	case "make":
+		tv := i.info().Types[call]
+		sl, ok := tv.Type.Underlying().(*types.Slice)
+		if !ok {
+			return opaque{}, nil // maps/channels are opaque
+		}
+		n := int64(0)
+		if len(call.Args) >= 2 {
+			v, err := i.evalExpr(call.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			if n, ok = isConcreteInt(v); !ok {
+				return nil, evalFail(call.Pos(), "make with non-static length")
+			}
+		}
+		if isBulkElem(sl.Elem()) {
+			return dataSlice{n: n}, nil
+		}
+		if n > maxUnroll {
+			return nil, evalFail(call.Pos(), "tracked slice of %d elements is too large to model", n)
+		}
+		sv := sliceVal{elems: make([]*cell, n)}
+		for k := range sv.elems {
+			sv.elems[k] = &cell{v: zeroValue(sl.Elem())}
+		}
+		return sv, nil
+	case "new":
+		tv := i.info().Types[call]
+		pt, ok := tv.Type.Underlying().(*types.Pointer)
+		if !ok {
+			return opaque{}, nil
+		}
+		z := zeroValue(pt.Elem())
+		if s, ok := z.(*structVal); ok {
+			return ptrVal{to: s}, nil
+		}
+		return opaque{}, nil
+	case "append":
+		base := args[0]
+		var out sliceVal
+		switch x := base.(type) {
+		case nilVal:
+		case sliceVal:
+			out.elems = append([]*cell(nil), x.elems...)
+		case dataSlice:
+			return dataSlice{n: x.n + int64(len(args)-1)}, nil
+		default:
+			return nil, evalFail(call.Pos(), "append to unsupported value")
+		}
+		for _, v := range args[1:] {
+			out.elems = append(out.elems, &cell{v: v})
+		}
+		return out, nil
+	case "copy":
+		if len(args) == 2 {
+			if _, ok := args[0].(dataSlice); ok {
+				return opaque{}, nil // bulk-to-bulk copies carry no model state
+			}
+			if dst, ok := args[0].(sliceVal); ok {
+				if src, ok := args[1].(sliceVal); ok {
+					n := len(dst.elems)
+					if len(src.elems) < n {
+						n = len(src.elems)
+					}
+					for k := 0; k < n; k++ {
+						dst.elems[k].v = src.elems[k].v
+					}
+					return intVal(int64(n)), nil
+				}
+				for _, c := range dst.elems {
+					c.v = opaque{}
+				}
+				return opaque{}, nil
+			}
+		}
+		return opaque{}, nil
+	case "complex", "real", "imag":
+		return opaque{}, nil
+	case "min", "max":
+		best, ok := isConcreteInt(args[0])
+		if !ok {
+			return opaque{}, nil
+		}
+		for _, v := range args[1:] {
+			n, ok := isConcreteInt(v)
+			if !ok {
+				return opaque{}, nil
+			}
+			if (b.Name() == "min" && n < best) || (b.Name() == "max" && n > best) {
+				best = n
+			}
+		}
+		return intVal(best), nil
+	case "panic":
+		return nil, i.inext(call.Pos(), "reachable panic")
+	case "print", "println", "delete", "clear":
+		return opaque{}, nil
+	}
+	return nil, evalFail(call.Pos(), "unsupported builtin %s", b.Name())
+}
+
+func (i *interp) evalBuiltinLenLike(v value, pos token.Pos) (value, error) {
+	switch x := v.(type) {
+	case dataSlice:
+		return intVal(x.n), nil
+	case sliceVal:
+		return intVal(int64(len(x.elems))), nil
+	case opaque:
+		return opaque{}, nil
+	}
+	return nil, evalFail(pos, "cap of unsupported value")
+}
+
+// evalTracePrimitive intercepts the instrumentation API: allocations feed
+// the region table, loads/stores become access events, everything else is
+// inert bookkeeping.
+func (i *interp) evalTracePrimitive(call *ast.CallExpr, fn *types.Func) (value, error) {
+	args := make([]value, len(call.Args))
+	for k, a := range call.Args {
+		v, err := i.evalExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args[k] = v
+	}
+	switch fn.Name() {
+	case "NewRegistry":
+		return registryVal{}, nil
+	case "NewMemory":
+		return memoryVal{}, nil
+	case "Alloc":
+		if i.attempt != nil && i.attempt.pure {
+			return nil, &fatalError{err: i.inext(call.Pos(), "allocation inside supposedly untraced code")}
+		}
+		if i.sym != nil {
+			return nil, i.symBlockedErr(call.Pos(), "allocation inside a loop")
+		}
+		name, okN := args[0].(stringVal)
+		bytes, okB := isConcreteInt(args[1])
+		if !okN || !okB {
+			return nil, i.inext(call.Pos(), "region allocation with non-static name or size")
+		}
+		ri := &regionInfo{name: string(name), bytes: bytes, order: len(i.regions), sizes: make(map[int64]bool)}
+		i.regions = append(i.regions, ri)
+		return regionVal{info: ri}, nil
+	case "LoadN", "StoreN":
+		return nil, i.accessEvent(call, args, fn.Name() == "StoreN")
+	case "Load", "Store":
+		return nil, i.inext(call.Pos(), "byte-granular trace.%s is not modeled; use LoadN/StoreN", fn.Name())
+	case "Refs":
+		return opaque{}, nil
+	}
+	// Registry/Region accessors carry no model state.
+	return opaqueResults(fn), nil
+}
+
+func (i *interp) accessEvent(call *ast.CallExpr, args []value, write bool) error {
+	if i.attempt != nil && i.attempt.pure {
+		return &fatalError{err: i.inext(call.Pos(), "memory access inside supposedly untraced code")}
+	}
+	reg, ok := args[0].(regionVal)
+	if !ok {
+		return i.inext(call.Pos(), "access to a region that was not statically allocated")
+	}
+	size, ok := isConcreteInt(args[2])
+	if !ok || size <= 0 {
+		return i.inext(call.Pos(), "access with non-static element size")
+	}
+	if i.sym != nil {
+		idx, err := toAff(args[1])
+		if err != nil {
+			return i.symBlockedErr(call.Args[1].Pos(), "subscript is data-dependent (not affine in the loop indices)")
+		}
+		i.symEvent(&nEvent{region: reg.info, idx: idx, size: size, write: write, pos: call.Pos()})
+		return nil
+	}
+	idx, ok := isConcreteInt(args[1])
+	if !ok {
+		return i.inext(call.Args[1].Pos(), "subscript is data-dependent (not statically known)")
+	}
+	// A straight-line scalar access: a degenerate single-element stream.
+	reg.info.sizes[size] = true
+	*i.phases = append(*i.phases, analytic.Stream{Streams: []analytic.Traversal{{
+		Region: reg.info.name, StartElem: int(idx), StrideElems: 1, Count: 1,
+	}}})
+	return nil
+}
+
+func toAff(v value) (aff, error) {
+	switch x := v.(type) {
+	case aff:
+		return x, nil
+	case intVal:
+		return affConst(int64(x)), nil
+	}
+	return aff{}, evalFail(token.NoPos, "not affine")
+}
+
+func opaqueResults(fn *types.Func) value {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() <= 1 {
+		return opaque{}
+	}
+	vs := make([]value, sig.Results().Len())
+	for k := range vs {
+		vs[k] = opaque{}
+	}
+	return tupleVal{vs: vs}
+}
+
+// evalLocalCall handles calls to module-local functions: trace-bearing
+// callees are inlined (concretely or symbolically); untraced callees get
+// a bounded concrete attempt with an elemOnly-gated opaque fallback.
+func (i *interp) evalLocalCall(call *ast.CallExpr, fn *types.Func, node *analysis.FuncNode) (value, error) {
+	args, recv, err := i.callArgs(call, fn)
+	if err != nil {
+		return nil, err
+	}
+	if i.sym != nil || i.funcBearing(fn) {
+		return i.inlineCall(call, fn, node, recv, args)
+	}
+	var res value
+	attemptErr := i.tryAttempt(func() error {
+		v, err := i.inlineCall(call, fn, node, recv, args)
+		res = v
+		return err
+	})
+	if attemptErr == nil {
+		return res, nil
+	}
+	if f, ok := attemptErr.(*fatalError); ok {
+		return nil, f
+	}
+	if i.elemOnly(fn) {
+		return opaqueResults(fn), nil
+	}
+	return nil, i.inext(call.Pos(), "call to %s is not statically evaluable and may write non-local state", fn.Name())
+}
+
+func (i *interp) callArgs(call *ast.CallExpr, fn *types.Func) (args []value, recv value, err error) {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil, nil, evalFail(call.Pos(), "method call without selector")
+		}
+		recv, err = i.evalExpr(sel.X)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	args = make([]value, len(call.Args))
+	for k, a := range call.Args {
+		v, err := i.evalExpr(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		args[k] = v
+	}
+	return args, recv, nil
+}
+
+func (i *interp) inlineCall(call *ast.CallExpr, fn *types.Func, node *analysis.FuncNode, recv value, args []value) (value, error) {
+	if i.depth >= maxDepth {
+		return nil, i.inext(call.Pos(), "call depth limit (possible recursion through %s)", fn.Name())
+	}
+	decl := node.Decl
+	sig := fn.Type().(*types.Signature)
+	if sig.Variadic() {
+		return nil, i.inext(call.Pos(), "variadic call to %s", fn.Name())
+	}
+	fr := newFrame(nil, node.Pkg, i.sym != nil)
+	if i.sym != nil {
+		fr.parent = i.fr // symbolic inlining shares the nest environment
+	}
+	// Bind receiver and parameters.
+	if sig.Recv() != nil && decl.Recv != nil && len(decl.Recv.List) > 0 && len(decl.Recv.List[0].Names) > 0 {
+		name := decl.Recv.List[0].Names[0]
+		if obj := node.Pkg.Info.Defs[name]; obj != nil {
+			fr.define(obj, recv)
+		}
+	}
+	k := 0
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if k >= len(args) {
+				return nil, evalFail(call.Pos(), "argument count mismatch")
+			}
+			if obj := node.Pkg.Info.Defs[name]; obj != nil {
+				fr.define(obj, args[k])
+			}
+			k++
+		}
+		if len(field.Names) == 0 {
+			k++
+		}
+	}
+	// Zero-initialize named results.
+	if decl.Type.Results != nil {
+		for _, field := range decl.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := node.Pkg.Info.Defs[name]; obj != nil {
+					fr.define(obj, zeroValue(obj.Type()))
+				}
+			}
+		}
+	}
+	savedFr, savedRet := i.fr, i.retVals
+	i.fr = fr
+	i.depth++
+	c, err := i.execBlock(decl.Body.List)
+	rets := i.retVals
+	i.depth--
+	i.fr = savedFr
+	i.retVals = savedRet
+	if err != nil {
+		return nil, err
+	}
+	nres := sig.Results().Len()
+	if c != ctrlReturn || len(rets) != nres {
+		// Fell off the end (void return) or a naked return of named
+		// results; recover named results from the frame when possible.
+		if c == ctrlReturn && len(rets) == 0 && nres > 0 && decl.Type.Results != nil {
+			rets = rets[:0]
+			for _, field := range decl.Type.Results.List {
+				for _, name := range field.Names {
+					if obj := node.Pkg.Info.Defs[name]; obj != nil {
+						if cell, _ := fr.lookup(obj); cell != nil {
+							rets = append(rets, cell.v)
+						}
+					}
+				}
+			}
+		}
+		for len(rets) < nres {
+			rets = append(rets, opaque{})
+		}
+	}
+	switch nres {
+	case 0:
+		return nil, nil
+	case 1:
+		return rets[0], nil
+	default:
+		return tupleVal{vs: rets[:nres]}, nil
+	}
+}
+
+// evalStdlibCall handles calls outside the module: a small whitelist is
+// evaluated concretely, everything else yields opaque results (stdlib
+// code cannot touch trace state).
+func (i *interp) evalStdlibCall(call *ast.CallExpr, fn *types.Func) (value, error) {
+	args := make([]value, len(call.Args))
+	for k, a := range call.Args {
+		v, err := i.evalExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args[k] = v
+	}
+	for _, a := range args {
+		switch a.(type) {
+		case regionVal, memoryVal, registryVal:
+			return nil, i.inext(call.Pos(), "trace handle escapes to %s.%s", fn.Pkg().Name(), fn.Name())
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "math/bits" {
+		switch fn.Name() {
+		case "TrailingZeros", "TrailingZeros32", "TrailingZeros64":
+			if n, ok := isConcreteInt(args[0]); ok {
+				if n == 0 {
+					return nil, evalFail(call.Pos(), "TrailingZeros(0)")
+				}
+				tz := 0
+				for n&1 == 0 {
+					n >>= 1
+					tz++
+				}
+				return intVal(int64(tz)), nil
+			}
+		}
+	}
+	return opaqueResults(fn), nil
+}

@@ -1,0 +1,255 @@
+// Package extract statically recovers analytic access-pattern
+// descriptors from traced kernel source code.
+//
+// It is a partial evaluator over the Go AST (via internal/analysis):
+// kernel configuration is bound to concrete values, straight-line code
+// and untraced loops are evaluated or soundly skipped, and every
+// trace-bearing loop nest is executed symbolically — one symbol per
+// induction variable, memory accesses recorded as affine forms — then
+// pattern-matched into analytic phases (stream, matvec, smooth,
+// restrict, prolong, bit-reversal, butterflies).
+//
+// The soundness contract: extraction either produces a descriptor that
+// provably reflects the code's access sequence, or fails with a
+// diagnostic naming the first construct (file:line) that is not
+// statically extractable — data-dependent subscripts or branches,
+// non-canonical loop headers, aliasing writes, escaping trace handles.
+// Nothing is silently approximated.
+package extract
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+	"github.com/resilience-models/dvf/internal/analytic"
+)
+
+// Target names one extraction: a method on a kernel struct, plus the
+// concrete configuration to bind to the receiver's fields.
+type Target struct {
+	Kernel   string // descriptor kernel name, e.g. "vm"
+	Path     string // import path of the package holding the type
+	TypeName string // receiver type name, e.g. "VM"
+	Method   string // method to extract; defaults to "Run"
+	Ints     map[string]int64
+	Floats   map[string]float64
+	Bools    map[string]bool
+}
+
+// Inextractable reports whether err is a soundness rejection produced by
+// Extract (as opposed to a lookup or configuration failure).
+func Inextractable(err error) bool {
+	_, ok := err.(*inextractableError)
+	return ok
+}
+
+// Extract runs the static extractor for one target and returns the
+// validated descriptor.
+func Extract(prog *analysis.Program, t Target) (*analytic.Descriptor, error) {
+	if t.Kernel == "" {
+		return nil, fmt.Errorf("extract: target must name its kernel")
+	}
+	method := t.Method
+	if method == "" {
+		method = "Run"
+	}
+	pkg := prog.Package(t.Path)
+	if pkg == nil {
+		return nil, fmt.Errorf("extract: package %s is not loaded", t.Path)
+	}
+	named, st, err := lookupStruct(pkg, t.TypeName)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := lookupMethod(named, method)
+	if err != nil {
+		return nil, err
+	}
+	i := newInterp(prog)
+	node := i.cg.Node(fn)
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return nil, fmt.Errorf("extract: no source for %s.%s", t.TypeName, method)
+	}
+	i.fr = newFrame(nil, node.Pkg, false)
+	recv, err := buildReceiver(st, t)
+	if err != nil {
+		return nil, err
+	}
+	if err := bindSignature(i, node.Decl, node.Pkg, recv); err != nil {
+		return nil, err
+	}
+	c, err := i.execBlock(node.Decl.Body.List)
+	if err != nil {
+		return nil, exportErr(err)
+	}
+	if c != ctrlReturn {
+		return nil, fmt.Errorf("extract: %s.%s fell off the end without returning", t.TypeName, method)
+	}
+	// The soundness contract includes completion: the extracted phases
+	// describe the run only if the modeled path provably returns nil
+	// error. Any statically unresolved error result is a rejection.
+	if n := len(i.retVals); n > 0 {
+		if _, ok := i.retVals[n-1].(nilVal); !ok {
+			if sig, okSig := fn.Type().(*types.Signature); okSig && sig.Results().Len() > 0 {
+				last := sig.Results().At(sig.Results().Len() - 1).Type()
+				if isErrorType(last) {
+					return nil, exportErr(i.inext(node.Decl.Pos(), "cannot prove error-free completion of %s.%s", t.TypeName, method))
+				}
+			}
+		}
+	}
+	return assemble(i, t)
+}
+
+func isErrorType(t types.Type) bool {
+	it, ok := t.Underlying().(*types.Interface)
+	return ok && it.NumMethods() == 1 && it.Method(0).Name() == "Error"
+}
+
+func exportErr(err error) error {
+	switch e := err.(type) {
+	case *fatalError:
+		return e.err
+	case *evalError:
+		return fmt.Errorf("extract: internal evaluation failure: %s", e.reason)
+	}
+	return err
+}
+
+func lookupStruct(pkg *analysis.Package, name string) (*types.Named, *types.Struct, error) {
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil, nil, fmt.Errorf("extract: %s has no type %s", pkg.Path, name)
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, nil, fmt.Errorf("extract: %s.%s is not a type", pkg.Path, name)
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil, nil, fmt.Errorf("extract: %s.%s is not a named type", pkg.Path, name)
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil, fmt.Errorf("extract: %s.%s is not a struct type", pkg.Path, name)
+	}
+	return named, st, nil
+}
+
+func lookupMethod(named *types.Named, method string) (*types.Func, error) {
+	for m := 0; m < named.NumMethods(); m++ {
+		if named.Method(m).Name() == method {
+			return named.Method(m), nil
+		}
+	}
+	return nil, fmt.Errorf("extract: type %s has no method %s", named.Obj().Name(), method)
+}
+
+// buildReceiver constructs the kernel struct with the target's
+// configuration bound to its fields and zero values elsewhere, and
+// rejects configuration keys that name no field.
+func buildReceiver(st *types.Struct, t Target) (value, error) {
+	fields := make(map[string]bool)
+	sv := &structVal{fields: make(map[string]*cell)}
+	for f := 0; f < st.NumFields(); f++ {
+		name := st.Field(f).Name()
+		fields[name] = true
+		sv.fields[name] = &cell{v: zeroValue(st.Field(f).Type())}
+	}
+	bind := func(name string, v value) error {
+		if !fields[name] {
+			return fmt.Errorf("extract: %s has no field %s", t.TypeName, name)
+		}
+		sv.fields[name] = &cell{v: v}
+		return nil
+	}
+	for _, name := range sortedKeys(t.Ints) {
+		if err := bind(name, intVal(t.Ints[name])); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range sortedKeys(t.Floats) {
+		if err := bind(name, floatVal(t.Floats[name])); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range sortedKeys(t.Bools) {
+		if err := bind(name, boolVal(t.Bools[name])); err != nil {
+			return nil, err
+		}
+	}
+	return ptrVal{to: sv}, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bindSignature binds the receiver, parameters (interfaces such as the
+// trace sink become nil handles; everything else is opaque), and named
+// results of the extracted method.
+func bindSignature(i *interp, decl *ast.FuncDecl, pkg *analysis.Package, recv value) error {
+	if decl.Recv != nil && len(decl.Recv.List) > 0 && len(decl.Recv.List[0].Names) > 0 {
+		if obj := pkg.Info.Defs[decl.Recv.List[0].Names[0]]; obj != nil {
+			i.fr.define(obj, recv)
+		}
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Interface); ok {
+				i.fr.define(obj, nilVal{})
+			} else {
+				i.fr.define(obj, opaque{})
+			}
+		}
+	}
+	if decl.Type.Results != nil {
+		for _, field := range decl.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					i.fr.define(obj, zeroValue(obj.Type()))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// assemble builds and validates the final descriptor from the
+// interpreter's region table and phase program.
+func assemble(i *interp, t Target) (*analytic.Descriptor, error) {
+	if len(i.regions) == 0 {
+		return nil, i.inext(0, "%s allocated no trace regions", t.Kernel)
+	}
+	regions := make([]analytic.Region, len(i.regions))
+	for k, ri := range i.regions {
+		elem := 8 // regions never accessed default to float64 width
+		switch len(ri.sizes) {
+		case 0:
+		case 1:
+			for s := range ri.sizes {
+				elem = int(s)
+			}
+		default:
+			return nil, fmt.Errorf("extract: region %s is accessed at mixed element sizes", ri.name)
+		}
+		regions[k] = analytic.Region{Name: ri.name, Bytes: ri.bytes, ElemSize: elem}
+	}
+	d := &analytic.Descriptor{Kernel: t.Kernel, Regions: regions, Phases: *i.phases}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("extract: descriptor for %s failed validation: %w", t.Kernel, err)
+	}
+	return d, nil
+}

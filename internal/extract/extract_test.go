@@ -1,0 +1,182 @@
+package extract_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+	"github.com/resilience-models/dvf/internal/analytic"
+	"github.com/resilience-models/dvf/internal/cache"
+	"github.com/resilience-models/dvf/internal/extract"
+	"github.com/resilience-models/dvf/internal/kernels"
+)
+
+const kernelsPath = "github.com/resilience-models/dvf/internal/kernels"
+
+// The loaded program is shared across tests: loading and type-checking the
+// kernels package (plus its local imports) once keeps the differential
+// wall fast.
+var (
+	progOnce sync.Once
+	progVal  *analysis.Program
+	progErr  error
+)
+
+func kernelProgram(t *testing.T) *analysis.Program {
+	t.Helper()
+	progOnce.Do(func() {
+		loader, err := analysis.NewLoader(".")
+		if err != nil {
+			progErr = err
+			return
+		}
+		if _, err := loader.Load(kernelsPath); err != nil {
+			progErr = err
+			return
+		}
+		progVal = loader.Program()
+	})
+	if progErr != nil {
+		t.Fatalf("loading kernels package: %v", progErr)
+	}
+	return progVal
+}
+
+func targetFor(t *testing.T, k kernels.Kernel) extract.Target {
+	t.Helper()
+	prov, ok := kernels.Provenance(k)
+	if !ok {
+		t.Fatalf("kernel %s has no extraction provenance", k.Name())
+	}
+	return extract.Target{
+		Kernel:   k.Name(),
+		Path:     prov.ImportPath,
+		TypeName: prov.TypeName,
+		Method:   prov.Method,
+		Ints:     prov.Ints,
+		Floats:   prov.Floats,
+		Bools:    prov.Bools,
+	}
+}
+
+// patternKernels returns the suite's kernels that publish a hand-written
+// access pattern, i.e. the four the extractor must reproduce.
+func patternKernels(suite []kernels.Kernel) []kernels.Kernel {
+	var out []kernels.Kernel
+	for _, k := range suite {
+		if _, ok := kernels.Provenance(k); ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestExtractMatchesHandWritten is the live differential wall: for every
+// pattern-bearing kernel in both suites, static extraction from the real
+// Run method must reproduce the hand-written descriptor exactly (up to
+// Repeat factoring, which Diff flattens away).
+func TestExtractMatchesHandWritten(t *testing.T) {
+	prog := kernelProgram(t)
+	suites := map[string][]kernels.Kernel{
+		"verification": kernels.VerificationSuite(),
+		"profiling":    kernels.ProfilingSuite(),
+	}
+	for name, suite := range suites {
+		ks := patternKernels(suite)
+		if len(ks) != 4 {
+			t.Fatalf("%s suite: want 4 pattern-bearing kernels, got %d", name, len(ks))
+		}
+		for _, k := range ks {
+			k := k
+			t.Run(name+"/"+k.Name(), func(t *testing.T) {
+				want, err := k.(kernels.PatternSource).AccessPattern()
+				if err != nil {
+					t.Fatalf("hand-written AccessPattern: %v", err)
+				}
+				got, err := extract.Extract(prog, targetFor(t, k))
+				if err != nil {
+					t.Fatalf("Extract: %v", err)
+				}
+				if d := extract.Diff(got, want); d != "" {
+					t.Fatalf("extracted descriptor differs from hand-written: %s", d)
+				}
+			})
+		}
+	}
+}
+
+// TestExtractedDVFWithinTolerance closes the loop through the analytic
+// engine: solving the extracted descriptor must land within the pinned
+// simulator tolerance of the hand-written solve on every Table IV cache,
+// per region and in total.
+func TestExtractedDVFWithinTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver matrix skipped in -short mode")
+	}
+	prog := kernelProgram(t)
+	cases := []struct {
+		suite []kernels.Kernel
+		cfgs  []cache.Config
+	}{
+		{kernels.VerificationSuite(), cache.VerificationConfigs()},
+		{kernels.ProfilingSuite(), cache.ProfilingConfigs()},
+	}
+	for _, tc := range cases {
+		for _, k := range patternKernels(tc.suite) {
+			want, err := k.(kernels.PatternSource).AccessPattern()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := extract.Extract(prog, targetFor(t, k))
+			if err != nil {
+				t.Fatalf("%s: Extract: %v", k.Name(), err)
+			}
+			for _, cfg := range tc.cfgs {
+				pw, err := analytic.Solve(want, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s: solving hand-written: %v", k.Name(), cfg.Name, err)
+				}
+				pg, err := analytic.Solve(got, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s: solving extracted: %v", k.Name(), cfg.Name, err)
+				}
+				tol := analytic.Tolerance(k.Name(), cfg)
+				for _, r := range want.Regions {
+					mw, err := pw.Misses(r.Name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mg, err := pg.Misses(r.Name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !within(mg, mw, tol) {
+						t.Errorf("%s/%s: region %s misses %.1f (extracted) vs %.1f (hand-written), tolerance %.3f",
+							k.Name(), cfg.Name, r.Name, mg, mw, tol)
+					}
+				}
+				if !within(pg.TotalMisses(), pw.TotalMisses(), tol) {
+					t.Errorf("%s/%s: total misses %.1f (extracted) vs %.1f (hand-written), tolerance %.3f",
+						k.Name(), cfg.Name, pg.TotalMisses(), pw.TotalMisses(), tol)
+				}
+			}
+		}
+	}
+}
+
+// within reports whether got is within rel of want (relative, with an
+// absolute floor of 1 miss so zero-miss regions compare exactly).
+func within(got, want, rel float64) bool {
+	if got == want {
+		return true
+	}
+	if rel == 0 {
+		return false
+	}
+	bound := rel * math.Abs(want)
+	if bound < 1 {
+		bound = 1
+	}
+	return math.Abs(got-want) <= bound
+}

@@ -1,0 +1,1096 @@
+package extract
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+	"github.com/resilience-models/dvf/internal/analytic"
+)
+
+// Execution budgets. The global budget is a runaway backstop; the attempt
+// budget bounds each optimistic concrete unroll of an untraced loop or
+// call before the interpreter falls back to skip-and-havoc.
+const (
+	globalFuel  = 20_000_000
+	attemptFuel = 50_000
+	maxUnroll   = 1 << 16
+	maxDepth    = 64
+)
+
+// directivePrefix marks an audited data-dependent branch the extractor may
+// treat as never taken: `//dvf:extract assume-false <reason>` on the line
+// of (or directly above) an if statement whose condition is not static.
+const directivePrefix = "//dvf:extract assume-false"
+
+// ctrl is the non-local control outcome of a statement.
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// fatalError wraps an inextractable condition that optimistic attempts
+// must not swallow (the soundness backstops).
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+
+// interp is the partial evaluator. One instance performs one extraction.
+type interp struct {
+	prog *analysis.Program
+	fset *token.FileSet
+	cg   *analysis.CallGraph
+
+	// regions accumulates trace.Registry allocations in program order.
+	regions []*regionInfo
+	// phases is the current phase sink; loop unrolling swaps it to capture
+	// per-iteration groups.
+	phases *[]analytic.Phase
+
+	fr  *frame  // current environment
+	sym *symCtx // non-nil while building a symbolic nest
+
+	// retVals carries the values of the pending ctrlReturn.
+	retVals []value
+
+	steps   int64
+	attempt *attemptCtx // non-nil inside an optimistic concrete attempt
+	depth   int
+
+	bearingMemo  map[*types.Func]int // 0 unknown/visiting, 1 bearing, 2 not
+	elemOnlyMemo map[*types.Func]int
+	directives   map[*ast.File]map[int]string // line -> reason
+}
+
+type attemptCtx struct {
+	fuel int
+	pure bool // events and allocations are fatal in pure attempts
+}
+
+func newInterp(prog *analysis.Program) *interp {
+	root := []analytic.Phase{}
+	return &interp{
+		prog:         prog,
+		fset:         prog.Fset,
+		cg:           prog.CallGraph(),
+		phases:       &root,
+		bearingMemo:  make(map[*types.Func]int),
+		elemOnlyMemo: make(map[*types.Func]int),
+		directives:   make(map[*ast.File]map[int]string),
+	}
+}
+
+func (i *interp) pkg() *analysis.Package { return i.fr.pkg }
+
+func (i *interp) info() *types.Info { return i.fr.pkg.Info }
+
+// inext builds the precise rejection the soundness contract promises.
+func (i *interp) inext(pos token.Pos, format string, args ...interface{}) error {
+	return &inextractableError{pos: i.fset.Position(pos), reason: fmt.Sprintf(format, args...)}
+}
+
+func evalFail(pos token.Pos, format string, args ...interface{}) error {
+	return &evalError{pos: pos, reason: fmt.Sprintf(format, args...)}
+}
+
+// step charges one unit of fuel.
+func (i *interp) step(pos token.Pos) error {
+	i.steps++
+	if i.steps > globalFuel {
+		return &fatalError{err: i.inext(pos, "execution budget exhausted (%d steps)", int64(globalFuel))}
+	}
+	if i.attempt != nil {
+		i.attempt.fuel--
+		if i.attempt.fuel < 0 {
+			return evalFail(pos, "attempt budget exhausted")
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Trace-bearing classification
+
+// eventPrimitive names the trace-package functions whose execution emits
+// reference events or mutates the extractor's region state.
+func eventPrimitive(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/trace") {
+		return false
+	}
+	switch fn.Name() {
+	case "Load", "Store", "LoadN", "StoreN", "Alloc":
+		return true
+	}
+	return false
+}
+
+func tracePkgFunc(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/trace")
+}
+
+// funcBearing reports whether fn can reach an event primitive.
+func (i *interp) funcBearing(fn *types.Func) bool {
+	if eventPrimitive(fn) {
+		return true
+	}
+	switch i.bearingMemo[fn] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	node := i.cg.Node(fn)
+	if node == nil {
+		return false // stdlib / trace accessors without a loaded body
+	}
+	i.bearingMemo[fn] = 0
+	res := 2
+	if len(node.Indirect) > 0 {
+		res = 1 // an unresolvable call could reach anything
+	} else {
+		for _, out := range node.Out {
+			if i.funcBearing(out.Callee) {
+				res = 1
+				break
+			}
+		}
+	}
+	i.bearingMemo[fn] = res
+	return res == 1
+}
+
+// nodeBearing reports whether the subtree contains a call that may emit
+// events (directly, through module-local callees, or indirectly).
+func (i *interp) nodeBearing(root ast.Node) bool {
+	info := i.info()
+	bearing := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if bearing {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isConversion(info, call) || builtinOf(info, call) != nil {
+			return true
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil {
+			bearing = true // indirect call: assume the worst
+			return false
+		}
+		if eventPrimitive(fn) || (i.cg.Node(fn) != nil && i.funcBearing(fn)) {
+			bearing = true
+			return false
+		}
+		return true
+	})
+	return bearing
+}
+
+// ---------------------------------------------------------------------------
+// elemOnly: functions whose only side effects are writes to their own
+// locals and to elements of float64/complex128 slices (untracked bulk
+// data). Skipping a call to such a function cannot desynchronize the
+// interpreter's concrete state.
+
+func (i *interp) elemOnly(fn *types.Func) bool {
+	switch i.elemOnlyMemo[fn] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	node := i.cg.Node(fn)
+	if node == nil || i.funcBearing(fn) {
+		return false
+	}
+	i.elemOnlyMemo[fn] = 1 // optimistic on cycles
+	ok := i.elemOnlyDecl(node)
+	if ok {
+		i.elemOnlyMemo[fn] = 1
+	} else {
+		i.elemOnlyMemo[fn] = 2
+	}
+	return ok
+}
+
+func (i *interp) elemOnlyDecl(node *analysis.FuncNode) bool {
+	info := node.Pkg.Info
+	decl := node.Decl
+	localTarget := func(e ast.Expr) bool {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if t.Name == "_" {
+				return true
+			}
+			obj := info.Defs[t]
+			if obj == nil {
+				obj = info.Uses[t]
+			}
+			return obj != nil && obj.Pos() >= decl.Pos() && obj.Pos() <= decl.End()
+		case *ast.IndexExpr:
+			tv, ok := info.Types[t.X]
+			if !ok {
+				return false
+			}
+			sl, ok := tv.Type.Underlying().(*types.Slice)
+			if !ok {
+				return false
+			}
+			b, ok := sl.Elem().Underlying().(*types.Basic)
+			return ok && (b.Kind() == types.Float64 || b.Kind() == types.Complex128)
+		}
+		return false
+	}
+	ok := true
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if !localTarget(lhs) {
+					ok = false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !localTarget(n.X) {
+				ok = false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, lit := ast.Unparen(n.X).(*ast.CompositeLit); !lit {
+					ok = false
+				}
+			}
+		case *ast.GoStmt, *ast.DeferStmt, *ast.SelectStmt, *ast.FuncLit:
+			ok = false
+		case *ast.CallExpr:
+			if isConversion(info, call(n)) {
+				return true
+			}
+			if b := builtinOf(info, call(n)); b != nil {
+				if b.Name() == "panic" {
+					ok = false
+				}
+				return true
+			}
+			fn := analysis.CalleeFunc(info, call(n))
+			if fn == nil {
+				ok = false
+				return false
+			}
+			if i.cg.Node(fn) != nil {
+				if !i.elemOnly(fn) {
+					ok = false
+				}
+				return true
+			}
+			if !sideEffectFreePkg(fn.Pkg()) {
+				ok = false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func call(n ast.Node) *ast.CallExpr { return n.(*ast.CallExpr) }
+
+// sideEffectFreePkg lists the stdlib packages the skip analysis assumes
+// cannot write through their arguments into interpreter-tracked state.
+func sideEffectFreePkg(p *types.Package) bool {
+	if p == nil {
+		return true // builtins like error.Error
+	}
+	switch p.Path() {
+	case "math", "math/bits", "math/cmplx", "fmt", "errors", "strconv", "sort", "strings":
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// havoc: conservatively invalidate everything a skipped subtree may write.
+
+func (i *interp) havocNode(root ast.Node) error {
+	var failed error
+	ast.Inspect(root, func(n ast.Node) bool {
+		if failed != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if err := i.havocTarget(lhs); err != nil {
+					failed = err
+				}
+			}
+		case *ast.IncDecStmt:
+			if err := i.havocTarget(n.X); err != nil {
+				failed = err
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, lit := ast.Unparen(n.X).(*ast.CompositeLit); !lit {
+					if err := i.havocTarget(n.X); err != nil {
+						failed = err
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					if err := i.havocTarget(n.Key); err != nil {
+						failed = err
+					}
+				}
+				if n.Value != nil {
+					if err := i.havocTarget(n.Value); err != nil {
+						failed = err
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			failed = i.inext(n.Pos(), "cannot skip untraced code containing a return statement")
+		case *ast.BranchStmt:
+			if n.Label != nil {
+				failed = i.inext(n.Pos(), "cannot skip untraced code containing a labeled branch")
+			}
+		case *ast.GoStmt, *ast.DeferStmt, *ast.SelectStmt:
+			failed = i.inext(n.Pos(), "cannot skip untraced code containing concurrency or defer")
+		case *ast.CallExpr:
+			if isConversion(i.info(), n) || builtinOf(i.info(), n) != nil {
+				return true
+			}
+			fn := analysis.CalleeFunc(i.info(), n)
+			if fn == nil {
+				failed = i.inext(n.Pos(), "cannot skip untraced code containing an indirect call")
+				return false
+			}
+			if i.cg.Node(fn) != nil && !i.elemOnly(fn) {
+				failed = i.inext(n.Pos(), "cannot skip untraced call to %s: it may write non-local state", fn.Name())
+				return false
+			}
+			if i.cg.Node(fn) == nil && !tracePkgFunc(fn) && !sideEffectFreePkg(fn.Pkg()) {
+				failed = i.inext(n.Pos(), "cannot skip untraced call into package %s", fn.Pkg().Path())
+				return false
+			}
+		}
+		return true
+	})
+	return failed
+}
+
+// havocTarget invalidates the storage a single assignment target names.
+// Writes whose root resolves to bulk numeric data are no-ops (the domain
+// never reads such elements concretely); anything else havocs the root
+// binding.
+func (i *interp) havocTarget(e ast.Expr) error {
+	e = ast.Unparen(e)
+	switch t := e.(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return nil
+		}
+		obj := i.info().Uses[t]
+		if obj == nil {
+			obj = i.info().Defs[t]
+		}
+		if obj == nil {
+			return i.inext(t.Pos(), "cannot resolve assignment target %s in skipped code", t.Name)
+		}
+		if c, _ := i.fr.lookup(obj); c != nil {
+			c.v = opaque{}
+		}
+		return nil // declared inside the skipped region: dies with it
+	case *ast.IndexExpr:
+		return i.havocChain(t.X, t.Pos())
+	case *ast.SelectorExpr:
+		return i.havocChain(t, t.Pos())
+	case *ast.StarExpr:
+		return i.havocChain(t.X, t.Pos())
+	}
+	return i.inext(e.Pos(), "cannot model assignment target in skipped code")
+}
+
+// havocChain resolves a base expression as far as concrete navigation
+// allows; if it lands on bulk data the write is a no-op, otherwise the
+// outermost resolvable binding is invalidated.
+func (i *interp) havocChain(e ast.Expr, pos token.Pos) error {
+	// Try a cheap concrete resolution of the base chain.
+	if v, err := i.resolveQuiet(e); err == nil {
+		switch v.(type) {
+		case dataSlice:
+			return nil
+		}
+	}
+	// Fall back: havoc the root identifier binding.
+	root := e
+	for {
+		switch t := ast.Unparen(root).(type) {
+		case *ast.IndexExpr:
+			root = t.X
+		case *ast.SelectorExpr:
+			root = t.X
+		case *ast.StarExpr:
+			root = t.X
+		case *ast.Ident:
+			return i.havocTarget(t)
+		default:
+			return i.inext(pos, "cannot model assignment target in skipped code")
+		}
+	}
+}
+
+// resolveQuiet evaluates a base expression without charging attempt fuel
+// and without side effects (identifier/field/index navigation only).
+func (i *interp) resolveQuiet(e ast.Expr) (value, error) {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := i.info().Uses[t]
+		if obj == nil {
+			obj = i.info().Defs[t]
+		}
+		if obj == nil {
+			return nil, evalFail(t.Pos(), "unresolved")
+		}
+		if c, _ := i.fr.lookup(obj); c != nil {
+			return c.v, nil
+		}
+		return nil, evalFail(t.Pos(), "unbound")
+	case *ast.SelectorExpr:
+		base, err := i.resolveQuiet(t.X)
+		if err != nil {
+			return nil, err
+		}
+		if p, ok := base.(ptrVal); ok {
+			base = p.to
+		}
+		if s, ok := base.(*structVal); ok {
+			if c, ok := s.fields[t.Sel.Name]; ok {
+				return c.v, nil
+			}
+		}
+		return nil, evalFail(t.Pos(), "unresolvable selector")
+	case *ast.IndexExpr:
+		base, err := i.resolveQuiet(t.X)
+		if err != nil {
+			return nil, err
+		}
+		return base, nil // only used to detect dataSlice bases
+	}
+	return nil, evalFail(e.Pos(), "unresolvable")
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (i *interp) execBlock(stmts []ast.Stmt) (ctrl, error) {
+	for _, s := range stmts {
+		c, err := i.execStmt(s)
+		if err != nil || c != ctrlNone {
+			return c, err
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (i *interp) execStmt(s ast.Stmt) (ctrl, error) {
+	if err := i.step(s.Pos()); err != nil {
+		return ctrlNone, err
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		_, err := i.evalExpr(s.X)
+		return ctrlNone, err
+	case *ast.AssignStmt:
+		return ctrlNone, i.execAssign(s)
+	case *ast.IncDecStmt:
+		op := token.ADD
+		if s.Tok == token.DEC {
+			op = token.SUB
+		}
+		cur, err := i.evalExpr(s.X)
+		if err != nil {
+			return ctrlNone, err
+		}
+		nv, err := i.binop(s.Pos(), op, cur, intVal(1))
+		if err != nil {
+			return ctrlNone, err
+		}
+		return ctrlNone, i.assignTo(s.X, nv)
+	case *ast.DeclStmt:
+		return ctrlNone, i.execDecl(s)
+	case *ast.IfStmt:
+		return i.execIf(s)
+	case *ast.ForStmt:
+		return i.execFor(s)
+	case *ast.RangeStmt:
+		return i.execRange(s)
+	case *ast.ReturnStmt:
+		return i.execReturn(s)
+	case *ast.BranchStmt:
+		if s.Label != nil {
+			return ctrlNone, i.inext(s.Pos(), "labeled %s", s.Tok)
+		}
+		switch s.Tok {
+		case token.BREAK:
+			return ctrlBreak, nil
+		case token.CONTINUE:
+			return ctrlContinue, nil
+		}
+		return ctrlNone, i.inext(s.Pos(), "%s statement", s.Tok)
+	case *ast.BlockStmt:
+		return i.execBlock(s.List)
+	case *ast.EmptyStmt:
+		return ctrlNone, nil
+	}
+	return ctrlNone, i.inext(s.Pos(), "unsupported statement %T", s)
+}
+
+func (i *interp) execAssign(s *ast.AssignStmt) error {
+	switch s.Tok {
+	case token.DEFINE:
+		if i.sym != nil {
+			return i.symDefine(s)
+		}
+		return i.execDefine(s)
+	case token.ASSIGN:
+		vals, err := i.evalRHS(s)
+		if err != nil {
+			return err
+		}
+		for k, lhs := range s.Lhs {
+			if err := i.assignTo(lhs, vals[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	default: // op-assign
+		op, ok := opAssignToken(s.Tok)
+		if !ok {
+			return i.inext(s.Pos(), "unsupported assignment operator %s", s.Tok)
+		}
+		cur, err := i.evalExpr(s.Lhs[0])
+		if err != nil {
+			return err
+		}
+		rhs, err := i.evalExpr(s.Rhs[0])
+		if err != nil {
+			return err
+		}
+		nv, err := i.binop(s.Pos(), op, cur, rhs)
+		if err != nil {
+			return err
+		}
+		return i.assignTo(s.Lhs[0], nv)
+	}
+}
+
+func opAssignToken(t token.Token) (token.Token, bool) {
+	switch t {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.SUB_ASSIGN:
+		return token.SUB, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	case token.QUO_ASSIGN:
+		return token.QUO, true
+	case token.REM_ASSIGN:
+		return token.REM, true
+	case token.AND_ASSIGN:
+		return token.AND, true
+	case token.OR_ASSIGN:
+		return token.OR, true
+	case token.XOR_ASSIGN:
+		return token.XOR, true
+	case token.SHL_ASSIGN:
+		return token.SHL, true
+	case token.SHR_ASSIGN:
+		return token.SHR, true
+	}
+	return token.ILLEGAL, false
+}
+
+// evalRHS evaluates the right side of a (possibly tuple) assignment.
+func (i *interp) evalRHS(s *ast.AssignStmt) ([]value, error) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		v, err := i.evalExpr(s.Rhs[0])
+		if err != nil {
+			return nil, err
+		}
+		t, ok := v.(tupleVal)
+		if !ok || len(t.vs) != len(s.Lhs) {
+			return nil, evalFail(s.Pos(), "tuple assignment from non-tuple value")
+		}
+		return t.vs, nil
+	}
+	vals := make([]value, len(s.Rhs))
+	for k, rhs := range s.Rhs {
+		v, err := i.evalExpr(rhs)
+		if err != nil {
+			return nil, err
+		}
+		vals[k] = v
+	}
+	return vals, nil
+}
+
+func (i *interp) execDefine(s *ast.AssignStmt) error {
+	vals, err := i.evalRHS(s)
+	if err != nil {
+		return err
+	}
+	for k, lhs := range s.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return i.inext(lhs.Pos(), "non-identifier in short declaration")
+		}
+		if id.Name == "_" {
+			continue
+		}
+		obj := i.info().Defs[id]
+		if obj == nil {
+			// Redeclaration in a := with mixed new/old variables.
+			if err := i.assignTo(id, vals[k]); err != nil {
+				return err
+			}
+			continue
+		}
+		i.fr.define(obj, vals[k])
+	}
+	return nil
+}
+
+func (i *interp) execDecl(s *ast.DeclStmt) error {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return i.inext(s.Pos(), "unsupported declaration")
+	}
+	if gd.Tok == token.CONST || gd.Tok == token.TYPE {
+		return nil // constants resolve through go/types at use sites
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for k, name := range vs.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := i.info().Defs[name]
+			if obj == nil {
+				continue
+			}
+			var v value
+			if k < len(vs.Values) {
+				ev, err := i.evalExpr(vs.Values[k])
+				if err != nil {
+					return err
+				}
+				v = ev
+			} else {
+				v = zeroValue(obj.Type())
+			}
+			i.fr.define(obj, v)
+		}
+	}
+	return nil
+}
+
+func (i *interp) execIf(s *ast.IfStmt) (ctrl, error) {
+	if i.sym != nil {
+		return i.symIf(s)
+	}
+	if s.Init != nil {
+		if c, err := i.execStmt(s.Init); err != nil || c != ctrlNone {
+			return c, err
+		}
+	}
+	cond, err := i.evalExpr(s.Cond)
+	if err != nil {
+		if _, ok := err.(*evalError); ok {
+			return i.ifNotStatic(s)
+		}
+		return ctrlNone, err
+	}
+	if b, ok := truthy(cond); ok {
+		if b {
+			return i.execBlock(s.Body.List)
+		}
+		if s.Else != nil {
+			return i.execStmt(s.Else)
+		}
+		return ctrlNone, nil
+	}
+	return i.ifNotStatic(s)
+}
+
+// ifNotStatic handles an if whose condition has no static truth value: an
+// audited assume-false directive skips it, anything else is the exact
+// rejection the soundness contract requires.
+func (i *interp) ifNotStatic(s *ast.IfStmt) (ctrl, error) {
+	if reason, ok := i.assumeFalse(s.Pos()); ok {
+		if reason == "" {
+			return ctrlNone, i.inext(s.Pos(), "%s directive requires a reason", directivePrefix)
+		}
+		if s.Else != nil {
+			return ctrlNone, i.inext(s.Pos(), "assume-false directive cannot skip an if with an else branch")
+		}
+		return ctrlNone, nil
+	}
+	return ctrlNone, i.inext(s.Cond.Pos(), "branch condition is data-dependent (not statically evaluable)")
+}
+
+// assumeFalse reports whether an assume-false directive covers the given
+// position (same line or the line directly above).
+func (i *interp) assumeFalse(pos token.Pos) (string, bool) {
+	file := i.fileOf(pos)
+	if file == nil {
+		return "", false
+	}
+	lines, ok := i.directives[file]
+	if !ok {
+		lines = make(map[int]string)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, directivePrefix) {
+					lines[i.fset.Position(c.Pos()).Line] = strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
+				}
+			}
+		}
+		i.directives[file] = lines
+	}
+	line := i.fset.Position(pos).Line
+	if r, ok := lines[line]; ok {
+		return r, true
+	}
+	if r, ok := lines[line-1]; ok {
+		return r, true
+	}
+	return "", false
+}
+
+func (i *interp) fileOf(pos token.Pos) *ast.File {
+	for _, f := range i.pkg().Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+func (i *interp) execReturn(s *ast.ReturnStmt) (ctrl, error) {
+	if i.sym != nil && i.depth == i.sym.depth {
+		// A return at the nest's own level exits the loop mid-stream;
+		// returns inside symbolically inlined callees are fine.
+		return ctrlNone, i.symBlockedErr(s.Pos(), "return statement inside the loop body")
+	}
+	vals := make([]value, len(s.Results))
+	for k, res := range s.Results {
+		if i.nodeBearing(res) {
+			v, err := i.evalExpr(res)
+			if err != nil {
+				return ctrlNone, err
+			}
+			vals[k] = v
+		} else {
+			// Untraced result: degrade to opaque when it has no static
+			// value. The expression cannot emit events, so nothing is lost.
+			v, err := i.evalExpr(res)
+			if err != nil {
+				if f, fatal := err.(*fatalError); fatal {
+					return ctrlNone, f
+				}
+				v = opaque{}
+			}
+			vals[k] = v
+		}
+	}
+	// A single multi-value call (`return f()`) spreads into the result
+	// list, exactly as in the language.
+	if len(vals) == 1 {
+		if tup, ok := vals[0].(tupleVal); ok {
+			vals = tup.vs
+		}
+	}
+	i.retVals = vals
+	return ctrlReturn, nil
+}
+
+// ---------------------------------------------------------------------------
+// Loops
+
+func (i *interp) execFor(fs *ast.ForStmt) (ctrl, error) {
+	if i.sym != nil {
+		return ctrlNone, i.symFor(fs)
+	}
+	if !i.nodeBearing(fs) {
+		if err := i.tryAttempt(func() error {
+			c, err := i.runForConcrete(fs, nil)
+			if err == nil && c == ctrlReturn {
+				err = evalFail(fs.Pos(), "return inside untraced loop")
+			}
+			return err
+		}); err == nil {
+			return ctrlNone, nil
+		} else if f, fatal := err.(*fatalError); fatal {
+			return ctrlNone, f
+		}
+		return ctrlNone, i.havocNode(fs)
+	}
+	// Trace-bearing: first try to recognize the loop as an affine nest.
+	phases, blocked := i.tryNest(fs)
+	if blocked == nil {
+		*i.phases = append(*i.phases, phases...)
+		return ctrlNone, nil
+	}
+	// Fall back to concrete unrolling with per-iteration phase capture.
+	c, err := i.runForConcrete(fs, blocked)
+	return c, err
+}
+
+// tryAttempt runs fn under a fresh bounded attempt context; any
+// non-fatal failure is returned for the caller's fallback path.
+func (i *interp) tryAttempt(fn func() error) error {
+	saved := i.attempt
+	i.attempt = &attemptCtx{fuel: attemptFuel, pure: true}
+	err := fn()
+	i.attempt = saved
+	return err
+}
+
+// runForConcrete executes a general for statement with concrete
+// conditions. For trace-bearing loops (blocked != nil context) each
+// iteration's phases are captured and the loop is collapsed to a Repeat
+// when every iteration produced the same phase sequence.
+func (i *interp) runForConcrete(fs *ast.ForStmt, blocked *blockInfo) (ctrl, error) {
+	bearing := blocked != nil
+	if bearing {
+		// Events emitted by the condition or post statement would land in
+		// whichever iteration's capture group happens to be active.
+		if fs.Cond != nil && i.nodeBearing(fs.Cond) {
+			return ctrlNone, i.inext(fs.Cond.Pos(), "traced memory access in loop condition")
+		}
+		if fs.Post != nil && i.nodeBearing(fs.Post) {
+			return ctrlNone, i.inext(fs.Post.Pos(), "traced memory access in loop post statement")
+		}
+	}
+	if fs.Init != nil {
+		if c, err := i.execStmt(fs.Init); err != nil || c != ctrlNone {
+			return c, err
+		}
+	}
+	var groups [][]analytic.Phase
+	outerPhases := i.phases
+	finish := func() {
+		i.phases = outerPhases
+		*i.phases = append(*i.phases, collapseGroups(groups)...)
+	}
+	for iter := 0; ; iter++ {
+		if iter > maxUnroll {
+			i.phases = outerPhases
+			return ctrlNone, i.loopFailure(fs, blocked, nil,
+				fmt.Sprintf("loop exceeds %d unrolled iterations", maxUnroll))
+		}
+		if fs.Cond != nil {
+			cond, err := i.evalExpr(fs.Cond)
+			if err != nil || !isBool(cond) {
+				i.phases = outerPhases
+				return ctrlNone, i.loopFailure(fs, blocked, err, "loop bound is not statically known")
+			}
+			if b, _ := truthy(cond); !b {
+				break
+			}
+		}
+		if bearing {
+			captured := []analytic.Phase{}
+			i.phases = &captured
+		}
+		c, err := i.execBlock(fs.Body.List)
+		if bearing {
+			groups = append(groups, *i.phases)
+		}
+		if err != nil {
+			i.phases = outerPhases
+			return ctrlNone, i.loopFailure(fs, blocked, err, "loop body is not statically executable")
+		}
+		if c == ctrlBreak {
+			break
+		}
+		if c == ctrlReturn {
+			if bearing {
+				finish()
+			}
+			return ctrlReturn, nil
+		}
+		if fs.Post != nil {
+			if _, err := i.execStmt(fs.Post); err != nil {
+				i.phases = outerPhases
+				return ctrlNone, i.loopFailure(fs, blocked, err, "loop post statement is not statically executable")
+			}
+		}
+	}
+	if bearing {
+		finish()
+	}
+	return ctrlNone, nil
+}
+
+// loopFailure merges the nest-rejection diagnostic (the more precise
+// explanation of why the loop is not affine) with the unroll failure.
+func (i *interp) loopFailure(fs *ast.ForStmt, blocked *blockInfo, cause error, what string) error {
+	if cause != nil {
+		if f, ok := cause.(*fatalError); ok {
+			return f
+		}
+		if _, ok := cause.(*inextractableError); ok {
+			return cause
+		}
+	}
+	if blocked == nil {
+		// Untraced attempt context: recoverable.
+		if cause != nil {
+			return cause
+		}
+		return evalFail(fs.Pos(), "%s", what)
+	}
+	msg := fmt.Sprintf("%s; loop is not a recognizable affine nest: %s (at %s)",
+		what, blocked.reason, i.fset.Position(blocked.pos))
+	if cause != nil {
+		if ee, ok := cause.(*evalError); ok {
+			msg = fmt.Sprintf("%s: %s", msg, ee.reason)
+		}
+	}
+	return i.inext(fs.Pos(), "%s", msg)
+}
+
+func isBool(v value) bool { _, ok := v.(boolVal); return ok }
+
+// collapseGroups folds per-iteration phase groups: equal groups become
+// one Repeat, a single iteration inlines, mixed iterations concatenate.
+func collapseGroups(groups [][]analytic.Phase) []analytic.Phase {
+	switch len(groups) {
+	case 0:
+		return nil
+	case 1:
+		return groups[0]
+	}
+	same := true
+	for _, g := range groups[1:] {
+		if !reflect.DeepEqual(g, groups[0]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		if len(groups[0]) == 0 {
+			return nil
+		}
+		return []analytic.Phase{analytic.Repeat{Count: len(groups), Body: groups[0]}}
+	}
+	var out []analytic.Phase
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+func (i *interp) execRange(rs *ast.RangeStmt) (ctrl, error) {
+	if i.sym != nil {
+		return ctrlNone, i.symBlockedErr(rs.Pos(), "range loop inside an affine nest")
+	}
+	if !i.nodeBearing(rs) {
+		if err := i.tryAttempt(func() error {
+			c, err := i.runRangeConcrete(rs)
+			if err == nil && c == ctrlReturn {
+				err = evalFail(rs.Pos(), "return inside untraced loop")
+			}
+			return err
+		}); err == nil {
+			return ctrlNone, nil
+		} else if f, fatal := err.(*fatalError); fatal {
+			return ctrlNone, f
+		}
+		return ctrlNone, i.havocNode(rs)
+	}
+	return i.runRangeConcrete(rs)
+}
+
+// runRangeConcrete unrolls a range statement over a concretely sized
+// iterable (slice values, bulk data, integer ranges).
+func (i *interp) runRangeConcrete(rs *ast.RangeStmt) (ctrl, error) {
+	x, err := i.evalExpr(rs.X)
+	if err != nil {
+		return ctrlNone, err
+	}
+	var n int64
+	elemAt := func(k int64) value { return opaque{} }
+	switch xv := x.(type) {
+	case dataSlice:
+		n = xv.n
+	case sliceVal:
+		n = int64(len(xv.elems))
+		elemAt = func(k int64) value { return xv.elems[k].v }
+	case intVal:
+		n = int64(xv)
+	case stringVal:
+		n = int64(len(string(xv)))
+	default:
+		return ctrlNone, evalFail(rs.X.Pos(), "range over value with no static length")
+	}
+	bind := func(e ast.Expr, v value) error {
+		if e == nil {
+			return nil
+		}
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if ok && id.Name == "_" {
+			return nil
+		}
+		if rs.Tok == token.DEFINE && ok {
+			if obj := i.info().Defs[id]; obj != nil {
+				i.fr.define(obj, v)
+				return nil
+			}
+		}
+		return i.assignTo(e, v)
+	}
+	for k := int64(0); k < n; k++ {
+		if err := i.step(rs.Pos()); err != nil {
+			return ctrlNone, err
+		}
+		if err := bind(rs.Key, intVal(k)); err != nil {
+			return ctrlNone, err
+		}
+		if rs.Value != nil {
+			if err := bind(rs.Value, elemAt(k)); err != nil {
+				return ctrlNone, err
+			}
+		}
+		c, err := i.execBlock(rs.Body.List)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c == ctrlBreak {
+			break
+		}
+		if c == ctrlReturn {
+			return ctrlReturn, nil
+		}
+	}
+	return ctrlNone, nil
+}

@@ -1,0 +1,297 @@
+package extract
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Symbolic loop nests. When the interpreter reaches a trace-bearing
+// for-loop it does not unroll it element by element: it introduces one
+// symbol per induction variable, executes the body once symbolically,
+// and records every memory access as an event whose index is an affine
+// form over the live symbols. The resulting nest tree is what the shape
+// matchers in shape.go pattern-match into analytic phases.
+
+// nsym is one loop-nest symbol: an induction variable, or a derived
+// integer whose defining expression is not affine (the FFT's bit-reversed
+// j, the butterfly half-width). Derived symbols carry the structural
+// decorations the matchers need, recognized at creation time.
+type nsym struct {
+	name string
+	id   int
+	// halfOf marks a derived symbol defined as `s / 2` of another symbol.
+	halfOf *nsym
+	// bitrevOf/bitrevBits mark `int(bits.Reverse32(uint32(i)) >> (32-w))`.
+	bitrevOf   *nsym
+	bitrevBits int
+}
+
+// aff is an affine integer form c + Σ coef·sym. Terms are kept sorted by
+// symbol id, with no zero coefficients.
+type aff struct {
+	terms []affTerm
+	c     int64
+}
+
+type affTerm struct {
+	sym  *nsym
+	coef int64
+}
+
+func affConst(c int64) aff { return aff{c: c} }
+
+func affSym(s *nsym) aff { return aff{terms: []affTerm{{sym: s, coef: 1}}} }
+
+func (a aff) isConst() bool { return len(a.terms) == 0 }
+
+// coefOf returns the coefficient of s (0 when absent).
+func (a aff) coefOf(s *nsym) int64 {
+	for _, t := range a.terms {
+		if t.sym == s {
+			return t.coef
+		}
+	}
+	return 0
+}
+
+// singleSym returns the sole symbol of a 1-term form with coefficient 1
+// and zero constant, the shape of a bare loop-variable reference.
+func (a aff) singleSym() (*nsym, bool) {
+	if len(a.terms) == 1 && a.terms[0].coef == 1 && a.c == 0 {
+		return a.terms[0].sym, true
+	}
+	return nil, false
+}
+
+func (a aff) equal(b aff) bool {
+	if a.c != b.c || len(a.terms) != len(b.terms) {
+		return false
+	}
+	for i := range a.terms {
+		if a.terms[i].sym != b.terms[i].sym || a.terms[i].coef != b.terms[i].coef {
+			return false
+		}
+	}
+	return true
+}
+
+func (a aff) add(b aff) aff {
+	out := aff{c: a.c + b.c}
+	i, j := 0, 0
+	for i < len(a.terms) || j < len(b.terms) {
+		switch {
+		case j == len(b.terms) || (i < len(a.terms) && a.terms[i].sym.id < b.terms[j].sym.id):
+			out.terms = append(out.terms, a.terms[i])
+			i++
+		case i == len(a.terms) || b.terms[j].sym.id < a.terms[i].sym.id:
+			out.terms = append(out.terms, b.terms[j])
+			j++
+		default:
+			if c := a.terms[i].coef + b.terms[j].coef; c != 0 {
+				out.terms = append(out.terms, affTerm{sym: a.terms[i].sym, coef: c})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func (a aff) scale(k int64) aff {
+	if k == 0 {
+		return affConst(0)
+	}
+	out := aff{c: a.c * k}
+	for _, t := range a.terms {
+		out.terms = append(out.terms, affTerm{sym: t.sym, coef: t.coef * k})
+	}
+	return out
+}
+
+func (a aff) neg() aff { return a.scale(-1) }
+
+// div divides exactly by k, failing unless every coefficient and the
+// constant are divisible (affine division is only sound when exact).
+func (a aff) div(k int64) (aff, bool) {
+	if k == 0 {
+		return aff{}, false
+	}
+	if a.c%k != 0 {
+		return aff{}, false
+	}
+	out := aff{c: a.c / k}
+	for _, t := range a.terms {
+		if t.coef%k != 0 {
+			return aff{}, false
+		}
+		out.terms = append(out.terms, affTerm{sym: t.sym, coef: t.coef / k})
+	}
+	return out, true
+}
+
+func (a aff) String() string {
+	var parts []string
+	for _, t := range a.terms {
+		if t.coef == 1 {
+			parts = append(parts, t.sym.name)
+		} else {
+			parts = append(parts, fmt.Sprintf("%d*%s", t.coef, t.sym.name))
+		}
+	}
+	if a.c != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", a.c))
+	}
+	return strings.Join(parts, " + ")
+}
+
+// syms returns the distinct symbols of the form.
+func (a aff) syms() []*nsym {
+	out := make([]*nsym, 0, len(a.terms))
+	for _, t := range a.terms {
+		out = append(out, t.sym)
+	}
+	return out
+}
+
+// nGuard is a single-level comparison guarding events (the bit-reversal
+// swap's `if i < j`). Nested or else-carrying guards block the nest.
+type nGuard struct {
+	lhs aff
+	op  token.Token
+	rhs aff
+}
+
+// nEvent is one memory access recorded during symbolic execution.
+type nEvent struct {
+	region *regionInfo
+	idx    aff
+	size   int64
+	write  bool
+	guard  *nGuard
+	pos    token.Pos
+}
+
+// nItem is one ordered body element of a nest: an event or a sub-nest.
+type nItem struct {
+	ev  *nEvent
+	sub *nest
+}
+
+// nest is one symbolically executed loop with its canonical header and
+// ordered body items.
+type nest struct {
+	pos    token.Pos
+	sym    *nsym
+	lo, hi aff
+	cmp    token.Token // LSS, LEQ, GTR, GEQ
+	step   aff         // additive/multiplicative step (1 for ++/--)
+	stepOp token.Token // ADD, SUB, MUL
+	items  []nItem
+	// derived lists the derived symbols defined directly in this body.
+	derived []*nsym
+	// headerExprs are the source expressions of lo/hi/step for the
+	// bound-invariance check against assigned outer objects.
+	headerExprs []ast.Expr
+}
+
+// events flattens the nest's direct events (not sub-nests).
+func (n *nest) directEvents() []*nEvent {
+	var out []*nEvent
+	for _, it := range n.items {
+		if it.ev != nil {
+			out = append(out, it.ev)
+		}
+	}
+	return out
+}
+
+// onlySub returns the sole item when it is a single sub-nest.
+func (n *nest) onlySub() *nest {
+	if len(n.items) == 1 && n.items[0].sub != nil {
+		return n.items[0].sub
+	}
+	return nil
+}
+
+// trip returns the concrete iteration count of a nest whose bounds and
+// step are constant and whose step is additive.
+func (n *nest) trip() (int64, bool) {
+	if !n.lo.isConst() || !n.hi.isConst() || !n.step.isConst() {
+		return 0, false
+	}
+	lo, hi, step := n.lo.c, n.hi.c, n.step.c
+	if step <= 0 {
+		return 0, false
+	}
+	switch {
+	case n.stepOp == token.ADD && n.cmp == token.LSS:
+		if hi <= lo {
+			return 0, false
+		}
+		return (hi - lo + step - 1) / step, true
+	case n.stepOp == token.ADD && n.cmp == token.LEQ:
+		if hi < lo {
+			return 0, false
+		}
+		return (hi - lo + step) / step, true
+	case n.stepOp == token.SUB && n.cmp == token.GTR:
+		if lo <= hi {
+			return 0, false
+		}
+		return (lo - hi + step - 1) / step, true
+	case n.stepOp == token.SUB && n.cmp == token.GEQ:
+		if lo < hi {
+			return 0, false
+		}
+		return (lo - hi + step) / step, true
+	}
+	return 0, false
+}
+
+// blockInfo pins the first construct that made a nest unmatchable.
+type blockInfo struct {
+	pos    token.Pos
+	reason string
+}
+
+// assignedHeaderConflict reports a header expression of any (sub-)nest
+// that reads an object the symbolic body assigned: the bounds were
+// evaluated once at loop entry, so a body write would make them stale.
+func assignedHeaderConflict(info *types.Info, n *nest, assigned map[types.Object]bool) *blockInfo {
+	if len(assigned) > 0 {
+		for _, e := range n.headerExprs {
+			var hit *blockInfo
+			ast.Inspect(e, func(node ast.Node) bool {
+				if hit != nil {
+					return false
+				}
+				if id, ok := node.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && assigned[obj] {
+						hit = &blockInfo{pos: id.Pos(), reason: fmt.Sprintf("loop bound reads %s, which the loop body assigns", id.Name)}
+					}
+				}
+				return true
+			})
+			if hit != nil {
+				return hit
+			}
+		}
+	}
+	for _, it := range n.items {
+		if it.sub != nil {
+			if b := assignedHeaderConflict(info, it.sub, assigned); b != nil {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// sortSyms orders symbols deterministically by creation id.
+func sortSyms(ss []*nsym) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].id < ss[j].id })
+}

@@ -1,0 +1,478 @@
+package extract
+
+import (
+	"go/token"
+
+	"github.com/resilience-models/dvf/internal/analytic"
+)
+
+// Shape matchers: pattern-match a symbolically executed loop nest into
+// one analytic phase. Matchers are pure structural checks over the nest
+// tree — exact bound forms, exact coefficient vectors, exact event
+// order — so a match is a proof that the loop performs the canonical
+// access pattern the phase models. Anything that deviates falls through
+// to the next matcher and ultimately to rejection (or concrete
+// unrolling at the call site).
+
+func (i *interp) matchNest(root *nest) ([]analytic.Phase, *blockInfo) {
+	if p, ok := matchStream(root); ok {
+		return []analytic.Phase{p}, nil
+	}
+	if p, ok := matchMatVec(root); ok {
+		return []analytic.Phase{p}, nil
+	}
+	if p, ok := matchSmooth(root); ok {
+		return []analytic.Phase{p}, nil
+	}
+	if p, ok := matchRestrict(root); ok {
+		return []analytic.Phase{p}, nil
+	}
+	if p, ok := matchProlong(root); ok {
+		return []analytic.Phase{p}, nil
+	}
+	if p, ok := matchBitReverse(root); ok {
+		return []analytic.Phase{p}, nil
+	}
+	if p, ok := matchButterflies(root); ok {
+		return []analytic.Phase{p}, nil
+	}
+	return nil, &blockInfo{pos: root.pos, reason: "affine nest does not match any recognized access shape (stream, matvec, smooth, restrict, prolong, bit-reversal, butterflies)"}
+}
+
+// termsWithin reports whether every symbol of a is one of syms.
+func termsWithin(a aff, syms ...*nsym) bool {
+	for _, t := range a.terms {
+		found := false
+		for _, s := range syms {
+			if t.sym == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// unitUp reports a canonical ascending unit-stride header
+// `for s := lo; s < hi; s++` with the given constant bounds.
+func unitUp(n *nest, lo, hi int64) bool {
+	return n.cmp == token.LSS && n.stepOp == token.ADD &&
+		n.lo.isConst() && n.lo.c == lo &&
+		n.hi.isConst() && n.hi.c == hi &&
+		n.step.isConst() && n.step.c == 1
+}
+
+// unitUpConst is unitUp with any constant bound; it returns the bound.
+func unitUpConst(n *nest, lo int64) (int64, bool) {
+	if n.cmp == token.LSS && n.stepOp == token.ADD &&
+		n.lo.isConst() && n.lo.c == lo &&
+		n.hi.isConst() &&
+		n.step.isConst() && n.step.c == 1 {
+		return n.hi.c, true
+	}
+	return 0, false
+}
+
+func allUnguardedEvents(n *nest) ([]*nEvent, bool) {
+	evs := n.directEvents()
+	if len(evs) != len(n.items) {
+		return nil, false
+	}
+	for _, ev := range evs {
+		if ev.guard != nil {
+			return nil, false
+		}
+	}
+	return evs, true
+}
+
+// matchStream recognizes a depth-1 loop whose every access is a
+// constant-stride traversal c·s + d with c > 0. Repeated accesses to
+// the same (region, form) collapse into one traversal, preserving
+// first-access order.
+func matchStream(n *nest) (analytic.Phase, bool) {
+	if len(n.derived) != 0 {
+		return nil, false
+	}
+	evs, ok := allUnguardedEvents(n)
+	if !ok || len(evs) == 0 {
+		return nil, false
+	}
+	if n.stepOp != token.ADD || !n.step.isConst() || n.step.c <= 0 || n.cmp != token.LSS {
+		return nil, false
+	}
+	trip, ok := n.trip()
+	if !ok {
+		return nil, false
+	}
+	type form struct {
+		reg  *regionInfo
+		c, d int64
+	}
+	seen := make(map[form]bool)
+	var streams []analytic.Traversal
+	for _, ev := range evs {
+		if !termsWithin(ev.idx, n.sym) {
+			return nil, false
+		}
+		c := ev.idx.coefOf(n.sym)
+		if c <= 0 {
+			return nil, false
+		}
+		start := c*n.lo.c + ev.idx.c
+		if start < 0 {
+			return nil, false
+		}
+		f := form{ev.region, c, ev.idx.c}
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		streams = append(streams, analytic.Traversal{
+			Region:      ev.region.name,
+			StartElem:   int(start),
+			StrideElems: int(c * n.step.c),
+			Count:       int(trip),
+		})
+	}
+	return analytic.Stream{Streams: streams}, true
+}
+
+// matchMatVec recognizes a dense square matrix-vector product:
+//
+//	for i := 0; i < N; i++ {
+//	    for j := 0; j < N; j++ { read M[i*N+j]; read V[j] }
+//	    write Out[i]
+//	}
+func matchMatVec(n *nest) (analytic.Phase, bool) {
+	if len(n.derived) != 0 || len(n.items) != 2 {
+		return nil, false
+	}
+	jn := n.items[0].sub
+	wr := n.items[1].ev
+	if jn == nil || wr == nil || wr.guard != nil || len(jn.derived) != 0 {
+		return nil, false
+	}
+	size, ok := unitUpConst(n, 0)
+	if !ok || size <= 0 || !unitUp(jn, 0, size) {
+		return nil, false
+	}
+	evs, ok := allUnguardedEvents(jn)
+	if !ok || len(evs) != 2 {
+		return nil, false
+	}
+	m, v := evs[0], evs[1]
+	if m.write || v.write || !wr.write {
+		return nil, false
+	}
+	if m.region == v.region {
+		return nil, false
+	}
+	if !termsWithin(m.idx, n.sym, jn.sym) || m.idx.c != 0 ||
+		m.idx.coefOf(n.sym) != size || m.idx.coefOf(jn.sym) != 1 {
+		return nil, false
+	}
+	if !termsWithin(v.idx, jn.sym) || v.idx.c != 0 || v.idx.coefOf(jn.sym) != 1 {
+		return nil, false
+	}
+	if !termsWithin(wr.idx, n.sym) || wr.idx.c != 0 || wr.idx.coefOf(n.sym) != 1 {
+		return nil, false
+	}
+	return analytic.MatVec{Matrix: m.region.name, Vec: v.region.name, Out: wr.region.name, N: int(size)}, true
+}
+
+// matchSmooth recognizes a 7-point-style interior sweep over one cube
+// of an n³ grid at a constant element offset: a triple nest i,j over
+// [1,n-1), k over [0,n), reading the four j/i neighbors and writing the
+// center.
+func matchSmooth(root *nest) (analytic.Phase, bool) {
+	jn := root.onlySub()
+	if jn == nil {
+		return nil, false
+	}
+	kn := jn.onlySub()
+	if kn == nil {
+		return nil, false
+	}
+	if len(root.derived) != 0 || len(jn.derived) != 0 || len(kn.derived) != 0 {
+		return nil, false
+	}
+	dim, ok := unitUpConst(kn, 0)
+	if !ok || dim < 3 {
+		return nil, false
+	}
+	if !unitUp(root, 1, dim-1) || !unitUp(jn, 1, dim-1) {
+		return nil, false
+	}
+	evs, ok := allUnguardedEvents(kn)
+	if !ok || len(evs) != 5 {
+		return nil, false
+	}
+	reg := evs[0].region
+	for _, ev := range evs {
+		if ev.region != reg ||
+			!termsWithin(ev.idx, root.sym, jn.sym, kn.sym) ||
+			ev.idx.coefOf(root.sym) != dim*dim ||
+			ev.idx.coefOf(jn.sym) != dim ||
+			ev.idx.coefOf(kn.sym) != 1 {
+			return nil, false
+		}
+	}
+	off := evs[4].idx.c
+	wantConst := []int64{off - dim, off + dim, off - dim*dim, off + dim*dim, off}
+	wantWrite := []bool{false, false, false, false, true}
+	for k, ev := range evs {
+		if ev.idx.c != wantConst[k] || ev.write != wantWrite[k] {
+			return nil, false
+		}
+	}
+	return analytic.Smooth{Region: reg.name, Dim: int(dim), OffsetElems: int(off)}, true
+}
+
+// fineStencil checks the 2:1 fine-grid access of restriction and
+// prolongation: idx = offF + Σ (2·c + dc)·stride over the three axes.
+func fineStencil(ev *nEvent, cs, ds [3]*nsym, nf int64) (offF int64, ok bool) {
+	if !termsWithin(ev.idx, cs[0], cs[1], cs[2], ds[0], ds[1], ds[2]) {
+		return 0, false
+	}
+	strides := [3]int64{nf * nf, nf, 1}
+	for a := 0; a < 3; a++ {
+		if ev.idx.coefOf(cs[a]) != 2*strides[a] || ev.idx.coefOf(ds[a]) != strides[a] {
+			return 0, false
+		}
+	}
+	return ev.idx.c, true
+}
+
+// coarseCell checks the coarse-grid access idx = offC + (i·nc + j)·nc + k.
+func coarseCell(ev *nEvent, cs [3]*nsym, nc int64) (offC int64, ok bool) {
+	if !termsWithin(ev.idx, cs[0], cs[1], cs[2]) ||
+		ev.idx.coefOf(cs[0]) != nc*nc ||
+		ev.idx.coefOf(cs[1]) != nc ||
+		ev.idx.coefOf(cs[2]) != 1 {
+		return 0, false
+	}
+	return ev.idx.c, true
+}
+
+// coarseTriple validates the outer i,j,k nest over [0,nc) of the
+// inter-grid transfers and returns its symbols and innermost nest.
+func coarseTriple(root *nest) (cs [3]*nsym, kn *nest, nc int64, ok bool) {
+	jn := root.onlySub()
+	if jn == nil {
+		return cs, nil, 0, false
+	}
+	kn = jn.onlySub()
+	if kn == nil {
+		return cs, nil, 0, false
+	}
+	if len(root.derived) != 0 || len(jn.derived) != 0 || len(kn.derived) != 0 {
+		return cs, nil, 0, false
+	}
+	nc, ok = unitUpConst(root, 0)
+	if !ok || nc <= 0 || !unitUp(jn, 0, nc) || !unitUp(kn, 0, nc) {
+		return cs, nil, 0, false
+	}
+	return [3]*nsym{root.sym, jn.sym, kn.sym}, kn, nc, true
+}
+
+// deltaTriple validates the di,dj,dk nest over [0,2) and returns its
+// symbols and innermost nest.
+func deltaTriple(dn *nest) (ds [3]*nsym, inner *nest, ok bool) {
+	djn := dn.onlySub()
+	if djn == nil {
+		return ds, nil, false
+	}
+	dkn := djn.onlySub()
+	if dkn == nil {
+		return ds, nil, false
+	}
+	if len(dn.derived) != 0 || len(djn.derived) != 0 || len(dkn.derived) != 0 {
+		return ds, nil, false
+	}
+	if !unitUp(dn, 0, 2) || !unitUp(djn, 0, 2) || !unitUp(dkn, 0, 2) {
+		return ds, nil, false
+	}
+	return [3]*nsym{dn.sym, djn.sym, dkn.sym}, dkn, true
+}
+
+// matchRestrict recognizes full-weighted 2:1 restriction: per coarse
+// cell, read the 2×2×2 fine block and write the coarse cell, both in
+// the same region at different offsets.
+func matchRestrict(root *nest) (analytic.Phase, bool) {
+	cs, kn, nc, ok := coarseTriple(root)
+	if !ok || len(kn.items) != 2 {
+		return nil, false
+	}
+	dn := kn.items[0].sub
+	wr := kn.items[1].ev
+	if dn == nil || wr == nil || wr.guard != nil || !wr.write {
+		return nil, false
+	}
+	ds, dkn, ok := deltaTriple(dn)
+	if !ok {
+		return nil, false
+	}
+	evs, ok := allUnguardedEvents(dkn)
+	if !ok || len(evs) != 1 || evs[0].write {
+		return nil, false
+	}
+	nf := 2 * nc
+	offF, ok := fineStencil(evs[0], cs, ds, nf)
+	if !ok {
+		return nil, false
+	}
+	offC, ok := coarseCell(wr, cs, nc)
+	if !ok || evs[0].region != wr.region {
+		return nil, false
+	}
+	return analytic.Restrict{Region: wr.region.name, FineDim: int(nf), CoarseDim: int(nc), FineOffset: int(offF), CoarseOffs: int(offC)}, true
+}
+
+// matchProlong recognizes 2:1 prolongation: per coarse cell, read the
+// coarse value, then read-modify-write each cell of the 2×2×2 fine
+// block.
+func matchProlong(root *nest) (analytic.Phase, bool) {
+	cs, kn, nc, ok := coarseTriple(root)
+	if !ok || len(kn.items) != 2 {
+		return nil, false
+	}
+	rd := kn.items[0].ev
+	dn := kn.items[1].sub
+	if rd == nil || dn == nil || rd.guard != nil || rd.write {
+		return nil, false
+	}
+	ds, dkn, ok := deltaTriple(dn)
+	if !ok {
+		return nil, false
+	}
+	evs, ok := allUnguardedEvents(dkn)
+	if !ok || len(evs) != 2 || evs[0].write || !evs[1].write {
+		return nil, false
+	}
+	if !evs[0].idx.equal(evs[1].idx) || evs[0].region != evs[1].region {
+		return nil, false
+	}
+	nf := 2 * nc
+	offF, ok := fineStencil(evs[0], cs, ds, nf)
+	if !ok {
+		return nil, false
+	}
+	offC, ok := coarseCell(rd, cs, nc)
+	if !ok || rd.region != evs[0].region {
+		return nil, false
+	}
+	return analytic.Prolong{Region: rd.region.name, FineDim: int(nf), CoarseDim: int(nc), FineOffset: int(offF), CoarseOffs: int(offC)}, true
+}
+
+// matchBitReverse recognizes the FFT's bit-reversal permutation: a
+// unit-stride sweep of i over [0,n) with derived j = bitrev(i) and an
+// `if i < j` guarded four-access swap.
+func matchBitReverse(n *nest) (analytic.Phase, bool) {
+	size, ok := unitUpConst(n, 0)
+	if !ok || size < 4 {
+		return nil, false
+	}
+	if len(n.derived) != 1 {
+		return nil, false
+	}
+	j := n.derived[0]
+	if j.bitrevOf != n.sym || j.bitrevBits <= 0 || j.bitrevBits >= 63 || int64(1)<<j.bitrevBits != size {
+		return nil, false
+	}
+	evs := n.directEvents()
+	if len(evs) != 4 || len(n.items) != 4 {
+		return nil, false
+	}
+	reg := evs[0].region
+	wantSym := []*nsym{n.sym, j, n.sym, j}
+	wantWrite := []bool{false, false, true, true}
+	for k, ev := range evs {
+		if ev.region != reg || ev.write != wantWrite[k] {
+			return nil, false
+		}
+		s, ok := ev.idx.singleSym()
+		if !ok || s != wantSym[k] {
+			return nil, false
+		}
+		g := ev.guard
+		if g == nil || g.op != token.LSS {
+			return nil, false
+		}
+		gl, okL := g.lhs.singleSym()
+		gr, okR := g.rhs.singleSym()
+		if !okL || !okR || gl != n.sym || gr != j {
+			return nil, false
+		}
+	}
+	return analytic.BitReverse{Region: reg.name, N: int(size)}, true
+}
+
+// matchButterflies recognizes the radix-2 butterfly passes: size
+// doubles from 2 to n, half = size/2, start strides by size, j sweeps
+// [0,half), touching X[start+j] and X[start+j+half] twice each.
+func matchButterflies(root *nest) (analytic.Phase, bool) {
+	if root.cmp != token.LEQ || root.stepOp != token.MUL ||
+		!root.lo.isConst() || root.lo.c != 2 ||
+		!root.step.isConst() || root.step.c != 2 ||
+		!root.hi.isConst() {
+		return nil, false
+	}
+	size := root.hi.c
+	if size < 4 || size&(size-1) != 0 {
+		return nil, false
+	}
+	if len(root.derived) != 1 {
+		return nil, false
+	}
+	half := root.derived[0]
+	if half.halfOf != root.sym {
+		return nil, false
+	}
+	sn := root.onlySub()
+	if sn == nil || len(sn.derived) != 0 {
+		return nil, false
+	}
+	if sn.cmp != token.LSS || sn.stepOp != token.ADD ||
+		!sn.lo.isConst() || sn.lo.c != 0 ||
+		!sn.hi.isConst() || sn.hi.c != size {
+		return nil, false
+	}
+	if s, ok := sn.step.singleSym(); !ok || s != root.sym {
+		return nil, false
+	}
+	jn := sn.onlySub()
+	if jn == nil || len(jn.derived) != 0 {
+		return nil, false
+	}
+	if jn.cmp != token.LSS || jn.stepOp != token.ADD ||
+		!jn.lo.isConst() || jn.lo.c != 0 ||
+		!jn.step.isConst() || jn.step.c != 1 {
+		return nil, false
+	}
+	if s, ok := jn.hi.singleSym(); !ok || s != half {
+		return nil, false
+	}
+	evs, ok := allUnguardedEvents(jn)
+	if !ok || len(evs) != 4 {
+		return nil, false
+	}
+	reg := evs[0].region
+	wantWrite := []bool{false, false, true, true}
+	wantHalf := []int64{0, 1, 0, 1}
+	for k, ev := range evs {
+		if ev.region != reg || ev.write != wantWrite[k] || ev.idx.c != 0 {
+			return nil, false
+		}
+		if !termsWithin(ev.idx, sn.sym, jn.sym, half) ||
+			ev.idx.coefOf(sn.sym) != 1 ||
+			ev.idx.coefOf(jn.sym) != 1 ||
+			ev.idx.coefOf(half) != wantHalf[k] {
+			return nil, false
+		}
+	}
+	return analytic.Butterflies{Region: reg.name, N: int(size)}, true
+}

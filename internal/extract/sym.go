@@ -1,0 +1,472 @@
+package extract
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+	"github.com/resilience-models/dvf/internal/analytic"
+)
+
+// symCtx is the state of one symbolic nest-building attempt: the nest
+// tree under construction, the active guard, and the record of outer
+// state the body tried to write (shadowed, never committed).
+type symCtx struct {
+	root  *nest
+	cur   *nest
+	guard *nGuard
+	// assigned records objects owned by concrete (outer) frames that the
+	// symbolic body wrote. Their writes are shadowed during the attempt
+	// and their concrete cells are havocked only on commit.
+	assigned map[types.Object]bool
+	// rootFrame is the outermost symbolic frame; shadows live here so
+	// they survive inner-nest scope pops.
+	rootFrame *frame
+	nextID    int
+	depth     int // i.depth at attempt start: separates body returns from callee returns
+	events    int // total events recorded, for eventless-failure checks
+}
+
+func (sc *symCtx) newSym(name string) *nsym {
+	s := &nsym{name: name, id: sc.nextID}
+	sc.nextID++
+	return s
+}
+
+// symBlocked aborts a nest attempt with the first blocking construct.
+type symBlocked struct{ info blockInfo }
+
+func (e *symBlocked) Error() string { return e.info.reason }
+
+func (i *interp) symBlockedErr(pos token.Pos, format string, args ...interface{}) error {
+	return &symBlocked{info: blockInfo{pos: pos, reason: fmt.Sprintf(format, args...)}}
+}
+
+// tryNest attempts to recognize a trace-bearing for statement as an
+// affine loop nest and match it into analytic phases. On failure it
+// returns the first blocking construct; concrete interpreter state is
+// untouched either way (all writes during the attempt are shadowed).
+func (i *interp) tryNest(fs *ast.ForStmt) ([]analytic.Phase, *blockInfo) {
+	info := i.info()
+	header, ok := analysis.Induction(info, fs)
+	if !ok {
+		return nil, &blockInfo{pos: fs.Pos(), reason: "loop header is not a canonical counted form"}
+	}
+	if analysis.AssignsObj(info, fs.Body, header.Var) {
+		return nil, &blockInfo{pos: fs.Pos(), reason: fmt.Sprintf("loop body assigns induction variable %s", header.Var.Name())}
+	}
+	// Outermost bounds must be fully concrete.
+	lo, b := i.concreteBound(header.Init, "start")
+	if b != nil {
+		return nil, b
+	}
+	hi, b := i.concreteBound(header.Bound, "bound")
+	if b != nil {
+		return nil, b
+	}
+	step := int64(1)
+	if header.Step != nil {
+		if step, b = i.concreteBound(header.Step, "step"); b != nil {
+			return nil, b
+		}
+	}
+	savedFr := i.fr
+	sym := &symCtx{assigned: make(map[types.Object]bool), depth: i.depth}
+	i.sym = sym
+	err := i.symNestBody(fs, header, affConst(lo), affConst(hi), affConst(step))
+	i.sym = nil
+	i.fr = savedFr
+	if err != nil {
+		return nil, blockedFrom(i, fs, err)
+	}
+	if b := assignedHeaderConflict(info, sym.root, sym.assigned); b != nil {
+		return nil, b
+	}
+	phases, b := i.matchNest(sym.root)
+	if b != nil {
+		return nil, b
+	}
+	// Commit: record observed element sizes and invalidate every outer
+	// cell the body wrote (its post-loop value is iteration-dependent).
+	recordSizes(sym.root)
+	objs := make([]types.Object, 0, len(sym.assigned))
+	for obj := range sym.assigned {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(a, b int) bool { return objs[a].Pos() < objs[b].Pos() })
+	for _, obj := range objs {
+		if c, _ := i.fr.lookup(obj); c != nil {
+			c.v = opaque{}
+		}
+	}
+	return phases, nil
+}
+
+func recordSizes(n *nest) {
+	for _, it := range n.items {
+		if it.ev != nil {
+			it.ev.region.sizes[it.ev.size] = true
+		}
+		if it.sub != nil {
+			recordSizes(it.sub)
+		}
+	}
+}
+
+// concreteBound evaluates an outer-nest bound expression to a concrete
+// integer (nil expressions mean an implicit step of 1).
+func (i *interp) concreteBound(e ast.Expr, what string) (int64, *blockInfo) {
+	v, err := i.evalExpr(e)
+	if err != nil {
+		return 0, &blockInfo{pos: e.Pos(), reason: fmt.Sprintf("loop %s is not statically known", what)}
+	}
+	n, ok := isConcreteInt(v)
+	if !ok {
+		return 0, &blockInfo{pos: e.Pos(), reason: fmt.Sprintf("loop %s is not statically known", what)}
+	}
+	return n, nil
+}
+
+func blockedFrom(i *interp, fs *ast.ForStmt, err error) *blockInfo {
+	switch e := err.(type) {
+	case *symBlocked:
+		return &e.info
+	case *evalError:
+		pos := e.pos
+		if !pos.IsValid() {
+			pos = fs.Pos()
+		}
+		return &blockInfo{pos: pos, reason: e.reason}
+	case *inextractableError:
+		return &blockInfo{pos: fs.Pos(), reason: e.reason}
+	case *fatalError:
+		return &blockInfo{pos: fs.Pos(), reason: e.Error()}
+	}
+	return &blockInfo{pos: fs.Pos(), reason: err.Error()}
+}
+
+// symFor handles a for statement nested inside an active nest attempt.
+// Inner bounds may be affine in enclosing symbols (the FFT's start/j
+// loops); the header must still be canonical.
+func (i *interp) symFor(fs *ast.ForStmt) error {
+	info := i.info()
+	header, ok := analysis.Induction(info, fs)
+	if !ok {
+		return i.symBlockedErr(fs.Pos(), "inner loop header is not a canonical counted form")
+	}
+	if analysis.AssignsObj(info, fs.Body, header.Var) {
+		return i.symBlockedErr(fs.Pos(), "inner loop body assigns induction variable %s", header.Var.Name())
+	}
+	if i.sym.guard != nil {
+		return i.symBlockedErr(fs.Pos(), "loop nested inside a guard")
+	}
+	lo, err := i.symAffExpr(header.Init, "start")
+	if err != nil {
+		return err
+	}
+	hi, err := i.symAffExpr(header.Bound, "bound")
+	if err != nil {
+		return err
+	}
+	step := affConst(1)
+	if header.Step != nil {
+		if step, err = i.symAffExpr(header.Step, "step"); err != nil {
+			return err
+		}
+	}
+	return i.symNestBody(fs, header, lo, hi, step)
+}
+
+func (i *interp) symAffExpr(e ast.Expr, what string) (aff, error) {
+	v, err := i.evalExpr(e)
+	if err != nil {
+		if _, ok := err.(*evalError); ok {
+			return aff{}, i.symBlockedErr(e.Pos(), "loop %s is not affine in the enclosing loop indices", what)
+		}
+		return aff{}, err
+	}
+	a, aerr := toAff(v)
+	if aerr != nil {
+		return aff{}, i.symBlockedErr(e.Pos(), "loop %s is not affine in the enclosing loop indices", what)
+	}
+	return a, nil
+}
+
+// symNestBody creates the nest node for a canonical header, binds its
+// induction symbol in a fresh symbolic frame, and executes the body.
+func (i *interp) symNestBody(fs *ast.ForStmt, header *analysis.LoopHeader, lo, hi, step aff) error {
+	s := i.sym.newSym(header.Var.Name())
+	n := &nest{
+		pos: fs.Pos(), sym: s, lo: lo, hi: hi, cmp: header.Cmp,
+		step: step, stepOp: header.StepOp,
+		headerExprs: headerExprsOf(header),
+	}
+	parent := i.sym.cur
+	if parent != nil {
+		parent.items = append(parent.items, nItem{sub: n})
+	} else {
+		i.sym.root = n
+	}
+	i.sym.cur = n
+	savedFr := i.fr
+	i.fr = newFrame(i.fr, i.pkg(), true)
+	if i.sym.rootFrame == nil {
+		i.sym.rootFrame = i.fr
+	}
+	i.fr.define(header.Var, affSym(s))
+	c, err := i.execBlock(fs.Body.List)
+	i.fr = savedFr
+	i.sym.cur = parent
+	if err != nil {
+		return err
+	}
+	if c != ctrlNone {
+		return i.symBlockedErr(fs.Pos(), "loop body exits early (break or continue)")
+	}
+	return nil
+}
+
+func headerExprsOf(h *analysis.LoopHeader) []ast.Expr {
+	out := []ast.Expr{h.Init, h.Bound}
+	if h.Step != nil {
+		out = append(out, h.Step)
+	}
+	return out
+}
+
+// symEvent appends one access event to the current nest under the
+// active guard.
+func (i *interp) symEvent(ev *nEvent) {
+	ev.guard = i.sym.guard
+	i.sym.cur.items = append(i.sym.cur.items, nItem{ev: ev})
+	i.sym.events++
+}
+
+// symShadowWrite shadows a write to outer (concrete) storage. The
+// stored value is opaque regardless of what was written: a value
+// assigned inside the loop body is iteration-dependent, and the body
+// executes only once symbolically.
+func (i *interp) symShadowWrite(obj types.Object, _ value) {
+	fr := i.sym.rootFrame
+	if fr == nil {
+		fr = i.fr
+	}
+	if c, owner := i.fr.lookup(obj); c != nil && owner.sym {
+		c.v = opaque{} // already shadowed: update in place
+	} else {
+		fr.define(obj, opaque{})
+	}
+	i.sym.assigned[obj] = true
+}
+
+// symDefine handles := inside a nest attempt. Integer definitions whose
+// right side is one of the two recognized derived forms (s/2,
+// bit-reversal of s) introduce decorated derived symbols; anything else
+// evaluates normally, degrading to opaque when the value is unknown but
+// the evaluation recorded no events.
+func (i *interp) symDefine(s *ast.AssignStmt) error {
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			if obj := i.info().Defs[id]; obj != nil && isIntType(obj.Type()) {
+				if ds := i.deriveSym(id.Name, s.Rhs[0]); ds != nil {
+					i.sym.cur.derived = append(i.sym.cur.derived, ds)
+					i.fr.define(obj, affSym(ds))
+					return nil
+				}
+			}
+		}
+	}
+	before := i.sym.events
+	vals, err := i.evalRHS(s)
+	if err != nil {
+		if _, ok := err.(*evalError); !ok {
+			return err
+		}
+		if i.sym.events != before {
+			return i.symBlockedErr(s.Pos(), "declaration mixes memory accesses with a value the extractor cannot model")
+		}
+		vals = make([]value, len(s.Lhs))
+		for k := range vals {
+			vals[k] = opaque{}
+		}
+	}
+	for k, lhs := range s.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return i.symBlockedErr(lhs.Pos(), "non-identifier in short declaration")
+		}
+		if id.Name == "_" {
+			continue
+		}
+		if obj := i.info().Defs[id]; obj != nil {
+			i.fr.define(obj, vals[k])
+			continue
+		}
+		if err := i.assignTo(id, vals[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// deriveSym recognizes the two non-affine integer definitions the shape
+// matchers understand structurally:
+//
+//	half := size / 2
+//	j := int(bits.Reverse32(uint32(i)) >> (32 - logN))
+//
+// Both become decorated symbols; everything else returns nil and falls
+// through to ordinary evaluation.
+func (i *interp) deriveSym(name string, rhs ast.Expr) *nsym {
+	e := ast.Unparen(rhs)
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.QUO {
+		base, ok := i.symOf(b.X)
+		if !ok {
+			return nil
+		}
+		if k, ok := i.concreteOf(b.Y); ok && k == 2 {
+			s := i.sym.newSym(name)
+			s.halfOf = base
+			return s
+		}
+		return nil
+	}
+	conv, ok := e.(*ast.CallExpr)
+	if !ok || !isConversion(i.info(), conv) || len(conv.Args) != 1 {
+		return nil
+	}
+	shr, ok := ast.Unparen(conv.Args[0]).(*ast.BinaryExpr)
+	if !ok || shr.Op != token.SHR {
+		return nil
+	}
+	rev, ok := ast.Unparen(shr.X).(*ast.CallExpr)
+	if !ok || len(rev.Args) != 1 {
+		return nil
+	}
+	fn := analysis.CalleeFunc(i.info(), rev)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math/bits" || fn.Name() != "Reverse32" {
+		return nil
+	}
+	inner, ok := ast.Unparen(rev.Args[0]).(*ast.CallExpr)
+	if !ok || !isConversion(i.info(), inner) || len(inner.Args) != 1 {
+		return nil
+	}
+	base, ok := i.symOf(inner.Args[0])
+	if !ok {
+		return nil
+	}
+	sh, ok := i.concreteOf(shr.Y)
+	if !ok {
+		return nil
+	}
+	width := 32 - sh
+	if width <= 0 || width >= 32 {
+		return nil
+	}
+	s := i.sym.newSym(name)
+	s.bitrevOf = base
+	s.bitrevBits = int(width)
+	return s
+}
+
+// symOf evaluates an expression expecting a bare symbol reference.
+func (i *interp) symOf(e ast.Expr) (*nsym, bool) {
+	before := i.sym.events
+	v, err := i.evalExpr(e)
+	if err != nil || i.sym.events != before {
+		return nil, false
+	}
+	a, ok := v.(aff)
+	if !ok {
+		return nil, false
+	}
+	return a.singleSym()
+}
+
+// concreteOf evaluates an expression expecting a concrete integer.
+func (i *interp) concreteOf(e ast.Expr) (int64, bool) {
+	before := i.sym.events
+	v, err := i.evalExpr(e)
+	if err != nil || i.sym.events != before {
+		return 0, false
+	}
+	return isConcreteInt(v)
+}
+
+// symIf handles an if inside a nest attempt: concrete conditions branch
+// normally, one level of affine comparison becomes an event guard (the
+// FFT's bit-reversal swap), and anything else blocks the nest.
+func (i *interp) symIf(s *ast.IfStmt) (ctrl, error) {
+	if s.Init != nil {
+		return ctrlNone, i.symBlockedErr(s.Pos(), "if statement with init clause inside a candidate nest")
+	}
+	cond, err := i.evalExpr(s.Cond)
+	if err != nil {
+		if _, ok := err.(*evalError); !ok {
+			return ctrlNone, err
+		}
+	} else if b, ok := truthy(cond); ok {
+		if b {
+			return i.execBlock(s.Body.List)
+		}
+		if s.Else != nil {
+			return i.execStmt(s.Else)
+		}
+		return ctrlNone, nil
+	}
+	if reason, ok := i.assumeFalse(s.Pos()); ok {
+		if reason == "" {
+			return ctrlNone, i.symBlockedErr(s.Pos(), "%s directive requires a reason", directivePrefix)
+		}
+		if s.Else != nil {
+			return ctrlNone, i.symBlockedErr(s.Pos(), "assume-false directive cannot skip an if with an else branch")
+		}
+		return ctrlNone, nil
+	}
+	if i.sym.guard != nil {
+		return ctrlNone, i.symBlockedErr(s.Pos(), "nested guard inside a candidate nest")
+	}
+	if s.Else != nil {
+		return ctrlNone, i.symBlockedErr(s.Pos(), "data-dependent branch with an else inside a candidate nest")
+	}
+	be, ok := ast.Unparen(s.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return ctrlNone, i.symBlockedErr(s.Cond.Pos(), "branch condition is data-dependent (not affine in the loop indices)")
+	}
+	switch be.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return ctrlNone, i.symBlockedErr(s.Cond.Pos(), "branch condition is data-dependent (not affine in the loop indices)")
+	}
+	lv, err := i.evalExpr(be.X)
+	if err != nil {
+		return ctrlNone, i.symBlockedErr(be.X.Pos(), "branch condition is data-dependent (not affine in the loop indices)")
+	}
+	rv, err := i.evalExpr(be.Y)
+	if err != nil {
+		return ctrlNone, i.symBlockedErr(be.Y.Pos(), "branch condition is data-dependent (not affine in the loop indices)")
+	}
+	la, lerr := toAff(lv)
+	ra, rerr := toAff(rv)
+	if lerr != nil || rerr != nil {
+		return ctrlNone, i.symBlockedErr(s.Cond.Pos(), "branch condition is data-dependent (not affine in the loop indices)")
+	}
+	i.sym.guard = &nGuard{lhs: la, op: be.Op, rhs: ra}
+	c, err := i.execBlock(s.Body.List)
+	i.sym.guard = nil
+	if err != nil {
+		return ctrlNone, err
+	}
+	if c != ctrlNone {
+		return ctrlNone, i.symBlockedErr(s.Pos(), "guarded body exits the loop early")
+	}
+	return ctrlNone, nil
+}

@@ -1,0 +1,306 @@
+package extract_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+	"github.com/resilience-models/dvf/internal/analytic"
+	"github.com/resilience-models/dvf/internal/extract"
+)
+
+// The synthetic-module harness: each test case is a standalone kernel
+// body compiled into a throwaway module with a stub internal/trace
+// package. The extractor intercepts trace calls by package-path suffix,
+// so the stub exercises exactly the same primitive layer as the real
+// repo without depending on it.
+
+const synthTraceStub = `package trace
+
+type Consumer interface {
+	Access(addr uint64, size uint32, write bool, region int32)
+}
+
+type Region struct {
+	ID   int32
+	Name string
+	Base uint64
+	Size uint64
+}
+
+type Registry struct{ regions []Region }
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (g *Registry) Alloc(name string, size uint64) Region {
+	r := Region{ID: int32(len(g.regions) + 1), Name: name, Size: size}
+	g.regions = append(g.regions, r)
+	return r
+}
+
+type Memory struct{ refs int64 }
+
+func NewMemory(reg *Registry, sink Consumer) *Memory { return &Memory{} }
+
+func (m *Memory) LoadN(r Region, idx int, elemSize uint32)  { m.refs++ }
+func (m *Memory) StoreN(r Region, idx int, elemSize uint32) { m.refs++ }
+func (m *Memory) Load(r Region, addr uint64)                { m.refs++ }
+func (m *Memory) Store(r Region, addr uint64)               { m.refs++ }
+func (m *Memory) Refs() int64                               { return m.refs }
+`
+
+// loadSynth writes a module {go.mod, internal/trace stub, kern/kern.go}
+// into a temp dir, loads it, and returns the program.
+func loadSynth(t *testing.T, kernSrc string) *analysis.Program {
+	t.Helper()
+	prog, err := loadSynthErr(t, kernSrc)
+	if err != nil {
+		t.Fatalf("loading synthetic module: %v", err)
+	}
+	return prog
+}
+
+func loadSynthErr(t *testing.T, kernSrc string) (*analysis.Program, error) {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":                  "module synth\n\ngo 1.22\n",
+		"internal/trace/trace.go": synthTraceStub,
+		"kern/kern.go":            kernSrc,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := loader.Load("synth/kern"); err != nil {
+		return nil, err
+	}
+	return loader.Program(), nil
+}
+
+// kernWrap surrounds a Run body with the standard synthetic kernel
+// preamble: a K struct with N plus the trace registry and memory.
+func kernWrap(fields, body string) string {
+	return fmt.Sprintf(`package kern
+
+import "synth/internal/trace"
+
+type K struct {
+	N int
+%s}
+
+func (k *K) Run() error {
+	reg := trace.NewRegistry()
+	mem := trace.NewMemory(reg, nil)
+	_ = mem
+%s	return nil
+}
+`, fields, body)
+}
+
+func synthTarget(ints map[string]int64) extract.Target {
+	return extract.Target{
+		Kernel:   "synth",
+		Path:     "synth/kern",
+		TypeName: "K",
+		Method:   "Run",
+		Ints:     ints,
+	}
+}
+
+// TestExtractRejections pins the soundness contract: each construct the
+// extractor cannot prove affine is rejected with a diagnostic naming it,
+// never silently approximated.
+func TestExtractRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		fields string
+		n      int64 // kernel size; 0 means 16
+		body   string
+		want   string // substring of the rejection diagnostic
+	}{
+		{
+			name: "data-dependent subscript",
+			body: `	a := reg.Alloc("A", uint64(k.N)*8)
+	x := make([]float64, k.N)
+	for i := 0; i < k.N; i++ {
+		mem.LoadN(a, int(x[i]), 8)
+	}
+`,
+			want: "data-dependent",
+		},
+		{
+			// != comparisons are outside the canonical counted form; with
+			// a trip count past the unroll budget the concrete fallback
+			// cannot rescue the loop either.
+			name: "non-canonical loop header",
+			n:    100000,
+			body: `	a := reg.Alloc("A", uint64(k.N)*8)
+	for i := 0; i != k.N; i++ {
+		mem.LoadN(a, i, 8)
+	}
+`,
+			want: "canonical counted form",
+		},
+		{
+			name: "dynamic loop bound",
+			body: `	a := reg.Alloc("A", uint64(k.N)*8)
+	x := make([]float64, k.N)
+	bound := int(x[0])
+	for i := 0; i < bound; i++ {
+		mem.LoadN(a, i, 8)
+	}
+`,
+			want: "not statically extractable",
+		},
+		{
+			name: "data-dependent early exit",
+			body: `	a := reg.Alloc("A", uint64(k.N)*8)
+	x := make([]float64, k.N)
+	for i := 0; i < k.N; i++ {
+		mem.LoadN(a, i, 8)
+		if x[i] > 0 {
+			return nil
+		}
+	}
+`,
+			want: "not statically extractable",
+		},
+		{
+			name: "byte-granular access",
+			body: `	a := reg.Alloc("A", uint64(k.N)*8)
+	mem.Load(a, 0)
+`,
+			want: "byte-granular",
+		},
+		{
+			name: "escaping trace handle",
+			body: `	a := reg.Alloc("A", uint64(k.N)*8)
+	_ = fmt.Sprint(a)
+`,
+			want: "not statically extractable",
+		},
+		{
+			// Quadratic subscripts are non-affine; past the unroll budget
+			// the loop cannot be evaluated concretely either, so the
+			// symbolic blocking reason is what surfaces.
+			name: "quadratic subscript",
+			n:    100000,
+			body: `	a := reg.Alloc("A", uint64(k.N)*uint64(k.N)*8)
+	for i := 0; i < k.N; i++ {
+		mem.LoadN(a, i*i, 8)
+	}
+`,
+			want: "product of two loop-dependent values",
+		},
+		{
+			name: "dynamic allocation size",
+			body: `	x := make([]float64, k.N)
+	a := reg.Alloc("A", uint64(int(x[0]))*8)
+	mem.LoadN(a, 0, 8)
+`,
+			want: "non-static name or size",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			src := kernWrap(tc.fields, tc.body)
+			if strings.Contains(tc.body, "fmt.") {
+				src = strings.Replace(src, `import "synth/internal/trace"`,
+					"import (\n\t\"fmt\"\n\n\t\"synth/internal/trace\"\n)", 1)
+			}
+			prog := loadSynth(t, src)
+			n := tc.n
+			if n == 0 {
+				n = 16
+			}
+			_, err := extract.Extract(prog, synthTarget(map[string]int64{"N": n}))
+			if err == nil {
+				t.Fatalf("want rejection, got success")
+			}
+			if !extract.Inextractable(err) {
+				t.Fatalf("want soundness rejection, got configuration error: %v", err)
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, tc.want) {
+				t.Fatalf("diagnostic %q does not mention %q", msg, tc.want)
+			}
+			if !strings.Contains(msg, "kern.go:") {
+				t.Fatalf("diagnostic %q does not carry a file:line position", msg)
+			}
+		})
+	}
+}
+
+// FuzzExtractStreams generates affine stream kernels with fuzzed size,
+// strides, start offset and store mix, and checks the extracted
+// descriptor against the ground truth computed directly from the same
+// parameters.
+func FuzzExtractStreams(f *testing.F) {
+	f.Add(8, 1, 1, 0, false)
+	f.Add(1000, 4, 2, 0, true)
+	f.Add(16, 3, 5, 7, true)
+	f.Add(1, 8, 1, 32, false)
+	f.Add(2048, 2, 7, 1, true)
+	f.Fuzz(func(t *testing.T, n, sa, sb, start int, store bool) {
+		n = clampInt(n, 1, 2048)
+		sa = clampInt(sa, 1, 8)
+		sb = clampInt(sb, 1, 8)
+		start = clampInt(start, 0, 32)
+		op := "LoadN"
+		if store {
+			op = "StoreN"
+		}
+		body := fmt.Sprintf(`	a := reg.Alloc("A", uint64(k.N*k.SA+k.Start)*8)
+	b := reg.Alloc("B", uint64(k.N*k.SB)*8)
+	for i := 0; i < k.N; i++ {
+		mem.LoadN(a, i*k.SA+k.Start, 8)
+		mem.%s(b, i*k.SB, 8)
+	}
+`, op)
+		prog := loadSynth(t, kernWrap("\tSA, SB, Start int\n", body))
+		got, err := extract.Extract(prog, synthTarget(map[string]int64{
+			"N": int64(n), "SA": int64(sa), "SB": int64(sb), "Start": int64(start),
+		}))
+		if err != nil {
+			t.Fatalf("extracting affine stream kernel (n=%d sa=%d sb=%d start=%d): %v", n, sa, sb, start, err)
+		}
+		want := &analytic.Descriptor{
+			Kernel: "synth",
+			Regions: []analytic.Region{
+				{Name: "A", Bytes: int64(n*sa+start) * 8, ElemSize: 8},
+				{Name: "B", Bytes: int64(n*sb) * 8, ElemSize: 8},
+			},
+			Phases: []analytic.Phase{analytic.Stream{Streams: []analytic.Traversal{
+				{Region: "A", StartElem: start, StrideElems: sa, Count: n},
+				{Region: "B", StrideElems: sb, Count: n},
+			}}},
+		}
+		if d := extract.Diff(got, want); d != "" {
+			t.Fatalf("extracted stream differs from ground truth (n=%d sa=%d sb=%d start=%d): %s", n, sa, sb, start, d)
+		}
+	})
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,151 @@
+package extract
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+// The abstract value domain of the extractor's partial evaluator. Every
+// expression in the kernel evaluates to one of these:
+//
+//   - concrete scalars (intVal, floatVal, boolVal, stringVal, nilVal)
+//     for everything derived from the bound configuration and literals;
+//   - opaque for runtime data the model deliberately does not track
+//     (floating-point element values, twiddle factors, error values);
+//   - affine linear forms over loop symbols while a nest is being built
+//     symbolically (see nest.go);
+//   - structured handles (struct, pointer, slice) for the kernel's own
+//     plumbing, so field and element accesses resolve concretely; and
+//   - trace handles (registry, memory, region) for the instrumentation
+//     API, whose calls become access events instead of being executed.
+//
+// The split between sliceVal and dataSlice is the soundness pivot: a
+// dataSlice ([]float64 / []complex128 bulk data) has a concrete length
+// but opaque elements, and writes into it are no-ops — runtime data can
+// never feed back into addresses or control flow, because every read
+// out of it is opaque and anything opaque that reaches a branch or a
+// subscript is rejected, not approximated.
+
+type value interface{}
+
+type (
+	intVal    int64
+	floatVal  float64
+	boolVal   bool
+	stringVal string
+)
+
+// nilVal is the typed or untyped nil.
+type nilVal struct{}
+
+// opaque is a statically unknown value.
+type opaque struct{}
+
+// cell is one mutable storage location (variable, field, slice element).
+type cell struct{ v value }
+
+// structVal is the shared storage of a struct; pointers alias it.
+type structVal struct {
+	fields map[string]*cell
+}
+
+// ptrVal is a pointer to struct storage (the only pointer shape the
+// kernels use; &T{} literals and new(T) produce one).
+type ptrVal struct{ to *structVal }
+
+// sliceVal is a small slice with per-element concrete storage ([]int
+// offsets, []*mgGrid level handles). Append copies the header and shares
+// cells, matching Go's aliasing.
+type sliceVal struct{ elems []*cell }
+
+// dataSlice is bulk numeric data: concrete length, opaque elements.
+type dataSlice struct{ n int64 }
+
+// tupleVal carries multi-result returns between call and assignment.
+type tupleVal struct{ vs []value }
+
+// regionInfo is the extractor's record of one trace.Registry allocation.
+type regionInfo struct {
+	name  string
+	bytes int64
+	order int
+	sizes map[int64]bool // element sizes observed at access events
+}
+
+// regionVal is the value of a trace.Region; copies share the record.
+type regionVal struct{ info *regionInfo }
+
+// registryVal and memoryVal are the trace.Registry / trace.Memory
+// handles; their method calls are intercepted as primitives.
+type registryVal struct{}
+type memoryVal struct{}
+
+// frame is one lexical environment: a function activation or a symbolic
+// loop scope. Lookup walks the parent chain; function activations start
+// a fresh chain (the kernels use no closures).
+type frame struct {
+	parent *frame
+	pkg    *analysis.Package // resolves idents/selections for code in this frame
+	vars   map[types.Object]*cell
+	// sym marks frames created while building a symbolic loop nest.
+	// Writes to cells owned by non-sym frames are shadowed locally and
+	// recorded (nest.assigned) instead of mutating concrete state, so an
+	// abandoned nest attempt leaves the interpreter untouched.
+	sym bool
+}
+
+func newFrame(parent *frame, pkg *analysis.Package, sym bool) *frame {
+	return &frame{parent: parent, pkg: pkg, vars: make(map[types.Object]*cell), sym: sym}
+}
+
+// lookup finds the cell binding obj, walking outward.
+func (fr *frame) lookup(obj types.Object) (*cell, *frame) {
+	for f := fr; f != nil; f = f.parent {
+		if c, ok := f.vars[obj]; ok {
+			return c, f
+		}
+	}
+	return nil, nil
+}
+
+// define binds obj in this frame.
+func (fr *frame) define(obj types.Object, v value) {
+	fr.vars[obj] = &cell{v: v}
+}
+
+// inextractableError is the precise rejection the soundness contract
+// promises: the first construct that cannot be modeled, with its
+// position. It satisfies errors.As via the exported Inextractable.
+type inextractableError struct {
+	pos    token.Position
+	reason string
+}
+
+func (e *inextractableError) Error() string {
+	return fmt.Sprintf("%s: not statically extractable: %s", e.pos, e.reason)
+}
+
+// evalError is an internal "this expression has no static value" signal;
+// lenient contexts (returns in traced code, derived-symbol creation)
+// catch it and degrade to opaque, strict contexts escalate it.
+type evalError struct {
+	pos    token.Pos
+	reason string
+}
+
+func (e *evalError) Error() string { return e.reason }
+
+// isConcreteInt unwraps an intVal.
+func isConcreteInt(v value) (int64, bool) {
+	i, ok := v.(intVal)
+	return int64(i), ok
+}
+
+// truthy unwraps a boolVal.
+func truthy(v value) (bool, bool) {
+	b, ok := v.(boolVal)
+	return bool(b), ok
+}

@@ -179,6 +179,7 @@ func (c *CG) run(sink trace.Consumer, fault *Fault) (*RunInfo, error) {
 		flops += matVec(q, p, a)
 		pq, fl := dot(p, q)
 		flops += fl
+		//dvf:extract assume-false p.q vanishes only for a zero direction vector, which the nonzero test RHS never produces before the iteration cap
 		if pq == 0 {
 			break
 		}

@@ -1,0 +1,59 @@
+package kernels
+
+import "reflect"
+
+// PatternProvenance names the source location and concrete configuration
+// from which a kernel's hand-written access pattern can be re-derived by
+// static extraction (internal/extract). It is the bridge between a live
+// kernel value and an extraction target: the import path and type name
+// locate the traced Run method, and the scalar maps reproduce the
+// receiver's configuration field by field.
+type PatternProvenance struct {
+	ImportPath string
+	TypeName   string
+	Method     string
+	Ints       map[string]int64
+	Floats     map[string]float64
+	Bools      map[string]bool
+}
+
+// Provenance reports where k's access pattern comes from, or false when k
+// does not implement PatternSource or its configuration is not expressible
+// as scalar fields (anything but integers, floats and booleans).
+func Provenance(k Kernel) (*PatternProvenance, bool) {
+	if _, ok := k.(PatternSource); !ok {
+		return nil, false
+	}
+	rv := reflect.ValueOf(k)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return nil, false
+	}
+	elem := rv.Elem()
+	if elem.Kind() != reflect.Struct {
+		return nil, false
+	}
+	st := elem.Type()
+	p := &PatternProvenance{
+		ImportPath: st.PkgPath(),
+		TypeName:   st.Name(),
+		Method:     "Run",
+		Ints:       make(map[string]int64),
+		Floats:     make(map[string]float64),
+		Bools:      make(map[string]bool),
+	}
+	for f := 0; f < st.NumField(); f++ {
+		fv := elem.Field(f)
+		name := st.Field(f).Name
+		switch fv.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			p.Ints[name] = fv.Int()
+		case reflect.Float32, reflect.Float64:
+			p.Floats[name] = fv.Float()
+		case reflect.Bool:
+			p.Bools[name] = fv.Bool()
+		default:
+			return nil, false
+		}
+	}
+	return p, true
+}

@@ -164,6 +164,8 @@ func (t *TraceV2) ZeroCopy() bool { return t.aliased }
 
 // Batch returns the whole trace as one RefBatch view. The view shares the
 // columns; callers must not mutate it.
+//
+//dvf:hotpath
 func (t *TraceV2) Batch() RefBatch {
 	n := len(t.addrs)
 	return RefBatch{Addrs: t.addrs[:n:n], Metas: t.metas[:n:n]}
@@ -172,6 +174,8 @@ func (t *TraceV2) Batch() RefBatch {
 // Batches invokes fn with consecutive views of at most batchSize
 // references each (batchSize <= 0 selects DefaultBatch). The views alias
 // the trace columns — no references are copied.
+//
+//dvf:hotpath
 func (t *TraceV2) Batches(batchSize int, fn func(*RefBatch)) {
 	if batchSize <= 0 {
 		batchSize = DefaultBatch
@@ -183,6 +187,7 @@ func (t *TraceV2) Batches(batchSize int, fn func(*RefBatch)) {
 			hi = whole.Len()
 		}
 		view := whole.Slice(lo, hi)
+		//dvf:allow hotalloc fn is the caller-supplied batch consumer; every in-repo consumer fed through Batches is itself hotpath-verified
 		fn(&view)
 	}
 }
@@ -329,6 +334,8 @@ func (tf *TraceFile) ZeroCopy() bool { return tf.v2 != nil && tf.v2.ZeroCopy() }
 // batches alias the mapping; for v1 files records are decoded into one
 // arena batch that is reused — and therefore invalid to retain — across
 // calls.
+//
+//dvf:hotpath
 func (tf *TraceFile) Replay(batchSize int, fn func(*RefBatch)) error {
 	if batchSize <= 0 {
 		batchSize = DefaultBatch
@@ -339,8 +346,10 @@ func (tf *TraceFile) Replay(batchSize int, fn func(*RefBatch)) error {
 	}
 	recs := tf.data[tf.v1off:]
 	if len(recs)%17 != 0 {
+		//dvf:allow hotalloc error construction on the malformed-trace path, taken at most once per replay and never on a valid trace
 		return fmt.Errorf("%w: truncated record", ErrBadTrace)
 	}
+	//dvf:allow hotalloc one arena slab per Replay call, not per batch; the v1 decode loop reuses it for every batch
 	slab := make([]uint64, 2*batchSize)
 	batch := RefBatch{Addrs: slab[0:0:batchSize], Metas: slab[batchSize : batchSize : 2*batchSize]}
 	for len(recs) > 0 {
@@ -353,9 +362,12 @@ func (tf *TraceFile) Replay(batchSize int, fn func(*RefBatch)) error {
 			rec := recs[i*17:]
 			size := binary.LittleEndian.Uint32(rec[8:12])
 			if size > MaxBatchRefSize {
+				//dvf:allow hotalloc error construction on the malformed-trace path, taken at most once per replay and never on a valid trace
 				return fmt.Errorf("%w: record size %d exceeds the batch size domain", ErrBadTrace, size)
 			}
+			//dvf:allow hotalloc append stays within the arena slab reserved above, so it never grows
 			batch.Addrs = append(batch.Addrs, binary.LittleEndian.Uint64(rec[0:8]))
+			//dvf:allow hotalloc same arena-capacity argument as the address column
 			batch.Metas = append(batch.Metas, PackMeta(
 				size,
 				rec[12]&1 == 1,
@@ -363,6 +375,7 @@ func (tf *TraceFile) Replay(batchSize int, fn func(*RefBatch)) error {
 			))
 		}
 		recs = recs[n*17:]
+		//dvf:allow hotalloc fn is the caller-supplied batch consumer; every in-repo consumer fed through Replay is itself hotpath-verified
 		fn(&batch)
 	}
 	return nil
