@@ -34,14 +34,19 @@
 #   make extract-smoke  dvf-extract -diff over all four kernels in both
 #                     geometries: the static extractor must reproduce
 #                     every hand-written descriptor exactly
+#   make serve-smoke  end-to-end service gate: ephemeral dvf-serve
+#                     instance, loadtest client fleet over real HTTP,
+#                     non-empty /metrics + /statusz, the throughput bar
+#                     (SERVE_MIN_EPM evals/min) and a graceful drain;
+#                     writes the latency digest to SERVE_LATENCY
 
 GO ?= go
 FUZZTIME ?= 10s
 LINTFLAGS ?=
 
-.PHONY: check fmt-check vet lint lint-sarif lint-fix-check build test race bench-smoke bench fuzz-smoke fuzz-smoke-v2 trace-smoke analytic-smoke extract-smoke
+.PHONY: check fmt-check vet lint lint-sarif lint-fix-check build test race bench-smoke bench fuzz-smoke fuzz-smoke-v2 trace-smoke analytic-smoke extract-smoke serve-smoke
 
-check: fmt-check vet lint lint-fix-check build test race bench-smoke fuzz-smoke fuzz-smoke-v2 trace-smoke analytic-smoke extract-smoke
+check: fmt-check vet lint lint-fix-check build test race bench-smoke fuzz-smoke fuzz-smoke-v2 trace-smoke analytic-smoke extract-smoke serve-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -116,3 +121,13 @@ analytic-smoke:
 extract-smoke:
 	$(GO) run ./cmd/dvf-extract -diff -suite verification
 	$(GO) run ./cmd/dvf-extract -diff -suite profiling
+
+# The service wall: dvf-serve -smoke is fully self-contained (in-process
+# server on an ephemeral port, real HTTP load, /metrics and /statusz
+# probes, graceful drain) and fails unless sustained throughput clears
+# SERVE_MIN_EPM analytic evaluations per minute. The latency histogram
+# digest lands in SERVE_LATENCY; CI uploads it as an artifact.
+SERVE_MIN_EPM ?= 100000
+SERVE_LATENCY ?= serve-latency.json
+serve-smoke:
+	$(GO) run ./cmd/dvf-serve -smoke -min-epm $(SERVE_MIN_EPM) -out $(SERVE_LATENCY)

@@ -14,6 +14,12 @@
 //	dvf-bench                          # full verification suite, BENCH_<ts>.json in .
 //	dvf-bench -kernels VM,CG -benchtime 3x -out results/
 //
+// With -serve the run appends a fifth cell, "serve/loadtest/serve": an
+// in-process dvf-serve instance driven over real HTTP by the
+// internal/serve/loadtest client fleet, recording sustained
+// evaluations-per-wall-time (NsPerRef) and folding the request-latency
+// histogram digest into the manifest metrics.
+//
 // Gate against a baseline:
 //
 //	dvf-bench -compare testdata/bench_baseline.json               # exit 1 on >20% ns/ref regression
@@ -30,6 +36,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -56,6 +63,9 @@ func main() {
 	workers := flag.Int("workers", 0, "sharded-engine workers (0 = one per CPU)")
 	benchtime := flag.String("benchtime", "1x", "replay iterations per cell, Go-style 'Nx' (best-of)")
 	outDir := flag.String("out", ".", "directory for the BENCH_<timestamp>.json manifest ('' = don't write)")
+	serveBench := flag.Bool("serve", false, "also benchmark the dvf-serve HTTP hot path (the serve/loadtest/serve cell)")
+	serveRequests := flag.Int("serve-requests", 0, "sweep requests for the serve cell (0 = loadtest default)")
+	serveClients := flag.Int("serve-clients", 0, "concurrent clients for the serve cell (0 = loadtest default)")
 	compare := flag.String("compare", "", "baseline manifest to gate against")
 	regressPct := flag.Float64("regress-pct", bench.DefaultRegressPct, "ns/ref regression threshold in percent")
 	warnOnly := flag.Bool("warn-only", false, "report regressions but exit 0 (CI cross-machine mode)")
@@ -93,6 +103,24 @@ func main() {
 	if err != nil {
 		stop()
 		log.Fatal(err)
+	}
+	if *serveBench {
+		cell, err := bench.RunServe(bench.ServeOptions{
+			Requests: *serveRequests,
+			Clients:  *serveClients,
+			Workers:  *workers,
+			Sink:     opts.Sink,
+			Logf:     opts.Logf,
+		})
+		if err != nil {
+			stop()
+			log.Fatal(err)
+		}
+		m.Cells = append(m.Cells, cell)
+		sort.Slice(m.Cells, func(i, j int) bool { return m.Cells[i].Key() < m.Cells[j].Key() })
+		// Refold the metrics so the loadtest latency digest
+		// (loadtest.request_ns) rides in the manifest.
+		m.Metrics = opts.Sink.Snapshot()
 	}
 	if err := bench.RenderSummary(os.Stdout, m); err != nil {
 		stop()

@@ -25,6 +25,7 @@ import (
 	"github.com/resilience-models/dvf/internal/analysis"
 	"github.com/resilience-models/dvf/internal/extract"
 	"github.com/resilience-models/dvf/internal/kernels"
+	"github.com/resilience-models/dvf/internal/obs"
 )
 
 func main() {
@@ -50,9 +51,11 @@ func run(args []string, cwd string, stdout, stderr io.Writer) int {
 	suite := fs.String("suite", "verification", "kernel geometry: verification or profiling")
 	format := fs.String("format", "json", "output format: json or go")
 	diff := fs.Bool("diff", false, "compare the extraction against the hand-written AccessPattern instead of printing it")
+	o := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	defer o.Start()()
 	if fs.NArg() > 0 {
 		errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
 		return 2

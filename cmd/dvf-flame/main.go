@@ -10,6 +10,10 @@
 //	dvf-flame -check run.json      validate only (exit non-zero on a
 //	                               malformed trace); used by CI
 //	dvf-flame -                    read the trace from stdin
+//
+// Like every binary in this repository it also takes the standard
+// -metrics, -pprof, -pprof-http and -trace-out flags (internal/obs) —
+// yes, dvf-flame can emit a trace of itself folding a trace.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"log"
 	"os"
 
+	"github.com/resilience-models/dvf/internal/obs"
 	"github.com/resilience-models/dvf/internal/tracez"
 )
 
@@ -27,7 +32,9 @@ func main() {
 	log.SetPrefix("dvf-flame: ")
 	topN := flag.Int("top", 15, "number of individual spans to list (0 suppresses the listing)")
 	check := flag.Bool("check", false, "validate the trace against the tracez schema and exit")
+	o := obs.AddFlags(nil)
 	flag.Parse()
+	defer o.Start()()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dvf-flame [-top N] [-check] <trace.json | ->")
 		os.Exit(2)

@@ -43,6 +43,7 @@ import (
 
 	"github.com/resilience-models/dvf/internal/analysis"
 	"github.com/resilience-models/dvf/internal/analysis/checkers"
+	"github.com/resilience-models/dvf/internal/obs"
 )
 
 // defaultBaseline is consulted when -baseline is not set explicitly.
@@ -74,9 +75,11 @@ func run(args []string, cwd string, stdout, stderr io.Writer) int {
 	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file (default: "+defaultBaseline+" when present)")
 	writeBaseline := fs.Bool("write-baseline", false, "snapshot current findings into the baseline file and exit clean")
 	jobs := fs.Int("jobs", 0, "number of packages analyzed concurrently (0 = GOMAXPROCS)")
+	o := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	defer o.Start()()
 
 	if *list {
 		for _, a := range checkers.All() {

@@ -1,0 +1,280 @@
+// Command dvf-serve runs the DVF what-if service: the internal/core
+// analyze / verify / select-protection API over HTTP/JSON, built for
+// campaign-sized design-space sweeps (see internal/serve).
+//
+// Serve:
+//
+//	dvf-serve -addr :8080                      # serve until SIGTERM/SIGINT
+//	dvf-serve -addr :8080 -access-log access.jsonl -pprof-http localhost:6060
+//
+// Endpoints: POST /v1/analyze, /v1/verify, /v1/select-protection,
+// /v1/aspen, /v1/sweep (NDJSON stream), /v1/batch; GET /metrics
+// (?format=text|json|prom), /statusz, /healthz. SIGTERM drains
+// gracefully: in-flight requests finish (bounded by serve.DrainTimeout)
+// before the process exits.
+//
+// Drive an already-running server with the load harness:
+//
+//	dvf-serve -loadtest http://127.0.0.1:8080 -requests 64 -clients 8
+//
+// Self-contained smoke (the `make serve-smoke` gate): start an
+// ephemeral server in-process, run the load harness against it over
+// real HTTP, require every request 200, a non-empty /metrics, the
+// throughput bar, and a clean drain:
+//
+//	dvf-serve -smoke -min-epm 100000 -out serve-latency.json
+//
+// Like every binary in this repository it takes the standard -metrics,
+// -pprof, -pprof-http and -trace-out observability flags (internal/obs).
+// The service's own metrics registry is always live (it backs /metrics);
+// -metrics additionally dumps a final snapshot on exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/obs"
+	"github.com/resilience-models/dvf/internal/serve"
+	"github.com/resilience-models/dvf/internal/serve/loadtest"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dvf-serve: ")
+	addr := flag.String("addr", ":8080", "listen address (host:port; :0 picks an ephemeral port)")
+	accessLog := flag.String("access-log", "", "JSONL access-log destination: '-' for stderr, or a file path (appended)")
+	workers := flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
+	memoCap := flag.Int("memo-cap", 0, "memoized-evaluation cache entries (0 = default)")
+	smoke := flag.Bool("smoke", false, "self-contained smoke: serve ephemeral, loadtest, verify /metrics, drain")
+	loadURL := flag.String("loadtest", "", "drive the load harness against an already-running server at this base URL")
+	requests := flag.Int("requests", 64, "loadtest/smoke: total sweep requests")
+	clients := flag.Int("clients", 4, "loadtest/smoke: concurrent clients")
+	minEPM := flag.Float64("min-epm", 0, "loadtest/smoke: fail unless sustained evaluations/min reach this bar (0 = don't gate)")
+	outPath := flag.String("out", "", "loadtest/smoke: write the result (throughput + latency histogram digest) as JSON to this file")
+	o := obs.AddFlags(nil)
+	flag.Parse()
+	stop := o.Start()
+
+	exit := 0
+	switch {
+	case *smoke && *loadURL != "":
+		log.Print("-smoke and -loadtest are mutually exclusive")
+		exit = 2
+	case *smoke:
+		exit = runSmoke(o, *workers, *memoCap, *requests, *clients, *minEPM, *outPath)
+	case *loadURL != "":
+		exit = runLoadtest(o.Sink(), *loadURL, *requests, *clients, *minEPM, *outPath)
+	default:
+		exit = runServer(o, *addr, *accessLog, *workers, *memoCap)
+	}
+	stop()
+	os.Exit(exit)
+}
+
+// serverConfig assembles the serve.Config shared by the real server and
+// the smoke server. The service registry is always live — /metrics is a
+// first-class endpoint — and doubles as the obs exit-dump sink when
+// -metrics was given.
+func serverConfig(o *obs.Options, workers, memoCap int, accessLog io.Writer) serve.Config {
+	sink := o.Sink()
+	if sink == nil {
+		sink = metrics.New()
+	}
+	return serve.Config{
+		Sink:      sink,
+		Tracer:    o.Tracer(),
+		AccessLog: accessLog,
+		PprofAddr: o.PprofAddr(),
+		Workers:   workers,
+		MemoCap:   memoCap,
+	}
+}
+
+// openAccessLog resolves the -access-log flag; the caller closes.
+func openAccessLog(spec string) (io.Writer, io.Closer, error) {
+	switch spec {
+	case "":
+		return nil, nil, nil
+	case "-":
+		return os.Stderr, nil, nil
+	default:
+		f, err := os.OpenFile(spec, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f, nil
+	}
+}
+
+// runServer serves until SIGTERM/SIGINT, then drains gracefully.
+func runServer(o *obs.Options, addr, accessLog string, workers, memoCap int) int {
+	alog, closer, err := openAccessLog(accessLog)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	srv := serve.New(serverConfig(o, workers, memoCap, alog))
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	err = srv.ListenAndServe(ctx, addr, func(a net.Addr) {
+		log.Printf("listening on %s", a)
+		if pa := o.PprofAddr(); pa != "" {
+			log.Printf("pprof on http://%s/debug/pprof/", pa)
+		}
+	})
+	if closer != nil {
+		if cerr := closer.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	log.Print("drained cleanly")
+	return 0
+}
+
+// runLoadtest drives the harness at an external server and reports.
+func runLoadtest(sink metrics.Sink, baseURL string, requests, clients int, minEPM float64, outPath string) int {
+	res, err := loadtest.Run(loadtest.Options{
+		BaseURL: baseURL, Requests: requests, Clients: clients, Sink: sink,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	return reportResult(res, minEPM, outPath)
+}
+
+// reportResult renders a Result, optionally writes it to disk, and
+// applies the throughput bar.
+func reportResult(res *loadtest.Result, minEPM float64, outPath string) int {
+	fmt.Printf("loadtest: %d requests, %d evals (%d errors) in %s — %.0f evals/sec (%.0f/min)\n",
+		res.Requests, res.Evals, res.Errors, res.Wall.Round(1e6), res.EvalsPerSec, res.EvalsPerMin())
+	h := res.Latency
+	fmt.Printf("latency: count=%d p50<=%dns p90<=%dns p99<=%dns max=%dns\n",
+		h.Count, h.P50, h.P90, h.P99, h.Max)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(res)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		fmt.Printf("result: %s\n", outPath)
+	}
+	if res.Errors > 0 {
+		log.Printf("%d request rows failed", res.Errors)
+		return 1
+	}
+	if minEPM > 0 && res.EvalsPerMin() < minEPM {
+		log.Printf("throughput %.0f evals/min below the %.0f bar", res.EvalsPerMin(), minEPM)
+		return 1
+	}
+	return 0
+}
+
+// probeSmoke asserts the observability plane is actually populated
+// after load: /metrics text output mentions the serve instruments,
+// /statusz identifies the service, /healthz answers.
+func probeSmoke(base string) error {
+	checks := []struct {
+		path, want string
+	}{
+		{"/metrics", "serve."},
+		{"/metrics?format=prom", "dvf_serve_"},
+		{"/statusz", "dvf-serve"},
+		{"/healthz", "ok"},
+	}
+	for _, c := range checks {
+		body, err := get(base + c.path)
+		if err != nil {
+			return err
+		}
+		if !strings.Contains(body, c.want) {
+			return fmt.Errorf("smoke: GET %s: response does not mention %q", c.path, c.want)
+		}
+	}
+	return nil
+}
+
+// get fetches a URL and returns its body, requiring status 200.
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("smoke: GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// runSmoke is the end-to-end gate: ephemeral server, real HTTP load,
+// /metrics and /statusz probes, graceful drain — single process, no
+// fixed port, no external tools.
+func runSmoke(o *obs.Options, workers, memoCap, requests, clients int, minEPM float64, outPath string) int {
+	cfg := serverConfig(o, workers, memoCap, nil)
+	srv := serve.New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan net.Addr, 1)
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- srv.ListenAndServe(ctx, "127.0.0.1:0", func(a net.Addr) { addrCh <- a })
+	}()
+	addr := <-addrCh
+	base := "http://" + addr.String()
+	log.Printf("smoke server on %s", base)
+
+	res, err := loadtest.Run(loadtest.Options{
+		BaseURL: base, Requests: requests, Clients: clients, Sink: cfg.Sink,
+	})
+	exit := 0
+	if err != nil {
+		log.Print(err)
+		exit = 1
+	} else {
+		exit = reportResult(res, minEPM, outPath)
+	}
+	if err := probeSmoke(base); err != nil {
+		log.Print(err)
+		exit = 1
+	}
+	cancel()
+	if err := <-serveDone; err != nil {
+		log.Printf("drain: %v", err)
+		exit = 1
+	} else {
+		log.Print("drained cleanly")
+	}
+	return exit
+}

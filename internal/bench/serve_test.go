@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/resilience-models/dvf/internal/metrics"
+)
+
+// TestRunServeCell runs the service benchmark end to end (small load)
+// and checks the cell's identity and accounting.
+func TestRunServeCell(t *testing.T) {
+	sink := metrics.New()
+	cell, err := RunServe(ServeOptions{Requests: 4, Clients: 2, Sink: sink})
+	if err != nil {
+		t.Fatalf("RunServe: %v", err)
+	}
+	if got, want := cell.Key(), "serve/loadtest/serve"; got != want {
+		t.Fatalf("cell key %q, want %q", got, want)
+	}
+	// Default loadtest grid: 24 evals per request.
+	if want := int64(4 * 24); cell.Refs != want {
+		t.Fatalf("refs = %d, want %d", cell.Refs, want)
+	}
+	if cell.WallNs <= 0 || cell.NsPerRef <= 0 {
+		t.Fatalf("timing not recorded: %+v", cell)
+	}
+	if cell.Workers <= 0 {
+		t.Fatalf("workers not recorded: %+v", cell)
+	}
+	// The latency digest must have landed in the shared sink so the
+	// manifest can carry it.
+	snap := sink.Snapshot()
+	if h, ok := snap.Histograms["loadtest.request_ns"]; !ok || h.Count != 4 {
+		t.Fatalf("loadtest latency digest missing from sink: %+v", h)
+	}
+	if snap.Counters["serve.sweep.requests"] != 4 {
+		t.Fatalf("server-side instruments missing: %v", snap.Counters)
+	}
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), so `GET /metrics?format=prom` works against
+// any Prometheus-compatible scraper with no new dependencies:
+//
+//   - counters and gauges become one sample each;
+//   - histograms become summaries: the precomputed p50/p90/p99 upper
+//     bounds as quantile-labelled samples plus the exact _sum and _count.
+//
+// Dot-separated instrument paths are mangled to the Prometheus grammar
+// (dots and other forbidden runes to underscores) under a "dvf_" prefix:
+// "serve.analyze.latency_ns" exports as "dvf_serve_analyze_latency_ns".
+// Output is deterministic (sorted by name) for a given snapshot, so it
+// is golden-testable like the text encoder.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	ew := &promWriter{w: w}
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		ew.printf("# TYPE %s counter\n", pn)
+		ew.printf("%s %d\n", pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		ew.printf("# TYPE %s gauge\n", pn)
+		ew.printf("%s %d\n", pn, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		ew.printf("# TYPE %s summary\n", pn)
+		// Recompute from the buckets rather than trusting the encoded
+		// fields, like RenderSummary: snapshots decoded from pre-quantile
+		// manifests still export correctly.
+		p50, p90, p99 := h.Quantiles()
+		ew.printf("%s{quantile=\"0.5\"} %d\n", pn, p50)
+		ew.printf("%s{quantile=\"0.9\"} %d\n", pn, p90)
+		ew.printf("%s{quantile=\"0.99\"} %d\n", pn, p99)
+		ew.printf("%s_sum %d\n", pn, h.Sum)
+		ew.printf("%s_count %d\n", pn, h.Count)
+	}
+	return ew.err
+}
+
+// promName mangles a dot-separated instrument path into a legal
+// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*, under a dvf_ prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("dvf_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promWriter is the sticky-error formatter for the exposition encoder.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *promWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

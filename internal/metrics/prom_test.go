@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPromGolden pins the Prometheus text-exposition encoder's exact
+// output against testdata/snapshot.prom (refresh with -update).
+func TestPromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := deterministicRegistry().Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "snapshot.prom")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("prom encoding drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPromShape spot-checks the exposition grammar independently of the
+// golden file: TYPE lines, quantile labels, and summary sum/count pairs.
+func TestPromShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := deterministicRegistry().Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE dvf_trace_fanout_refs counter\n",
+		"dvf_trace_fanout_refs 1000000\n",
+		"# TYPE dvf_cache_shard0_misses gauge\n",
+		"dvf_cache_shard0_misses 4096\n",
+		"# TYPE dvf_cache_drain_ns summary\n",
+		`dvf_cache_drain_ns{quantile="0.5"}`,
+		`dvf_cache_drain_ns{quantile="0.99"}`,
+		"dvf_cache_drain_ns_sum 68304\n",
+		"dvf_cache_drain_ns_count 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromNameMangling covers the path-to-metric-name translation.
+func TestPromNameMangling(t *testing.T) {
+	cases := map[string]string{
+		"serve.analyze.latency_ns": "dvf_serve_analyze_latency_ns",
+		"a-b.c d":                  "dvf_a_b_c_d",
+		"UPPER.case09":             "dvf_UPPER_case09",
+		"colon:ok":                 "dvf_colon:ok",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPromEmptySnapshot: an uninstrumented snapshot encodes to nothing,
+// not an error — scrapers tolerate an empty body.
+func TestPromEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Snapshot{}).WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty snapshot encoded %q", buf.String())
+	}
+}
+
+// failWriter errors after n successful writes.
+type failWriter struct{ n int }
+
+var errSink = errors.New("sink failed")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errSink
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestPromWriteErrorSticky: the first write failure surfaces and later
+// prints are suppressed.
+func TestPromWriteErrorSticky(t *testing.T) {
+	err := deterministicRegistry().Snapshot().WriteProm(&failWriter{n: 2})
+	if !errors.Is(err, errSink) {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/resilience-models/dvf/internal/dvf"
+)
+
+// Evaluation-engine labels accepted by the API and reported in the
+// engine-mix counters.
+const (
+	engineCGPMAC   = "cgpmac"   // CGPMAC analytical estimators (default)
+	engineAnalytic = "analytic" // trace-free symbolic reuse-distance solver
+	engineReplay   = "replay"   // full cache-simulator replay (verify only)
+	engineAspen    = "aspen"    // extended-Aspen model evaluation
+)
+
+// CacheSpec selects a cache geometry: a bundled Table IV name (small,
+// large, 16kb, 128kb, 1mb, 8mb) or an explicit geometry triple.
+type CacheSpec struct {
+	Name          string `json:"name,omitempty"`
+	Associativity int    `json:"associativity,omitempty"`
+	Sets          int    `json:"sets,omitempty"`
+	LineSize      int    `json:"line_size,omitempty"`
+}
+
+// String returns the spec's canonical cell label (used in memo keys and
+// sweep rows).
+func (c CacheSpec) String() string {
+	if c.Name != "" {
+		return strings.ToLower(c.Name)
+	}
+	return fmt.Sprintf("custom-%dx%dx%d", c.Associativity, c.Sets, c.LineSize)
+}
+
+// AnalyzeRequest asks for one kernel's per-structure DVF report.
+type AnalyzeRequest struct {
+	// Kernel is a Table II code: VM, CG, NB, MG, FT or MC.
+	Kernel string    `json:"kernel"`
+	Cache  CacheSpec `json:"cache"`
+	// FIT is the raw failure rate (failures / 1e9 h·Mbit). Exactly one of
+	// FIT and Protection must be set; Protection names a Table VII row
+	// (none, secded, chipkill) and supplies its residual rate.
+	FIT        *float64 `json:"fit,omitempty"`
+	Protection string   `json:"protection,omitempty"`
+	// Engine is cgpmac (default) or analytic (affine kernels only).
+	Engine string `json:"engine,omitempty"`
+}
+
+// StructureDVF is one data structure's row of an analyze response.
+type StructureDVF struct {
+	Name   string  `json:"name"`
+	Bytes  int64   `json:"bytes"`
+	NHa    float64 `json:"n_ha"`
+	NError float64 `json:"n_error"`
+	DVF    float64 `json:"dvf"`
+}
+
+// AnalyzeResponse is the per-structure DVF breakdown for one grid cell.
+type AnalyzeResponse struct {
+	Kernel     string         `json:"kernel"`
+	Cache      string         `json:"cache"`
+	Engine     string         `json:"engine"`
+	FIT        float64        `json:"fit"`
+	ExecHours  float64        `json:"exec_hours"`
+	TotalDVF   float64        `json:"total_dvf"`
+	Structures []StructureDVF `json:"structures"`
+	// Memoized reports whether the evaluation was answered from the memo
+	// (or ridden on another in-flight computation) rather than recomputed.
+	Memoized bool `json:"memoized,omitempty"`
+}
+
+// VerifyRequest asks for the model-vs-engine differential of one kernel
+// on one cache: engine=replay reproduces a Figure 4 cell (CGPMAC vs the
+// cache simulator), engine=analytic runs the analytic engine's live
+// differential against the sequential simulator.
+type VerifyRequest struct {
+	Kernel string    `json:"kernel"`
+	Cache  CacheSpec `json:"cache"`
+	Engine string    `json:"engine,omitempty"` // replay (default) or analytic
+}
+
+// VerifyRow is one structure's comparison.
+type VerifyRow struct {
+	Structure string  `json:"structure"`
+	Model     float64 `json:"model"`
+	Simulated float64 `json:"simulated"`
+	ErrorPct  float64 `json:"error_pct"`
+	// TolerancePct is the documented analytic bound (engine=analytic only).
+	TolerancePct float64 `json:"tolerance_pct,omitempty"`
+}
+
+// VerifyResponse is the per-structure differential for one cell.
+type VerifyResponse struct {
+	Kernel   string      `json:"kernel"`
+	Cache    string      `json:"cache"`
+	Engine   string      `json:"engine"`
+	Rows     []VerifyRow `json:"rows"`
+	Memoized bool        `json:"memoized,omitempty"`
+}
+
+// SelectProtectionRequest asks which Table VII mechanism is the weakest
+// sufficient protection for a structure under a DVF target (§III-A).
+type SelectProtectionRequest struct {
+	BaseHours float64 `json:"base_hours"`
+	SizeBytes int64   `json:"size_bytes"`
+	NHa       float64 `json:"n_ha"`
+	Target    float64 `json:"target"`
+}
+
+// SelectProtectionResponse reports the chosen mechanism and its best
+// operating point on the Figure 7 degradation sweep.
+type SelectProtectionResponse struct {
+	Mechanism      string  `json:"mechanism"`
+	DegradationPct float64 `json:"degradation_pct"`
+	EffectiveFIT   float64 `json:"effective_fit"`
+	ExecHours      float64 `json:"exec_hours"`
+	DVF            float64 `json:"dvf"`
+}
+
+// AspenRequest submits extended-Aspen model source for evaluation.
+// Compiled programs are cached by the SHA-256 of Source.
+type AspenRequest struct {
+	Source string `json:"source"`
+	// Cache optionally overrides the model's machine description.
+	Cache *CacheSpec `json:"cache,omitempty"`
+	// FIT optionally overrides the failure rate.
+	FIT *float64 `json:"fit,omitempty"`
+}
+
+// AspenResponse is the evaluation of one extended-Aspen model.
+type AspenResponse struct {
+	Model       string         `json:"model"`
+	Hash        string         `json:"hash"` // SHA-256 of the source, the program-cache key
+	Compiled    bool           `json:"compiled"`
+	Cache       string         `json:"cache"`
+	FIT         float64        `json:"fit"`
+	ExecSeconds float64        `json:"exec_seconds"`
+	TotalDVF    float64        `json:"total_dvf"`
+	Structures  []StructureDVF `json:"structures"`
+}
+
+// SweepRequest expands a (kernel × cache × FIT/protection) grid and
+// streams one NDJSON SweepRow per cell. Lists default to: the affine
+// verification kernels (engine=analytic) or the full suite (cgpmac),
+// the two Table IV verification caches, and the three Table VII rates.
+type SweepRequest struct {
+	Kernels     []string    `json:"kernels,omitempty"`
+	Caches      []CacheSpec `json:"caches,omitempty"`
+	FITs        []float64   `json:"fits,omitempty"`
+	Protections []string    `json:"protections,omitempty"`
+	Engine      string      `json:"engine,omitempty"`
+}
+
+// SweepRow is one streamed sweep cell: either a result or a cell-scoped
+// error (a bad cell never aborts the rest of the sweep).
+type SweepRow struct {
+	Seq    int              `json:"seq"`
+	Result *AnalyzeResponse `json:"result,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// BatchRequest evaluates many analyze requests in one HTTP round trip.
+type BatchRequest struct {
+	Requests []AnalyzeRequest `json:"requests"`
+}
+
+// BatchResponse returns one entry per batched request, position-matched.
+type BatchResponse struct {
+	Results []SweepRow `json:"results"`
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// protectionRates maps the API's protection names onto the Table VII
+// residual failure rates.
+var protectionRates = map[string]dvf.FIT{
+	"none":     dvf.FITNoECC,
+	"noecc":    dvf.FITNoECC,
+	"secded":   dvf.FITSECDED,
+	"chipkill": dvf.FITChipkill,
+}
+
+// resolveFIT turns the (FIT, Protection) pair into a concrete rate:
+// exactly one must be given.
+func resolveFIT(fit *float64, protection string) (dvf.FIT, error) {
+	switch {
+	case fit != nil && protection != "":
+		return 0, fmt.Errorf("give either fit or protection, not both")
+	case fit != nil:
+		if *fit < 0 {
+			return 0, fmt.Errorf("fit must be non-negative, got %g", *fit)
+		}
+		return dvf.FIT(*fit), nil
+	case protection != "":
+		rate, ok := protectionRates[strings.ToLower(protection)]
+		if !ok {
+			return 0, fmt.Errorf("unknown protection %q (want none, secded or chipkill)", protection)
+		}
+		return rate, nil
+	default:
+		return 0, fmt.Errorf("one of fit or protection is required")
+	}
+}

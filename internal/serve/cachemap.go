@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"github.com/resilience-models/dvf/internal/aspen"
+	"github.com/resilience-models/dvf/internal/metrics"
+)
+
+// memoCache is a bounded LRU of finished evaluations keyed by the full
+// request identity (kernel/cache/fit/engine or verify equivalents). A
+// memo hit answers a repeated what-if question without touching the
+// engines at all, which is what lets a campaign re-visit grid cells for
+// free. Safe for concurrent use.
+type memoCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recent
+	items map[string]*list.Element // value: *memoEntry
+
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
+	occupancy *metrics.Gauge
+}
+
+type memoEntry struct {
+	key string
+	val any
+}
+
+func newMemoCache(capacity int, sink metrics.Sink) *memoCache {
+	return &memoCache{
+		cap:       capacity,
+		order:     list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      sink.Counter("serve.memo.hits"),
+		misses:    sink.Counter("serve.memo.misses"),
+		evictions: sink.Counter("serve.memo.evictions"),
+		occupancy: sink.Gauge("serve.memo.occupancy"),
+	}
+}
+
+// get returns the memoized value and whether it was present, refreshing
+// recency on a hit.
+func (c *memoCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*memoEntry).val, true
+}
+
+// put stores a value, evicting the least-recently-used entry beyond cap.
+func (c *memoCache) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*memoEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&memoEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*memoEntry).key)
+		c.evictions.Inc()
+	}
+	c.occupancy.Set(int64(c.order.Len()))
+}
+
+// len reports the current occupancy.
+func (c *memoCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// programCache holds parsed-and-checked extended-Aspen models keyed by
+// the SHA-256 of their source text: re-submitting the same model source
+// skips the compile stage entirely ("compile-or-hit" in the request
+// span pipeline). Bounded LRU, safe for concurrent use.
+type programCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List
+	items map[string]*list.Element // value: *programEntry
+
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	occupancy *metrics.Gauge
+}
+
+type programEntry struct {
+	hash  string
+	model *aspen.Model
+}
+
+func newProgramCache(capacity int, sink metrics.Sink) *programCache {
+	return &programCache{
+		cap:       capacity,
+		order:     list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      sink.Counter("serve.programs.hits"),
+		misses:    sink.Counter("serve.programs.misses"),
+		occupancy: sink.Gauge("serve.programs.occupancy"),
+	}
+}
+
+// hashSource returns the content-hash cache key for a model source.
+func hashSource(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// get returns the compiled model for a source hash.
+func (c *programCache) get(hash string) (*aspen.Model, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[hash]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*programEntry).model, true
+}
+
+// put stores a compiled model under its source hash.
+func (c *programCache) put(hash string, m *aspen.Model) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[hash]; ok {
+		el.Value.(*programEntry).model = m
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[hash] = c.order.PushFront(&programEntry{hash: hash, model: m})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*programEntry).hash)
+	}
+	c.occupancy.Set(int64(c.order.Len()))
+}
+
+// len reports the current occupancy.
+func (c *programCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flightGroup collapses concurrent computations of the same key into one:
+// the first caller runs fn, every duplicate arriving before it finishes
+// blocks on the same call and shares the result. This is the classic
+// singleflight pattern, local so the repository stays dependency-free.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+	dedup *metrics.Counter
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+func newFlightGroup(sink metrics.Sink) *flightGroup {
+	return &flightGroup{
+		calls: make(map[string]*flightCall),
+		dedup: sink.Counter("serve.singleflight.dedup"),
+	}
+}
+
+// do runs fn once per concurrent key, returning the shared result and
+// whether this caller was a duplicate rider.
+func (g *flightGroup) do(key string, fn func() (any, error)) (any, error, bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.dedup.Inc()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/tracez"
+)
+
+// endpoint indexes the per-endpoint instrument row. The list is closed:
+// every route registered in routes() names its endpoint here, and the
+// instruments array is sized by epCount.
+type endpoint int
+
+const (
+	epAnalyze endpoint = iota
+	epVerify
+	epSelect
+	epAspen
+	epSweep
+	epBatch
+	epMetrics
+	epStatusz
+	epHealthz
+	epCount
+)
+
+// name returns the instrument-path segment for the endpoint.
+func (e endpoint) name() string {
+	switch e {
+	case epAnalyze:
+		return "analyze"
+	case epVerify:
+		return "verify"
+	case epSelect:
+		return "select_protection"
+	case epAspen:
+		return "aspen"
+	case epSweep:
+		return "sweep"
+	case epBatch:
+		return "batch"
+	case epMetrics:
+		return "metrics"
+	case epStatusz:
+		return "statusz"
+	case epHealthz:
+		return "healthz"
+	case epCount:
+	}
+	return "unknown"
+}
+
+// endpointStats is one endpoint's pre-resolved instrument row. All
+// fields are nil (free no-ops) under a nil sink.
+type endpointStats struct {
+	requests *metrics.Counter
+	errors   *metrics.Counter
+	latency  *metrics.Histogram
+}
+
+// instruments is the server-wide instrument set, resolved once in New so
+// the request path performs no registry lookups.
+type instruments struct {
+	byEndpoint [epCount]endpointStats
+	inflight   *metrics.Gauge
+	queueDepth *metrics.Gauge
+	evals      *metrics.Counter
+	engines    map[string]*metrics.Counter // evaluation-engine mix, resolved up front
+}
+
+// engineNames is the closed set of evaluation-engine labels the service
+// reports in its engine-mix counters and on /statusz.
+var engineNames = []string{engineCGPMAC, engineAnalytic, engineReplay, engineAspen}
+
+func newInstruments(sink metrics.Sink) instruments {
+	in := instruments{
+		inflight:   sink.Gauge("serve.inflight"),
+		queueDepth: sink.Gauge("serve.queue.depth"),
+		evals:      sink.Counter("serve.evals"),
+		engines:    make(map[string]*metrics.Counter, len(engineNames)),
+	}
+	for _, name := range engineNames {
+		in.engines[name] = sink.Counter("serve.engine." + name)
+	}
+	for e := endpoint(0); e < epCount; e++ {
+		in.byEndpoint[e] = endpointStats{
+			requests: sink.Counter("serve." + e.name() + ".requests"),
+			errors:   sink.Counter("serve." + e.name() + ".errors"),
+			latency:  sink.Histogram("serve." + e.name() + ".latency_ns"),
+		}
+	}
+	return in
+}
+
+// countEngine bumps the engine-mix counter for one evaluation. Unknown
+// labels are dropped rather than allocated: the set is closed.
+func (in *instruments) countEngine(name string) {
+	in.engines[name].Inc()
+	in.evals.Inc()
+}
+
+// handlerFunc is the inner handler shape the wrapper manages: it reports
+// the response status it committed and whether the request failed, so
+// the wrapper can record error counters and the access log without
+// re-deriving them from the ResponseWriter.
+type handlerFunc func(w http.ResponseWriter, r *http.Request, tk *tracez.Track) (status int)
+
+// wrap is the whole per-request observability plane: the accept span, the
+// endpoint's request/error counters, the latency histogram, the in-flight
+// gauge and the access-log line. When the plane is fully off (nil sink,
+// nil tracer, no access log) it collapses to a direct call — no clock
+// read, no wrapper allocation; instr_test.go proves zero allocations.
+func (s *Server) wrap(e endpoint, h handlerFunc) http.HandlerFunc {
+	st := &s.instr.byEndpoint[e]
+	observing := s.cfg.Sink != nil || s.cfg.Tracer != nil || s.access.enabled()
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !observing {
+			h(w, r, nil)
+			return
+		}
+		t0 := time.Now()
+		s.instr.inflight.Add(1)
+		var tk *tracez.Track
+		if s.cfg.Tracer != nil {
+			tk = s.cfg.Tracer.Track("serve." + e.name())
+			sp := tk.Begin("accept " + r.URL.Path)
+			defer sp.End()
+		}
+		status := h(w, r, tk)
+		dur := time.Since(t0)
+		s.instr.inflight.Add(-1)
+		st.requests.Inc()
+		st.latency.Observe(dur.Nanoseconds())
+		if status >= 400 {
+			st.errors.Inc()
+		}
+		s.access.log(r, status, dur)
+	}
+}
+
+// accessLogger serializes structured JSONL access-log lines onto one
+// writer. A logger over a nil writer is permanently disabled and its
+// log method is a no-op.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newAccessLogger(w io.Writer) *accessLogger {
+	return &accessLogger{w: w}
+}
+
+func (l *accessLogger) enabled() bool { return l.w != nil }
+
+// log emits one access-log line:
+//
+//	{"ts":"2026-01-02T15:04:05Z","method":"POST","path":"/v1/analyze","status":200,"dur_us":412,"remote":"127.0.0.1:9"}
+//
+// The line is assembled with strconv appends rather than encoding/json:
+// the field set is fixed, and method/path/remote never require escaping
+// beyond the quote-free characters HTTP routing already enforces.
+func (l *accessLogger) log(r *http.Request, status int, dur time.Duration) {
+	if l.w == nil {
+		return
+	}
+	buf := make([]byte, 0, 160)
+	buf = append(buf, `{"ts":"`...)
+	buf = time.Now().UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","method":"`...)
+	buf = append(buf, r.Method...)
+	buf = append(buf, `","path":"`...)
+	buf = append(buf, r.URL.Path...)
+	buf = append(buf, `","status":`...)
+	buf = strconv.AppendInt(buf, int64(status), 10)
+	buf = append(buf, `,"dur_us":`...)
+	buf = strconv.AppendInt(buf, dur.Microseconds(), 10)
+	buf = append(buf, `,"remote":"`...)
+	buf = append(buf, r.RemoteAddr...)
+	buf = append(buf, "\"}\n"...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(buf)
+}

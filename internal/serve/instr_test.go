@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/tracez"
+)
+
+// nopWriter is a ResponseWriter that discards everything, so alloc
+// measurements see only the wrapper's own work.
+type nopWriter struct{ h http.Header }
+
+func (w *nopWriter) Header() http.Header         { return w.h }
+func (w *nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nopWriter) WriteHeader(int)             {}
+
+// TestWrapObsOffZeroAlloc is the acceptance guard for the nil-sink
+// discipline: with the plane fully off (nil sink, nil tracer, no access
+// log), the per-request wrapper must not allocate — it collapses to a
+// direct handler call with no clock read.
+func TestWrapObsOffZeroAlloc(t *testing.T) {
+	s := New(Config{})
+	handler := s.wrap(epHealthz, func(http.ResponseWriter, *http.Request, *tracez.Track) int {
+		return http.StatusOK
+	})
+	var w http.ResponseWriter = &nopWriter{h: make(http.Header)}
+	r := &http.Request{Method: "GET", URL: &url.URL{Path: "/healthz"}}
+	if allocs := testing.AllocsPerRun(100, func() { handler(w, r) }); allocs != 0 {
+		t.Fatalf("obs-off wrapper allocates %.1f per request, want 0", allocs)
+	}
+}
+
+// TestWrapObsOnRecords proves the same wrapper records everything when
+// the plane is live.
+func TestWrapObsOnRecords(t *testing.T) {
+	sink := metrics.New()
+	s := New(Config{Sink: sink})
+	handler := s.wrap(epAnalyze, func(http.ResponseWriter, *http.Request, *tracez.Track) int {
+		return http.StatusBadRequest
+	})
+	r := httptest.NewRequest("POST", "/v1/analyze", nil)
+	handler(httptest.NewRecorder(), r)
+	handler(httptest.NewRecorder(), r)
+
+	snap := sink.Snapshot()
+	if got := snap.Counters["serve.analyze.requests"]; got != 2 {
+		t.Fatalf("requests = %d, want 2", got)
+	}
+	if got := snap.Counters["serve.analyze.errors"]; got != 2 {
+		t.Fatalf("errors = %d, want 2 (handler returned 400)", got)
+	}
+	if h, ok := snap.Histograms["serve.analyze.latency_ns"]; !ok || h.Count != 2 {
+		t.Fatalf("latency histogram = %+v, want count 2", h)
+	}
+	if got := snap.Gauges["serve.inflight"]; got != 0 {
+		t.Fatalf("inflight = %d after requests drained, want 0", got)
+	}
+}
+
+// TestNilInstrumentsNoop: every instrument handed out by a nil sink is
+// nil and free to call — the request path holds the pointers
+// unconditionally.
+func TestNilInstrumentsNoop(t *testing.T) {
+	in := newInstruments(nil)
+	if in.inflight != nil || in.evals != nil {
+		t.Fatal("nil sink should hand out nil instruments")
+	}
+	// None of these may panic or allocate.
+	if allocs := testing.AllocsPerRun(100, func() {
+		in.inflight.Add(1)
+		in.queueDepth.Add(-1)
+		in.countEngine(engineAnalytic)
+		in.byEndpoint[epSweep].requests.Inc()
+		in.byEndpoint[epSweep].latency.Observe(123)
+	}); allocs != 0 {
+		t.Fatalf("nil instruments allocate %.1f, want 0", allocs)
+	}
+}
+
+// TestEvalAnalyzeMemoHitLowAlloc bounds the full service hot path on a
+// memo hit: no engine work, no singleflight, no instrument lookups.
+// (The response copy itself is one allocation by design.)
+func TestEvalAnalyzeMemoHitLowAlloc(t *testing.T) {
+	s := New(Config{})
+	req := analyzeBody("VM", "small", "none", "analytic")
+	if _, _, err := s.evalAnalyze(req, nil); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := s.evalAnalyze(req, nil); err != nil {
+			t.Fatalf("memo hit: %v", err)
+		}
+	})
+	// Validation, the memo key Sprintf and the defensive response copy
+	// dominate (~18 allocations); a blow-up past this bound means the
+	// path regressed into the engines.
+	if allocs > 24 {
+		t.Fatalf("memo-hit path allocates %.1f per request, want <= 24", allocs)
+	}
+}
+
+// TestAccessLoggerDisabled: a logger over a nil writer is a no-op and
+// allocation-free.
+func TestAccessLoggerDisabled(t *testing.T) {
+	l := newAccessLogger(nil)
+	if l.enabled() {
+		t.Fatal("nil-writer logger claims enabled")
+	}
+	r := &http.Request{Method: "GET", URL: &url.URL{Path: "/x"}}
+	if allocs := testing.AllocsPerRun(100, func() { l.log(r, 200, time.Millisecond) }); allocs != 0 {
+		t.Fatalf("disabled access logger allocates %.1f, want 0", allocs)
+	}
+}
+
+// TestEndpointNamesClosed keeps the endpoint enum and its instrument
+// names in lockstep: adding a route without naming it here would
+// silently fold its metrics into "unknown".
+func TestEndpointNamesClosed(t *testing.T) {
+	seen := make(map[string]bool)
+	for e := endpoint(0); e < epCount; e++ {
+		name := e.name()
+		if name == "unknown" || name == "" {
+			t.Fatalf("endpoint %d has no name", e)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate endpoint name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DrainTimeout bounds the graceful-drain window: once a shutdown begins,
+// in-flight requests get this long to finish before the listener is torn
+// down hard.
+const DrainTimeout = 10 * time.Second
+
+// ListenAndServe binds addr (":0" picks an ephemeral port), reports the
+// bound address through ready (when non-nil), and serves until ctx is
+// cancelled — SIGTERM wiring in cmd/dvf-serve is a signal.NotifyContext
+// around this call. Cancellation triggers a graceful drain: the listener
+// closes, in-flight requests run to completion within DrainTimeout, and
+// only then does the call return. The serving and drain goroutines are
+// both joined before returning.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- srv.Serve(ln)
+	}()
+	select {
+	case err := <-serveErr:
+		// The listener failed outright; nothing to drain.
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), DrainTimeout)
+	defer cancel()
+	err = srv.Shutdown(drainCtx)
+	// Shutdown makes Serve return ErrServerClosed; join that goroutine so
+	// no serve loop outlives this call.
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestListenAndServeGracefulDrain: cancelling the context drains the
+// server and ListenAndServe returns nil after joining the serve loop.
+func TestListenAndServeGracefulDrain(t *testing.T) {
+	s := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- s.ListenAndServe(ctx, "127.0.0.1:0", func(a net.Addr) { addrCh <- a })
+	}()
+	addr := <-addrCh
+
+	resp, err := http.Get("http://" + addr.String() + "/healthz")
+	if err != nil {
+		t.Fatalf("live request: %v", err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatalf("close body: %v", cerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(DrainTimeout + 5*time.Second):
+		t.Fatal("ListenAndServe did not return after cancel")
+	}
+
+	// The port is released: a fresh request must fail to connect.
+	if _, err := net.DialTimeout("tcp", addr.String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}
+
+// TestListenAndServeBindError: a taken port surfaces as an immediate
+// error, not a hang.
+func TestListenAndServeBindError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("pre-bind: %v", err)
+	}
+	defer func() {
+		if cerr := ln.Close(); cerr != nil {
+			t.Errorf("close pre-bind listener: %v", cerr)
+		}
+	}()
+	s := New(Config{})
+	err = s.ListenAndServe(context.Background(), ln.Addr().String(), nil)
+	if err == nil {
+		t.Fatal("bind to a taken port succeeded")
+	}
+	if !strings.Contains(err.Error(), "address already in use") &&
+		!strings.Contains(err.Error(), "bind") {
+		t.Fatalf("unexpected bind error: %v", err)
+	}
+}

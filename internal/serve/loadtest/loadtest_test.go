@@ -1,0 +1,120 @@
+package loadtest
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/resilience-models/dvf/internal/metrics"
+	"github.com/resilience-models/dvf/internal/serve"
+)
+
+// startServer runs an ephemeral dvf-serve instance for the duration of
+// the test and returns its base URL.
+func startServer(t *testing.T, cfg serve.Config) string {
+	t.Helper()
+	s := serve.New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- s.ListenAndServe(ctx, "127.0.0.1:0", func(a net.Addr) { addrCh <- a })
+	}()
+	addr := <-addrCh
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("server drain: %v", err)
+			}
+		case <-time.After(serve.DrainTimeout + 5*time.Second):
+			t.Error("server did not drain")
+		}
+	})
+	return "http://" + addr.String()
+}
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	sink := metrics.New()
+	base := startServer(t, serve.Config{Sink: sink})
+	res, err := Run(Options{
+		BaseURL:  base,
+		Clients:  2,
+		Requests: 6,
+		Sink:     sink,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Default grid: 4 affine kernels x 2 caches x 3 protections = 24
+	// evals per request.
+	if res.Requests != 6 {
+		t.Fatalf("requests = %d, want 6", res.Requests)
+	}
+	if want := int64(6 * 24); res.Rows != want || res.Evals != want {
+		t.Fatalf("rows=%d evals=%d, want %d each", res.Rows, res.Evals, want)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d row errors", res.Errors)
+	}
+	if res.EvalsPerSec <= 0 || res.EvalsPerMin() != res.EvalsPerSec*60 {
+		t.Fatalf("throughput accounting wrong: %+v", res)
+	}
+	if res.Latency.Count != 6 {
+		t.Fatalf("latency digest count = %d, want 6", res.Latency.Count)
+	}
+	if res.Latency.P99 < res.Latency.P50 {
+		t.Fatalf("p99 %d < p50 %d", res.Latency.P99, res.Latency.P50)
+	}
+
+	// The client fleet also fed the shared sink.
+	snap := sink.Snapshot()
+	if snap.Counters["loadtest.requests"] != 6 {
+		t.Fatalf("sink loadtest.requests = %d", snap.Counters["loadtest.requests"])
+	}
+	if h, ok := snap.Histograms["loadtest.request_ns"]; !ok || h.Count != 6 {
+		t.Fatalf("sink latency histogram = %+v", h)
+	}
+}
+
+func TestRunNilSinkStillDigests(t *testing.T) {
+	base := startServer(t, serve.Config{})
+	res, err := Run(Options{BaseURL: base, Clients: 1, Requests: 2,
+		Kernels: []string{"VM"}, Caches: []string{"small"}, Protections: []string{"none"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Evals != 2 || res.Latency.Count != 2 {
+		t.Fatalf("nil-sink run lost its digest: %+v", res)
+	}
+}
+
+func TestRunRowErrorsCounted(t *testing.T) {
+	base := startServer(t, serve.Config{})
+	res, err := Run(Options{BaseURL: base, Clients: 1, Requests: 1,
+		Kernels: []string{"VM", "NB"}, Caches: []string{"small"},
+		Protections: []string{"none"}, Engine: "analytic"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rows != 2 || res.Evals != 1 || res.Errors != 1 {
+		t.Fatalf("rows=%d evals=%d errors=%d, want 2/1/1", res.Rows, res.Evals, res.Errors)
+	}
+}
+
+func TestRunTransportErrorAborts(t *testing.T) {
+	// Nothing listens on this address: Run must return the error.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Options{BaseURL: "http://" + addr, Clients: 1, Requests: 1}); err == nil {
+		t.Fatal("Run against a dead server succeeded")
+	}
+}

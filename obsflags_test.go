@@ -1,0 +1,106 @@
+package dvf_test
+
+// Every CLI in cmd/ must take the standard observability flags
+// (-metrics, -pprof, -pprof-http, -trace-out) by wiring internal/obs.
+// This table-driven audit walks the command sources and asserts each
+// package main calls obs.AddFlags, so a new binary cannot quietly ship
+// without the observability plane.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// commandsWithoutObs lists cmd/ packages exempt from the obs-flags
+// contract. Keep it empty: the audit exists so this list never grows.
+var commandsWithoutObs = map[string]bool{}
+
+func TestEveryCommandWiresObsFlags(t *testing.T) {
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatalf("reading cmd/: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no commands found under cmd/")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			if commandsWithoutObs[name] {
+				t.Skipf("%s is exempted from the obs-flags contract", name)
+			}
+			if !packageCallsAddFlags(t, filepath.Join("cmd", name)) {
+				t.Errorf("cmd/%s never calls obs.AddFlags: the binary is missing the standard -metrics/-pprof/-pprof-http/-trace-out flags", name)
+			}
+		})
+	}
+}
+
+// packageCallsAddFlags parses every non-test Go file in dir and reports
+// whether any of them calls obs.AddFlags (under whatever local name the
+// obs package was imported as).
+func packageCallsAddFlags(t *testing.T, dir string) bool {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatalf("globbing %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		obsName := importName(f, "github.com/resilience-models/dvf/internal/obs")
+		if obsName == "" {
+			continue
+		}
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if ok && pkg.Name == obsName && sel.Sel.Name == "AddFlags" {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// importName returns the identifier a file refers to an import path by,
+// or "" when the file does not import it.
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return path[strings.LastIndex(path, "/")+1:]
+	}
+	return ""
+}
