@@ -8,7 +8,9 @@
 #   make lint         run the repo's own static-analysis suite
 #                     (cmd/dvf-lint) over every package; LINTFLAGS
 #                     narrows it, e.g. LINTFLAGS='-only nilsink,determinism'
-#   make lint-sarif   same run, also writing dvf-lint.sarif for upload
+#   make lint-sarif   same run with -timings, also writing
+#                     dvf-lint.sarif (per-checker cost table included
+#                     in the run properties) for upload
 #   make lint-fix-check  gate on the -fix contract: apply fixes to a
 #                     dirty fixture copy, then require a clean re-run,
 #                     gofmt-clean files and a passing build
@@ -59,9 +61,11 @@ lint:
 	$(GO) run ./cmd/dvf-lint $(LINTFLAGS) ./...
 
 # SARIF variant for CI: the report is written before the exit status is
-# decided, so a failing run still produces an uploadable file.
+# decided, so a failing run still produces an uploadable file. -timings
+# prints the per-checker cost table to the job log and records it in
+# the SARIF run properties, so checker-cost drift is visible in CI.
 lint-sarif:
-	$(GO) run ./cmd/dvf-lint -sarif dvf-lint.sarif $(LINTFLAGS) ./...
+	$(GO) run ./cmd/dvf-lint -timings -sarif dvf-lint.sarif $(LINTFLAGS) ./...
 
 # The -fix contract, end to end on the checked-in dirty fixture: build
 # the linter, fix a scratch copy, and require the re-run to be clean,

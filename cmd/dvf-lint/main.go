@@ -75,6 +75,7 @@ func run(args []string, cwd string, stdout, stderr io.Writer) int {
 	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file (default: "+defaultBaseline+" when present)")
 	writeBaseline := fs.Bool("write-baseline", false, "snapshot current findings into the baseline file and exit clean")
 	jobs := fs.Int("jobs", 0, "number of packages analyzed concurrently (0 = GOMAXPROCS)")
+	timings := fs.Bool("timings", false, "print a per-checker wall-time and findings table on stderr (and record it in the SARIF run properties)")
 	o := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -129,13 +130,20 @@ func run(args []string, cwd string, stdout, stderr io.Writer) int {
 		pkgs = append(pkgs, pkg)
 	}
 
+	var tm *analysis.Timings
+	if *timings {
+		tm = analysis.NewTimings()
+	}
 	var diags []analysis.Diagnostic
 	if len(pkgs) > 0 {
-		diags, err = analysis.RunParallel(loader.Program(), pkgs, analyzers, false, *jobs)
+		diags, err = analysis.RunParallelTimed(loader.Program(), pkgs, analyzers, false, *jobs, tm)
 		if err != nil {
 			errorf("%v", err)
 			return 2
 		}
+	}
+	if tm != nil {
+		fmt.Fprint(stderr, tm.Table())
 	}
 
 	// Resolve the baseline: an explicit -baseline must exist; the default
@@ -198,7 +206,7 @@ func run(args []string, cwd string, stdout, stderr io.Writer) int {
 	}
 
 	if *sarifOut != "" {
-		if err := writeSarif(*sarifOut, stdout, diags, analyzers, cwd); err != nil {
+		if err := writeSarif(*sarifOut, stdout, diags, analyzers, cwd, tm); err != nil {
 			errorf("%v", err)
 			return 2
 		}
@@ -271,9 +279,13 @@ func applyFixes(loader *analysis.Loader, diags []analysis.Diagnostic, stderr io.
 	return remaining
 }
 
-// writeSarif renders the report to path ("-" = stdout).
-func writeSarif(path string, stdout io.Writer, diags []analysis.Diagnostic, analyzers []*analysis.Analyzer, cwd string) error {
+// writeSarif renders the report to path ("-" = stdout). A non-nil tm
+// lands its per-checker cost table in the run's property bag.
+func writeSarif(path string, stdout io.Writer, diags []analysis.Diagnostic, analyzers []*analysis.Analyzer, cwd string, tm *analysis.Timings) error {
 	report := analysis.SarifReport(diags, analyzers, cwd)
+	if tm != nil && len(report.Runs) > 0 {
+		report.Runs[0].Properties = tm.SarifProperties()
+	}
 	if path == "-" {
 		return report.Write(stdout)
 	}

@@ -129,6 +129,60 @@ func TestList(t *testing.T) {
 	}
 }
 
+// TestTimings: -timings prints the per-checker cost table on stderr and
+// lands the same rows in the SARIF run's property bag.
+func TestTimings(t *testing.T) {
+	code, stdout, stderr := runLint(t, fixtureDir(t), "-timings", "-sarif", "-", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"checker", "wall", "findings", "exhaustive", "total"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("timings table misses %q:\n%s", want, stderr)
+		}
+	}
+	var log struct {
+		Runs []struct {
+			Properties map[string]any `json:"properties"`
+		} `json:"runs"`
+	}
+	// Findings follow the SARIF document on stdout; decode just the JSON.
+	if err := json.NewDecoder(strings.NewReader(stdout)).Decode(&log); err != nil {
+		t.Fatalf("SARIF on stdout does not parse: %v", err)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("expected 1 SARIF run, got %d", len(log.Runs))
+	}
+	if _, ok := log.Runs[0].Properties["dvfLintTimings/v1"]; !ok {
+		t.Errorf("SARIF run properties miss dvfLintTimings/v1: %v", log.Runs[0].Properties)
+	}
+}
+
+// TestLiveRepoClean is the self-hosting assertion: the repository's own
+// tree lints clean under every registered checker, with no baseline
+// file absorbing findings. A new checker that fires on the live tree —
+// or a code change that trips an existing one — fails here, not in CI
+// review.
+func TestLiveRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo lint run")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("repo root not found at %s", root)
+	}
+	if _, err := os.Stat(filepath.Join(root, ".dvf-lint-baseline.json")); err == nil {
+		t.Errorf("a baseline file exists at the repo root; the tree must lint clean without one")
+	}
+	code, stdout, stderr := runLint(t, root, "./...")
+	if code != 0 {
+		t.Errorf("live repo lint exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}
+
 // TestFixRoundTrip is the -fix contract end to end: applying fixes
 // leaves the module finding-free, buildable (the rewrite parses) and
 // gofmt-idempotent.

@@ -38,6 +38,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named invariant checker.
@@ -193,6 +194,13 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) ([]*allowDirective,
 // RunPackage executes the analyzers over one package of the program and
 // returns its surviving diagnostics (unsorted).
 func RunPackage(prog *Program, pkg *Package, analyzers []*Analyzer, force bool) ([]Diagnostic, error) {
+	return RunPackageTimed(prog, pkg, analyzers, force, nil)
+}
+
+// RunPackageTimed is RunPackage with an optional cost collector: each
+// analyzer's wall time on this package and its surviving findings are
+// charged to tm (nil skips the accounting entirely).
+func RunPackageTimed(prog *Program, pkg *Package, analyzers []*Analyzer, force bool, tm *Timings) ([]Diagnostic, error) {
 	dirs, bad := parseDirectives(pkg.Fset, pkg.Files)
 	all := bad
 	var diags []Diagnostic
@@ -208,7 +216,12 @@ func RunPackage(prog *Program, pkg *Package, analyzers []*Analyzer, force bool) 
 			Force:     force,
 			diags:     &diags,
 		}
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		if tm != nil {
+			tm.addWall(a.Name, time.Since(start))
+		}
+		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
@@ -229,6 +242,9 @@ func RunPackage(prog *Program, pkg *Package, analyzers []*Analyzer, force bool) 
 				}},
 			})
 		}
+	}
+	if tm != nil {
+		tm.addFindings(all)
 	}
 	return all, nil
 }

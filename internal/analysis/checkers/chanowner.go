@@ -1,0 +1,586 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/resilience-models/dvf/internal/analysis"
+)
+
+// Chanowner enforces channel ownership discipline on the fan-out and
+// serve pipelines: exactly one goroutine — the one that created the
+// channel, or one it explicitly handed the write side to — may close
+// it, and workers blocked on a channel must be able to observe
+// shutdown. A send on a closed channel or a double close panics the
+// whole replay; a worker pool ranging over a channel nobody closes
+// leaks goroutines for the process lifetime. Five rules:
+//
+//  1. no double close: a path that reaches close(ch) twice (including
+//     a direct close after a deferred one) panics;
+//  2. no send after close: a send on a channel some path has already
+//     closed panics;
+//  3. no unconditional close inside a loop body: the second iteration
+//     re-closes the same channel and panics (closing a *different*
+//     element each iteration — an index that varies with the loop — is
+//     fine, as is a close behind a branch);
+//  4. only the owner closes: closing a channel received as a function
+//     parameter closes something the function does not own — the
+//     creator (or the goroutine the write side was handed to) should
+//     close; audited handoffs take a //dvf:allow;
+//  5. workers observe shutdown: a function-local make(chan) that
+//     worker goroutines range over, that never escapes the function
+//     and that no path ever closes, strands those workers forever.
+//
+// The path analysis mirrors locksafe's: closed-state forks at
+// if/switch/select, joins after (a channel closed on *any* surviving
+// path counts as possibly closed), and exited paths drop out. Function
+// literals are walked with fresh state — a goroutine closing a channel
+// its spawner created and handed it is the sanctioned completion idiom
+// (runGrid's collector closing rows after wg.Wait).
+var Chanowner = &analysis.Analyzer{
+	Name: "chanowner",
+	Doc:  "channel ownership: no double close, no send on closed, no close-in-loop, only owners close parameters, ranged worker channels are closed",
+	Run:  runChanowner,
+}
+
+func runChanowner(pass *analysis.Pass) error {
+	if !pass.InScope("internal/", "cmd/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			w := &chanWalker{pass: pass, params: chanParams(pass.TypesInfo, fd)}
+			end := w.walkBlock(fd.Body.List, newChanState(), chanCtx{})
+			_ = end
+			checkWorkerShutdown(pass, fd)
+			return true
+		})
+	}
+	return nil
+}
+
+// chanParams collects the canonical keys of fd's channel-typed
+// parameters (any direction) for rule 4.
+func chanParams(info *types.Info, fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, ok := t.Underlying().(*types.Chan); !ok {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				out[name.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// chanState is the abstract state: which channel keys are (possibly)
+// closed on this path, and where.
+type chanState struct {
+	closed   map[string]token.Pos
+	deferred map[string]token.Pos
+	exited   bool
+}
+
+func newChanState() *chanState {
+	return &chanState{closed: map[string]token.Pos{}, deferred: map[string]token.Pos{}}
+}
+
+func (s *chanState) clone() *chanState {
+	c := newChanState()
+	for k, v := range s.closed {
+		c.closed[k] = v
+	}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
+	}
+	c.exited = s.exited
+	return c
+}
+
+// chanCtx carries the loop/branch position of the statement being
+// walked: rule 3 fires only on loop-body statements that are
+// unconditional (cond == 0) and whose key does not vary with the loop
+// (no loop-fresh identifiers).
+type chanCtx struct {
+	loopDepth int
+	cond      int
+	fresh     map[string]bool
+}
+
+func (c chanCtx) inBranch() chanCtx { c.cond++; return c }
+
+func (c chanCtx) inLoop(freshIdents []string) chanCtx {
+	c.loopDepth++
+	c.cond = 0
+	fresh := make(map[string]bool, len(c.fresh)+len(freshIdents))
+	for k := range c.fresh {
+		fresh[k] = true
+	}
+	for _, id := range freshIdents {
+		fresh[id] = true
+	}
+	c.fresh = fresh
+	return c
+}
+
+type chanWalker struct {
+	pass   *analysis.Pass
+	params map[string]bool
+}
+
+func (w *chanWalker) walkBlock(stmts []ast.Stmt, s *chanState, ctx chanCtx) *chanState {
+	for _, stmt := range stmts {
+		s = w.walkStmt(stmt, s, ctx)
+		if s.exited {
+			break
+		}
+	}
+	return s
+}
+
+func (w *chanWalker) walkStmt(stmt ast.Stmt, s *chanState, ctx chanCtx) *chanState {
+	switch stmt := stmt.(type) {
+	case *ast.ExprStmt:
+		w.applyExpr(stmt.X, s, ctx)
+		if isTerminalCall(w.pass, stmt.X) {
+			s.exited = true
+		}
+	case *ast.DeferStmt:
+		if key, ok := closeTarget(w.pass.TypesInfo, stmt.Call); ok && key != "" {
+			if ctx.loopDepth > 0 {
+				w.pass.Reportf(stmt.Pos(), "defer close(%s) inside a loop runs at function exit; the second iteration's defer double-closes and panics", key)
+			}
+			if pos, dup := s.closed[key]; dup {
+				w.pass.Reportf(stmt.Pos(), "%s is already closed (at %s); this deferred close panics at function exit", key, w.pass.Fset.Position(pos))
+			}
+			if pos, dup := s.deferred[key]; dup {
+				w.pass.Reportf(stmt.Pos(), "%s already has a deferred close (at %s); the second defer panics at function exit", key, w.pass.Fset.Position(pos))
+			}
+			s.deferred[key] = stmt.Pos()
+		}
+		if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
+			w.walkLit(lit)
+		}
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
+			w.walkLit(lit)
+		}
+	case *ast.SendStmt:
+		key := chanPathKey(stmt.Chan)
+		if key != "" {
+			if pos, closed := s.closed[key]; closed {
+				w.pass.Reportf(stmt.Pos(), "send on %s, which was closed at %s; this panics", key, w.pass.Fset.Position(pos))
+			}
+		}
+		w.applyExpr(stmt.Value, s, ctx)
+	case *ast.ReturnStmt:
+		for _, e := range stmt.Results {
+			w.applyExpr(e, s, ctx)
+		}
+		s.exited = true
+	case *ast.BranchStmt:
+		s.exited = true
+	case *ast.AssignStmt:
+		for _, e := range stmt.Rhs {
+			w.applyExpr(e, s, ctx)
+		}
+	case *ast.DeclStmt:
+		w.applyExpr(stmt, s, ctx)
+	case *ast.IncDecStmt:
+	case *ast.LabeledStmt:
+		return w.walkStmt(stmt.Stmt, s, ctx)
+	case *ast.BlockStmt:
+		return w.walkBlock(stmt.List, s, ctx)
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			s = w.walkStmt(stmt.Init, s, ctx)
+		}
+		w.applyExpr(stmt.Cond, s, ctx)
+		thenS := w.walkBlock(stmt.Body.List, s.clone(), ctx.inBranch())
+		elseS := s.clone()
+		if stmt.Else != nil {
+			elseS = w.walkStmt(stmt.Else, elseS, ctx.inBranch())
+		}
+		return mergeChan(thenS, elseS)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkCases(stmt, s, ctx)
+	case *ast.ForStmt:
+		var fresh []string
+		if stmt.Init != nil {
+			s = w.walkStmt(stmt.Init, s, ctx)
+			if as, ok := stmt.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						fresh = append(fresh, id.Name)
+					}
+				}
+			}
+		}
+		if stmt.Cond != nil {
+			w.applyExpr(stmt.Cond, s, ctx)
+		}
+		bodyEnd := w.walkBlock(stmt.Body.List, s.clone(), ctx.inLoop(fresh))
+		return mergeChan(s, bodyEnd)
+	case *ast.RangeStmt:
+		w.applyExpr(stmt.X, s, ctx)
+		var fresh []string
+		if id, ok := ast.Unparen(stmt.Key).(*ast.Ident); ok && id != nil {
+			fresh = append(fresh, id.Name)
+		}
+		if id, ok := ast.Unparen(stmt.Value).(*ast.Ident); ok && id != nil {
+			fresh = append(fresh, id.Name)
+		}
+		bodyEnd := w.walkBlock(stmt.Body.List, s.clone(), ctx.inLoop(fresh))
+		return mergeChan(s, bodyEnd)
+	}
+	return s
+}
+
+// walkCases forks every case body from the pre-switch state and joins
+// the survivors, exactly like the lock walker.
+func (w *chanWalker) walkCases(stmt ast.Stmt, s *chanState, ctx chanCtx) *chanState {
+	var body *ast.BlockStmt
+	switch st := stmt.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s = w.walkStmt(st.Init, s, ctx)
+		}
+		if st.Tag != nil {
+			w.applyExpr(st.Tag, s, ctx)
+		}
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		body = st.Body
+	case *ast.SelectStmt:
+		body = st.Body
+	}
+	branches := []*chanState{s.clone()}
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			if send, ok := c.Comm.(*ast.SendStmt); ok {
+				branch := s.clone()
+				bctx := ctx.inBranch()
+				branch = w.walkStmt(send, branch, bctx)
+				branches = append(branches, w.walkBlock(c.Body, branch, bctx))
+				continue
+			}
+			stmts = c.Body
+		}
+		branches = append(branches, w.walkBlock(stmts, s.clone(), ctx.inBranch()))
+	}
+	out := branches[0]
+	for _, b := range branches[1:] {
+		out = mergeChan(out, b)
+	}
+	return out
+}
+
+// mergeChan joins two branch states. Closed keys union: a channel
+// closed on either surviving path is possibly closed after the join,
+// which is exactly what rules 1 and 2 must see.
+func mergeChan(a, b *chanState) *chanState {
+	switch {
+	case a.exited && b.exited:
+		out := newChanState()
+		out.exited = true
+		return out
+	case a.exited:
+		return b
+	case b.exited:
+		return a
+	}
+	out := newChanState()
+	for k, v := range a.closed {
+		out.closed[k] = v
+	}
+	for k, v := range b.closed {
+		if _, ok := out.closed[k]; !ok {
+			out.closed[k] = v
+		}
+	}
+	for k, v := range a.deferred {
+		out.deferred[k] = v
+	}
+	for k, v := range b.deferred {
+		if _, ok := out.deferred[k]; !ok {
+			out.deferred[k] = v
+		}
+	}
+	return out
+}
+
+// applyExpr scans an expression (or declaration) for close calls and
+// function literals, applying closes to the state in source order.
+func (w *chanWalker) applyExpr(n ast.Node, s *chanState, ctx chanCtx) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok {
+			w.walkLit(lit)
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, ok := closeTarget(w.pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		w.applyClose(call, key, s, ctx)
+		return true
+	})
+}
+
+// applyClose runs rules 1, 3 and 4 on one close site and records it.
+func (w *chanWalker) applyClose(call *ast.CallExpr, key string, s *chanState, ctx chanCtx) {
+	if key == "" {
+		return
+	}
+	if pos, dup := s.closed[key]; dup {
+		w.pass.Reportf(call.Pos(), "%s is closed a second time (first closed at %s); this panics", key, w.pass.Fset.Position(pos))
+	} else if ctx.loopDepth > 0 && ctx.cond == 0 && !usesFreshIdent(call.Args[0], ctx.fresh) {
+		w.pass.Reportf(call.Pos(), "close(%s) runs on every loop iteration; the second iteration re-closes the same channel and panics — close after the loop or index by the loop variable", key)
+	}
+	if pos, dup := s.deferred[key]; dup {
+		w.pass.Reportf(call.Pos(), "%s already has a deferred close (at %s); this close makes the deferred one panic", key, w.pass.Fset.Position(pos))
+	}
+	if root := rootIdent(key); w.params[root] && root == key {
+		w.pass.Reportf(call.Pos(), "close(%s) closes a channel this function received as a parameter and does not own; the creator should close it (or audit the handoff with //dvf:allow)", key)
+	}
+	s.closed[key] = call.Pos()
+}
+
+// walkLit analyzes a function literal body independently: its closes
+// bind no obligation in the enclosing frame (the spawner may have
+// handed it the write side), but double closes and sends-after-close
+// inside the literal are still wrong.
+func (w *chanWalker) walkLit(lit *ast.FuncLit) {
+	inner := &chanWalker{pass: w.pass, params: map[string]bool{}}
+	inner.walkBlock(lit.Body.List, newChanState(), chanCtx{})
+}
+
+// closeTarget matches the close builtin and returns the canonical key
+// of its operand ("" when the operand has no stable path).
+func closeTarget(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return "", false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return "", false
+	}
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	return chanPathKey(call.Args[0]), true
+}
+
+// chanPathKey extends exprPathKey with constant or identifier indexing
+// ("f.chans[i]"), so per-element closes in a fan-out keep distinct,
+// loop-aware keys. Computed indices yield "" (no stable identity).
+func chanPathKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := chanPathKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return chanPathKey(e.X)
+	case *ast.IndexExpr:
+		base := chanPathKey(e.X)
+		if base == "" {
+			return ""
+		}
+		switch idx := ast.Unparen(e.Index).(type) {
+		case *ast.BasicLit:
+			return base + "[" + idx.Value + "]"
+		case *ast.Ident:
+			return base + "[" + idx.Name + "]"
+		}
+		return ""
+	}
+	return ""
+}
+
+// rootIdent returns the leading identifier of a key ("f" for
+// "f.chans[i]").
+func rootIdent(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '.' || key[i] == '[' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// usesFreshIdent reports whether the expression mentions any loop-fresh
+// identifier — a close whose target varies with the iteration closes a
+// different channel each time.
+func usesFreshIdent(e ast.Expr, fresh map[string]bool) bool {
+	if len(fresh) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && fresh[id.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// --- rule 5: worker channels observe shutdown -----------------------------
+
+// chanInfo accumulates what one tracked function-local channel is used
+// for across the whole declaration body.
+type chanInfo struct {
+	makePos token.Pos
+	name    string
+	ranged  bool
+	closed  bool
+	escaped bool
+}
+
+// checkWorkerShutdown flags function-local channels that worker
+// goroutines range over but that no path ever closes and that never
+// escape the function — the stranded-worker shape.
+func checkWorkerShutdown(pass *analysis.Pass, fd *ast.FuncDecl) {
+	locals := map[types.Object]*chanInfo{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isMakeChan(pass.TypesInfo, call) {
+				continue
+			}
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				locals[obj] = &chanInfo{makePos: call.Pos(), name: id.Name}
+			}
+		}
+		return true
+	})
+	if len(locals) == 0 {
+		return
+	}
+	parents := analysis.Parents(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		info, tracked := locals[obj]
+		if !tracked {
+			return true
+		}
+		classifyChanUse(pass, id, parents, info)
+		return true
+	})
+	for _, info := range locals {
+		if info.ranged && !info.closed && !info.escaped {
+			pass.Reportf(info.makePos,
+				"workers range over %s but no path closes it and it never leaves this function; the workers never observe shutdown — close it when producers are done", info.name)
+		}
+	}
+}
+
+// classifyChanUse buckets one use of a tracked channel identifier.
+func classifyChanUse(pass *analysis.Pass, id *ast.Ident, parents map[ast.Node]ast.Node, info *chanInfo) {
+	parent := parents[ast.Node(id)]
+	for {
+		if pe, ok := parent.(*ast.ParenExpr); ok {
+			parent = parents[pe]
+			continue
+		}
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.UnaryExpr:
+		if p.Op == token.ARROW {
+			return // receive
+		}
+		info.escaped = true
+	case *ast.RangeStmt:
+		if ast.Unparen(p.X) == ast.Node(id) || p.X == ast.Expr(id) {
+			info.ranged = true
+			return
+		}
+		info.escaped = true
+	case *ast.SendStmt:
+		if ast.Unparen(p.Chan) == ast.Node(id) {
+			return // send into it
+		}
+		info.escaped = true // the channel itself is the sent value
+	case *ast.CallExpr:
+		if fid, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.Uses[fid].(*types.Builtin); isBuiltin {
+				switch fid.Name {
+				case "close":
+					info.closed = true
+					return
+				case "len", "cap":
+					return
+				}
+			}
+		}
+		info.escaped = true // passed to a callee: ownership may transfer
+	case *ast.AssignStmt:
+		info.escaped = true // aliased or reassigned
+	default:
+		info.escaped = true
+	}
+}
+
+// isMakeChan matches make(chan T[, n]).
+func isMakeChan(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	t := info.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}

@@ -13,6 +13,7 @@ func All() []*analysis.Analyzer {
 	list := []*analysis.Analyzer{
 		Affine,
 		AtomicMix,
+		Chanowner,
 		Determinism,
 		ErrDrop,
 		Exhaustive,
@@ -21,6 +22,8 @@ func All() []*analysis.Analyzer {
 		LockSafe,
 		NilSink,
 		PatternDrift,
+		Poollife,
+		Unsafemem,
 	}
 	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
 	return list

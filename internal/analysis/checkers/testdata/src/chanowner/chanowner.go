@@ -1,0 +1,153 @@
+// Package chanowner seeds every finding class of the chanowner checker:
+// double close, send after close, unconditional close inside a loop,
+// closing a channel parameter the function does not own, double
+// deferred close, and worker channels nobody ever closes — plus the
+// sanctioned shapes: per-element fan-out closes, conditional closes,
+// goroutine completion closes and properly shut-down worker pools.
+package chanowner
+
+// doubleClose closes the same channel twice on one path.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `ch is closed a second time`
+}
+
+// sendAfterClose panics at the send.
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want `send on ch, which was closed`
+}
+
+// maybeClosedSend: closed on one branch only is still possibly closed
+// at the join.
+func maybeClosedSend(cond bool) {
+	ch := make(chan int, 1)
+	if cond {
+		close(ch)
+	}
+	ch <- 1 // want `send on ch, which was closed`
+}
+
+// closeInLoop re-closes the same channel every iteration.
+func closeInLoop(chans []chan int, n int) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		close(done) // want `close\(done\) runs on every loop iteration`
+	}
+	_ = chans
+}
+
+// deferCloseInLoop stacks closes that all run at function exit.
+func deferCloseInLoop(n int) {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		defer close(ch) // want `defer close\(ch\) inside a loop`
+	}
+}
+
+// closeParam closes a channel it received and does not own.
+func closeParam(done chan struct{}) {
+	close(done) // want `close\(done\) closes a channel this function received as a parameter`
+}
+
+// doubleDeferClose: both defers run at exit; the second panics.
+func doubleDeferClose() {
+	ch := make(chan int)
+	defer close(ch)
+	defer close(ch) // want `ch already has a deferred close`
+	ch <- 1
+}
+
+// closeAfterDeferClose: the direct close makes the deferred one panic.
+func closeAfterDeferClose(cond bool) {
+	ch := make(chan int, 1)
+	defer close(ch)
+	if cond {
+		close(ch) // want `ch already has a deferred close`
+	}
+}
+
+// strandedWorkers range over a channel no path ever closes.
+func strandedWorkers(n int) {
+	jobs := make(chan int) // want `workers range over jobs but no path closes it`
+	for w := 0; w < 3; w++ {
+		go func() {
+			for j := range jobs {
+				_ = j
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+}
+
+// --- shapes that must stay silent ----------------------------------------
+
+// fanoutClose closes a different element each iteration: the index
+// varies with the loop.
+func fanoutClose(chans []chan int) {
+	for i := range chans {
+		close(chans[i])
+	}
+}
+
+// conditionalCloseInLoop is a guarded shutdown, not a re-close.
+func conditionalCloseInLoop(n int) chan int {
+	ready := make(chan int)
+	sent := 0
+	for i := 0; i < n; i++ {
+		sent++
+		if sent == n {
+			close(ready)
+		}
+	}
+	return ready
+}
+
+// drainedWorkers is the sanctioned pool: producers finish, the channel
+// closes, workers drain and exit.
+func drainedWorkers(n int) {
+	jobs := make(chan int)
+	for w := 0; w < 3; w++ {
+		go func() {
+			for j := range jobs {
+				_ = j
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+}
+
+// collectorClose: a goroutine the creator spawned closes the channel it
+// was handed — ownership transferred with the write side.
+func collectorClose(n int) <-chan int {
+	rows := make(chan int, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			rows <- i
+		}
+		close(rows)
+	}()
+	return rows
+}
+
+// handoff passes the channel to a callee: ownership may transfer, no
+// local obligation.
+func handoff(n int) {
+	jobs := make(chan int)
+	go consume(jobs)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+}
+
+func consume(jobs chan int) {
+	for range jobs {
+	}
+}

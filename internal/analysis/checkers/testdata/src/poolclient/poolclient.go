@@ -1,0 +1,51 @@
+// Package poolclient observes obligations created in package
+// poolhelper: every acquire below happens behind at least one call
+// boundary, so each finding (and each deliberate silence) is evidence
+// the per-function ownership summaries compose across packages.
+package poolclient
+
+import (
+	"errors"
+
+	"poolhelper"
+	"trace"
+)
+
+var errBoom = errors.New("boom")
+
+// crossLeak: the acquire lives in poolhelper.Grab, the leak is here.
+func crossLeak(p *trace.BatchPool) int {
+	b := poolhelper.Grab(p) // want `pooled batch b \(from poolhelper.Grab\) is never released`
+	return len(b.Addrs)
+}
+
+// crossLeakTwoHops: two stacked summaries still carry the obligation.
+func crossLeakTwoHops(p *trace.BatchPool, fail bool) error {
+	b := poolhelper.GrabReset(p) // want `pooled batch b \(from poolhelper.GrabReset\) is not released on every path`
+	if fail {
+		return errBoom
+	}
+	p.Put(b)
+	return nil
+}
+
+// crossBalanced closes the obligation through the helper's release
+// summary: Grab acquires, Drop releases, nothing to report.
+func crossBalanced(p *trace.BatchPool) {
+	b := poolhelper.Grab(p)
+	poolhelper.Touch(b)
+	poolhelper.Drop(p, b)
+}
+
+// crossHandoff ends the local obligation through the helper's escape
+// summary: Keep stores the batch beyond the call.
+func crossHandoff(p *trace.BatchPool) {
+	b := poolhelper.Grab(p)
+	poolhelper.Keep(b)
+}
+
+// crossBorrowLeaks: Touch only borrows, so the obligation stays open.
+func crossBorrowLeaks(p *trace.BatchPool) {
+	b := poolhelper.Grab(p) // want `pooled batch b \(from poolhelper.Grab\) is never released`
+	poolhelper.Touch(b)
+}

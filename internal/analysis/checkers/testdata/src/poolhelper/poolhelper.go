@@ -1,0 +1,42 @@
+// Package poolhelper exists to launder pooled-batch obligations through
+// a package boundary: the poolclient fixture calls it to prove the
+// ownership summaries compose interprocedurally — an acquire made in
+// here binds a release obligation over there.
+package poolhelper
+
+import "trace"
+
+// Grab acquires on behalf of the caller: the summary marks the result
+// as carrying a fresh obligation.
+func Grab(p *trace.BatchPool) *trace.RefBatch {
+	return p.Get()
+}
+
+// GrabReset is one more frame of indirection: the obligation must still
+// surface through two composed summaries.
+func GrabReset(p *trace.BatchPool) *trace.RefBatch {
+	b := Grab(p)
+	b.Reset()
+	return b
+}
+
+// Drop releases its argument on every path: the summary marks the
+// parameter released, so callers' obligations close through it.
+func Drop(p *trace.BatchPool, b *trace.RefBatch) {
+	b.Reset()
+	p.Put(b)
+}
+
+// sink holds batches whose ownership was handed off.
+var sink []*trace.RefBatch
+
+// Keep stores its argument beyond the call: the summary marks the
+// parameter escaped, ending the caller's local obligation.
+func Keep(b *trace.RefBatch) {
+	sink = append(sink, b)
+}
+
+// Touch only borrows: the caller's obligation is untouched.
+func Touch(b *trace.RefBatch) {
+	b.Reset()
+}

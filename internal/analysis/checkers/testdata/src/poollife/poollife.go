@@ -1,0 +1,143 @@
+// Package poollife seeds every finding class of the poollife checker:
+// leaks on error returns, pure leaks (with the mechanical defer fix),
+// use-after-Put, double-Put, per-iteration loop leaks, defer-in-loop —
+// and the legitimate shapes that must stay silent: balanced paths,
+// deferred releases, ownership handoffs and consumer-half releases.
+package poollife
+
+import (
+	"errors"
+	"sync"
+
+	"trace"
+)
+
+var errBoom = errors.New("boom")
+
+// leakOnError loses the batch on the early error return.
+func leakOnError(p *trace.BatchPool, fail bool) error {
+	b := p.Get() // want `pooled batch b \(from p.Get\) is not released on every path`
+	if fail {
+		return errBoom
+	}
+	p.Put(b)
+	return nil
+}
+
+// pureLeak never releases at all; the fix inserts the defer.
+func pureLeak(p *trace.BatchPool) int {
+	b := p.Get() // want `pooled batch b \(from p.Get\) is never released`
+	return len(b.Addrs)
+}
+
+// useAfterPut touches the batch after handing it back to the arena.
+func useAfterPut(p *trace.BatchPool) {
+	b := p.Get()
+	p.Put(b)
+	b.Reset() // want `pooled batch b \(from p.Get\) used after it was released`
+}
+
+// doublePut releases twice: two future Gets alias one slab.
+func doublePut(p *trace.BatchPool) {
+	b := p.Get()
+	p.Put(b)
+	p.Put(b) // want `pooled batch b \(from p.Get\) released again`
+}
+
+// loopLeak acquires per iteration without releasing: one arena leaks
+// per pass.
+func loopLeak(p *trace.BatchPool, n int) {
+	for i := 0; i < n; i++ {
+		b := p.Get() // want `pooled batch b \(from p.Get\) is acquired each loop iteration`
+		b.Reset()
+	}
+}
+
+// deferInLoop releases at function exit, not per iteration.
+func deferInLoop(p *trace.BatchPool, n int) {
+	for i := 0; i < n; i++ {
+		b := p.Get()
+		defer p.Put(b) // want `deferred release of pooled batch b \(from p.Get\) inside a loop`
+	}
+}
+
+// syncPoolLeak: the sync.Pool flavor of the same obligation.
+func syncPoolLeak(sp *sync.Pool, fail bool) error {
+	b := sp.Get().(*trace.RefBatch) // want `pooled batch b \(from sp.Get\) is not released on every path`
+	if fail {
+		return errBoom
+	}
+	sp.Put(b)
+	return nil
+}
+
+// --- shapes that must stay silent ----------------------------------------
+
+// balanced releases on both arms.
+func balanced(p *trace.BatchPool, fail bool) error {
+	b := p.Get()
+	if fail {
+		p.Put(b)
+		return errBoom
+	}
+	p.Put(b)
+	return nil
+}
+
+// deferred covers every exit with one defer.
+func deferred(p *trace.BatchPool, fail bool) error {
+	b := p.Get()
+	defer p.Put(b)
+	if fail {
+		return errBoom
+	}
+	b.Reset()
+	return nil
+}
+
+// holder owns handed-off batches.
+type holder struct {
+	kept *trace.RefBatch
+}
+
+// handoffField stores the batch: ownership moved to the holder.
+func handoffField(p *trace.BatchPool, h *holder) {
+	b := p.Get()
+	h.kept = b
+}
+
+// handoffChan sends the batch: the receiver owns it now.
+func handoffChan(p *trace.BatchPool, ch chan *trace.RefBatch) {
+	b := p.Get()
+	ch <- b
+}
+
+// handoffReturn transfers the obligation to the caller.
+func handoffReturn(p *trace.BatchPool) *trace.RefBatch {
+	return p.Get()
+}
+
+// consumerHalf releases a batch it never acquired: the other end of a
+// fan-out, no obligation here.
+func consumerHalf(p *trace.BatchPool, b *trace.RefBatch) {
+	b.Reset()
+	p.Put(b)
+}
+
+// loopBalanced acquires and releases within each iteration.
+func loopBalanced(p *trace.BatchPool, n int) {
+	for i := 0; i < n; i++ {
+		b := p.Get()
+		b.Reset()
+		p.Put(b)
+	}
+}
+
+// terminalPath: a panic exit holds no release obligation.
+func terminalPath(p *trace.BatchPool, fail bool) {
+	b := p.Get()
+	if fail {
+		panic("unreachable in production")
+	}
+	p.Put(b)
+}

@@ -1,0 +1,80 @@
+// Package trace is a minimal stand-in for the repo's internal/trace:
+// just enough surface for the poollife and unsafemem fixtures — the
+// pooled-batch lifecycle and the mapped-trace-file lifecycle. The
+// ownership models match primitives by package *name*, so this stub
+// exercises the same code paths as the real package.
+package trace
+
+import "os"
+
+// RefBatch mirrors the real arena batch.
+type RefBatch struct {
+	Addrs []uint64
+	Metas []uint64
+}
+
+// Reset clears the batch for reuse.
+func (b *RefBatch) Reset() {
+	b.Addrs = b.Addrs[:0]
+	b.Metas = b.Metas[:0]
+}
+
+// BatchPool mirrors the real arena pool: Get acquires, Put releases.
+type BatchPool struct{ capacity int }
+
+// NewBatchPool builds a pool handing out batches of the given capacity.
+func NewBatchPool(capacity int) *BatchPool { return &BatchPool{capacity: capacity} }
+
+// Get returns an empty batch; the caller owes a Put.
+func (p *BatchPool) Get() *RefBatch { return &RefBatch{} }
+
+// Put returns a batch to the pool.
+func (p *BatchPool) Put(b *RefBatch) { _ = b }
+
+// TraceFile mirrors the mmap-backed container handle.
+type TraceFile struct {
+	data   []byte
+	closer func() error
+}
+
+// Data exposes the mapped bytes; using it after Close is the
+// view-outlives-mapping bug.
+func (tf *TraceFile) Data() []byte { return tf.data }
+
+// Close unmaps. Idempotent, like the real one.
+func (tf *TraceFile) Close() error {
+	if tf.closer == nil {
+		return nil
+	}
+	c := tf.closer
+	tf.closer = nil
+	return c()
+}
+
+// mapFile is the acquire primitive the unsafemem mapping model keys on:
+// result 1 (the closer) carries the release obligation.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	_ = f
+	return make([]byte, size), func() error { return nil }, nil
+}
+
+// OpenTraceFile mirrors the real constructor: the mapping's obligation
+// transfers into the returned handle, so every caller — any package —
+// owes a Close on all paths.
+func OpenTraceFile(path string) (*TraceFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, closer, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, err
+	}
+	tf := &TraceFile{data: data, closer: closer}
+	return tf, nil
+}

@@ -1,0 +1,141 @@
+// Package unsafemem seeds every finding class of the unsafemem checker:
+// unguarded unsafe.Slice constructions, naked view escapes (package
+// var, channel send, exported return), mapping leaks through the
+// cross-package OpenTraceFile summary, and use-after-Close — plus the
+// guarded and lifetime-tied shapes that must stay silent.
+package unsafemem
+
+import (
+	"errors"
+	"unsafe"
+
+	"trace"
+)
+
+var errBoom = errors.New("boom")
+
+// unguarded reinterprets without the alignment precondition.
+func unguarded(b []byte, n int) {
+	words := unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n) // want `unsafe.Slice aliasing construction is not dominated by an alignment guard`
+	_ = words
+}
+
+// guarded is the sanctioned construction: aligned or fall back.
+func guarded(b []byte, n int) []uint64 {
+	if uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	return nil
+}
+
+// guardedCompound keeps the guard inside a larger condition.
+func guardedCompound(b []byte, n int) []uint64 {
+	if n > 0 && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	return nil
+}
+
+// global is a naked escape target.
+var global []uint64
+
+// escapeToGlobal parks a view where no lifetime ties it to the backing
+// bytes.
+func escapeToGlobal(b []byte, n int) {
+	if uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		global = unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n) // want `unsafe.Slice view stored in package-level variable global`
+	}
+}
+
+// escapeToChan ships the view to an unknown consumer.
+func escapeToChan(b []byte, n int, ch chan []uint64) {
+	if uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		ch <- unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n) // want `unsafe.Slice view sent on a channel`
+	}
+}
+
+// View returns a naked view from an exported function: the caller has
+// no idea the slice dies with b.
+func View(b []byte, n int) []uint64 {
+	if uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n) // want `exported function View returns a naked unsafe.Slice view`
+	}
+	return nil
+}
+
+// view (unexported) may return the view: its callers are in this
+// package, inside the region's scope.
+func view(b []byte, n int) []uint64 {
+	if uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	return nil
+}
+
+// --- mapping lifetime through the cross-package summary -------------------
+
+// mapLeak never closes the handle OpenTraceFile's summary says it owns.
+func mapLeak(path string) int {
+	tf, err := trace.OpenTraceFile(path) // want `mapped trace file tf \(from trace.OpenTraceFile\) is never released`
+	if err != nil {
+		return 0
+	}
+	return len(tf.Data())
+}
+
+// mapLeakOnError closes on success but loses the mapping on the error
+// arm between open and use.
+func mapLeakOnError(path string, strict bool) ([]byte, error) {
+	tf, err := trace.OpenTraceFile(path) // want `mapped trace file tf \(from trace.OpenTraceFile\) is not released on every path`
+	if err != nil {
+		return nil, err
+	}
+	if strict && len(tf.Data()) == 0 {
+		return nil, errBoom
+	}
+	out := append([]byte(nil), tf.Data()...)
+	_ = tf.Close()
+	return out, nil
+}
+
+// useAfterClose reads the view after the mapping is gone.
+func useAfterClose(path string) int {
+	tf, err := trace.OpenTraceFile(path)
+	if err != nil {
+		return 0
+	}
+	_ = tf.Close()
+	return len(tf.Data()) // want `mapped trace file tf \(from trace.OpenTraceFile\) used after it was released`
+}
+
+// --- shapes that must stay silent ----------------------------------------
+
+// mapDeferred is the canonical consumer: defer the close, error arm
+// voids the obligation.
+func mapDeferred(path string) (int, error) {
+	tf, err := trace.OpenTraceFile(path)
+	if err != nil {
+		return 0, err
+	}
+	defer tf.Close()
+	return len(tf.Data()), nil
+}
+
+// mapDoubleClose is fine: Close is idempotent by contract.
+func mapDoubleClose(path string) error {
+	tf, err := trace.OpenTraceFile(path)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if len(tf.Data()) == 0 {
+		return tf.Close()
+	}
+	return nil
+}
+
+// mapHandoff returns the live handle: the obligation moves to the
+// caller through this function's own summary.
+func mapHandoff(path string) (*trace.TraceFile, error) {
+	return trace.OpenTraceFile(path)
+}

@@ -14,12 +14,28 @@ import (
 // worker count (<=0 means GOMAXPROCS). Output is identical to Run:
 // diagnostics sorted by position, independent of scheduling.
 func RunParallel(prog *Program, pkgs []*Package, analyzers []*Analyzer, force bool, jobs int) ([]Diagnostic, error) {
+	return RunParallelTimed(prog, pkgs, analyzers, force, jobs, nil)
+}
+
+// RunParallelTimed is RunParallel with an optional cost collector: every
+// worker charges per-checker wall time and surviving findings to tm
+// (nil skips the accounting).
+func RunParallelTimed(prog *Program, pkgs []*Package, analyzers []*Analyzer, force bool, jobs int, tm *Timings) ([]Diagnostic, error) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	ordered := prog.DepOrder(pkgs)
 	if jobs == 1 || len(ordered) <= 1 {
-		return Run(prog, ordered, analyzers, force)
+		var all []Diagnostic
+		for _, pkg := range ordered {
+			diags, err := RunPackageTimed(prog, pkg, analyzers, force, tm)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, diags...)
+		}
+		SortDiagnostics(all)
+		return all, nil
 	}
 
 	inTargets := make(map[*Package]int, len(ordered))
@@ -60,7 +76,7 @@ func RunParallel(prog *Program, pkgs []*Package, analyzers []*Analyzer, force bo
 	for i := 0; i < jobs; i++ {
 		go func() {
 			for pkg := range ready {
-				diags, err := RunPackage(prog, pkg, analyzers, force)
+				diags, err := RunPackageTimed(prog, pkg, analyzers, force, tm)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err

@@ -27,10 +27,13 @@ type SarifLog struct {
 	Runs    []SarifRun `json:"runs"`
 }
 
-// SarifRun is one tool invocation.
+// SarifRun is one tool invocation. Properties is the spec's optional
+// run-level property bag; dvf-lint -timings records per-checker cost
+// there so it rides along with uploaded findings.
 type SarifRun struct {
-	Tool    SarifTool     `json:"tool"`
-	Results []SarifResult `json:"results"`
+	Tool       SarifTool      `json:"tool"`
+	Results    []SarifResult  `json:"results"`
+	Properties map[string]any `json:"properties,omitempty"`
 }
 
 // SarifTool wraps the driver description.

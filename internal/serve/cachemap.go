@@ -59,6 +59,26 @@ func (c *memoCache) get(key string) (any, bool) {
 	return el.Value.(*memoEntry).val, true
 }
 
+// getBytes is get keyed by a caller-owned byte slice: the map is
+// indexed through a string conversion the compiler elides (no copy, no
+// allocation), which keeps a memo probe off the heap entirely — the
+// byte key is never retained. hotalloc proves the path allocation-free
+// in the nil-recorder configuration.
+//
+//dvf:hotpath
+func (c *memoCache) getBytes(key []byte) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[string(key)] //dvf:allow hotalloc the compiler elides the string conversion in a map index; no copy is made
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*memoEntry).val, true
+}
+
 // put stores a value, evicting the least-recently-used entry beyond cap.
 func (c *memoCache) put(key string, val any) {
 	c.mu.Lock()

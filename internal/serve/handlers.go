@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -85,9 +86,44 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, tk *trace
 	return http.StatusOK
 }
 
+// analyzeKeyBuf sizes the stack buffer evalAnalyze reserves for its memo
+// key: "analyze|" plus kernel code, cache name, %g-rendered rate and
+// engine label fits with room to spare for every bundled configuration.
+// An oversized custom name merely grows the slice onto the heap — the
+// key is still correct, the request just pays its allocations.
+const analyzeKeyBuf = 128
+
+// appendAnalyzeKey assembles the analyze memo key ("analyze|KERNEL|
+// cache|rate|engine") into dst, the byte-append twin of the original
+// fmt.Sprintf. The caller hands in a stack-reserved buffer, so on the
+// memo hit path nothing here touches the heap; hotalloc verifies that
+// claim statically (the appends below are audited: they grow only past
+// analyzeKeyBuf).
+//
+//dvf:hotpath
+func appendAnalyzeKey(dst []byte, kernel, cacheName string, rate float64, engine string) []byte {
+	dst = append(append(dst, "analyze|"...), kernel...) //dvf:allow hotalloc caller reserves analyzeKeyBuf bytes of stack capacity; bundled keys never grow it
+
+	dst = append(append(dst, '|'), cacheName...) //dvf:allow hotalloc same stack-capacity reservation
+
+	dst = strconv.AppendFloat(append(dst, '|'), rate, 'g', -1, 64) //dvf:allow hotalloc same stack-capacity reservation; AppendFloat writes in place
+
+	dst = append(append(dst, '|'), engine...) //dvf:allow hotalloc same stack-capacity reservation
+	return dst
+}
+
 // evalAnalyze is the analyze pipeline shared by /v1/analyze, /v1/sweep
 // and /v1/batch: validate, memo-or-hit, singleflight evaluate, memoize.
 // The returned status is meaningful only alongside a non-nil error.
+//
+// The memo probe runs before the kernel is constructed: the key is
+// assembled from the request's canonical field forms into a
+// stack-reserved buffer and looked up by bytes, so a repeated what-if
+// question is answered without a single heap allocation (instr_test.go
+// holds the hit path to zero; hotalloc proves the key builder and the
+// lookup allocation-free statically). Probe-first cannot mask a
+// validation error: an invalid kernel is never memoized, so its probe
+// misses and the miss path still validates everything.
 func (s *Server) evalAnalyze(req AnalyzeRequest, tk *tracez.Track) (*AnalyzeResponse, int, error) {
 	engine := req.Engine
 	if engine == "" {
@@ -104,7 +140,23 @@ func (s *Server) evalAnalyze(req AnalyzeRequest, tk *tracez.Track) (*AnalyzeResp
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	k, err := core.NewKernel(strings.ToUpper(req.Kernel))
+
+	// kcode matches Kernel.Name() for every valid request (NewKernel
+	// resolves the upper-cased code), so the probe key and the memoize key
+	// are the same bytes.
+	kcode := strings.ToUpper(req.Kernel)
+	var kb [analyzeKeyBuf]byte
+	keyBytes := appendAnalyzeKey(kb[:0], kcode, cfg.Name, float64(rate), engine)
+	sp := tk.Begin("memo")
+	v, hit := s.memo.getBytes(keyBytes)
+	sp.End()
+	if hit {
+		// Memoized responses are stored with Memoized already set and
+		// shared read-only: the hit performs no copy and no mutation.
+		return v.(*AnalyzeResponse), 0, nil
+	}
+
+	k, err := core.NewKernel(kcode)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
@@ -113,16 +165,7 @@ func (s *Server) evalAnalyze(req AnalyzeRequest, tk *tracez.Track) (*AnalyzeResp
 			fmt.Errorf("kernel %s has no affine access pattern; engine=analytic needs one (use cgpmac)", k.Name())
 	}
 
-	key := fmt.Sprintf("analyze|%s|%s|%g|%s", k.Name(), cfg.Name, float64(rate), engine)
-	sp := tk.Begin("memo")
-	if v, ok := s.memo.get(key); ok {
-		sp.End()
-		resp := *v.(*AnalyzeResponse)
-		resp.Memoized = true
-		return &resp, 0, nil
-	}
-	sp.End()
-
+	key := string(keyBytes)
 	sp = tk.Begin("evaluate")
 	v, err, shared := s.flights.do(key, func() (any, error) {
 		s.acquire()
@@ -138,7 +181,11 @@ func (s *Server) evalAnalyze(req AnalyzeRequest, tk *tracez.Track) (*AnalyzeResp
 			return nil, err
 		}
 		resp := analyzeResponse(rep, cfg, engine)
-		s.memo.put(key, resp)
+		// The memo keeps its own copy with Memoized pre-set so later hits
+		// return the stored pointer untouched.
+		memo := *resp
+		memo.Memoized = true
+		s.memo.put(key, &memo)
 		s.instr.countEngine(engine)
 		return resp, nil
 	})
@@ -146,9 +193,15 @@ func (s *Server) evalAnalyze(req AnalyzeRequest, tk *tracez.Track) (*AnalyzeResp
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
-	resp := *v.(*AnalyzeResponse)
-	resp.Memoized = shared
-	return &resp, 0, nil
+	resp := v.(*AnalyzeResponse)
+	if shared {
+		// A rider on another caller's flight answered without computing;
+		// copy before flipping Memoized — the first caller holds resp too.
+		rider := *resp
+		rider.Memoized = true
+		return &rider, 0, nil
+	}
+	return resp, 0, nil
 }
 
 // analyzeResponse converts a core report into the wire shape.

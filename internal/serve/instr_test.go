@@ -82,25 +82,33 @@ func TestNilInstrumentsNoop(t *testing.T) {
 	}
 }
 
-// TestEvalAnalyzeMemoHitLowAlloc bounds the full service hot path on a
-// memo hit: no engine work, no singleflight, no instrument lookups.
-// (The response copy itself is one allocation by design.)
-func TestEvalAnalyzeMemoHitLowAlloc(t *testing.T) {
+// TestEvalAnalyzeMemoHitZeroAlloc is the acceptance guard for the
+// memoized analyze path: with the observability plane off, a repeated
+// what-if question must be answered without touching the heap at all —
+// the key assembles into a stack buffer (appendAnalyzeKey), the lookup
+// indexes by bytes (memoCache.getBytes) and the stored response, kept
+// with Memoized pre-set, is returned by pointer with no copy. hotalloc
+// proves the same property statically via the //dvf:hotpath marks.
+func TestEvalAnalyzeMemoHitZeroAlloc(t *testing.T) {
 	s := New(Config{})
 	req := analyzeBody("VM", "small", "none", "analytic")
 	if _, _, err := s.evalAnalyze(req, nil); err != nil {
 		t.Fatalf("warm-up: %v", err)
+	}
+	resp, _, err := s.evalAnalyze(req, nil)
+	if err != nil {
+		t.Fatalf("memo hit: %v", err)
+	}
+	if !resp.Memoized {
+		t.Fatal("second evaluation not marked memoized")
 	}
 	allocs := testing.AllocsPerRun(100, func() {
 		if _, _, err := s.evalAnalyze(req, nil); err != nil {
 			t.Fatalf("memo hit: %v", err)
 		}
 	})
-	// Validation, the memo key Sprintf and the defensive response copy
-	// dominate (~18 allocations); a blow-up past this bound means the
-	// path regressed into the engines.
-	if allocs > 24 {
-		t.Fatalf("memo-hit path allocates %.1f per request, want <= 24", allocs)
+	if allocs != 0 {
+		t.Fatalf("memo-hit path allocates %.1f per request, want 0", allocs)
 	}
 }
 

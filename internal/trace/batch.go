@@ -1,6 +1,9 @@
 package trace
 
-import "sync"
+import (
+	"sync"
+	"unsafe"
+)
 
 // RefBatch is a struct-of-arrays block of memory references, the unit the
 // batched replay hot path moves around instead of one Ref at a time. Two
@@ -209,15 +212,34 @@ func (p *BatchPool) Get() *RefBatch {
 	return b
 }
 
-// Put returns a batch to the pool. Batches whose columns do not carry the
-// pool's arena capacity — views over a mapped v2 trace, recorder batches —
-// are dropped rather than recycled, so the pool never hands out an
-// aliased or undersized arena.
+// Put returns a batch to the pool. Only batches carrying the pool's own
+// arena shape are recycled: both columns must have exactly the pool's
+// capacity — an oversized foreign batch would silently change the
+// pool's arena size for every later Get, an undersized one would make
+// Append regrow — and they must live in one contiguous slab, metas
+// directly after addrs, the layout NewBatchPool allocates. Anything
+// else (views over a mapped v2 trace, recorder batches, hand-assembled
+// batches whose capacity merely coincides) is dropped, so the pool can
+// never hand out an aliased, oversized or undersized arena.
 //
 //dvf:hotpath
 func (p *BatchPool) Put(b *RefBatch) {
 	if b == nil || cap(b.Addrs) != p.capacity || cap(b.Metas) != p.capacity {
 		return
 	}
+	if !sameSlab(b.Addrs, b.Metas) {
+		return
+	}
 	p.pool.Put(b)
+}
+
+// sameSlab reports whether the meta column starts exactly one capacity
+// past the addr column — the single-slab arena layout the pool's New
+// allocates. A mapped-trace view or a hand-built batch can match the
+// pool's capacity, but it cannot fake contiguity without actually being
+// one slab, which is what makes recycling it safe: a batch that passes
+// here is indistinguishable from one the pool allocated itself.
+func sameSlab(addrs, metas []uint64) bool {
+	end := unsafe.Add(unsafe.Pointer(unsafe.SliceData(addrs)), uintptr(cap(addrs))*unsafe.Sizeof(uint64(0)))
+	return end == unsafe.Pointer(unsafe.SliceData(metas))
 }

@@ -141,6 +141,44 @@ func TestBatchPoolRecyclesArenas(t *testing.T) {
 	p.Put(nil) // must not panic
 }
 
+// TestBatchPoolRejectsForeignArenas pins the Put hardening beyond the
+// undersized case above: a batch whose capacity exceeds the pool's, and
+// a capacity-matched batch that is not one contiguous slab, must both be
+// dropped rather than recycled.
+func TestBatchPoolRejectsForeignArenas(t *testing.T) {
+	p := NewBatchPool(8)
+
+	// Oversized arena: recycling it would silently grow every later Get.
+	big := make([]uint64, 32)
+	p.Put(&RefBatch{Addrs: big[0:0:16], Metas: big[16:16:32]})
+	if b := p.Get(); cap(b.Addrs) != 8 || cap(b.Metas) != 8 {
+		t.Fatalf("oversized arena recycled: caps %d/%d, want 8/8", cap(b.Addrs), cap(b.Metas))
+	}
+
+	// Capacity-matched but split across two allocations: the single-slab
+	// contract (Append never touches the other column's memory) would be
+	// broken by recycling it.
+	p.Put(&RefBatch{Addrs: make([]uint64, 0, 8), Metas: make([]uint64, 0, 8)})
+	if b := p.Get(); !sameSlab(b.Addrs, b.Metas) {
+		t.Fatal("pool handed out a split arena")
+	}
+
+	// Capacity-matched view over one slab with the columns swapped: the
+	// contiguity check is directional.
+	slab := make([]uint64, 16)
+	p.Put(&RefBatch{Addrs: slab[8:8:16], Metas: slab[0:0:8]})
+	if b := p.Get(); !sameSlab(b.Addrs, b.Metas) {
+		t.Fatal("pool handed out a column-swapped arena")
+	}
+
+	// A genuine pool batch still round-trips.
+	b := p.Get()
+	p.Put(b)
+	if got := p.Get(); !sameSlab(got.Addrs, got.Metas) || cap(got.Addrs) != 8 {
+		t.Fatal("genuine pool batch no longer recycles")
+	}
+}
+
 func TestBatchPoolDefaultCapacity(t *testing.T) {
 	p := NewBatchPool(0)
 	if p.Capacity() != DefaultBatch {
